@@ -1,0 +1,128 @@
+//! DOT (Graphviz) export of symbolic automata.
+
+use crate::Nfa;
+use amle_expr::{Expr, ExprKind, VarSet};
+use std::fmt::Write as _;
+
+impl Nfa {
+    /// Renders the automaton in Graphviz DOT syntax, using variable names
+    /// from `vars` inside the guards.
+    ///
+    /// The output mirrors the style of Fig. 2 in the paper: circular nodes,
+    /// initial states marked with an incoming arrow from a hidden point node,
+    /// guards as edge labels.
+    pub fn to_dot(&self, vars: &VarSet) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph abstraction {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [shape=circle];");
+        for q in self.initial_states() {
+            let _ = writeln!(out, "  __init_{} [shape=point, style=invis];", q.index());
+            let _ = writeln!(out, "  __init_{} -> q{};", q.index(), q.index());
+        }
+        for q in self.states() {
+            let _ = writeln!(out, "  q{} [label=\"q{}\"];", q.index(), q.index());
+        }
+        for t in self.transitions() {
+            let _ = writeln!(
+                out,
+                "  q{} -> q{} [label=\"{}\"];",
+                t.from.index(),
+                t.to.index(),
+                escape(&render_guard(&t.guard, vars))
+            );
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// Renders an expression with variable names substituted for the `x<i>`
+/// placeholders of the default [`std::fmt::Display`] implementation.
+///
+/// Used for edge labels in DOT output and for printing extracted invariants
+/// in reports.
+pub fn display_expr(guard: &Expr, vars: &VarSet) -> String {
+    render_expr(guard, vars)
+}
+
+pub(crate) fn render_guard(guard: &Expr, vars: &VarSet) -> String {
+    render_expr(guard, vars)
+}
+
+fn render_expr(e: &Expr, vars: &VarSet) -> String {
+    match e.kind() {
+        ExprKind::Const(_) => e.to_string(),
+        ExprKind::Var(id) => vars
+            .info(*id)
+            .map(|i| i.name.clone())
+            .unwrap_or_else(|| id.to_string()),
+        ExprKind::Unary(op, a) => {
+            let symbol = match op {
+                amle_expr::UnOp::Not => "!",
+                amle_expr::UnOp::Neg => "-",
+            };
+            format!("{symbol}({})", render_expr(a, vars))
+        }
+        ExprKind::Binary(op, a, b) => format!(
+            "({} {} {})",
+            render_expr(a, vars),
+            op.symbol(),
+            render_expr(b, vars)
+        ),
+        ExprKind::Ite(c, t, els) => format!(
+            "(if {} then {} else {})",
+            render_expr(c, vars),
+            render_expr(t, vars),
+            render_expr(els, vars)
+        ),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amle_expr::{Expr, Sort, VarSet};
+
+    #[test]
+    fn dot_output_contains_states_edges_and_names() {
+        let mut vars = VarSet::new();
+        let temp = vars.declare("inp_temp", Sort::int(8)).unwrap();
+        let guard = Expr::var(temp, Sort::int(8)).gt(&Expr::int_val(75, 8));
+
+        let mut nfa = Nfa::new();
+        let q0 = nfa.add_state();
+        let q1 = nfa.add_state();
+        nfa.mark_initial(q0);
+        nfa.add_transition(q0, q1, guard);
+
+        let dot = nfa.to_dot(&vars);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("q0 -> q1"));
+        assert!(dot.contains("inp_temp"));
+        assert!(dot.contains("__init_0 -> q0"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn guard_rendering_uses_variable_names_and_variants() {
+        let mut vars = VarSet::new();
+        let mode_sort = Sort::enumeration("Mode", ["Off", "On"]);
+        let mode = vars.declare("mode", mode_sort.clone()).unwrap();
+        let b = vars.declare("flag", Sort::Bool).unwrap();
+        let guard = Expr::var(mode, mode_sort.clone())
+            .eq(&Expr::enum_val(&mode_sort, "On"))
+            .and(&Expr::var(b, Sort::Bool).not());
+        let text = render_guard(&guard, &vars);
+        assert_eq!(text, "((mode == On) && !(flag))");
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+    }
+}

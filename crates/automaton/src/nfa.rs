@@ -1,0 +1,445 @@
+//! The symbolic NFA data structure.
+
+use amle_expr::{simplify, Expr, Valuation};
+use amle_system::Trace;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of an automaton state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub(crate) usize);
+
+impl StateId {
+    /// The dense index of the state.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Builds a state id from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        StateId(index)
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A guarded transition between two automaton states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// Source state.
+    pub from: StateId,
+    /// Destination state.
+    pub to: StateId,
+    /// Boolean predicate over the observable variables; the transition can be
+    /// taken on observation `v` iff the guard evaluates to true on `v`.
+    pub guard: Expr,
+}
+
+/// A symbolic non-deterministic finite automaton over valuations.
+///
+/// All states are accepting; the automaton rejects by reaching a dead end, so
+/// its language is prefix-closed (Definition 1 of the paper).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Nfa {
+    num_states: usize,
+    initial: BTreeSet<StateId>,
+    transitions: Vec<Transition>,
+}
+
+impl Nfa {
+    /// Creates an automaton with no states.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fresh state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        let id = StateId(self.num_states);
+        self.num_states += 1;
+        id
+    }
+
+    /// Adds `n` fresh states and returns their ids in order.
+    pub fn add_states(&mut self, n: usize) -> Vec<StateId> {
+        (0..n).map(|_| self.add_state()).collect()
+    }
+
+    /// Marks a state as initial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state does not exist.
+    pub fn mark_initial(&mut self, state: StateId) {
+        assert!(state.0 < self.num_states, "unknown state {state}");
+        self.initial.insert(state);
+    }
+
+    /// Adds a transition with the given guard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state does not exist or the guard is not boolean.
+    pub fn add_transition(&mut self, from: StateId, to: StateId, guard: Expr) {
+        assert!(from.0 < self.num_states, "unknown source state {from}");
+        assert!(to.0 < self.num_states, "unknown target state {to}");
+        assert!(guard.sort().is_bool(), "transition guard must be boolean");
+        self.transitions.push(Transition { from, to, guard });
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The initial states.
+    pub fn initial_states(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.initial.iter().copied()
+    }
+
+    /// All states in index order.
+    pub fn states(&self) -> impl Iterator<Item = StateId> {
+        (0..self.num_states).map(StateId)
+    }
+
+    /// All transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Transitions leaving a state.
+    pub fn transitions_from(&self, state: StateId) -> impl Iterator<Item = &Transition> {
+        self.transitions.iter().filter(move |t| t.from == state)
+    }
+
+    /// Transitions entering a state.
+    pub fn transitions_to(&self, state: StateId) -> impl Iterator<Item = &Transition> {
+        self.transitions.iter().filter(move |t| t.to == state)
+    }
+
+    /// The set of guards on transitions leaving `state` — the paper's
+    /// `P(j,out)`.
+    pub fn outgoing_predicates(&self, state: StateId) -> Vec<Expr> {
+        self.transitions_from(state).map(|t| t.guard.clone()).collect()
+    }
+
+    /// The set of guards on transitions entering `state` — the paper's
+    /// `P(j,in)`.
+    pub fn incoming_predicates(&self, state: StateId) -> Vec<Expr> {
+        self.transitions_to(state).map(|t| t.guard.clone()).collect()
+    }
+
+    /// The guards on transitions leaving any initial state — the paper's
+    /// `P(0,out)` used in condition (1).
+    pub fn initial_outgoing_predicates(&self) -> Vec<Expr> {
+        self.initial
+            .iter()
+            .flat_map(|q| self.outgoing_predicates(*q))
+            .collect()
+    }
+
+    /// The set of states reachable from `states` on observation `v`.
+    pub fn successors(&self, states: &BTreeSet<StateId>, v: &Valuation) -> BTreeSet<StateId> {
+        self.transitions
+            .iter()
+            .filter(|t| states.contains(&t.from) && t.guard.eval_bool(v))
+            .map(|t| t.to)
+            .collect()
+    }
+
+    /// Checks whether the automaton admits the observation sequence.
+    ///
+    /// Acceptance follows the paper: a sequence `v1..vn` is admitted if there
+    /// is a run `q1..q(n+1)` with `q1` initial and each step taken on `vi`.
+    /// The empty sequence is admitted iff the automaton has an initial state.
+    pub fn accepts(&self, observations: &[Valuation]) -> bool {
+        let mut current = self.initial.clone();
+        if current.is_empty() {
+            return false;
+        }
+        for v in observations {
+            current = self.successors(&current, v);
+            if current.is_empty() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Checks whether the automaton admits a [`Trace`].
+    pub fn accepts_trace(&self, trace: &Trace) -> bool {
+        self.accepts(trace.observations())
+    }
+
+    /// The longest prefix length of the observation sequence that is admitted.
+    ///
+    /// Returns `observations.len()` when the whole sequence is admitted; the
+    /// value is the `j` used when splicing counterexamples in Section III-B.
+    pub fn longest_accepted_prefix(&self, observations: &[Valuation]) -> usize {
+        let mut current = self.initial.clone();
+        if current.is_empty() {
+            return 0;
+        }
+        for (i, v) in observations.iter().enumerate() {
+            current = self.successors(&current, v);
+            if current.is_empty() {
+                return i;
+            }
+        }
+        observations.len()
+    }
+
+    /// Removes states that are unreachable from the initial states (and their
+    /// transitions), renumbering the remaining states densely.
+    pub fn trim_unreachable(&self) -> Nfa {
+        let mut reachable: BTreeSet<StateId> = self.initial.clone();
+        let mut frontier: Vec<StateId> = self.initial.iter().copied().collect();
+        while let Some(q) = frontier.pop() {
+            for t in self.transitions_from(q) {
+                if reachable.insert(t.to) {
+                    frontier.push(t.to);
+                }
+            }
+        }
+        let ordered: Vec<StateId> = self.states().filter(|q| reachable.contains(q)).collect();
+        let remap = |q: StateId| StateId(ordered.iter().position(|o| *o == q).expect("reachable"));
+        let mut out = Nfa::new();
+        out.add_states(ordered.len());
+        for q in &ordered {
+            if self.initial.contains(q) {
+                out.mark_initial(remap(*q));
+            }
+        }
+        for t in &self.transitions {
+            if reachable.contains(&t.from) && reachable.contains(&t.to) {
+                out.add_transition(remap(t.from), remap(t.to), t.guard.clone());
+            }
+        }
+        out
+    }
+
+    /// Returns a copy of the automaton with every guard simplified.
+    pub fn simplify_guards(&self) -> Nfa {
+        let mut out = self.clone();
+        for t in &mut out.transitions {
+            t.guard = simplify(&t.guard);
+        }
+        out
+    }
+
+    /// Merges parallel transitions (same source and destination) into a single
+    /// transition whose guard is the disjunction of the originals.
+    pub fn merge_parallel_edges(&self) -> Nfa {
+        let mut out = Nfa::new();
+        out.add_states(self.num_states);
+        for q in self.initial.iter() {
+            out.mark_initial(*q);
+        }
+        let mut grouped: Vec<(StateId, StateId, Vec<Expr>)> = Vec::new();
+        for t in &self.transitions {
+            match grouped
+                .iter_mut()
+                .find(|(f, to, _)| *f == t.from && *to == t.to)
+            {
+                Some((_, _, guards)) => guards.push(t.guard.clone()),
+                None => grouped.push((t.from, t.to, vec![t.guard.clone()])),
+            }
+        }
+        for (from, to, guards) in grouped {
+            out.add_transition(from, to, simplify(&Expr::or_all(guards)));
+        }
+        out
+    }
+
+    /// The fraction of traces in `traces` admitted by the automaton.
+    ///
+    /// Used both for the paper's accuracy score `d` (with ground-truth
+    /// witness traces, one per Stateflow transition) and for quick coverage
+    /// estimates in reports. Returns 1.0 for an empty slice.
+    pub fn acceptance_ratio(&self, traces: &[Trace]) -> f64 {
+        if traces.is_empty() {
+            return 1.0;
+        }
+        let accepted = traces.iter().filter(|t| self.accepts_trace(t)).count();
+        accepted as f64 / traces.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amle_expr::{Sort, Value, VarId, VarSet};
+
+    fn bool_vars() -> (VarSet, VarId) {
+        let mut vars = VarSet::new();
+        let on = vars.declare("on", Sort::Bool).unwrap();
+        (vars, on)
+    }
+
+    fn obs(vars: &VarSet, on: bool) -> Valuation {
+        let mut v = Valuation::zeroed(vars);
+        v.set(VarId::from_index(0), Value::Bool(on));
+        v
+    }
+
+    /// q0 --on--> q1 --!on--> q0, q1 --on--> q1
+    fn toggle_nfa(on: &Expr) -> Nfa {
+        let mut nfa = Nfa::new();
+        let q0 = nfa.add_state();
+        let q1 = nfa.add_state();
+        nfa.mark_initial(q0);
+        nfa.add_transition(q0, q1, on.clone());
+        nfa.add_transition(q1, q0, on.not());
+        nfa.add_transition(q1, q1, on.clone());
+        nfa
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let (_, on) = bool_vars();
+        let on_e = Expr::var(on, Sort::Bool);
+        let nfa = toggle_nfa(&on_e);
+        assert_eq!(nfa.num_states(), 2);
+        assert_eq!(nfa.num_transitions(), 3);
+        assert_eq!(nfa.initial_states().count(), 1);
+        assert_eq!(nfa.outgoing_predicates(StateId(1)).len(), 2);
+        assert_eq!(nfa.incoming_predicates(StateId(0)).len(), 1);
+        assert_eq!(nfa.initial_outgoing_predicates().len(), 1);
+        assert_eq!(nfa.states().count(), 2);
+        assert_eq!(nfa.transitions_to(StateId(1)).count(), 2);
+    }
+
+    #[test]
+    fn acceptance() {
+        let (vars, _) = bool_vars();
+        let on_e = Expr::var(VarId::from_index(0), Sort::Bool);
+        let nfa = toggle_nfa(&on_e);
+        // on, on, off is admitted; off.. from the initial state is not.
+        assert!(nfa.accepts(&[obs(&vars, true), obs(&vars, true), obs(&vars, false)]));
+        assert!(!nfa.accepts(&[obs(&vars, false)]));
+        assert!(nfa.accepts(&[]));
+        // Dead end after returning to q0 on an immediate `off`.
+        assert!(!nfa.accepts(&[obs(&vars, true), obs(&vars, false), obs(&vars, false)]));
+    }
+
+    #[test]
+    fn empty_automaton_rejects_everything() {
+        let nfa = Nfa::new();
+        assert!(!nfa.accepts(&[]));
+        let mut nfa = Nfa::new();
+        nfa.add_state();
+        // A state exists but is not initial.
+        assert!(!nfa.accepts(&[]));
+    }
+
+    #[test]
+    fn longest_prefix() {
+        let (vars, _) = bool_vars();
+        let on_e = Expr::var(VarId::from_index(0), Sort::Bool);
+        let nfa = toggle_nfa(&on_e);
+        let seq = [obs(&vars, true), obs(&vars, false), obs(&vars, false)];
+        assert_eq!(nfa.longest_accepted_prefix(&seq), 2);
+        let seq = [obs(&vars, false)];
+        assert_eq!(nfa.longest_accepted_prefix(&seq), 0);
+        let seq = [obs(&vars, true), obs(&vars, true)];
+        assert_eq!(nfa.longest_accepted_prefix(&seq), 2);
+    }
+
+    #[test]
+    fn prefix_closure_property() {
+        let (vars, _) = bool_vars();
+        let on_e = Expr::var(VarId::from_index(0), Sort::Bool);
+        let nfa = toggle_nfa(&on_e);
+        let seq = vec![
+            obs(&vars, true),
+            obs(&vars, true),
+            obs(&vars, false),
+            obs(&vars, true),
+        ];
+        assert!(nfa.accepts(&seq));
+        for k in 0..=seq.len() {
+            assert!(nfa.accepts(&seq[..k]), "prefix of length {k} rejected");
+        }
+    }
+
+    #[test]
+    fn trim_unreachable_states() {
+        let (_, on) = bool_vars();
+        let on_e = Expr::var(on, Sort::Bool);
+        let mut nfa = toggle_nfa(&on_e);
+        let orphan = nfa.add_state();
+        nfa.add_transition(orphan, StateId(0), on_e.clone());
+        assert_eq!(nfa.num_states(), 3);
+        let trimmed = nfa.trim_unreachable();
+        assert_eq!(trimmed.num_states(), 2);
+        assert_eq!(trimmed.num_transitions(), 3);
+        assert_eq!(trimmed.initial_states().count(), 1);
+    }
+
+    #[test]
+    fn merge_parallel_edges_disjoins_guards() {
+        let (vars, on) = bool_vars();
+        let on_e = Expr::var(on, Sort::Bool);
+        let mut nfa = Nfa::new();
+        let q0 = nfa.add_state();
+        let q1 = nfa.add_state();
+        nfa.mark_initial(q0);
+        nfa.add_transition(q0, q1, on_e.clone());
+        nfa.add_transition(q0, q1, on_e.not());
+        let merged = nfa.merge_parallel_edges();
+        assert_eq!(merged.num_transitions(), 1);
+        assert!(merged.accepts(&[obs(&vars, true)]));
+        assert!(merged.accepts(&[obs(&vars, false)]));
+    }
+
+    #[test]
+    fn simplify_guards_preserves_language() {
+        let (vars, on) = bool_vars();
+        let on_e = Expr::var(on, Sort::Bool);
+        let mut nfa = Nfa::new();
+        let q0 = nfa.add_state();
+        nfa.mark_initial(q0);
+        nfa.add_transition(q0, q0, Expr::true_().and(&on_e).or(&Expr::false_()));
+        let simplified = nfa.simplify_guards();
+        assert_eq!(simplified.transitions()[0].guard.to_string(), "x0");
+        assert!(simplified.accepts(&[obs(&vars, true)]));
+        assert!(!simplified.accepts(&[obs(&vars, false)]));
+    }
+
+    #[test]
+    fn acceptance_ratio() {
+        let (vars, _) = bool_vars();
+        let on_e = Expr::var(VarId::from_index(0), Sort::Bool);
+        let nfa = toggle_nfa(&on_e);
+        let good: Trace = [obs(&vars, true), obs(&vars, false)].into_iter().collect();
+        let bad: Trace = [obs(&vars, false)].into_iter().collect();
+        assert_eq!(nfa.acceptance_ratio(&[good.clone(), bad.clone()]), 0.5);
+        assert_eq!(nfa.acceptance_ratio(&[good]), 1.0);
+        assert_eq!(nfa.acceptance_ratio(&[]), 1.0);
+        assert!(!nfa.accepts_trace(&bad));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown source state")]
+    fn transition_with_unknown_state_panics() {
+        let mut nfa = Nfa::new();
+        let q0 = nfa.add_state();
+        nfa.add_transition(StateId(5), q0, Expr::true_());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be boolean")]
+    fn non_boolean_guard_panics() {
+        let mut nfa = Nfa::new();
+        let q0 = nfa.add_state();
+        nfa.add_transition(q0, q0, Expr::int_val(1, 4));
+    }
+}

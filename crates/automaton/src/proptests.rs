@@ -1,0 +1,97 @@
+//! Property-based tests for the symbolic NFA.
+
+use crate::Nfa;
+use amle_expr::{Expr, Sort, Valuation, Value, VarId, VarSet};
+use proptest::prelude::*;
+
+fn vars() -> VarSet {
+    let mut vars = VarSet::new();
+    vars.declare("x", Sort::int(3)).unwrap();
+    vars
+}
+
+fn obs(x: i64) -> Valuation {
+    let vs = vars();
+    let mut v = Valuation::zeroed(&vs);
+    v.set(VarId::from_index(0), Value::Int(x));
+    v
+}
+
+/// Builds a random automaton over guards of the form `x == c` / `x > c`.
+fn arb_nfa() -> impl Strategy<Value = Nfa> {
+    let transition = (0usize..4, 0usize..4, 0i64..8, any::<bool>());
+    (
+        proptest::collection::vec(transition, 1..12),
+        proptest::collection::btree_set(0usize..4, 1..3),
+    )
+        .prop_map(|(transitions, initials)| {
+            let mut nfa = Nfa::new();
+            nfa.add_states(4);
+            for i in initials {
+                nfa.mark_initial(crate::StateId::from_index(i));
+            }
+            let xe = Expr::var(VarId::from_index(0), Sort::int(3));
+            for (from, to, c, use_eq) in transitions {
+                let guard = if use_eq {
+                    xe.eq(&Expr::int_val(c, 3))
+                } else {
+                    xe.gt(&Expr::int_val(c, 3))
+                };
+                nfa.add_transition(
+                    crate::StateId::from_index(from),
+                    crate::StateId::from_index(to),
+                    guard,
+                );
+            }
+            nfa
+        })
+}
+
+fn arb_word() -> impl Strategy<Value = Vec<Valuation>> {
+    proptest::collection::vec(0i64..8, 0..8).prop_map(|xs| xs.into_iter().map(obs).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn language_is_prefix_closed(nfa in arb_nfa(), word in arb_word()) {
+        if nfa.accepts(&word) {
+            for k in 0..=word.len() {
+                prop_assert!(nfa.accepts(&word[..k]));
+            }
+        }
+    }
+
+    #[test]
+    fn longest_prefix_is_consistent_with_acceptance(nfa in arb_nfa(), word in arb_word()) {
+        let j = nfa.longest_accepted_prefix(&word);
+        prop_assert!(j <= word.len());
+        prop_assert!(nfa.accepts(&word[..j]) || j == 0);
+        if j < word.len() {
+            prop_assert!(!nfa.accepts(&word[..j + 1]));
+        } else {
+            prop_assert!(nfa.accepts(&word));
+        }
+    }
+
+    #[test]
+    fn trimming_preserves_acceptance(nfa in arb_nfa(), word in arb_word()) {
+        let trimmed = nfa.trim_unreachable();
+        prop_assert_eq!(nfa.accepts(&word), trimmed.accepts(&word));
+        prop_assert!(trimmed.num_states() <= nfa.num_states());
+    }
+
+    #[test]
+    fn merging_parallel_edges_preserves_acceptance(nfa in arb_nfa(), word in arb_word()) {
+        let merged = nfa.merge_parallel_edges();
+        prop_assert_eq!(nfa.accepts(&word), merged.accepts(&word));
+        prop_assert!(merged.num_transitions() <= nfa.num_transitions());
+    }
+
+    #[test]
+    fn simplifying_guards_preserves_acceptance(nfa in arb_nfa(), word in arb_word()) {
+        let simplified = nfa.simplify_guards();
+        prop_assert_eq!(nfa.accepts(&word), simplified.accepts(&word));
+    }
+}

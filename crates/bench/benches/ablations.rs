@@ -1,0 +1,39 @@
+//! Criterion benches for the design-choice ablations A1 (learner choice) and
+//! A2 (k-induction bound sensitivity).
+
+use amle_bench::{quick_config, run_active};
+use amle_benchmarks::benchmark_by_name;
+use amle_learner::{HistoryLearner, KTailsLearner};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn ablation_learner(c: &mut Criterion) {
+    let benchmark = benchmark_by_name("MealyVendingMachine").expect("known benchmark");
+    let mut group = c.benchmark_group("ablation_learner");
+    group.sample_size(10);
+    group.bench_function("history", |b| {
+        b.iter(|| run_active(&benchmark, HistoryLearner::default(), quick_config(&benchmark)).0)
+    });
+    group.bench_function("ktails", |b| {
+        b.iter(|| run_active(&benchmark, KTailsLearner::new(1), quick_config(&benchmark)).0)
+    });
+    group.finish();
+}
+
+fn ablation_k(c: &mut Criterion) {
+    let benchmark = benchmark_by_name("CountEvents").expect("known benchmark");
+    let mut group = c.benchmark_group("ablation_k");
+    group.sample_size(10);
+    for k in [4usize, 16, 32] {
+        group.bench_function(format!("k_{k}"), |b| {
+            b.iter(|| {
+                let mut config = quick_config(&benchmark);
+                config.k = k;
+                run_active(&benchmark, HistoryLearner::default(), config).0
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_learner, ablation_k);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benches for experiment T1-active (Table I, "Our Algorithm"):
+//! end-to-end active-learning runs on representative benchmarks of each
+//! family, plus the per-iteration monotonicity experiment (§IV-B3).
+
+use amle_bench::{quick_config, run_active};
+use amle_benchmarks::benchmark_by_name;
+use amle_learner::HistoryLearner;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table1_active(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_active");
+    group.sample_size(10);
+    for name in [
+        "HomeClimateControlCooler",
+        "MealyVendingMachine",
+        "LadderLogicScheduler",
+        "SequenceRecognition",
+        "CdPlayerModeManager",
+    ] {
+        let benchmark = benchmark_by_name(name).expect("known benchmark");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let (row, _) =
+                    run_active(&benchmark, HistoryLearner::default(), quick_config(&benchmark));
+                assert!(row.alpha > 0.0);
+                row
+            })
+        });
+    }
+    group.finish();
+}
+
+fn iterations(c: &mut Criterion) {
+    // §IV-B3: the number of iterations depends on how much of the behaviour
+    // the initial traces already cover; benching with tiny and larger initial
+    // sets exposes the trade-off.
+    let benchmark = benchmark_by_name("CountEvents").expect("known benchmark");
+    let mut group = c.benchmark_group("iterations");
+    group.sample_size(10);
+    for initial in [2usize, 10, 30] {
+        group.bench_function(format!("initial_traces_{initial}"), |b| {
+            b.iter(|| {
+                let mut config = quick_config(&benchmark);
+                config.initial_traces = initial;
+                config.trace_length = 8;
+                let (row, _) = run_active(&benchmark, HistoryLearner::default(), config);
+                row.iterations
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_active, iterations);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion benches for experiment T1-random (Table I, "Random Sampling"):
+//! passive learning from random-input budgets of increasing size.
+
+use amle_bench::run_random_sampling;
+use amle_benchmarks::benchmark_by_name;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table1_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_random");
+    group.sample_size(10);
+    for name in ["HomeClimateControlCooler", "CountEvents", "ServerQueueingSystem"] {
+        let benchmark = benchmark_by_name(name).expect("known benchmark");
+        for budget in [500usize, 2_000] {
+            group.bench_function(format!("{name}/budget_{budget}"), |b| {
+                b.iter(|| run_random_sampling(&benchmark, budget))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_random);
+criterion_main!(benches);

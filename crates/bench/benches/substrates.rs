@@ -1,0 +1,75 @@
+//! Criterion benches of the substrate layers (SAT solver, bit-blasted
+//! condition checks, passive learners) — these back the runtime breakdown
+//! (%Tm) discussion of Table I.
+
+use amle_benchmarks::benchmark_by_name;
+use amle_checker::KInductionChecker;
+use amle_expr::Expr;
+use amle_learner::{HistoryLearner, ModelLearner};
+use amle_sat::{Lit, Solver};
+use amle_system::Simulator;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sat_solver(c: &mut Criterion) {
+    // Pigeonhole instances: the classic hard-UNSAT micro-benchmark.
+    c.bench_function("sat/pigeonhole_6_into_5", |b| {
+        b.iter(|| {
+            let mut solver = Solver::new();
+            let pigeons = 6;
+            let holes = 5;
+            let vars: Vec<_> = (0..pigeons * holes).map(|_| solver.new_var()).collect();
+            let lit = |p: usize, h: usize| Lit::positive(vars[p * holes + h]);
+            for p in 0..pigeons {
+                solver.add_clause((0..holes).map(|h| lit(p, h)));
+            }
+            for h in 0..holes {
+                for p1 in 0..pigeons {
+                    for p2 in (p1 + 1)..pigeons {
+                        solver.add_clause([!lit(p1, h), !lit(p2, h)]);
+                    }
+                }
+            }
+            solver.solve()
+        })
+    });
+}
+
+fn condition_checks(c: &mut Criterion) {
+    let benchmark = benchmark_by_name("CountEvents").expect("known benchmark");
+    let system = &benchmark.system;
+    c.bench_function("checker/condition_check", |b| {
+        b.iter(|| {
+            let mut checker = KInductionChecker::new(system);
+            checker.check_condition(&Expr::true_(), &[], &Expr::true_())
+        })
+    });
+    c.bench_function("checker/spurious_check_k16", |b| {
+        b.iter(|| {
+            let mut checker = KInductionChecker::new(system);
+            let state = system.initial_valuation();
+            let formula = checker.state_formula(&state, &benchmark.observables);
+            checker.check_spurious(&formula, 16)
+        })
+    });
+}
+
+fn passive_learning(c: &mut Criterion) {
+    let benchmark = benchmark_by_name("SequenceRecognition").expect("known benchmark");
+    let system = &benchmark.system;
+    let sim = Simulator::new(system);
+    let mut rng = StdRng::seed_from_u64(3);
+    let traces = sim.random_traces(50, 50, &mut rng);
+    c.bench_function("learner/history_50x50", |b| {
+        b.iter(|| {
+            let mut learner = HistoryLearner::default();
+            learner
+                .learn(system.vars(), &benchmark.observables, &traces)
+                .expect("learning succeeds")
+        })
+    });
+}
+
+criterion_group!(benches, sat_solver, condition_checks, passive_learning);
+criterion_main!(benches);

@@ -1,0 +1,220 @@
+//! # amle-bench
+//!
+//! The benchmark harness that regenerates the paper's evaluation artefacts:
+//!
+//! * `table1` — the "Our Algorithm" columns of Table I (`|X|`, `k`, `i`, `d`,
+//!   `N`, `α`, `T`, `%Tm`) for every benchmark in the suite;
+//! * `random_sampling` — the "Random Sampling" columns of Table I (`N`, `α`,
+//!   `T`) using the passive baseline of Section IV-C;
+//! * `fig2` — re-learns the Home Climate-Control Cooler abstraction and
+//!   prints it (textually and as DOT), reproducing Fig. 2;
+//! * `ablation` — the design-choice ablations from DESIGN.md (learner choice
+//!   and k-induction bound sensitivity).
+//!
+//! Criterion benches in `benches/` time the same experiments so that
+//! `cargo bench` exercises every table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use amle_benchmarks::Benchmark;
+use amle_core::{random_sampling_baseline, ActiveLearner, ActiveLearnerConfig, RunReport};
+use amle_learner::{HistoryLearner, KTailsLearner, ModelLearner};
+
+/// Default experiment parameters mirroring Section IV-B: 50 initial traces of
+/// length 50.
+pub fn paper_config(benchmark: &Benchmark) -> ActiveLearnerConfig {
+    ActiveLearnerConfig {
+        observables: Some(benchmark.observables.clone()),
+        initial_traces: 50,
+        trace_length: 50,
+        k: benchmark.k,
+        max_iterations: 30,
+        ..Default::default()
+    }
+}
+
+/// A smaller configuration used by the criterion benches so that timing runs
+/// stay short.
+pub fn quick_config(benchmark: &Benchmark) -> ActiveLearnerConfig {
+    ActiveLearnerConfig {
+        observables: Some(benchmark.observables.clone()),
+        initial_traces: 15,
+        trace_length: 15,
+        k: benchmark.k.min(16),
+        max_iterations: 20,
+        ..Default::default()
+    }
+}
+
+/// One row of the "Our Algorithm" side of Table I.
+#[derive(Debug, Clone)]
+pub struct ActiveRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of observables (`|X|`).
+    pub observables: usize,
+    /// The k-induction bound used for spurious checks.
+    pub k: usize,
+    /// Number of learning iterations (`i`).
+    pub iterations: usize,
+    /// Accuracy score against the reference machine (`d`).
+    pub d: f64,
+    /// Number of states of the final abstraction (`N`).
+    pub states: usize,
+    /// Degree of completeness (`α`).
+    pub alpha: f64,
+    /// Total runtime in seconds (`T`).
+    pub time_s: f64,
+    /// Percentage of runtime spent in model learning (`%Tm`).
+    pub learn_pct: f64,
+}
+
+/// Runs the active-learning algorithm on one benchmark and produces its
+/// Table I row.
+pub fn run_active<L: ModelLearner>(
+    benchmark: &Benchmark,
+    learner: L,
+    config: ActiveLearnerConfig,
+) -> (ActiveRow, RunReport) {
+    let mut active = ActiveLearner::new(&benchmark.system, learner, config.clone());
+    let report = active.run().expect("active learning run failed");
+    let row = ActiveRow {
+        name: benchmark.name.to_string(),
+        observables: benchmark.num_observables(),
+        k: config.k,
+        iterations: report.iterations,
+        d: benchmark.score_d(&report.abstraction),
+        states: report.num_states(),
+        alpha: report.alpha,
+        time_s: report.total_time.as_secs_f64(),
+        learn_pct: report.learn_time_percentage(),
+    };
+    (row, report)
+}
+
+/// Convenience wrapper using the default learner and paper-shaped config.
+pub fn run_active_default(benchmark: &Benchmark) -> (ActiveRow, RunReport) {
+    run_active(benchmark, HistoryLearner::default(), paper_config(benchmark))
+}
+
+/// One row of the "Random Sampling" side of Table I.
+#[derive(Debug, Clone)]
+pub struct RandomRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of states of the passively learned model (`N`).
+    pub states: usize,
+    /// Degree of completeness (`α`).
+    pub alpha: f64,
+    /// Runtime of trace generation plus learning, in seconds (`T`).
+    pub time_s: f64,
+    /// Number of random inputs consumed.
+    pub inputs: usize,
+}
+
+/// Runs the random-sampling baseline of Section IV-C on one benchmark.
+///
+/// `budget` is the number of random inputs (the paper uses 10^6; the harness
+/// default scales this down to keep the run laptop-sized — the shape of the
+/// comparison is what matters).
+pub fn run_random_sampling(benchmark: &Benchmark, budget: usize) -> RandomRow {
+    let mut learner = HistoryLearner::default();
+    let report = random_sampling_baseline(
+        &benchmark.system,
+        &mut learner,
+        &benchmark.observables,
+        budget,
+        50,
+        benchmark.k,
+        0xB5,
+    )
+    .expect("baseline learning failed");
+    RandomRow {
+        name: benchmark.name.to_string(),
+        states: report.num_states(),
+        alpha: report.alpha,
+        time_s: report.time.as_secs_f64(),
+        inputs: report.inputs_used,
+    }
+}
+
+/// Runs the learner-choice ablation (history vs k-tails) on one benchmark,
+/// returning `(history_row, ktails_row)`.
+pub fn run_learner_ablation(benchmark: &Benchmark) -> (ActiveRow, ActiveRow) {
+    let history = run_active(
+        benchmark,
+        HistoryLearner::default(),
+        quick_config(benchmark),
+    )
+    .0;
+    let ktails = run_active(benchmark, KTailsLearner::new(1), quick_config(benchmark)).0;
+    (history, ktails)
+}
+
+/// Formats the active-algorithm table in the layout of Table I.
+pub fn format_active_table(rows: &[ActiveRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<34} {:>3} {:>4} {:>3} {:>5} {:>3} {:>6} {:>9} {:>6}\n",
+        "Benchmark", "|X|", "k", "i", "d", "N", "alpha", "T(s)", "%Tm"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<34} {:>3} {:>4} {:>3} {:>5.2} {:>3} {:>6.2} {:>9.2} {:>6.1}\n",
+            r.name, r.observables, r.k, r.iterations, r.d, r.states, r.alpha, r.time_s, r.learn_pct
+        ));
+    }
+    out
+}
+
+/// Formats the random-sampling table (the right-hand columns of Table I).
+pub fn format_random_table(rows: &[RandomRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<34} {:>3} {:>6} {:>9} {:>8}\n",
+        "Benchmark", "N", "alpha", "T(s)", "inputs"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<34} {:>3} {:>6.2} {:>9.2} {:>8}\n",
+            r.name, r.states, r.alpha, r.time_s, r.inputs
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amle_benchmarks::benchmark_by_name;
+
+    #[test]
+    fn active_row_for_the_cooler_matches_the_paper_shape() {
+        let b = benchmark_by_name("HomeClimateControlCooler").unwrap();
+        let (row, report) = run_active(&b, HistoryLearner::default(), quick_config(&b));
+        assert_eq!(row.alpha, 1.0);
+        assert_eq!(row.d, 1.0);
+        assert!(row.states >= 2);
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn random_sampling_row_is_produced() {
+        let b = benchmark_by_name("CountEvents").unwrap();
+        let row = run_random_sampling(&b, 200);
+        assert!(row.states >= 1);
+        assert!((0.0..=1.0).contains(&row.alpha));
+    }
+
+    #[test]
+    fn tables_format_cleanly() {
+        let b = benchmark_by_name("MealyVendingMachine").unwrap();
+        let (row, _) = run_active(&b, HistoryLearner::default(), quick_config(&b));
+        let table = format_active_table(&[row]);
+        assert!(table.contains("MealyVendingMachine"));
+        assert!(table.lines().count() >= 2);
+        let rrow = run_random_sampling(&b, 100);
+        assert!(format_random_table(&[rrow]).contains("MealyVendingMachine"));
+    }
+}

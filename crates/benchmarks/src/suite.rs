@@ -1,0 +1,89 @@
+//! The benchmark record type and the suite registry.
+
+use amle_automaton::Nfa;
+use amle_expr::{Value, VarId};
+use amle_system::{System, Trace};
+
+/// One benchmark of the evaluation suite.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Benchmark name (mirrors the Table I naming scheme).
+    pub name: &'static str,
+    /// The system under learning.
+    pub system: System,
+    /// The observable variables `X` for this benchmark.
+    pub observables: Vec<VarId>,
+    /// Per-benchmark k-induction bound (the `k` column of Table I).
+    pub k: usize,
+    /// Number of transitions of the reference (ground-truth) state machine.
+    pub reference_transitions: usize,
+    /// Witness traces, one per reference transition; used for the score `d`.
+    pub witnesses: Vec<Trace>,
+}
+
+impl Benchmark {
+    /// The paper's accuracy score `d`: the fraction of reference-machine
+    /// transitions whose witness trace is admitted by the learned
+    /// abstraction.
+    pub fn score_d(&self, learned: &Nfa) -> f64 {
+        learned.acceptance_ratio(&self.witnesses)
+    }
+
+    /// Number of observable variables (the `|X|` column of Table I).
+    pub fn num_observables(&self) -> usize {
+        self.observables.len()
+    }
+}
+
+/// Helper used by the benchmark definitions: runs the system from its initial
+/// valuation under an explicit input schedule and records the resulting
+/// trace. Each schedule entry gives the raw values of the input variables (in
+/// declaration order) for one step.
+pub(crate) fn trace_from_schedule(system: &System, schedule: &[Vec<i64>]) -> Trace {
+    let inputs = system.input_vars().to_vec();
+    let assign = |row: &Vec<i64>| -> Vec<(VarId, Value)> {
+        inputs
+            .iter()
+            .zip(row.iter())
+            .map(|(id, raw)| (*id, Value::from_i64(system.vars().sort(*id), *raw)))
+            .collect()
+    };
+    let mut current = system.initial_valuation();
+    if let Some(first) = schedule.first() {
+        for (id, value) in assign(first) {
+            current.set(id, value);
+        }
+    }
+    let mut observations = Vec::new();
+    for row in schedule.iter().skip(1) {
+        current = system.step(&current, &assign(row));
+        observations.push(current.clone());
+    }
+    Trace::new(observations)
+}
+
+/// Helper: a witness trace is the suffix of a schedule-driven run; most
+/// benchmarks use full runs directly.
+pub(crate) fn witness(system: &System, schedule: &[Vec<i64>]) -> Trace {
+    trace_from_schedule(system, schedule)
+}
+
+/// Convenience for building per-step schedules where the benchmark has a
+/// single input variable.
+pub(crate) fn single_input(values: &[i64]) -> Vec<Vec<i64>> {
+    values.iter().map(|v| vec![*v]).collect()
+}
+
+/// All benchmarks of the suite, in a stable order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    let mut suite = Vec::new();
+    suite.extend(crate::controllers::benchmarks());
+    suite.extend(crate::schedulers::benchmarks());
+    suite.extend(crate::protocols::benchmarks());
+    suite
+}
+
+/// Looks a benchmark up by name.
+pub fn benchmark_by_name(name: &str) -> Option<Benchmark> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}

@@ -1,0 +1,99 @@
+//! Suite-wide sanity tests: every benchmark must be internally consistent
+//! and usable by the learning pipeline.
+
+use crate::{all_benchmarks, benchmark_by_name, home_climate_control_system};
+use amle_core::{ActiveLearner, ActiveLearnerConfig};
+use amle_learner::HistoryLearner;
+use amle_system::Simulator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+#[test]
+fn suite_is_non_trivial_and_names_are_unique() {
+    let suite = all_benchmarks();
+    assert!(suite.len() >= 15, "suite has only {} benchmarks", suite.len());
+    let names: HashSet<&str> = suite.iter().map(|b| b.name).collect();
+    assert_eq!(names.len(), suite.len(), "duplicate benchmark names");
+}
+
+#[test]
+fn lookup_by_name() {
+    assert!(benchmark_by_name("HomeClimateControlCooler").is_some());
+    assert!(benchmark_by_name("MealyVendingMachine").is_some());
+    assert!(benchmark_by_name("DoesNotExist").is_none());
+}
+
+#[test]
+fn every_benchmark_is_well_formed() {
+    for b in all_benchmarks() {
+        assert!(!b.observables.is_empty(), "{}: no observables", b.name);
+        assert!(b.k > 0, "{}: k must be positive", b.name);
+        assert_eq!(
+            b.reference_transitions,
+            b.witnesses.len(),
+            "{}: one witness per reference transition",
+            b.name
+        );
+        for id in &b.observables {
+            assert!(b.system.vars().info(*id).is_some(), "{}: bad observable", b.name);
+        }
+        assert_eq!(b.num_observables(), b.observables.len());
+    }
+}
+
+#[test]
+fn every_witness_is_an_execution_trace() {
+    for b in all_benchmarks() {
+        for (i, w) in b.witnesses.iter().enumerate() {
+            assert!(!w.is_empty(), "{}: witness {i} is empty", b.name);
+            assert!(
+                b.system.is_execution_trace(w),
+                "{}: witness {i} is not an execution trace",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_system_simulates() {
+    for b in all_benchmarks() {
+        let sim = Simulator::new(&b.system);
+        let mut rng = StdRng::seed_from_u64(1);
+        let trace = sim.random_trace(25, &mut rng);
+        assert!(b.system.is_execution_trace(&trace), "{}: bad random trace", b.name);
+    }
+}
+
+#[test]
+fn score_d_is_one_for_a_converged_cooler_model() {
+    let b = benchmark_by_name("HomeClimateControlCooler").unwrap();
+    let config = ActiveLearnerConfig {
+        observables: Some(b.observables.clone()),
+        initial_traces: 15,
+        trace_length: 15,
+        k: b.k,
+        max_iterations: 15,
+        ..Default::default()
+    };
+    let mut learner = ActiveLearner::new(&b.system, HistoryLearner::default(), config);
+    let report = learner.run().unwrap();
+    assert!(report.converged);
+    assert_eq!(b.score_d(&report.abstraction), 1.0);
+}
+
+#[test]
+fn fig2_system_accessor_matches_suite_entry() {
+    let system = home_climate_control_system();
+    assert_eq!(system.name(), "HomeClimateControlCooler");
+    assert_eq!(system.state_vars().len(), 1);
+    assert_eq!(system.input_vars().len(), 1);
+}
+
+#[test]
+fn score_d_penalises_an_empty_model() {
+    let b = benchmark_by_name("MealyVendingMachine").unwrap();
+    let empty = amle_automaton::Nfa::new();
+    assert_eq!(b.score_d(&empty), 0.0);
+}

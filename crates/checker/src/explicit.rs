@@ -1,0 +1,182 @@
+//! Explicit-state reachability: an independent oracle used to cross-validate
+//! the SAT-based k-induction results on small systems.
+
+use amle_expr::{Expr, Valuation, Value, VarId};
+use amle_system::System;
+use std::collections::{HashSet, VecDeque};
+
+/// Breadth-first explicit-state reachability over a [`System`].
+///
+/// The engine enumerates every combination of input values on every step, so
+/// it is only usable when the product of the input ranges is small; callers
+/// supply a state budget and receive `None` when it is exhausted. The active
+/// learning pipeline never depends on this checker — it exists so that tests
+/// can confirm the bit-blasted k-induction checker against ground truth.
+#[derive(Debug)]
+pub struct ExplicitChecker<'a> {
+    system: &'a System,
+    max_states: usize,
+}
+
+impl<'a> ExplicitChecker<'a> {
+    /// Creates an explicit checker with a budget on the number of distinct
+    /// states to explore.
+    pub fn new(system: &'a System, max_states: usize) -> Self {
+        ExplicitChecker { system, max_states }
+    }
+
+    /// Enumerates all input assignments (cartesian product of the ranges).
+    fn input_assignments(&self) -> Vec<Vec<(VarId, Value)>> {
+        let mut assignments: Vec<Vec<(VarId, Value)>> = vec![Vec::new()];
+        for id in self.system.input_vars() {
+            let (lo, hi) = self.system.input_range(*id);
+            let sort = self.system.vars().sort(*id).clone();
+            let mut next = Vec::new();
+            for assignment in &assignments {
+                for raw in lo..=hi {
+                    let mut extended = assignment.clone();
+                    extended.push((*id, Value::from_i64(&sort, raw)));
+                    next.push(extended);
+                }
+            }
+            assignments = next;
+        }
+        assignments
+    }
+
+    /// Computes the set of reachable valuations (up to the state budget).
+    ///
+    /// Returns `None` if the budget is exhausted before the exploration
+    /// completes.
+    pub fn reachable_states(&self) -> Option<HashSet<Valuation>> {
+        let inputs = self.input_assignments();
+        let mut seen: HashSet<Valuation> = HashSet::new();
+        let mut queue: VecDeque<Valuation> = VecDeque::new();
+
+        // Initial states: the initial valuation with every input assignment.
+        for assignment in &inputs {
+            let mut v = self.system.initial_valuation();
+            for (id, value) in assignment {
+                v.set(*id, *value);
+            }
+            if seen.insert(v.clone()) {
+                queue.push_back(v);
+            }
+        }
+
+        while let Some(current) = queue.pop_front() {
+            if seen.len() > self.max_states {
+                return None;
+            }
+            for assignment in &inputs {
+                let next = self.system.step(&current, assignment);
+                if seen.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        Some(seen)
+    }
+
+    /// Decides whether any reachable state satisfies the predicate.
+    ///
+    /// Returns `None` when the state budget is exhausted.
+    pub fn is_reachable(&self, predicate: &Expr) -> Option<bool> {
+        self.reachable_states()
+            .map(|states| states.iter().any(|v| predicate.eval_bool(v)))
+    }
+
+    /// Decides whether the condition `assumption ∧ R ⟹ conclusion'` holds on
+    /// all *reachable* transitions. This is stronger than the k-induction
+    /// condition check (which ranges over arbitrary, possibly unreachable,
+    /// pre-states), so `Valid` answers from the SAT checker must imply `true`
+    /// here — the property exploited by the cross-validation tests.
+    ///
+    /// Returns `None` when the state budget is exhausted.
+    pub fn condition_holds_on_reachable(
+        &self,
+        assumption: &Expr,
+        conclusion: &Expr,
+    ) -> Option<bool> {
+        let states = self.reachable_states()?;
+        let inputs = self.input_assignments();
+        for state in &states {
+            if !assumption.eval_bool(state) {
+                continue;
+            }
+            for assignment in &inputs {
+                let next = self.system.step(state, assignment);
+                if !conclusion.eval_bool(&next) {
+                    return Some(false);
+                }
+            }
+        }
+        Some(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amle_expr::Sort;
+    use amle_system::SystemBuilder;
+
+    fn small_counter() -> System {
+        let mut b = SystemBuilder::new();
+        let en = b.input("en", Sort::Bool).unwrap();
+        let c = b.state("c", Sort::int(3), Value::Int(0)).unwrap();
+        let ce = b.var(c);
+        let bumped = ce
+            .lt(&Expr::int_val(4, 3))
+            .ite(&ce.add(&Expr::int_val(1, 3)), &ce);
+        b.update(c, b.var(en).ite(&bumped, &ce)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reachable_states_of_saturating_counter() {
+        let sys = small_counter();
+        let checker = ExplicitChecker::new(&sys, 1000);
+        let states = checker.reachable_states().unwrap();
+        let c = sys.vars().lookup("c").unwrap();
+        let values: std::collections::BTreeSet<i64> =
+            states.iter().map(|v| v.value(c).to_i64()).collect();
+        assert_eq!(values, (0..=4).collect());
+    }
+
+    #[test]
+    fn reachability_queries() {
+        let sys = small_counter();
+        let checker = ExplicitChecker::new(&sys, 1000);
+        let c = sys.vars().lookup("c").unwrap();
+        let ce = sys.var(c);
+        assert_eq!(checker.is_reachable(&ce.eq(&Expr::int_val(4, 3))), Some(true));
+        assert_eq!(checker.is_reachable(&ce.eq(&Expr::int_val(7, 3))), Some(false));
+    }
+
+    #[test]
+    fn state_budget_is_respected() {
+        let sys = small_counter();
+        let checker = ExplicitChecker::new(&sys, 2);
+        assert_eq!(checker.reachable_states(), None);
+        assert_eq!(checker.is_reachable(&Expr::true_()), None);
+    }
+
+    #[test]
+    fn condition_check_on_reachable_states() {
+        let sys = small_counter();
+        let checker = ExplicitChecker::new(&sys, 1000);
+        let c = sys.vars().lookup("c").unwrap();
+        let ce = sys.var(c);
+        // The counter never exceeds 4 on reachable transitions.
+        assert_eq!(
+            checker.condition_holds_on_reachable(&Expr::true_(), &ce.le(&Expr::int_val(4, 3))),
+            Some(true)
+        );
+        // It does reach values above 2.
+        assert_eq!(
+            checker.condition_holds_on_reachable(&Expr::true_(), &ce.le(&Expr::int_val(2, 3))),
+            Some(false)
+        );
+    }
+}

@@ -1,0 +1,387 @@
+//! The SAT-based bounded model checker with k-induction.
+
+use amle_bitblast::Encoder;
+use amle_expr::{Expr, Valuation, VarId};
+use amle_sat::SolveResult;
+use amle_system::System;
+
+/// Outcome of a single condition check (Fig. 3a of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckResult {
+    /// The condition holds on the system: for every transition from a state
+    /// satisfying the assumption, the conclusion holds in the successor.
+    Valid,
+    /// The condition is violated; the counterexample is the offending
+    /// transition `(v_t, v_{t+1})`.
+    Violated {
+        /// The pre-state of the counterexample transition.
+        from: Valuation,
+        /// The post-state of the counterexample transition.
+        to: Valuation,
+    },
+}
+
+impl CheckResult {
+    /// Returns `true` if the condition holds.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, CheckResult::Valid)
+    }
+}
+
+/// Outcome of a spurious-counterexample check (Fig. 3b of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpuriousResult {
+    /// Both the base and the step case of the k-induction proof hold: the
+    /// state is unreachable and the counterexample is spurious.
+    Spurious,
+    /// The base case failed: the state is reachable within `k` steps from an
+    /// initial state, so the counterexample is definitely valid.
+    Reachable,
+    /// Only the step case failed: no conclusive evidence either way. The
+    /// paper treats such counterexamples as valid but records them.
+    Inconclusive,
+}
+
+/// Aggregate statistics of a checker instance (for the `%Tm` and runtime
+/// columns of the evaluation tables).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckerStats {
+    /// Number of SAT queries issued.
+    pub sat_queries: u64,
+    /// Number of condition checks performed.
+    pub condition_checks: u64,
+    /// Number of spurious-counterexample checks performed.
+    pub spurious_checks: u64,
+    /// Total number of CNF clauses across all queries.
+    pub total_clauses: u64,
+}
+
+/// Bounded model checker with k-induction over a [`System`].
+#[derive(Debug)]
+pub struct KInductionChecker<'a> {
+    system: &'a System,
+    stats: CheckerStats,
+}
+
+impl<'a> KInductionChecker<'a> {
+    /// Creates a checker for the given system.
+    pub fn new(system: &'a System) -> Self {
+        KInductionChecker {
+            system,
+            stats: CheckerStats::default(),
+        }
+    }
+
+    /// The system under check.
+    pub fn system(&self) -> &System {
+        self.system
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> CheckerStats {
+        self.stats
+    }
+
+    fn new_encoder(&self) -> Encoder {
+        Encoder::new(self.system.vars())
+    }
+
+    /// Encodes one unrolling of the transition relation between `frame` and
+    /// `frame + 1`: every state variable's next value is its update
+    /// expression over `frame`, every input variable in `frame + 1` respects
+    /// its range.
+    fn encode_transition(&self, enc: &mut Encoder, frame: usize) {
+        for id in self.system.state_vars() {
+            enc.assert_var_equals_expr_across(frame + 1, *id, frame, self.system.update(*id));
+        }
+        let input_constraints = self.system.input_constraints_expr();
+        enc.assert_expr(frame + 1, &input_constraints);
+    }
+
+    fn encode_input_constraints(&self, enc: &mut Encoder, frame: usize) {
+        let input_constraints = self.system.input_constraints_expr();
+        enc.assert_expr(frame, &input_constraints);
+    }
+
+    fn solve(&mut self, enc: &Encoder) -> (SolveResult, Vec<bool>) {
+        self.stats.sat_queries += 1;
+        self.stats.total_clauses += enc.cnf().num_clauses() as u64;
+        let mut solver = enc.cnf().to_solver();
+        let result = solver.solve();
+        (result, solver.model())
+    }
+
+    /// Checks a condition of the form
+    /// `assume(r); X' = f(X); assert(s)` (Fig. 3a): is there a transition
+    /// from a state satisfying `r` (and none of the `blocked` states) whose
+    /// successor violates `s`?
+    ///
+    /// `blocked` holds the state formulas `s'` of counterexamples already
+    /// proven spurious; they strengthen the assumption to `r ∧ ¬s'` exactly as
+    /// in Section III-C of the paper.
+    pub fn check_condition(
+        &mut self,
+        assumption: &Expr,
+        blocked: &[Expr],
+        conclusion: &Expr,
+    ) -> CheckResult {
+        self.stats.condition_checks += 1;
+        let mut enc = self.new_encoder();
+        enc.assert_expr(0, assumption);
+        for blocked_state in blocked {
+            enc.assert_not_expr(0, blocked_state);
+        }
+        self.encode_input_constraints(&mut enc, 0);
+        self.encode_transition(&mut enc, 0);
+        enc.assert_not_expr(1, conclusion);
+        let (result, model) = self.solve(&enc);
+        match result {
+            SolveResult::Unsat => CheckResult::Valid,
+            SolveResult::Sat => CheckResult::Violated {
+                from: enc.decode_frame(&model, 0),
+                to: enc.decode_frame(&model, 1),
+            },
+        }
+    }
+
+    /// Checks the initial-state condition (1) of the paper:
+    /// `v ⊨ Init ∧ (v, v') ⊨ R ⟹ v' ⊨ ⋁ outgoing`.
+    pub fn check_initial_condition(&mut self, outgoing: &[Expr]) -> CheckResult {
+        let conclusion = Expr::or_all(outgoing.iter().cloned());
+        let init = self.system.init_expr();
+        self.check_condition(&init, &[], &conclusion)
+    }
+
+    /// Checks a per-state condition (2) of the paper for one incoming
+    /// predicate `p_i`:
+    /// `v ⊨ p_i ∧ (v, v') ⊨ R ⟹ v' ⊨ ⋁ outgoing`.
+    pub fn check_state_condition(
+        &mut self,
+        incoming: &Expr,
+        blocked: &[Expr],
+        outgoing: &[Expr],
+    ) -> CheckResult {
+        let conclusion = Expr::or_all(outgoing.iter().cloned());
+        self.check_condition(incoming, blocked, &conclusion)
+    }
+
+    /// The state formula `s' := ⋀ (x_i = v(x_i))` over the given variables,
+    /// used both to block spurious states and to query reachability.
+    pub fn state_formula(&self, state: &Valuation, over: &[VarId]) -> Expr {
+        let vars = self.system.vars();
+        Expr::and_all(over.iter().map(|id| {
+            let sort = vars.sort(*id).clone();
+            let value = Expr::constant(&sort, state.value(*id)).expect("trace value fits sort");
+            Expr::var(*id, sort).eq(&value)
+        }))
+    }
+
+    /// Spurious-counterexample check (Fig. 3b): decides by k-induction with
+    /// bound `k` whether the state characterised by `state_formula` is
+    /// unreachable from the initial states.
+    ///
+    /// * base case: no path of length `0..=k` from an `Init` state reaches the
+    ///   state — checked by asserting `Init(X_0)`, unrolling `k` transitions
+    ///   and asserting that the state holds at some frame;
+    /// * step case: there is no path of `k` consecutive non-`state` valuations
+    ///   followed by a transition into the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn check_spurious(&mut self, state_formula: &Expr, k: usize) -> SpuriousResult {
+        assert!(k > 0, "k-induction bound must be positive");
+        self.stats.spurious_checks += 1;
+
+        // Base case: Init(X0) ∧ R-chain ∧ (state at some frame 0..=k).
+        let mut enc = self.new_encoder();
+        enc.assert_expr(0, &self.system.init_expr());
+        for frame in 0..k {
+            self.encode_transition(&mut enc, frame);
+        }
+        // "The state holds in at least one frame of the unrolling": a single
+        // clause over the per-frame output literals.
+        let frame_lits: Vec<_> = (0..=k)
+            .map(|frame| enc.encode_bool(frame, state_formula))
+            .collect();
+        enc.assert_any(&frame_lits);
+        let (base, _) = self.solve(&enc);
+        if base == SolveResult::Sat {
+            return SpuriousResult::Reachable;
+        }
+
+        // Step case: ¬state(X_0..k-1) ∧ R-chain ∧ state(X_k).
+        let mut enc = self.new_encoder();
+        self.encode_input_constraints(&mut enc, 0);
+        for frame in 0..k {
+            enc.assert_not_expr(frame, state_formula);
+            self.encode_transition(&mut enc, frame);
+        }
+        enc.assert_expr(k, state_formula);
+        let (step, _) = self.solve(&enc);
+        if step == SolveResult::Unsat {
+            SpuriousResult::Spurious
+        } else {
+            SpuriousResult::Inconclusive
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amle_expr::{Sort, Value};
+    use amle_system::SystemBuilder;
+
+    /// A saturating counter 0..=5 driven by an enable input; `flag` is true
+    /// exactly when the counter is at its limit.
+    fn saturating_counter() -> System {
+        let mut b = SystemBuilder::new();
+        b.name("sat_counter");
+        let en = b.input("en", Sort::Bool).unwrap();
+        let c = b.state("c", Sort::int(4), Value::Int(0)).unwrap();
+        let flag = b.state("flag", Sort::Bool, Value::Bool(false)).unwrap();
+        let ce = b.var(c);
+        let bumped = ce
+            .lt(&Expr::int_val(5, 4))
+            .ite(&ce.add(&Expr::int_val(1, 4)), &ce);
+        let next_c = b.var(en).ite(&bumped, &ce);
+        b.update(c, next_c.clone()).unwrap();
+        b.update(flag, next_c.ge(&Expr::int_val(5, 4))).unwrap();
+        b.build().unwrap()
+    }
+
+    fn var_expr(sys: &System, name: &str) -> Expr {
+        let id = sys.vars().lookup(name).unwrap();
+        sys.var(id)
+    }
+
+    #[test]
+    fn valid_condition_is_proved() {
+        let sys = saturating_counter();
+        let mut checker = KInductionChecker::new(&sys);
+        // From any state with c <= 5, after one step c <= 5 still holds
+        // (the counter saturates).
+        let c = var_expr(&sys, "c");
+        let assumption = c.le(&Expr::int_val(5, 4));
+        let conclusion = c.le(&Expr::int_val(5, 4));
+        assert!(checker
+            .check_condition(&assumption, &[], &conclusion)
+            .is_valid());
+        assert_eq!(checker.stats().condition_checks, 1);
+        assert!(checker.stats().sat_queries >= 1);
+    }
+
+    #[test]
+    fn violated_condition_returns_a_real_transition() {
+        let sys = saturating_counter();
+        let mut checker = KInductionChecker::new(&sys);
+        // "After one step the counter is never 3" is violated from c = 2 with
+        // the enable input set.
+        let c = var_expr(&sys, "c");
+        let assumption = Expr::true_();
+        let conclusion = c.ne(&Expr::int_val(3, 4));
+        match checker.check_condition(&assumption, &[], &conclusion) {
+            CheckResult::Valid => panic!("condition should be violated"),
+            CheckResult::Violated { from, to } => {
+                assert!(sys.is_transition(&from, &to), "counterexample must be a transition");
+                let c_id = sys.vars().lookup("c").unwrap();
+                assert_eq!(to.value(c_id).to_i64(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_states_strengthens_the_assumption() {
+        let sys = saturating_counter();
+        let mut checker = KInductionChecker::new(&sys);
+        let c = var_expr(&sys, "c");
+        // Without blocking, "next c != 3" is violated (from c = 2).
+        let conclusion = c.ne(&Expr::int_val(3, 4));
+        let unblocked = checker.check_condition(&Expr::true_(), &[], &conclusion);
+        assert!(!unblocked.is_valid());
+        // Blocking both offending pre-states (c = 2 with the counter enabled
+        // and c = 3 idling in place) makes the check pass.
+        let blocked = vec![c.eq(&Expr::int_val(2, 4)), c.eq(&Expr::int_val(3, 4))];
+        assert!(checker
+            .check_condition(&Expr::true_(), &blocked, &conclusion)
+            .is_valid());
+    }
+
+    #[test]
+    fn initial_condition_check() {
+        let sys = saturating_counter();
+        let mut checker = KInductionChecker::new(&sys);
+        let c = var_expr(&sys, "c");
+        // From Init (c = 0), one step leads to c = 0 or c = 1.
+        let outgoing = vec![
+            c.eq(&Expr::int_val(0, 4)),
+            c.eq(&Expr::int_val(1, 4)),
+        ];
+        assert!(checker.check_initial_condition(&outgoing).is_valid());
+        // Claiming the successor is always exactly 1 is violated (en = false).
+        let too_strong = vec![c.eq(&Expr::int_val(1, 4))];
+        assert!(!checker.check_initial_condition(&too_strong).is_valid());
+    }
+
+    #[test]
+    fn unreachable_state_is_spurious() {
+        let sys = saturating_counter();
+        let mut checker = KInductionChecker::new(&sys);
+        let c_id = sys.vars().lookup("c").unwrap();
+        let flag_id = sys.vars().lookup("flag").unwrap();
+        // flag = true with c = 0 is unreachable: flag is true only when the
+        // counter has saturated.
+        let mut ghost = sys.initial_valuation();
+        ghost.set(c_id, Value::Int(0));
+        ghost.set(flag_id, Value::Bool(true));
+        let formula = checker.state_formula(&ghost, &[c_id, flag_id]);
+        assert_eq!(checker.check_spurious(&formula, 8), SpuriousResult::Spurious);
+        assert_eq!(checker.stats().spurious_checks, 1);
+    }
+
+    #[test]
+    fn reachable_state_is_detected_in_base_case() {
+        let sys = saturating_counter();
+        let mut checker = KInductionChecker::new(&sys);
+        let c_id = sys.vars().lookup("c").unwrap();
+        let mut target = sys.initial_valuation();
+        target.set(c_id, Value::Int(3));
+        let formula = checker.state_formula(&target, &[c_id]);
+        assert_eq!(checker.check_spurious(&formula, 5), SpuriousResult::Reachable);
+    }
+
+    #[test]
+    fn too_small_bound_is_inconclusive_or_reachable_but_never_spurious_for_reachable_states() {
+        let sys = saturating_counter();
+        let mut checker = KInductionChecker::new(&sys);
+        let c_id = sys.vars().lookup("c").unwrap();
+        // c = 5 is reachable but only after 5 steps; with k = 2 the base case
+        // cannot find it and the step case cannot exclude it.
+        let mut target = sys.initial_valuation();
+        target.set(c_id, Value::Int(5));
+        let formula = checker.state_formula(&target, &[c_id]);
+        let result = checker.check_spurious(&formula, 2);
+        assert_ne!(result, SpuriousResult::Spurious);
+        // With a sufficiently large bound the base case finds the path.
+        assert_eq!(checker.check_spurious(&formula, 6), SpuriousResult::Reachable);
+    }
+
+    #[test]
+    fn state_formula_mentions_only_requested_variables() {
+        let sys = saturating_counter();
+        let checker = KInductionChecker::new(&sys);
+        let c_id = sys.vars().lookup("c").unwrap();
+        let v = sys.initial_valuation();
+        let formula = checker.state_formula(&v, &[c_id]);
+        assert_eq!(formula.free_vars().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_bound_is_rejected() {
+        let sys = saturating_counter();
+        let mut checker = KInductionChecker::new(&sys);
+        let _ = checker.check_spurious(&Expr::true_(), 0);
+    }
+}

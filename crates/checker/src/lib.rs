@@ -1,0 +1,37 @@
+//! # amle-checker
+//!
+//! Software model checking for the active learning loop: bounded model
+//! checking and k-induction over the functional transition relation of an
+//! [`amle_system::System`], bit-blasted to CNF (`amle-bitblast`) and decided
+//! with the CDCL solver (`amle-sat`).
+//!
+//! The crate implements the two query shapes of the paper (Fig. 3):
+//!
+//! * **Condition checks** (Fig. 3a) — "from any state satisfying the
+//!   assumption `r`, does one system transition always lead to a state
+//!   satisfying `s`?" — used with `k = 1` to verify the completeness
+//!   conditions (1) and (2) extracted from the candidate abstraction. A
+//!   failed check returns the pair of valuations `(v_t, v_{t+1})` as a
+//!   counterexample.
+//! * **Spurious-counterexample checks** (Fig. 3b) — "is the state `v_t`
+//!   reachable from an initial state?" — answered by k-induction with a
+//!   user-supplied bound `k`: if both the base case and the step case hold,
+//!   the counterexample is guaranteed spurious; if only the step case fails
+//!   the result is inconclusive and the paper's rule is to treat the
+//!   counterexample as valid but record it.
+//!
+//! An explicit-state breadth-first reachability engine ([`ExplicitChecker`])
+//! is provided as an independent oracle for cross-validating the SAT-based
+//! results on small systems in tests and property tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explicit;
+mod kinduction;
+
+pub use explicit::ExplicitChecker;
+pub use kinduction::{CheckResult, CheckerStats, KInductionChecker, SpuriousResult};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,591 @@
+//! The active model-learning loop (Fig. 1 of the paper).
+
+use crate::conditions::{extract_conditions, Condition, ConditionKind};
+use crate::report::{Invariant, IterationStats, RunReport};
+use amle_checker::{CheckResult, KInductionChecker, SpuriousResult};
+use amle_expr::{Valuation, VarId};
+use amle_learner::{LearnError, ModelLearner};
+use amle_system::{Simulator, System, Trace, TraceSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Configuration of an active-learning run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveLearnerConfig {
+    /// The observable variables `X` the abstraction ranges over. `None` means
+    /// all system variables.
+    pub observables: Option<Vec<VarId>>,
+    /// Number of random traces in the initial trace set (the paper uses 50).
+    pub initial_traces: usize,
+    /// Length of each random trace (the paper uses 50).
+    pub trace_length: usize,
+    /// k-induction bound for the spurious-counterexample check (the paper
+    /// assumes a benchmark-specific `k` is supplied).
+    pub k: usize,
+    /// Safety bound on the number of learning iterations (plays the role of
+    /// the paper's wall-clock timeout).
+    pub max_iterations: usize,
+    /// Bound on consecutive spurious counterexamples blocked for a single
+    /// condition before the condition is given up for this iteration.
+    pub max_spurious_rounds: usize,
+    /// Seed for the random trace generator.
+    pub seed: u64,
+}
+
+impl Default for ActiveLearnerConfig {
+    fn default() -> Self {
+        ActiveLearnerConfig {
+            observables: None,
+            initial_traces: 50,
+            trace_length: 50,
+            k: 10,
+            max_iterations: 25,
+            max_spurious_rounds: 10,
+            seed: 0xA1,
+        }
+    }
+}
+
+/// Errors raised by the active-learning loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActiveLearnError {
+    /// The model-learning component failed.
+    Learner(LearnError),
+    /// The configuration is unusable (e.g. no traces requested).
+    BadConfig {
+        /// Explanation of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ActiveLearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActiveLearnError::Learner(e) => write!(f, "model learning failed: {e}"),
+            ActiveLearnError::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for ActiveLearnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ActiveLearnError::Learner(e) => Some(e),
+            ActiveLearnError::BadConfig { .. } => None,
+        }
+    }
+}
+
+impl From<LearnError> for ActiveLearnError {
+    fn from(e: LearnError) -> Self {
+        ActiveLearnError::Learner(e)
+    }
+}
+
+/// Outcome of checking the full condition set of one candidate model.
+#[derive(Debug, Clone)]
+pub(crate) struct ConditionEvaluation {
+    pub total: usize,
+    pub held: usize,
+    /// Valid counterexamples: the violated condition together with the
+    /// offending transition.
+    pub counterexamples: Vec<(Condition, Valuation, Valuation)>,
+    pub spurious: usize,
+    pub inconclusive: usize,
+}
+
+impl ConditionEvaluation {
+    pub fn alpha(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.held as f64 / self.total as f64
+        }
+    }
+}
+
+/// Checks every extracted condition against the system, classifying
+/// counterexamples as in Section III-B/III-C of the paper.
+pub(crate) fn evaluate_conditions(
+    checker: &mut KInductionChecker<'_>,
+    conditions: &[Condition],
+    observables: &[VarId],
+    k: usize,
+    max_spurious_rounds: usize,
+) -> ConditionEvaluation {
+    let mut evaluation = ConditionEvaluation {
+        total: conditions.len(),
+        held: 0,
+        counterexamples: Vec::new(),
+        spurious: 0,
+        inconclusive: 0,
+    };
+
+    for condition in conditions {
+        let mut blocked = Vec::new();
+        let mut rounds = 0;
+        loop {
+            let result = checker.check_condition(
+                &condition.assumption,
+                &blocked,
+                &condition.conclusion(),
+            );
+            match result {
+                CheckResult::Valid => {
+                    evaluation.held += 1;
+                    break;
+                }
+                CheckResult::Violated { from, to } => {
+                    if condition.kind == ConditionKind::Initial {
+                        // Counterexamples to condition (1) start in an Init
+                        // state and are always valid.
+                        evaluation
+                            .counterexamples
+                            .push((condition.clone(), from, to));
+                        break;
+                    }
+                    let state_formula = checker.state_formula(&from, observables);
+                    match checker.check_spurious(&state_formula, k) {
+                        SpuriousResult::Spurious => {
+                            evaluation.spurious += 1;
+                            blocked.push(state_formula);
+                            rounds += 1;
+                            if rounds >= max_spurious_rounds {
+                                // Give up on this condition for now; it counts
+                                // as "not shown to hold" but produces no new
+                                // trace.
+                                break;
+                            }
+                        }
+                        SpuriousResult::Reachable => {
+                            evaluation
+                                .counterexamples
+                                .push((condition.clone(), from, to));
+                            break;
+                        }
+                        SpuriousResult::Inconclusive => {
+                            evaluation.inconclusive += 1;
+                            evaluation
+                                .counterexamples
+                                .push((condition.clone(), from, to));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    evaluation
+}
+
+/// Converts a valid counterexample into new traces by splicing it onto the
+/// shortest prefix of every existing trace that ends in a state satisfying
+/// the violated condition's assumption (Section III-B).
+pub(crate) fn counterexample_traces(
+    condition: &Condition,
+    from: &Valuation,
+    to: &Valuation,
+    traces: &TraceSet,
+) -> Vec<Trace> {
+    if condition.kind == ConditionKind::Initial {
+        return vec![Trace::new(vec![to.clone()])];
+    }
+    let mut new_traces = Vec::new();
+    for trace in traces.iter() {
+        if let Some(j) = trace
+            .observations()
+            .iter()
+            .position(|v| condition.assumption.eval_bool(v))
+        {
+            let mut observations = trace.observations()[..j].to_vec();
+            observations.push(from.clone());
+            observations.push(to.clone());
+            new_traces.push(Trace::new(observations));
+        }
+    }
+    if new_traces.is_empty() {
+        new_traces.push(Trace::new(vec![from.clone(), to.clone()]));
+    }
+    new_traces
+}
+
+/// The active model-learning algorithm.
+///
+/// See the [crate documentation](crate) for the algorithm outline and an
+/// end-to-end example.
+#[derive(Debug)]
+pub struct ActiveLearner<'a, L: ModelLearner> {
+    system: &'a System,
+    learner: L,
+    config: ActiveLearnerConfig,
+}
+
+impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
+    /// Creates an active learner for `system` using the given pluggable
+    /// model-learning component.
+    pub fn new(system: &'a System, learner: L, config: ActiveLearnerConfig) -> Self {
+        ActiveLearner {
+            system,
+            learner,
+            config,
+        }
+    }
+
+    /// The observable variables of this run.
+    pub fn observables(&self) -> Vec<VarId> {
+        self.config
+            .observables
+            .clone()
+            .unwrap_or_else(|| self.system.all_vars())
+    }
+
+    /// Runs the loop starting from randomly generated traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActiveLearnError::BadConfig`] for unusable configurations and
+    /// [`ActiveLearnError::Learner`] when the model-learning component fails.
+    pub fn run(&mut self) -> Result<RunReport, ActiveLearnError> {
+        if self.config.initial_traces == 0 || self.config.trace_length == 0 {
+            return Err(ActiveLearnError::BadConfig {
+                reason: "initial_traces and trace_length must be positive".to_string(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let simulator = Simulator::new(self.system);
+        let traces = simulator.random_traces(
+            self.config.initial_traces,
+            self.config.trace_length,
+            &mut rng,
+        );
+        self.run_with_traces(traces)
+    }
+
+    /// Runs the loop starting from a user-supplied initial trace set.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ActiveLearner::run`].
+    pub fn run_with_traces(&mut self, mut traces: TraceSet) -> Result<RunReport, ActiveLearnError> {
+        let observables = self.observables();
+        let start = Instant::now();
+        let mut learn_time = Duration::ZERO;
+        let mut check_time = Duration::ZERO;
+        let mut iteration_stats = Vec::new();
+        let mut checker = KInductionChecker::new(self.system);
+
+        let mut abstraction = None;
+        let mut conditions: Vec<Condition> = Vec::new();
+        let mut alpha = 0.0;
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for iteration in 1..=self.config.max_iterations {
+            iterations = iteration;
+
+            // 1. Learn a candidate model from the current trace set.
+            let learn_start = Instant::now();
+            let candidate = self
+                .learner
+                .learn(self.system.vars(), &observables, &traces)?;
+            let iteration_learn_time = learn_start.elapsed();
+            learn_time += iteration_learn_time;
+
+            // 2. Extract and check the completeness conditions.
+            let check_start = Instant::now();
+            let extracted = extract_conditions(&candidate, &self.system.init_expr());
+            let evaluation = evaluate_conditions(
+                &mut checker,
+                &extracted,
+                &observables,
+                self.config.k,
+                self.config.max_spurious_rounds,
+            );
+            let iteration_check_time = check_start.elapsed();
+            check_time += iteration_check_time;
+
+            alpha = evaluation.alpha();
+
+            // 3. Convert valid counterexamples into new traces.
+            let mut new_traces = 0;
+            for (condition, from, to) in &evaluation.counterexamples {
+                for trace in counterexample_traces(condition, from, to, &traces) {
+                    if traces.insert(trace) {
+                        new_traces += 1;
+                    }
+                }
+            }
+
+            iteration_stats.push(IterationStats {
+                iteration,
+                conditions: evaluation.total,
+                conditions_holding: evaluation.held,
+                alpha,
+                new_traces,
+                spurious_counterexamples: evaluation.spurious,
+                inconclusive_counterexamples: evaluation.inconclusive,
+                model_states: candidate.num_states(),
+                model_transitions: candidate.num_transitions(),
+                learn_time: iteration_learn_time,
+                check_time: iteration_check_time,
+            });
+
+            conditions = extracted;
+            abstraction = Some(candidate);
+
+            if alpha >= 1.0 {
+                converged = true;
+                break;
+            }
+            if new_traces == 0 {
+                // No progress is possible: every violated condition produced
+                // only already-known traces (or none at all).
+                break;
+            }
+        }
+
+        let abstraction = abstraction.expect("at least one iteration ran");
+        let invariants = conditions
+            .iter()
+            .map(|c| Invariant {
+                assumption: c.assumption.clone(),
+                conclusion: c.conclusion(),
+            })
+            .collect();
+
+        Ok(RunReport {
+            abstraction,
+            alpha,
+            iterations,
+            converged,
+            invariants,
+            iteration_stats,
+            trace_count: traces.len(),
+            total_time: start.elapsed(),
+            learn_time,
+            check_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amle_expr::{Expr, Sort, Value};
+    use amle_learner::{HistoryLearner, LstarLearner};
+    #[allow(unused_imports)]
+    use amle_learner::ModelLearner as _;
+    use amle_system::SystemBuilder;
+
+    /// The Fig. 2 home climate-control cooler.
+    fn cooler() -> System {
+        let mut b = SystemBuilder::new();
+        b.name("HomeClimateControl");
+        let temp = b.input_in_range("inp_temp", Sort::int(8), 0, 120).unwrap();
+        let on = b.state("s_on", Sort::Bool, Value::Bool(false)).unwrap();
+        let update = b.var(temp).gt(&Expr::int_val(75, 8));
+        b.update(on, update).unwrap();
+        b.build().unwrap()
+    }
+
+    /// A two-bit saturating counter with a mode flag — needs several
+    /// iterations because random traces rarely reach saturation quickly.
+    fn counter_with_flag() -> System {
+        let mut b = SystemBuilder::new();
+        b.name("CountEvents");
+        let tick = b.input("tick", Sort::Bool).unwrap();
+        let c = b.state("c", Sort::int(4), Value::Int(0)).unwrap();
+        let full = b.state("full", Sort::Bool, Value::Bool(false)).unwrap();
+        let ce = b.var(c);
+        let bumped = ce
+            .lt(&Expr::int_val(9, 4))
+            .ite(&ce.add(&Expr::int_val(1, 4)), &ce);
+        let next = b.var(tick).ite(&bumped, &ce);
+        b.update(c, next.clone()).unwrap();
+        b.update(full, next.ge(&Expr::int_val(9, 4))).unwrap();
+        b.build().unwrap()
+    }
+
+    fn quick_config() -> ActiveLearnerConfig {
+        ActiveLearnerConfig {
+            initial_traces: 15,
+            trace_length: 15,
+            k: 6,
+            max_iterations: 15,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn cooler_converges_to_a_complete_model() {
+        let sys = cooler();
+        let mut learner = ActiveLearner::new(&sys, HistoryLearner::default(), quick_config());
+        let report = learner.run().unwrap();
+        assert!(report.converged, "expected convergence, got α = {}", report.alpha);
+        assert_eq!(report.alpha, 1.0);
+        assert!(report.num_states() >= 1);
+        assert!(!report.invariants.is_empty());
+        assert!(report.iterations >= 1);
+        assert_eq!(report.iteration_stats.len(), report.iterations);
+    }
+
+    #[test]
+    fn final_model_admits_fresh_random_traces() {
+        let sys = cooler();
+        let mut learner = ActiveLearner::new(&sys, HistoryLearner::default(), quick_config());
+        let report = learner.run().unwrap();
+        assert!(report.converged);
+        // Theorem 1: the final abstraction admits every system trace. Sample
+        // fresh traces with a different seed and verify.
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        for _ in 0..20 {
+            let t = sim.random_trace(30, &mut rng);
+            assert!(report.abstraction.accepts_trace(&t), "fresh trace rejected");
+        }
+    }
+
+    #[test]
+    fn counter_system_requires_iterations_and_converges() {
+        let sys = counter_with_flag();
+        let config = ActiveLearnerConfig {
+            initial_traces: 10,
+            trace_length: 6,
+            k: 20,
+            max_iterations: 30,
+            ..Default::default()
+        };
+        let mut learner = ActiveLearner::new(&sys, HistoryLearner::new(1), config);
+        let report = learner.run().unwrap();
+        assert!(report.converged, "α = {} after {} iterations", report.alpha, report.iterations);
+        // Short random traces rarely witness the saturation behaviour, so at
+        // least one refinement iteration is expected.
+        assert!(report.iterations >= 1);
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(1234);
+        for _ in 0..10 {
+            let t = sim.random_trace(40, &mut rng);
+            assert!(report.abstraction.accepts_trace(&t));
+        }
+    }
+
+    #[test]
+    fn lstar_is_a_valid_pluggable_component() {
+        let sys = cooler();
+        let config = ActiveLearnerConfig {
+            initial_traces: 5,
+            trace_length: 6,
+            k: 4,
+            max_iterations: 10,
+            ..Default::default()
+        };
+        let mut learner = ActiveLearner::new(&sys, LstarLearner::default(), config);
+        let report = learner.run().unwrap();
+        assert!(report.alpha > 0.0);
+    }
+
+    #[test]
+    fn alpha_is_monotone_in_practice_for_the_cooler() {
+        let sys = cooler();
+        let mut learner = ActiveLearner::new(&sys, HistoryLearner::default(), quick_config());
+        let report = learner.run().unwrap();
+        // α of the final iteration must be the maximum seen (the loop stops
+        // at 1.0 and otherwise keeps adding behaviours).
+        let max_alpha = report
+            .iteration_stats
+            .iter()
+            .map(|s| s.alpha)
+            .fold(0.0f64, f64::max);
+        assert!(report.alpha >= max_alpha - 1e-9);
+    }
+
+    #[test]
+    fn observables_default_to_all_variables() {
+        let sys = cooler();
+        let learner = ActiveLearner::new(&sys, HistoryLearner::default(), quick_config());
+        assert_eq!(learner.observables().len(), 2);
+    }
+
+    #[test]
+    fn bad_config_is_rejected() {
+        let sys = cooler();
+        let config = ActiveLearnerConfig {
+            initial_traces: 0,
+            ..Default::default()
+        };
+        let mut learner = ActiveLearner::new(&sys, HistoryLearner::default(), config);
+        assert!(matches!(
+            learner.run(),
+            Err(ActiveLearnError::BadConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn run_with_explicit_traces() {
+        let sys = cooler();
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(5);
+        let traces = sim.random_traces(10, 10, &mut rng);
+        let mut learner = ActiveLearner::new(&sys, HistoryLearner::default(), quick_config());
+        let report = learner.run_with_traces(traces).unwrap();
+        assert!(report.trace_count >= 1);
+        assert!(report.total_time >= report.learn_time);
+    }
+
+    #[test]
+    fn counterexample_trace_splicing() {
+        let sys = cooler();
+        let temp = sys.vars().lookup("inp_temp").unwrap();
+        let on = sys.vars().lookup("s_on").unwrap();
+        let mk = |t: i64, o: bool| {
+            let mut v = sys.initial_valuation();
+            v.set(temp, Value::Int(t));
+            v.set(on, Value::Bool(o));
+            v
+        };
+        let mut traces = TraceSet::new();
+        traces.insert(Trace::new(vec![mk(10, false), mk(80, false), mk(90, true)]));
+
+        let condition = Condition {
+            kind: ConditionKind::State {
+                state: amle_automaton::StateId::from_index(0),
+            },
+            assumption: sys.var(on),
+            outgoing: vec![Expr::true_()],
+        };
+        let from = mk(85, true);
+        let to = mk(20, true);
+        let spliced = counterexample_traces(&condition, &from, &to, &traces);
+        assert_eq!(spliced.len(), 1);
+        // The prefix before the first observation satisfying `s_on` has
+        // length 2, so the new trace is v1, v2, from, to.
+        assert_eq!(spliced[0].len(), 4);
+        assert_eq!(spliced[0].observations()[2], from);
+        assert_eq!(spliced[0].observations()[3], to);
+
+        // Initial-condition counterexamples become single-observation traces.
+        let initial_condition = Condition {
+            kind: ConditionKind::Initial,
+            assumption: Expr::true_(),
+            outgoing: vec![],
+        };
+        let spliced = counterexample_traces(&initial_condition, &from, &to, &traces);
+        assert_eq!(spliced.len(), 1);
+        assert_eq!(spliced[0].len(), 1);
+
+        // With no matching prefix the counterexample still becomes a trace.
+        let unmatched = Condition {
+            kind: ConditionKind::State {
+                state: amle_automaton::StateId::from_index(0),
+            },
+            assumption: Expr::false_(),
+            outgoing: vec![],
+        };
+        let spliced = counterexample_traces(&unmatched, &from, &to, &traces);
+        assert_eq!(spliced.len(), 1);
+        assert_eq!(spliced[0].len(), 2);
+    }
+}

@@ -1,0 +1,142 @@
+//! Run reports, per-iteration statistics and extracted invariants.
+
+use amle_automaton::{display_expr, Nfa};
+use amle_expr::{Expr, VarSet};
+use std::time::Duration;
+
+/// An invariant of the implementation, extracted from the final abstraction:
+/// every system transition from a state satisfying `assumption` leads to a
+/// state satisfying `conclusion`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invariant {
+    /// The pre-state assumption `r`.
+    pub assumption: Expr,
+    /// The post-state guarantee `s` (a disjunction of outgoing predicates).
+    pub conclusion: Expr,
+}
+
+impl Invariant {
+    /// Renders the invariant with variable names, e.g.
+    /// `(s_on) ∧ R ⟹ (inp_temp > 75 || !s_on')`.
+    pub fn display(&self, vars: &VarSet) -> String {
+        format!(
+            "{} && R(X, X') => {}'",
+            display_expr(&self.assumption, vars),
+            display_expr(&self.conclusion, vars)
+        )
+    }
+}
+
+/// Statistics of one learning iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationStats {
+    /// Iteration number, starting at 1.
+    pub iteration: usize,
+    /// Number of completeness conditions extracted from the candidate model.
+    pub conditions: usize,
+    /// Number of conditions that held.
+    pub conditions_holding: usize,
+    /// Degree of completeness `α` of the candidate model.
+    pub alpha: f64,
+    /// Number of valid counterexamples converted into new traces.
+    pub new_traces: usize,
+    /// Number of counterexamples proven spurious (and blocked).
+    pub spurious_counterexamples: usize,
+    /// Number of inconclusive counterexamples (treated as valid, recorded).
+    pub inconclusive_counterexamples: usize,
+    /// Number of states of the candidate model.
+    pub model_states: usize,
+    /// Number of transitions of the candidate model.
+    pub model_transitions: usize,
+    /// Wall-clock time spent in the model-learning component this iteration.
+    pub learn_time: Duration,
+    /// Wall-clock time spent in condition checking this iteration.
+    pub check_time: Duration,
+}
+
+/// The result of an active-learning run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The final learned abstraction `M'`.
+    pub abstraction: Nfa,
+    /// Degree of completeness of the final abstraction (1.0 when converged).
+    pub alpha: f64,
+    /// Number of model-learning iterations performed (the paper's `i`).
+    pub iterations: usize,
+    /// `true` when every extracted condition was proven to hold.
+    pub converged: bool,
+    /// The conditions extracted from the final abstraction; when `converged`
+    /// they are invariants of the implementation.
+    pub invariants: Vec<Invariant>,
+    /// Per-iteration statistics.
+    pub iteration_stats: Vec<IterationStats>,
+    /// Number of traces in the final training set.
+    pub trace_count: usize,
+    /// Total wall-clock time of the run (the paper's `T`).
+    pub total_time: Duration,
+    /// Total wall-clock time spent in the model-learning component.
+    pub learn_time: Duration,
+    /// Total wall-clock time spent in model checking.
+    pub check_time: Duration,
+}
+
+impl RunReport {
+    /// The percentage of total runtime attributed to model learning (the
+    /// paper's `%Tm` column). Returns 0 when the total time is zero.
+    pub fn learn_time_percentage(&self) -> f64 {
+        let total = self.total_time.as_secs_f64();
+        if total <= f64::EPSILON {
+            0.0
+        } else {
+            100.0 * self.learn_time.as_secs_f64() / total
+        }
+    }
+
+    /// Number of states of the final abstraction (the paper's `N` column).
+    pub fn num_states(&self) -> usize {
+        self.abstraction.num_states()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amle_expr::{Sort, VarSet};
+
+    #[test]
+    fn invariant_display_uses_names() {
+        let mut vars = VarSet::new();
+        let on = vars.declare("s_on", Sort::Bool).unwrap();
+        let inv = Invariant {
+            assumption: Expr::var(on, Sort::Bool),
+            conclusion: Expr::var(on, Sort::Bool).not(),
+        };
+        let text = inv.display(&vars);
+        assert!(text.contains("s_on"));
+        assert!(text.contains("R(X, X')"));
+    }
+
+    #[test]
+    fn learn_time_percentage() {
+        let report = RunReport {
+            abstraction: Nfa::new(),
+            alpha: 1.0,
+            iterations: 1,
+            converged: true,
+            invariants: Vec::new(),
+            iteration_stats: Vec::new(),
+            trace_count: 0,
+            total_time: Duration::from_millis(200),
+            learn_time: Duration::from_millis(50),
+            check_time: Duration::from_millis(150),
+        };
+        assert!((report.learn_time_percentage() - 25.0).abs() < 1e-9);
+        assert_eq!(report.num_states(), 0);
+
+        let zero = RunReport {
+            total_time: Duration::ZERO,
+            ..report
+        };
+        assert_eq!(zero.learn_time_percentage(), 0.0);
+    }
+}

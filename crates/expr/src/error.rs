@@ -1,0 +1,100 @@
+//! Error types of the expression layer.
+
+use crate::Sort;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing ill-sorted expressions or declaring
+/// conflicting variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SortError {
+    /// Two operands of a binary operation have incompatible sorts.
+    Mismatch {
+        /// Name of the operation being constructed.
+        op: &'static str,
+        /// Sort of the left operand.
+        left: Sort,
+        /// Sort of the right operand.
+        right: Sort,
+    },
+    /// An operand has the wrong sort category for the operation.
+    Expected {
+        /// Name of the operation being constructed.
+        op: &'static str,
+        /// Humane description of what was expected (e.g. "bool", "int").
+        expected: &'static str,
+        /// The sort that was actually supplied.
+        found: Sort,
+    },
+    /// A variable name was declared twice in the same [`crate::VarSet`].
+    DuplicateVariable {
+        /// The offending variable name.
+        name: String,
+    },
+    /// A constant does not fit the sort it was declared with.
+    ConstantOutOfRange {
+        /// The raw constant.
+        value: i64,
+        /// The target sort.
+        sort: Sort,
+    },
+}
+
+impl fmt::Display for SortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SortError::Mismatch { op, left, right } => {
+                write!(f, "operands of `{op}` have incompatible sorts {left} and {right}")
+            }
+            SortError::Expected { op, expected, found } => {
+                write!(f, "operand of `{op}` must be {expected}, found {found}")
+            }
+            SortError::DuplicateVariable { name } => {
+                write!(f, "variable `{name}` is already declared")
+            }
+            SortError::ConstantOutOfRange { value, sort } => {
+                write!(f, "constant {value} does not fit sort {sort}")
+            }
+        }
+    }
+}
+
+impl Error for SortError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = SortError::Mismatch {
+            op: "add",
+            left: Sort::int(8),
+            right: Sort::Bool,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("add"));
+        assert!(msg.contains("u8"));
+        assert!(msg.contains("bool"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+
+        let e = SortError::Expected {
+            op: "and",
+            expected: "bool",
+            found: Sort::int(4),
+        };
+        assert!(e.to_string().contains("bool"));
+
+        let e = SortError::ConstantOutOfRange {
+            value: 300,
+            sort: Sort::int(8),
+        };
+        assert!(e.to_string().contains("300"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<SortError>();
+    }
+}

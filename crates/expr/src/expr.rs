@@ -1,0 +1,926 @@
+//! The expression AST, constructors, evaluation and traversal.
+
+use crate::{Sort, SortError, Valuation, Value, VarId};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Boolean negation.
+    Not,
+    /// Arithmetic negation (two's complement).
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// Boolean exclusive or.
+    Xor,
+    /// Boolean implication.
+    Implies,
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Equality (any matching sorts).
+    Eq,
+    /// Disequality (any matching sorts).
+    Ne,
+    /// Strictly less than (integer sorts).
+    Lt,
+    /// Less than or equal (integer sorts).
+    Le,
+    /// Strictly greater than (integer sorts).
+    Gt,
+    /// Greater than or equal (integer sorts).
+    Ge,
+}
+
+impl BinOp {
+    /// Returns `true` for operators whose result sort is boolean.
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::Implies
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+        )
+    }
+
+    /// The operator symbol used by [`std::fmt::Display`].
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Xor => "^",
+            BinOp::Implies => "=>",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+        }
+    }
+}
+
+/// The shape of one expression node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ExprKind {
+    /// A constant of the node's sort.
+    Const(Value),
+    /// A reference to a declared variable.
+    Var(VarId),
+    /// A unary operation.
+    Unary(UnOp, Expr),
+    /// A binary operation.
+    Binary(BinOp, Expr, Expr),
+    /// If-then-else: condition, then-branch, else-branch.
+    Ite(Expr, Expr, Expr),
+}
+
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct ExprNode {
+    kind: ExprKind,
+    sort: Sort,
+}
+
+/// An immutable, cheaply clonable expression.
+///
+/// Expressions form a DAG of reference-counted nodes; cloning is an `Arc`
+/// clone. Constructors check sorts eagerly so that downstream components
+/// (evaluation, bit-blasting) never encounter ill-typed terms.
+///
+/// # Example
+///
+/// ```
+/// use amle_expr::{Expr, Sort, Valuation, Value, VarSet};
+///
+/// let mut vars = VarSet::new();
+/// let x = vars.declare("x", Sort::int(8)).unwrap();
+/// let xe = Expr::var(x, Sort::int(8));
+/// let pred = xe.add(&Expr::int_val(1, 8)).gt(&Expr::int_val(10, 8));
+///
+/// let mut v = Valuation::zeroed(&vars);
+/// v.set(x, Value::Int(10));
+/// assert_eq!(pred.eval(&v), Value::Bool(true));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Expr(Arc<ExprNode>);
+
+impl Expr {
+    fn new(kind: ExprKind, sort: Sort) -> Self {
+        Expr(Arc::new(ExprNode { kind, sort }))
+    }
+
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// The boolean constant `true`.
+    pub fn true_() -> Self {
+        Expr::new(ExprKind::Const(Value::Bool(true)), Sort::Bool)
+    }
+
+    /// The boolean constant `false`.
+    pub fn false_() -> Self {
+        Expr::new(ExprKind::Const(Value::Bool(false)), Sort::Bool)
+    }
+
+    /// A boolean constant.
+    pub fn bool_const(b: bool) -> Self {
+        if b {
+            Expr::true_()
+        } else {
+            Expr::false_()
+        }
+    }
+
+    /// An unsigned integer constant of the given bit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit the width.
+    pub fn int_val(value: i64, bits: u32) -> Self {
+        Expr::constant(&Sort::int(bits), Value::Int(value))
+            .expect("unsigned constant out of range")
+    }
+
+    /// A signed integer constant of the given bit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit the width.
+    pub fn signed_int_val(value: i64, bits: u32) -> Self {
+        Expr::constant(&Sort::signed_int(bits), Value::Int(value))
+            .expect("signed constant out of range")
+    }
+
+    /// An enumeration constant referring to the named variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sort` is not an enumeration or `variant` is not one of its
+    /// variants.
+    pub fn enum_val(sort: &Sort, variant: &str) -> Self {
+        let idx = sort
+            .variant_index(variant)
+            .unwrap_or_else(|| panic!("sort {sort} has no variant named `{variant}`"));
+        Expr::new(ExprKind::Const(Value::Enum(idx as i64)), sort.clone())
+    }
+
+    /// A constant of an arbitrary sort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SortError::ConstantOutOfRange`] if the value does not fit the
+    /// sort, or [`SortError::Expected`] if the value's category does not match
+    /// the sort.
+    pub fn constant(sort: &Sort, value: Value) -> Result<Self, SortError> {
+        if !value.fits(sort) {
+            return match value {
+                Value::Int(v) | Value::Enum(v) => Err(SortError::ConstantOutOfRange {
+                    value: v,
+                    sort: sort.clone(),
+                }),
+                Value::Bool(_) => Err(SortError::Expected {
+                    op: "const",
+                    expected: "bool",
+                    found: sort.clone(),
+                }),
+            };
+        }
+        Ok(Expr::new(ExprKind::Const(value), sort.clone()))
+    }
+
+    /// A reference to a declared variable of the given sort.
+    ///
+    /// The caller is responsible for passing the sort the variable was
+    /// declared with (the `amle-system` crate provides a convenience that
+    /// looks the sort up in the [`crate::VarSet`]).
+    pub fn var(id: VarId, sort: Sort) -> Self {
+        Expr::new(ExprKind::Var(id), sort)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The sort of this expression.
+    pub fn sort(&self) -> &Sort {
+        &self.0.sort
+    }
+
+    /// The top-level node shape.
+    pub fn kind(&self) -> &ExprKind {
+        &self.0.kind
+    }
+
+    /// Returns the constant value if this expression is a literal constant.
+    pub fn as_const(&self) -> Option<Value> {
+        match self.kind() {
+            ExprKind::Const(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this is the literal constant `true`.
+    pub fn is_true(&self) -> bool {
+        self.as_const() == Some(Value::Bool(true))
+    }
+
+    /// Returns `true` if this is the literal constant `false`.
+    pub fn is_false(&self) -> bool {
+        self.as_const() == Some(Value::Bool(false))
+    }
+
+    // ------------------------------------------------------------------
+    // Fallible builders
+    // ------------------------------------------------------------------
+
+    /// Builds a boolean binary operation, checking that both operands are
+    /// boolean.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SortError`] if either operand is not boolean.
+    pub fn try_bool_op(op: BinOp, a: &Expr, b: &Expr) -> Result<Expr, SortError> {
+        debug_assert!(matches!(op, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Implies));
+        for e in [a, b] {
+            if !e.sort().is_bool() {
+                return Err(SortError::Expected {
+                    op: op.symbol(),
+                    expected: "bool",
+                    found: e.sort().clone(),
+                });
+            }
+        }
+        Ok(Expr::new(
+            ExprKind::Binary(op, a.clone(), b.clone()),
+            Sort::Bool,
+        ))
+    }
+
+    /// Builds an arithmetic binary operation, checking that both operands are
+    /// integers of the same sort.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SortError`] on non-integer or mismatched operands.
+    pub fn try_arith_op(op: BinOp, a: &Expr, b: &Expr) -> Result<Expr, SortError> {
+        debug_assert!(matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul));
+        for e in [a, b] {
+            if !e.sort().is_int() {
+                return Err(SortError::Expected {
+                    op: op.symbol(),
+                    expected: "int",
+                    found: e.sort().clone(),
+                });
+            }
+        }
+        if !a.sort().compatible(b.sort()) {
+            return Err(SortError::Mismatch {
+                op: op.symbol(),
+                left: a.sort().clone(),
+                right: b.sort().clone(),
+            });
+        }
+        Ok(Expr::new(
+            ExprKind::Binary(op, a.clone(), b.clone()),
+            a.sort().clone(),
+        ))
+    }
+
+    /// Builds a comparison, checking operand sorts.
+    ///
+    /// Equality and disequality accept any pair of matching sorts; the
+    /// ordering comparisons require integer (or enumeration) operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SortError`] on mismatched or unsupported operand sorts.
+    pub fn try_cmp_op(op: BinOp, a: &Expr, b: &Expr) -> Result<Expr, SortError> {
+        debug_assert!(matches!(
+            op,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        ));
+        if !a.sort().compatible(b.sort()) {
+            return Err(SortError::Mismatch {
+                op: op.symbol(),
+                left: a.sort().clone(),
+                right: b.sort().clone(),
+            });
+        }
+        if matches!(op, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) && a.sort().is_bool() {
+            return Err(SortError::Expected {
+                op: op.symbol(),
+                expected: "int or enum",
+                found: a.sort().clone(),
+            });
+        }
+        Ok(Expr::new(
+            ExprKind::Binary(op, a.clone(), b.clone()),
+            Sort::Bool,
+        ))
+    }
+
+    /// Builds an if-then-else expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SortError`] if the condition is not boolean or the branches
+    /// have different sorts.
+    pub fn try_ite(cond: &Expr, then: &Expr, els: &Expr) -> Result<Expr, SortError> {
+        if !cond.sort().is_bool() {
+            return Err(SortError::Expected {
+                op: "ite",
+                expected: "bool",
+                found: cond.sort().clone(),
+            });
+        }
+        if !then.sort().compatible(els.sort()) {
+            return Err(SortError::Mismatch {
+                op: "ite",
+                left: then.sort().clone(),
+                right: els.sort().clone(),
+            });
+        }
+        Ok(Expr::new(
+            ExprKind::Ite(cond.clone(), then.clone(), els.clone()),
+            then.sort().clone(),
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience (panicking) builders
+    // ------------------------------------------------------------------
+
+    /// Boolean negation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand is not boolean.
+    pub fn not(&self) -> Expr {
+        assert!(
+            self.sort().is_bool(),
+            "operand of `!` must be bool, found {}",
+            self.sort()
+        );
+        Expr::new(ExprKind::Unary(UnOp::Not, self.clone()), Sort::Bool)
+    }
+
+    /// Arithmetic negation (two's complement wrap-around).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand is not an integer.
+    pub fn neg(&self) -> Expr {
+        assert!(
+            self.sort().is_int(),
+            "operand of unary `-` must be int, found {}",
+            self.sort()
+        );
+        Expr::new(ExprKind::Unary(UnOp::Neg, self.clone()), self.sort().clone())
+    }
+
+    /// Boolean conjunction. See [`Expr::try_bool_op`] for the fallible form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not boolean.
+    pub fn and(&self, other: &Expr) -> Expr {
+        Expr::try_bool_op(BinOp::And, self, other).expect("ill-sorted conjunction")
+    }
+
+    /// Boolean disjunction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not boolean.
+    pub fn or(&self, other: &Expr) -> Expr {
+        Expr::try_bool_op(BinOp::Or, self, other).expect("ill-sorted disjunction")
+    }
+
+    /// Boolean exclusive or.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not boolean.
+    pub fn xor(&self, other: &Expr) -> Expr {
+        Expr::try_bool_op(BinOp::Xor, self, other).expect("ill-sorted xor")
+    }
+
+    /// Boolean implication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not boolean.
+    pub fn implies(&self, other: &Expr) -> Expr {
+        Expr::try_bool_op(BinOp::Implies, self, other).expect("ill-sorted implication")
+    }
+
+    /// Wrapping addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands are not integers of the same sort.
+    pub fn add(&self, other: &Expr) -> Expr {
+        Expr::try_arith_op(BinOp::Add, self, other).expect("ill-sorted addition")
+    }
+
+    /// Wrapping subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands are not integers of the same sort.
+    pub fn sub(&self, other: &Expr) -> Expr {
+        Expr::try_arith_op(BinOp::Sub, self, other).expect("ill-sorted subtraction")
+    }
+
+    /// Wrapping multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands are not integers of the same sort.
+    pub fn mul(&self, other: &Expr) -> Expr {
+        Expr::try_arith_op(BinOp::Mul, self, other).expect("ill-sorted multiplication")
+    }
+
+    /// Equality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different sorts.
+    pub fn eq(&self, other: &Expr) -> Expr {
+        Expr::try_cmp_op(BinOp::Eq, self, other).expect("ill-sorted equality")
+    }
+
+    /// Disequality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different sorts.
+    pub fn ne(&self, other: &Expr) -> Expr {
+        Expr::try_cmp_op(BinOp::Ne, self, other).expect("ill-sorted disequality")
+    }
+
+    /// Strictly-less-than comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands are not comparable.
+    pub fn lt(&self, other: &Expr) -> Expr {
+        Expr::try_cmp_op(BinOp::Lt, self, other).expect("ill-sorted comparison")
+    }
+
+    /// Less-than-or-equal comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands are not comparable.
+    pub fn le(&self, other: &Expr) -> Expr {
+        Expr::try_cmp_op(BinOp::Le, self, other).expect("ill-sorted comparison")
+    }
+
+    /// Strictly-greater-than comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands are not comparable.
+    pub fn gt(&self, other: &Expr) -> Expr {
+        Expr::try_cmp_op(BinOp::Gt, self, other).expect("ill-sorted comparison")
+    }
+
+    /// Greater-than-or-equal comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands are not comparable.
+    pub fn ge(&self, other: &Expr) -> Expr {
+        Expr::try_cmp_op(BinOp::Ge, self, other).expect("ill-sorted comparison")
+    }
+
+    /// If-then-else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the condition is not boolean or the branches differ in sort.
+    pub fn ite(&self, then: &Expr, els: &Expr) -> Expr {
+        Expr::try_ite(self, then, els).expect("ill-sorted if-then-else")
+    }
+
+    /// Conjunction of an arbitrary number of boolean expressions.
+    ///
+    /// The empty conjunction is `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is not boolean.
+    pub fn and_all<I: IntoIterator<Item = Expr>>(exprs: I) -> Expr {
+        let mut it = exprs.into_iter();
+        match it.next() {
+            None => Expr::true_(),
+            Some(first) => it.fold(first, |acc, e| acc.and(&e)),
+        }
+    }
+
+    /// Disjunction of an arbitrary number of boolean expressions.
+    ///
+    /// The empty disjunction is `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is not boolean.
+    pub fn or_all<I: IntoIterator<Item = Expr>>(exprs: I) -> Expr {
+        let mut it = exprs.into_iter();
+        match it.next() {
+            None => Expr::false_(),
+            Some(first) => it.fold(first, |acc, e| acc.or(&e)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation and traversal
+    // ------------------------------------------------------------------
+
+    /// Evaluates the expression under a valuation.
+    ///
+    /// Arithmetic wraps around according to the expression's sort, mirroring
+    /// the fixed-width semantics used by the bit-blaster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the valuation does not cover a referenced variable or if a
+    /// variable's stored value does not match the sort it is used with (both
+    /// indicate that the expression and valuation come from different
+    /// [`crate::VarSet`]s).
+    pub fn eval(&self, valuation: &Valuation) -> Value {
+        match self.kind() {
+            ExprKind::Const(v) => *v,
+            ExprKind::Var(id) => valuation.value(*id),
+            ExprKind::Unary(op, a) => {
+                let av = a.eval(valuation);
+                match op {
+                    UnOp::Not => Value::Bool(!av.as_bool().expect("`!` applied to non-bool")),
+                    UnOp::Neg => {
+                        let v = av.as_int().expect("unary `-` applied to non-int");
+                        Value::Int(self.sort().wrap(-v))
+                    }
+                }
+            }
+            ExprKind::Binary(op, a, b) => {
+                let av = a.eval(valuation);
+                let bv = b.eval(valuation);
+                match op {
+                    BinOp::And => Value::Bool(
+                        av.as_bool().expect("bool operand") && bv.as_bool().expect("bool operand"),
+                    ),
+                    BinOp::Or => Value::Bool(
+                        av.as_bool().expect("bool operand") || bv.as_bool().expect("bool operand"),
+                    ),
+                    BinOp::Xor => Value::Bool(
+                        av.as_bool().expect("bool operand") ^ bv.as_bool().expect("bool operand"),
+                    ),
+                    BinOp::Implies => Value::Bool(
+                        !av.as_bool().expect("bool operand") || bv.as_bool().expect("bool operand"),
+                    ),
+                    BinOp::Add => Value::Int(
+                        self.sort()
+                            .wrap(av.as_int().expect("int operand") + bv.as_int().expect("int operand")),
+                    ),
+                    BinOp::Sub => Value::Int(
+                        self.sort()
+                            .wrap(av.as_int().expect("int operand") - bv.as_int().expect("int operand")),
+                    ),
+                    BinOp::Mul => Value::Int(
+                        self.sort().wrap(
+                            av.as_int()
+                                .expect("int operand")
+                                .wrapping_mul(bv.as_int().expect("int operand")),
+                        ),
+                    ),
+                    BinOp::Eq => Value::Bool(av == bv),
+                    BinOp::Ne => Value::Bool(av != bv),
+                    BinOp::Lt => Value::Bool(av.to_i64() < bv.to_i64()),
+                    BinOp::Le => Value::Bool(av.to_i64() <= bv.to_i64()),
+                    BinOp::Gt => Value::Bool(av.to_i64() > bv.to_i64()),
+                    BinOp::Ge => Value::Bool(av.to_i64() >= bv.to_i64()),
+                }
+            }
+            ExprKind::Ite(c, t, e) => {
+                if c.eval(valuation).as_bool().expect("bool condition") {
+                    t.eval(valuation)
+                } else {
+                    e.eval(valuation)
+                }
+            }
+        }
+    }
+
+    /// Evaluates a boolean expression under a valuation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression is not boolean (see [`Expr::eval`] for the
+    /// other panic conditions).
+    pub fn eval_bool(&self, valuation: &Valuation) -> bool {
+        self.eval(valuation)
+            .as_bool()
+            .expect("eval_bool called on a non-boolean expression")
+    }
+
+    /// The set of variables referenced by this expression.
+    pub fn free_vars(&self) -> BTreeSet<VarId> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<VarId>) {
+        match self.kind() {
+            ExprKind::Const(_) => {}
+            ExprKind::Var(id) => {
+                out.insert(*id);
+            }
+            ExprKind::Unary(_, a) => a.collect_vars(out),
+            ExprKind::Binary(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            ExprKind::Ite(c, t, e) => {
+                c.collect_vars(out);
+                t.collect_vars(out);
+                e.collect_vars(out);
+            }
+        }
+    }
+
+    /// Replaces variable references according to `map`, leaving unmapped
+    /// variables untouched.
+    ///
+    /// Substituted expressions must have the same sort as the variable they
+    /// replace; this is asserted.
+    pub fn substitute(&self, map: &HashMap<VarId, Expr>) -> Expr {
+        match self.kind() {
+            ExprKind::Const(_) => self.clone(),
+            ExprKind::Var(id) => match map.get(id) {
+                Some(repl) => {
+                    assert!(
+                        repl.sort().compatible(self.sort()),
+                        "substitution for {id} changes sort from {} to {}",
+                        self.sort(),
+                        repl.sort()
+                    );
+                    repl.clone()
+                }
+                None => self.clone(),
+            },
+            ExprKind::Unary(op, a) => {
+                Expr::new(ExprKind::Unary(*op, a.substitute(map)), self.sort().clone())
+            }
+            ExprKind::Binary(op, a, b) => Expr::new(
+                ExprKind::Binary(*op, a.substitute(map), b.substitute(map)),
+                self.sort().clone(),
+            ),
+            ExprKind::Ite(c, t, e) => Expr::new(
+                ExprKind::Ite(c.substitute(map), t.substitute(map), e.substitute(map)),
+                self.sort().clone(),
+            ),
+        }
+    }
+
+    /// Number of nodes in the expression tree (counting shared nodes once per
+    /// occurrence). Used as a crude size measure in tests and reports.
+    pub fn node_count(&self) -> usize {
+        match self.kind() {
+            ExprKind::Const(_) | ExprKind::Var(_) => 1,
+            ExprKind::Unary(_, a) => 1 + a.node_count(),
+            ExprKind::Binary(_, a, b) => 1 + a.node_count() + b.node_count(),
+            ExprKind::Ite(c, t, e) => 1 + c.node_count() + t.node_count() + e.node_count(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            ExprKind::Const(v) => match (self.sort(), v) {
+                (Sort::Enum(e), Value::Enum(idx)) => {
+                    match e.variants.get(*idx as usize) {
+                        Some(name) => write!(f, "{name}"),
+                        None => write!(f, "{v}"),
+                    }
+                }
+                _ => write!(f, "{v}"),
+            },
+            ExprKind::Var(id) => write!(f, "{id}"),
+            ExprKind::Unary(UnOp::Not, a) => write!(f, "!({a})"),
+            ExprKind::Unary(UnOp::Neg, a) => write!(f, "-({a})"),
+            ExprKind::Binary(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            ExprKind::Ite(c, t, e) => write!(f, "(if {c} then {t} else {e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarSet;
+
+    fn setup() -> (VarSet, Valuation, Expr, Expr, Expr) {
+        let mut vars = VarSet::new();
+        let x = vars.declare("x", Sort::int(8)).unwrap();
+        let y = vars.declare("y", Sort::int(8)).unwrap();
+        let b = vars.declare("b", Sort::Bool).unwrap();
+        let val = Valuation::zeroed(&vars);
+        (
+            vars,
+            val,
+            Expr::var(x, Sort::int(8)),
+            Expr::var(y, Sort::int(8)),
+            Expr::var(b, Sort::Bool),
+        )
+    }
+
+    #[test]
+    fn constants() {
+        assert!(Expr::true_().is_true());
+        assert!(Expr::false_().is_false());
+        assert_eq!(Expr::int_val(5, 8).as_const(), Some(Value::Int(5)));
+        assert_eq!(Expr::signed_int_val(-5, 8).as_const(), Some(Value::Int(-5)));
+        assert!(Expr::constant(&Sort::int(4), Value::Int(20)).is_err());
+        assert!(Expr::constant(&Sort::int(4), Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn enum_constants() {
+        let mode = Sort::enumeration("Mode", ["Off", "On"]);
+        let on = Expr::enum_val(&mode, "On");
+        assert_eq!(on.as_const(), Some(Value::Enum(1)));
+        assert_eq!(on.to_string(), "On");
+    }
+
+    #[test]
+    #[should_panic(expected = "no variant named")]
+    fn enum_constant_unknown_variant() {
+        let mode = Sort::enumeration("Mode", ["Off", "On"]);
+        let _ = Expr::enum_val(&mode, "Broken");
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let (_, val, x, _, _) = setup();
+        let e = x.add(&Expr::int_val(255, 8)).add(&Expr::int_val(2, 8));
+        // x = 0, so 0 + 255 + 2 wraps to 1 in u8.
+        assert_eq!(e.eval(&val), Value::Int(1));
+        let m = Expr::int_val(16, 8).mul(&Expr::int_val(16, 8));
+        let zero = Valuation::from_values(&VarSet::new(), vec![]);
+        assert_eq!(m.eval(&zero), Value::Int(0));
+    }
+
+    #[test]
+    fn signed_arithmetic() {
+        let e = Expr::signed_int_val(-3, 8).sub(&Expr::signed_int_val(126, 8));
+        let empty_vars = VarSet::new();
+        let val = Valuation::zeroed(&empty_vars);
+        assert_eq!(e.eval(&val), Value::Int(127));
+        let n = Expr::signed_int_val(-128, 8).neg();
+        assert_eq!(n.eval(&val), Value::Int(-128));
+    }
+
+    #[test]
+    fn boolean_operators() {
+        let (_, mut val, _, _, b) = setup();
+        let t = Expr::true_();
+        assert!(t.and(&b.not()).eval_bool(&val));
+        assert!(!t.and(&b).eval_bool(&val));
+        assert!(t.or(&b).eval_bool(&val));
+        assert!(b.implies(&Expr::false_()).eval_bool(&val));
+        assert!(t.xor(&b).eval_bool(&val));
+        val.set(crate::VarId::from_index(2), Value::Bool(true));
+        assert!(!b.implies(&Expr::false_()).eval_bool(&val));
+    }
+
+    #[test]
+    fn comparisons() {
+        let (_, mut val, x, y, _) = setup();
+        val.set(crate::VarId::from_index(0), Value::Int(4));
+        val.set(crate::VarId::from_index(1), Value::Int(7));
+        assert!(x.lt(&y).eval_bool(&val));
+        assert!(x.le(&y).eval_bool(&val));
+        assert!(!x.gt(&y).eval_bool(&val));
+        assert!(!x.ge(&y).eval_bool(&val));
+        assert!(x.ne(&y).eval_bool(&val));
+        assert!(!x.eq(&y).eval_bool(&val));
+        assert!(x.eq(&Expr::int_val(4, 8)).eval_bool(&val));
+    }
+
+    #[test]
+    fn ite() {
+        let (_, mut val, x, y, b) = setup();
+        let e = b.ite(&x, &y);
+        val.set(crate::VarId::from_index(0), Value::Int(10));
+        val.set(crate::VarId::from_index(1), Value::Int(20));
+        assert_eq!(e.eval(&val), Value::Int(20));
+        val.set(crate::VarId::from_index(2), Value::Bool(true));
+        assert_eq!(e.eval(&val), Value::Int(10));
+    }
+
+    #[test]
+    fn sort_errors() {
+        let (_, _, x, _, b) = setup();
+        assert!(Expr::try_bool_op(BinOp::And, &x, &b).is_err());
+        assert!(Expr::try_arith_op(BinOp::Add, &b, &b).is_err());
+        assert!(Expr::try_cmp_op(BinOp::Eq, &x, &b).is_err());
+        assert!(Expr::try_cmp_op(BinOp::Lt, &b, &b).is_err());
+        assert!(Expr::try_ite(&x, &x, &x).is_err());
+        assert!(Expr::try_ite(&b, &x, &b).is_err());
+        let y9 = Expr::int_val(1, 9);
+        assert!(Expr::try_arith_op(BinOp::Add, &x, &y9).is_err());
+    }
+
+    #[test]
+    fn and_all_or_all() {
+        let (_, val, _, _, b) = setup();
+        assert!(Expr::and_all(std::iter::empty()).eval_bool(&val));
+        assert!(!Expr::or_all(std::iter::empty()).eval_bool(&val));
+        let conj = Expr::and_all([Expr::true_(), b.not(), Expr::true_()]);
+        assert!(conj.eval_bool(&val));
+        let disj = Expr::or_all([Expr::false_(), b.clone()]);
+        assert!(!disj.eval_bool(&val));
+    }
+
+    #[test]
+    fn free_vars_and_substitution() {
+        let (_, val, x, y, b) = setup();
+        let e = b.ite(&x.add(&y), &x);
+        let fv = e.free_vars();
+        assert_eq!(fv.len(), 3);
+
+        let mut map = HashMap::new();
+        map.insert(crate::VarId::from_index(1), Expr::int_val(9, 8));
+        let e2 = e.substitute(&map);
+        assert_eq!(e2.free_vars().len(), 2);
+        let mut v = val.clone();
+        v.set(crate::VarId::from_index(2), Value::Bool(true));
+        v.set(crate::VarId::from_index(0), Value::Int(1));
+        assert_eq!(e2.eval(&v), Value::Int(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "changes sort")]
+    fn substitution_sort_checked() {
+        let (_, _, x, _, _) = setup();
+        let mut map = HashMap::new();
+        map.insert(crate::VarId::from_index(0), Expr::true_());
+        let _ = x.substitute(&map);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let (_, _, x, y, b) = setup();
+        let e = b.and(&x.gt(&y));
+        assert_eq!(e.to_string(), "(x2 && (x0 > x1))");
+        assert_eq!(x.add(&y).neg().to_string(), "-((x0 + x1))");
+        assert_eq!(b.not().to_string(), "!(x2)");
+        assert_eq!(b.ite(&x, &y).to_string(), "(if x2 then x0 else x1)");
+    }
+
+    #[test]
+    fn node_count() {
+        let (_, _, x, y, _) = setup();
+        assert_eq!(x.node_count(), 1);
+        assert_eq!(x.add(&y).node_count(), 3);
+        assert_eq!(x.add(&y).eq(&x).node_count(), 5);
+    }
+
+    #[test]
+    fn exprs_are_cheap_to_clone_and_hash() {
+        use std::collections::HashSet;
+        let (_, _, x, y, _) = setup();
+        let e1 = x.add(&y);
+        let e2 = e1.clone();
+        let mut set = HashSet::new();
+        set.insert(e1);
+        assert!(set.contains(&e2));
+    }
+}

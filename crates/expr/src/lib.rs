@@ -1,0 +1,61 @@
+//! # amle-expr
+//!
+//! Typed, word-level expression language used throughout the active
+//! model-learning pipeline.
+//!
+//! The crate provides:
+//!
+//! * [`Sort`] — the type of a variable or expression: booleans, fixed-width
+//!   (optionally signed) integers, and named enumerations.
+//! * [`Value`] — a concrete value of some sort.
+//! * [`VarSet`] / [`VarId`] — a declaration table for the observable and
+//!   internal variables of a system.
+//! * [`Expr`] — an immutable, reference-counted expression DAG with the
+//!   operations needed to describe transition relations, initial-state
+//!   constraints and transition-edge predicates: boolean connectives,
+//!   bounded-integer arithmetic, comparisons and if-then-else.
+//! * Evaluation over [`Valuation`]s with wrap-around fixed-width semantics,
+//!   constant folding and a light-weight simplifier used to keep learned
+//!   predicates readable.
+//!
+//! The expression language is deliberately small: it is exactly the fragment
+//! the paper's benchmarks (Simulink Stateflow controllers) need, and the
+//! fragment that the bit-blaster in `amle-bitblast` can translate to CNF.
+//!
+//! ## Example
+//!
+//! ```
+//! use amle_expr::{Expr, Sort, Value, VarSet, Valuation};
+//!
+//! let mut vars = VarSet::new();
+//! let temp = vars.declare("temp", Sort::int(8)).unwrap();
+//! let on = vars.declare("on", Sort::Bool).unwrap();
+//!
+//! // on && temp > 30
+//! let pred = Expr::var(on, Sort::Bool).and(&Expr::var(temp, Sort::int(8)).gt(&Expr::int_val(31, 8)));
+//!
+//! let mut v = Valuation::zeroed(&vars);
+//! v.set(temp, Value::Int(40));
+//! v.set(on, Value::Bool(true));
+//! assert_eq!(pred.eval(&v), Value::Bool(true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod expr;
+mod simplify;
+mod sort;
+mod value;
+mod var;
+
+pub use error::SortError;
+pub use expr::{BinOp, Expr, ExprKind, UnOp};
+pub use simplify::simplify;
+pub use sort::Sort;
+pub use value::Value;
+pub use var::{Valuation, VarId, VarInfo, VarSet};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,139 @@
+//! Property-based tests for the expression layer.
+//!
+//! The key invariants checked here:
+//!
+//! 1. simplification preserves semantics on random expressions and random
+//!    valuations;
+//! 2. evaluation always stays within the sort's representable range;
+//! 3. substitution with constants agrees with evaluation.
+
+use crate::{simplify, Expr, Sort, Valuation, Value, VarId, VarSet};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const WIDTH: u32 = 6;
+
+fn var_set() -> VarSet {
+    let mut vars = VarSet::new();
+    vars.declare("a", Sort::int(WIDTH)).unwrap();
+    vars.declare("b", Sort::int(WIDTH)).unwrap();
+    vars.declare("p", Sort::Bool).unwrap();
+    vars.declare("q", Sort::Bool).unwrap();
+    vars
+}
+
+fn arb_int_expr(depth: u32) -> BoxedStrategy<Expr> {
+    if depth == 0 {
+        prop_oneof![
+            (0..(1i64 << WIDTH)).prop_map(|v| Expr::int_val(v, WIDTH)),
+            Just(Expr::var(VarId::from_index(0), Sort::int(WIDTH))),
+            Just(Expr::var(VarId::from_index(1), Sort::int(WIDTH))),
+        ]
+        .boxed()
+    } else {
+        let sub = arb_int_expr(depth - 1);
+        let subb = arb_bool_expr(depth - 1);
+        prop_oneof![
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| a.add(&b)),
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| a.sub(&b)),
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| a.mul(&b)),
+            (subb, sub.clone(), sub.clone()).prop_map(|(c, a, b)| c.ite(&a, &b)),
+            sub,
+        ]
+        .boxed()
+    }
+}
+
+fn arb_bool_expr(depth: u32) -> BoxedStrategy<Expr> {
+    if depth == 0 {
+        prop_oneof![
+            any::<bool>().prop_map(Expr::bool_const),
+            Just(Expr::var(VarId::from_index(2), Sort::Bool)),
+            Just(Expr::var(VarId::from_index(3), Sort::Bool)),
+        ]
+        .boxed()
+    } else {
+        let sub = arb_bool_expr(depth - 1);
+        let subi = arb_int_expr(depth - 1);
+        prop_oneof![
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| a.and(&b)),
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| a.or(&b)),
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| a.implies(&b)),
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| a.xor(&b)),
+            sub.clone().prop_map(|a| a.not()),
+            (subi.clone(), subi.clone()).prop_map(|(a, b)| a.lt(&b)),
+            (subi.clone(), subi.clone()).prop_map(|(a, b)| a.le(&b)),
+            (subi.clone(), subi.clone()).prop_map(|(a, b)| a.eq(&b)),
+            (subi.clone(), subi).prop_map(|(a, b)| a.ne(&b)),
+            sub,
+        ]
+        .boxed()
+    }
+}
+
+fn arb_valuation() -> impl Strategy<Value = Valuation> {
+    (
+        0..(1i64 << WIDTH),
+        0..(1i64 << WIDTH),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(a, b, p, q)| {
+            let vars = var_set();
+            let mut v = Valuation::zeroed(&vars);
+            v.set(VarId::from_index(0), Value::Int(a));
+            v.set(VarId::from_index(1), Value::Int(b));
+            v.set(VarId::from_index(2), Value::Bool(p));
+            v.set(VarId::from_index(3), Value::Bool(q));
+            v
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn simplify_preserves_bool_semantics(e in arb_bool_expr(3), v in arb_valuation()) {
+        let simp = simplify(&e);
+        prop_assert_eq!(e.eval(&v), simp.eval(&v));
+    }
+
+    #[test]
+    fn simplify_preserves_int_semantics(e in arb_int_expr(3), v in arb_valuation()) {
+        let simp = simplify(&e);
+        prop_assert_eq!(e.eval(&v), simp.eval(&v));
+    }
+
+    #[test]
+    fn simplify_never_grows(e in arb_bool_expr(3)) {
+        prop_assert!(simplify(&e).node_count() <= e.node_count());
+    }
+
+    #[test]
+    fn eval_stays_in_range(e in arb_int_expr(3), v in arb_valuation()) {
+        let value = e.eval(&v).as_int().unwrap();
+        let (lo, hi) = Sort::int(WIDTH).value_range();
+        prop_assert!(value >= lo && value <= hi);
+    }
+
+    #[test]
+    fn substitution_of_constants_matches_eval(e in arb_bool_expr(3), v in arb_valuation()) {
+        // Substitute every variable with its constant value, then evaluate the
+        // closed expression: the result must match direct evaluation.
+        let mut map = HashMap::new();
+        map.insert(VarId::from_index(0), Expr::int_val(v.value(VarId::from_index(0)).to_i64(), WIDTH));
+        map.insert(VarId::from_index(1), Expr::int_val(v.value(VarId::from_index(1)).to_i64(), WIDTH));
+        map.insert(VarId::from_index(2), Expr::bool_const(v.value(VarId::from_index(2)).as_bool().unwrap()));
+        map.insert(VarId::from_index(3), Expr::bool_const(v.value(VarId::from_index(3)).as_bool().unwrap()));
+        let closed = e.substitute(&map);
+        prop_assert!(closed.free_vars().is_empty());
+        prop_assert_eq!(closed.eval(&v), e.eval(&v));
+    }
+
+    #[test]
+    fn double_simplify_is_idempotent(e in arb_bool_expr(3)) {
+        let once = simplify(&e);
+        let twice = simplify(&once);
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,273 @@
+//! A light-weight simplifier for expressions.
+//!
+//! The simplifier performs constant folding and a handful of local rewrites
+//! (identity elements, annihilators, double negation, trivial if-then-else).
+//! Its purpose is readability of learned edge predicates and extracted
+//! invariants, not completeness: simplified expressions are always
+//! semantically equivalent to the originals (checked by property tests).
+
+use crate::{BinOp, Expr, ExprKind, UnOp, Valuation, Value, VarSet};
+
+/// Simplifies an expression by constant folding and local rewrites.
+///
+/// The result is semantically equivalent to the input but often smaller and
+/// easier to read, e.g. `(true && (x > 3)) || false` becomes `x > 3`.
+///
+/// # Example
+///
+/// ```
+/// use amle_expr::{simplify, Expr, Sort, VarSet};
+///
+/// let mut vars = VarSet::new();
+/// let x = vars.declare("x", Sort::int(8)).unwrap();
+/// let xe = Expr::var(x, Sort::int(8));
+/// let messy = Expr::true_().and(&xe.gt(&Expr::int_val(3, 8))).or(&Expr::false_());
+/// assert_eq!(simplify(&messy).to_string(), "(x0 > 3)");
+/// ```
+pub fn simplify(expr: &Expr) -> Expr {
+    match expr.kind() {
+        ExprKind::Const(_) | ExprKind::Var(_) => expr.clone(),
+        ExprKind::Unary(op, a) => {
+            let a = simplify(a);
+            match (op, a.kind()) {
+                (UnOp::Not, ExprKind::Const(Value::Bool(b))) => Expr::bool_const(!b),
+                (UnOp::Not, ExprKind::Unary(UnOp::Not, inner)) => inner.clone(),
+                (UnOp::Neg, ExprKind::Const(Value::Int(v))) => {
+                    Expr::constant(expr.sort(), Value::Int(expr.sort().wrap(-v)))
+                        .expect("wrapped constant fits")
+                }
+                (UnOp::Not, _) => a.not(),
+                (UnOp::Neg, _) => a.neg(),
+            }
+        }
+        ExprKind::Binary(op, a, b) => {
+            let a = simplify(a);
+            let b = simplify(b);
+            simplify_binary(expr, *op, a, b)
+        }
+        ExprKind::Ite(c, t, e) => {
+            let c = simplify(c);
+            let t = simplify(t);
+            let e = simplify(e);
+            if c.is_true() {
+                t
+            } else if c.is_false() {
+                e
+            } else if t == e {
+                t
+            } else {
+                c.ite(&t, &e)
+            }
+        }
+    }
+}
+
+fn simplify_binary(orig: &Expr, op: BinOp, a: Expr, b: Expr) -> Expr {
+    // Full constant folding first.
+    if a.as_const().is_some() && b.as_const().is_some() {
+        let empty = VarSet::new();
+        let val = Valuation::zeroed(&empty);
+        let rebuilt = rebuild(op, &a, &b);
+        let folded = rebuilt.eval(&val);
+        return Expr::constant(orig.sort(), folded).expect("folded constant fits sort");
+    }
+
+    match op {
+        BinOp::And => {
+            if a.is_true() {
+                return b;
+            }
+            if b.is_true() {
+                return a;
+            }
+            if a.is_false() || b.is_false() {
+                return Expr::false_();
+            }
+            if a == b {
+                return a;
+            }
+            a.and(&b)
+        }
+        BinOp::Or => {
+            if a.is_false() {
+                return b;
+            }
+            if b.is_false() {
+                return a;
+            }
+            if a.is_true() || b.is_true() {
+                return Expr::true_();
+            }
+            if a == b {
+                return a;
+            }
+            a.or(&b)
+        }
+        BinOp::Implies => {
+            if a.is_true() {
+                return b;
+            }
+            if a.is_false() || b.is_true() {
+                return Expr::true_();
+            }
+            if b.is_false() {
+                return simplify(&a.not());
+            }
+            a.implies(&b)
+        }
+        BinOp::Xor => {
+            if a.is_false() {
+                return b;
+            }
+            if b.is_false() {
+                return a;
+            }
+            if a == b {
+                return Expr::false_();
+            }
+            a.xor(&b)
+        }
+        BinOp::Eq if a == b => Expr::true_(),
+        BinOp::Ne if a == b => Expr::false_(),
+        BinOp::Le | BinOp::Ge if a == b => Expr::true_(),
+        BinOp::Lt | BinOp::Gt if a == b => Expr::false_(),
+        BinOp::Add => {
+            if is_zero(&a) {
+                return b;
+            }
+            if is_zero(&b) {
+                return a;
+            }
+            a.add(&b)
+        }
+        BinOp::Sub => {
+            if is_zero(&b) {
+                return a;
+            }
+            a.sub(&b)
+        }
+        BinOp::Mul => {
+            if is_zero(&a) || is_zero(&b) {
+                return Expr::constant(orig.sort(), Value::Int(0)).expect("zero fits");
+            }
+            if is_one(&a) {
+                return b;
+            }
+            if is_one(&b) {
+                return a;
+            }
+            a.mul(&b)
+        }
+        _ => rebuild(op, &a, &b),
+    }
+}
+
+fn rebuild(op: BinOp, a: &Expr, b: &Expr) -> Expr {
+    match op {
+        BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Implies => {
+            Expr::try_bool_op(op, a, b).expect("operands were well-sorted before simplification")
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul => {
+            Expr::try_arith_op(op, a, b).expect("operands were well-sorted before simplification")
+        }
+        _ => Expr::try_cmp_op(op, a, b).expect("operands were well-sorted before simplification"),
+    }
+}
+
+fn is_zero(e: &Expr) -> bool {
+    e.as_const() == Some(Value::Int(0))
+}
+
+fn is_one(e: &Expr) -> bool {
+    e.as_const() == Some(Value::Int(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sort, VarId};
+
+    fn x() -> Expr {
+        Expr::var(VarId::from_index(0), Sort::int(8))
+    }
+
+    fn b() -> Expr {
+        Expr::var(VarId::from_index(1), Sort::Bool)
+    }
+
+    #[test]
+    fn boolean_identities() {
+        assert_eq!(simplify(&Expr::true_().and(&b())), b());
+        assert_eq!(simplify(&b().and(&Expr::true_())), b());
+        assert!(simplify(&b().and(&Expr::false_())).is_false());
+        assert_eq!(simplify(&Expr::false_().or(&b())), b());
+        assert!(simplify(&b().or(&Expr::true_())).is_true());
+        assert_eq!(simplify(&b().and(&b())), b());
+        assert_eq!(simplify(&b().or(&b())), b());
+        assert!(simplify(&b().xor(&b())).is_false());
+    }
+
+    #[test]
+    fn implication_rewrites() {
+        assert_eq!(simplify(&Expr::true_().implies(&b())), b());
+        assert!(simplify(&Expr::false_().implies(&b())).is_true());
+        assert!(simplify(&b().implies(&Expr::true_())).is_true());
+        assert_eq!(simplify(&b().implies(&Expr::false_())), b().not());
+    }
+
+    #[test]
+    fn double_negation() {
+        assert_eq!(simplify(&b().not().not()), b());
+        assert!(simplify(&Expr::true_().not()).is_false());
+    }
+
+    #[test]
+    fn constant_folding() {
+        let e = Expr::int_val(3, 8).add(&Expr::int_val(4, 8));
+        assert_eq!(simplify(&e).as_const(), Some(Value::Int(7)));
+        let e = Expr::int_val(3, 8).lt(&Expr::int_val(4, 8));
+        assert!(simplify(&e).is_true());
+        let e = Expr::int_val(200, 8).add(&Expr::int_val(100, 8));
+        assert_eq!(simplify(&e).as_const(), Some(Value::Int(44)));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let zero = Expr::int_val(0, 8);
+        let one = Expr::int_val(1, 8);
+        assert_eq!(simplify(&x().add(&zero)), x());
+        assert_eq!(simplify(&zero.add(&x())), x());
+        assert_eq!(simplify(&x().sub(&zero)), x());
+        assert_eq!(simplify(&x().mul(&one)), x());
+        assert_eq!(simplify(&one.mul(&x())), x());
+        assert_eq!(simplify(&x().mul(&zero)).as_const(), Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn reflexive_comparisons() {
+        assert!(simplify(&x().eq(&x())).is_true());
+        assert!(simplify(&x().ne(&x())).is_false());
+        assert!(simplify(&x().le(&x())).is_true());
+        assert!(simplify(&x().lt(&x())).is_false());
+    }
+
+    #[test]
+    fn ite_simplification() {
+        let e = Expr::true_().ite(&x(), &Expr::int_val(0, 8));
+        assert_eq!(simplify(&e), x());
+        let e = Expr::false_().ite(&x(), &Expr::int_val(0, 8));
+        assert_eq!(simplify(&e).as_const(), Some(Value::Int(0)));
+        let e = b().ite(&x(), &x());
+        assert_eq!(simplify(&e), x());
+    }
+
+    #[test]
+    fn nested_structure_shrinks() {
+        let messy = Expr::true_()
+            .and(&x().gt(&Expr::int_val(3, 8)))
+            .or(&Expr::false_());
+        let simp = simplify(&messy);
+        assert_eq!(simp.to_string(), "(x0 > 3)");
+        assert!(simp.node_count() < messy.node_count());
+    }
+}

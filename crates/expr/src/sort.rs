@@ -1,0 +1,311 @@
+//! Sorts (types) of variables and expressions.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The sort (type) of a variable, value or expression.
+///
+/// Three sorts are supported, matching what Stateflow-style controllers need:
+///
+/// * [`Sort::Bool`] — booleans.
+/// * [`Sort::Int`] — fixed-width integers with wrap-around arithmetic. The
+///   width is in bits (1..=63) and the interpretation may be signed
+///   (two's complement) or unsigned.
+/// * [`Sort::Enum`] — a named, finite enumeration. Enum values are indices
+///   into the variant list.
+///
+/// # Example
+///
+/// ```
+/// use amle_expr::Sort;
+///
+/// let mode = Sort::enumeration("Mode", ["Off", "Heating", "Cooling"]);
+/// assert_eq!(mode.enum_variants().unwrap().len(), 3);
+/// assert!(Sort::int(8).is_int());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Sort {
+    /// Boolean sort.
+    Bool,
+    /// Fixed-width integer sort.
+    Int {
+        /// Width in bits (1..=63).
+        bits: u32,
+        /// Two's-complement interpretation if `true`, unsigned otherwise.
+        signed: bool,
+    },
+    /// Named enumeration sort.
+    Enum(Arc<EnumSort>),
+}
+
+/// The definition of an enumeration sort: a name plus an ordered variant list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EnumSort {
+    /// Name of the enumeration (for diagnostics and pretty printing).
+    pub name: String,
+    /// Ordered list of variant names; values are indices into this list.
+    pub variants: Vec<String>,
+}
+
+impl Sort {
+    /// An unsigned fixed-width integer sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or greater than 63.
+    pub fn int(bits: u32) -> Self {
+        assert!(
+            (1..=63).contains(&bits),
+            "integer sort width must be in 1..=63, got {bits}"
+        );
+        Sort::Int {
+            bits,
+            signed: false,
+        }
+    }
+
+    /// A signed (two's complement) fixed-width integer sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or greater than 63.
+    pub fn signed_int(bits: u32) -> Self {
+        assert!(
+            (1..=63).contains(&bits),
+            "integer sort width must be in 1..=63, got {bits}"
+        );
+        Sort::Int { bits, signed: true }
+    }
+
+    /// An enumeration sort with the given name and variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variants` is empty.
+    pub fn enumeration<N, I, S>(name: N, variants: I) -> Self
+    where
+        N: Into<String>,
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let variants: Vec<String> = variants.into_iter().map(Into::into).collect();
+        assert!(!variants.is_empty(), "enumeration sort needs at least one variant");
+        Sort::Enum(Arc::new(EnumSort {
+            name: name.into(),
+            variants,
+        }))
+    }
+
+    /// Returns `true` if this is the boolean sort.
+    pub fn is_bool(&self) -> bool {
+        matches!(self, Sort::Bool)
+    }
+
+    /// Returns `true` if this is an integer sort.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Sort::Int { .. })
+    }
+
+    /// Returns `true` if this is an enumeration sort.
+    pub fn is_enum(&self) -> bool {
+        matches!(self, Sort::Enum(_))
+    }
+
+    /// Width of the bit-level encoding of this sort, in bits.
+    ///
+    /// Booleans take one bit, integers their declared width, enumerations the
+    /// smallest width able to hold the largest variant index.
+    pub fn bit_width(&self) -> u32 {
+        match self {
+            Sort::Bool => 1,
+            Sort::Int { bits, .. } => *bits,
+            Sort::Enum(e) => {
+                let max = e.variants.len().saturating_sub(1) as u64;
+                if max == 0 {
+                    1
+                } else {
+                    64 - max.leading_zeros()
+                }
+            }
+        }
+    }
+
+    /// The variant names of an enumeration sort, or `None` for other sorts.
+    pub fn enum_variants(&self) -> Option<&[String]> {
+        match self {
+            Sort::Enum(e) => Some(&e.variants),
+            _ => None,
+        }
+    }
+
+    /// Looks up the index of a variant name in an enumeration sort.
+    pub fn variant_index(&self, name: &str) -> Option<usize> {
+        self.enum_variants()
+            .and_then(|vs| vs.iter().position(|v| v == name))
+    }
+
+    /// The inclusive range of integer values representable by this sort.
+    ///
+    /// Booleans map to `0..=1`, enumerations to `0..=variants-1`.
+    pub fn value_range(&self) -> (i64, i64) {
+        match self {
+            Sort::Bool => (0, 1),
+            Sort::Int { bits, signed } => {
+                if *signed {
+                    let half = 1i64 << (bits - 1);
+                    (-half, half - 1)
+                } else {
+                    (0, (1i64 << bits) - 1)
+                }
+            }
+            Sort::Enum(e) => (0, e.variants.len() as i64 - 1),
+        }
+    }
+
+    /// Wraps an arbitrary integer into the representable range of this sort
+    /// (two's complement wrap-around for `Int`, clamping by modulo for enums
+    /// and booleans).
+    pub fn wrap(&self, v: i64) -> i64 {
+        match self {
+            Sort::Bool => {
+                if v == 0 {
+                    0
+                } else {
+                    1
+                }
+            }
+            Sort::Int { bits, signed } => {
+                let mask = (1u64 << bits) - 1;
+                let raw = (v as u64) & mask;
+                if *signed {
+                    let sign_bit = 1u64 << (bits - 1);
+                    if raw & sign_bit != 0 {
+                        (raw as i64) - (1i64 << bits)
+                    } else {
+                        raw as i64
+                    }
+                } else {
+                    raw as i64
+                }
+            }
+            Sort::Enum(e) => {
+                let n = e.variants.len() as i64;
+                v.rem_euclid(n)
+            }
+        }
+    }
+
+    /// Returns `true` if two sorts are compatible for comparison and
+    /// assignment purposes.
+    ///
+    /// Integer sorts of different width or signedness are *not* compatible;
+    /// the expression layer requires explicit matching widths so that the
+    /// bit-blaster never has to insert implicit casts.
+    pub fn compatible(&self, other: &Sort) -> bool {
+        self == other
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "bool"),
+            Sort::Int { bits, signed } => {
+                write!(f, "{}{}", if *signed { "i" } else { "u" }, bits)
+            }
+            Sort::Enum(e) => write!(f, "enum {}", e.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_sort_range_unsigned() {
+        assert_eq!(Sort::int(4).value_range(), (0, 15));
+        assert_eq!(Sort::int(1).value_range(), (0, 1));
+        assert_eq!(Sort::int(8).value_range(), (0, 255));
+    }
+
+    #[test]
+    fn int_sort_range_signed() {
+        assert_eq!(Sort::signed_int(4).value_range(), (-8, 7));
+        assert_eq!(Sort::signed_int(8).value_range(), (-128, 127));
+    }
+
+    #[test]
+    fn wrap_unsigned() {
+        let s = Sort::int(4);
+        assert_eq!(s.wrap(16), 0);
+        assert_eq!(s.wrap(17), 1);
+        assert_eq!(s.wrap(-1), 15);
+        assert_eq!(s.wrap(15), 15);
+    }
+
+    #[test]
+    fn wrap_signed() {
+        let s = Sort::signed_int(4);
+        assert_eq!(s.wrap(8), -8);
+        assert_eq!(s.wrap(7), 7);
+        assert_eq!(s.wrap(-9), 7);
+        assert_eq!(s.wrap(16), 0);
+    }
+
+    #[test]
+    fn wrap_bool_and_enum() {
+        assert_eq!(Sort::Bool.wrap(5), 1);
+        assert_eq!(Sort::Bool.wrap(0), 0);
+        let e = Sort::enumeration("Mode", ["A", "B", "C"]);
+        assert_eq!(e.wrap(3), 0);
+        assert_eq!(e.wrap(-1), 2);
+    }
+
+    #[test]
+    fn enum_lookup() {
+        let e = Sort::enumeration("Mode", ["Off", "On"]);
+        assert_eq!(e.variant_index("On"), Some(1));
+        assert_eq!(e.variant_index("Missing"), None);
+        assert_eq!(e.bit_width(), 1);
+        let e3 = Sort::enumeration("Mode", ["A", "B", "C"]);
+        assert_eq!(e3.bit_width(), 2);
+        let e5 = Sort::enumeration("Mode", ["A", "B", "C", "D", "E"]);
+        assert_eq!(e5.bit_width(), 3);
+    }
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(Sort::Bool.bit_width(), 1);
+        assert_eq!(Sort::int(12).bit_width(), 12);
+        assert_eq!(Sort::enumeration("E", ["only"]).bit_width(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Sort::Bool.to_string(), "bool");
+        assert_eq!(Sort::int(8).to_string(), "u8");
+        assert_eq!(Sort::signed_int(16).to_string(), "i16");
+        assert_eq!(Sort::enumeration("Mode", ["A"]).to_string(), "enum Mode");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=63")]
+    fn zero_width_rejected() {
+        let _ = Sort::int(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variant")]
+    fn empty_enum_rejected() {
+        let _ = Sort::enumeration("E", Vec::<String>::new());
+    }
+
+    #[test]
+    fn compatibility() {
+        assert!(Sort::int(8).compatible(&Sort::int(8)));
+        assert!(!Sort::int(8).compatible(&Sort::int(9)));
+        assert!(!Sort::int(8).compatible(&Sort::signed_int(8)));
+        assert!(!Sort::Bool.compatible(&Sort::int(1)));
+    }
+}

@@ -1,0 +1,321 @@
+//! Variable declarations and valuations.
+
+use crate::{Sort, SortError, Value};
+use std::fmt;
+
+/// Identifier of a declared variable: an index into its [`VarSet`].
+///
+/// `VarId`s are only meaningful together with the `VarSet` they were declared
+/// in; all pipeline components share a single `VarSet` per system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// The raw index of the variable in its declaration table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `VarId` from a raw index.
+    ///
+    /// Intended for components (such as the bit-blaster) that iterate over
+    /// `0..var_set.len()`; passing an index that was never declared results in
+    /// lookup panics later on.
+    pub fn from_index(index: usize) -> Self {
+        VarId(index as u32)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Declaration record of a single variable: its name and sort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Variable name (unique within a `VarSet`).
+    pub name: String,
+    /// Sort of the variable.
+    pub sort: Sort,
+}
+
+/// An ordered table of variable declarations.
+///
+/// Systems declare their state and input variables here; traces, valuations,
+/// automaton predicates and CNF encodings all refer to variables through
+/// [`VarId`]s resolved against this table.
+///
+/// # Example
+///
+/// ```
+/// use amle_expr::{Sort, VarSet};
+///
+/// let mut vars = VarSet::new();
+/// let t = vars.declare("temp", Sort::int(8)).unwrap();
+/// assert_eq!(vars.name(t), "temp");
+/// assert_eq!(vars.lookup("temp"), Some(t));
+/// assert!(vars.declare("temp", Sort::Bool).is_err());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VarSet {
+    vars: Vec<VarInfo>,
+}
+
+impl VarSet {
+    /// Creates an empty variable table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a new variable and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SortError::DuplicateVariable`] if a variable of the same name
+    /// has already been declared.
+    pub fn declare<N: Into<String>>(&mut self, name: N, sort: Sort) -> Result<VarId, SortError> {
+        let name = name.into();
+        if self.lookup(&name).is_some() {
+            return Err(SortError::DuplicateVariable { name });
+        }
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarInfo { name, sort });
+        Ok(id)
+    }
+
+    /// Number of declared variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Returns `true` if no variables have been declared.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// The name of a declared variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not declared in this table.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.vars[id.index()].name
+    }
+
+    /// The sort of a declared variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not declared in this table.
+    pub fn sort(&self, id: VarId) -> &Sort {
+        &self.vars[id.index()].sort
+    }
+
+    /// The full declaration record of a variable, if it exists.
+    pub fn info(&self, id: VarId) -> Option<&VarInfo> {
+        self.vars.get(id.index())
+    }
+
+    /// Finds a variable id by name.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// Iterates over `(id, info)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &VarInfo)> {
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VarId(i as u32), v))
+    }
+
+    /// All declared variable ids in declaration order.
+    pub fn ids(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.vars.len()).map(|i| VarId(i as u32))
+    }
+}
+
+/// A total assignment of values to the variables of a [`VarSet`].
+///
+/// A valuation is one observation of a trace (one row of trace data). Values
+/// are stored densely, indexed by [`VarId`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Valuation {
+    values: Vec<Value>,
+}
+
+impl Valuation {
+    /// Creates a valuation mapping every variable of `vars` to the "zero"
+    /// value of its sort (`false`, `0`, or the first enum variant).
+    pub fn zeroed(vars: &VarSet) -> Self {
+        let values = vars
+            .iter()
+            .map(|(_, info)| Value::from_i64(&info.sort, 0))
+            .collect();
+        Valuation { values }
+    }
+
+    /// Creates a valuation from a dense value vector (one entry per variable,
+    /// in declaration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length of `values` differs from `vars.len()`.
+    pub fn from_values(vars: &VarSet, values: Vec<Value>) -> Self {
+        assert_eq!(
+            values.len(),
+            vars.len(),
+            "valuation length {} does not match variable count {}",
+            values.len(),
+            vars.len()
+        );
+        Valuation { values }
+    }
+
+    /// The value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this valuation.
+    pub fn value(&self, id: VarId) -> Value {
+        self.values[id.index()]
+    }
+
+    /// Sets the value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this valuation.
+    pub fn set(&mut self, id: VarId, value: Value) {
+        self.values[id.index()] = value;
+    }
+
+    /// Number of variables covered by this valuation.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the valuation covers no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The dense value slice, in variable-declaration order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Renders the valuation with variable names, e.g. `{temp=40, on=true}`.
+    pub fn display<'a>(&'a self, vars: &'a VarSet) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Valuation, &'a VarSet);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{{")?;
+                for (i, (id, info)) in self.1.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    let v = self.0.value(id);
+                    match (&info.sort, v) {
+                        (Sort::Enum(e), Value::Enum(idx)) => {
+                            let name = e
+                                .variants
+                                .get(idx as usize)
+                                .map(String::as_str)
+                                .unwrap_or("?");
+                            write!(f, "{}={}", info.name, name)?;
+                        }
+                        _ => write!(f, "{}={}", info.name, v)?,
+                    }
+                }
+                write!(f, "}}")
+            }
+        }
+        D(self, vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_vars() -> (VarSet, VarId, VarId, VarId) {
+        let mut vars = VarSet::new();
+        let t = vars.declare("temp", Sort::int(8)).unwrap();
+        let on = vars.declare("on", Sort::Bool).unwrap();
+        let m = vars
+            .declare("mode", Sort::enumeration("Mode", ["Off", "Low", "High"]))
+            .unwrap();
+        (vars, t, on, m)
+    }
+
+    #[test]
+    fn declare_and_lookup() {
+        let (vars, t, on, m) = demo_vars();
+        assert_eq!(vars.len(), 3);
+        assert_eq!(vars.lookup("temp"), Some(t));
+        assert_eq!(vars.lookup("on"), Some(on));
+        assert_eq!(vars.lookup("mode"), Some(m));
+        assert_eq!(vars.lookup("missing"), None);
+        assert_eq!(vars.name(t), "temp");
+        assert_eq!(vars.sort(on), &Sort::Bool);
+    }
+
+    #[test]
+    fn duplicate_declaration_rejected() {
+        let mut vars = VarSet::new();
+        vars.declare("x", Sort::Bool).unwrap();
+        let err = vars.declare("x", Sort::int(4)).unwrap_err();
+        assert!(err.to_string().contains('x'));
+    }
+
+    #[test]
+    fn zeroed_valuation() {
+        let (vars, t, on, m) = demo_vars();
+        let v = Valuation::zeroed(&vars);
+        assert_eq!(v.value(t), Value::Int(0));
+        assert_eq!(v.value(on), Value::Bool(false));
+        assert_eq!(v.value(m), Value::Enum(0));
+    }
+
+    #[test]
+    fn set_and_get() {
+        let (vars, t, on, _) = demo_vars();
+        let mut v = Valuation::zeroed(&vars);
+        v.set(t, Value::Int(42));
+        v.set(on, Value::Bool(true));
+        assert_eq!(v.value(t), Value::Int(42));
+        assert_eq!(v.value(on), Value::Bool(true));
+    }
+
+    #[test]
+    fn display_uses_names_and_variants() {
+        let (vars, t, on, m) = demo_vars();
+        let mut v = Valuation::zeroed(&vars);
+        v.set(t, Value::Int(30));
+        v.set(on, Value::Bool(true));
+        v.set(m, Value::Enum(2));
+        let s = v.display(&vars).to_string();
+        assert_eq!(s, "{temp=30, on=true, mode=High}");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match variable count")]
+    fn from_values_length_checked() {
+        let (vars, ..) = demo_vars();
+        let _ = Valuation::from_values(&vars, vec![Value::Int(0)]);
+    }
+
+    #[test]
+    fn iteration_order_is_declaration_order() {
+        let (vars, ..) = demo_vars();
+        let names: Vec<_> = vars.iter().map(|(_, i)| i.name.clone()).collect();
+        assert_eq!(names, ["temp", "on", "mode"]);
+        assert_eq!(vars.ids().count(), 3);
+    }
+}

@@ -1,0 +1,489 @@
+//! Alphabet abstraction: synthesising a finite predicate alphabet from
+//! concrete trace data.
+//!
+//! The symbolic models of the paper (Fig. 2) label transitions with
+//! predicates over the observables, such as `inp.temp > T_thresh && s' = On`.
+//! To learn such models from concrete valuations, the learner first
+//! generalises the observations into a finite set of *letters*, each
+//! described by a conjunction of per-variable atomic predicates:
+//!
+//! * variables with few observed distinct values (booleans, enumerations,
+//!   small counters) get equality predicates `x == c`;
+//! * numeric variables with many observed values get interval predicates
+//!   whose thresholds are mined from the data: a boundary is introduced
+//!   wherever neighbouring observations (ordered by the numeric value) lead
+//!   to different next values of the discrete variables — the 1-D
+//!   decision-boundary rule that recovers the `T_thresh`-style guards of
+//!   threshold controllers.
+//!
+//! The abstraction maps every observation to exactly one letter, so abstract
+//! words are well defined and the learned automaton over letters can be
+//! translated back into a symbolic NFA whose guards are the letters'
+//! predicates.
+
+use amle_expr::{Expr, Sort, Valuation, Value, VarId, VarSet};
+use amle_system::TraceSet;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Identifier of an abstract letter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LetterId(pub(crate) usize);
+
+impl LetterId {
+    /// The dense index of the letter.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Tuning knobs of the alphabet abstraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbstractionConfig {
+    /// Variables with at most this many observed distinct values are
+    /// abstracted by equality predicates; others by mined intervals.
+    pub max_distinct_values: usize,
+    /// Upper bound on the number of interval thresholds mined per numeric
+    /// variable (the most frequently voted boundaries are kept).
+    pub max_thresholds: usize,
+}
+
+impl Default for AbstractionConfig {
+    fn default() -> Self {
+        AbstractionConfig {
+            max_distinct_values: 12,
+            max_thresholds: 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum VarAbstraction {
+    /// One cell per observed value; the predicate of cell `i` is `x == values[i]`.
+    Exact { values: Vec<i64> },
+    /// Cells are the intervals induced by the sorted thresholds:
+    /// `(-∞, t0), [t0, t1), …, [t_last, ∞)`.
+    Intervals { thresholds: Vec<i64> },
+}
+
+/// A finite predicate alphabet synthesised from trace data.
+#[derive(Debug, Clone)]
+pub struct AlphabetAbstraction {
+    vars: VarSet,
+    observables: Vec<VarId>,
+    per_var: Vec<VarAbstraction>,
+    letters: Vec<Vec<usize>>,
+    index: HashMap<Vec<usize>, LetterId>,
+}
+
+impl AlphabetAbstraction {
+    /// Builds the abstraction from a trace set.
+    ///
+    /// Only valuations of the `observables` are considered. Every observation
+    /// occurring in `traces` is guaranteed to map to a letter.
+    pub fn from_traces(
+        vars: &VarSet,
+        observables: &[VarId],
+        traces: &TraceSet,
+        config: AbstractionConfig,
+    ) -> Self {
+        let observations: Vec<&Valuation> = traces
+            .iter()
+            .flat_map(|t| t.observations().iter())
+            .collect();
+
+        // 1. Observed value sets per observable.
+        let mut distinct: Vec<BTreeSet<i64>> = vec![BTreeSet::new(); observables.len()];
+        for obs in &observations {
+            for (i, id) in observables.iter().enumerate() {
+                distinct[i].insert(obs.value(*id).to_i64());
+            }
+        }
+
+        // 2. Decide per-variable abstraction.
+        let discrete: Vec<bool> = distinct
+            .iter()
+            .enumerate()
+            .map(|(i, set)| {
+                let sort = vars.sort(observables[i]);
+                sort.is_bool() || sort.is_enum() || set.len() <= config.max_distinct_values
+            })
+            .collect();
+
+        let mut per_var = Vec::with_capacity(observables.len());
+        for (i, id) in observables.iter().enumerate() {
+            if discrete[i] {
+                per_var.push(VarAbstraction::Exact {
+                    values: distinct[i].iter().copied().collect(),
+                });
+            } else {
+                let thresholds = mine_thresholds(
+                    traces,
+                    observables,
+                    &discrete,
+                    *id,
+                    i,
+                    config.max_thresholds,
+                );
+                per_var.push(VarAbstraction::Intervals { thresholds });
+            }
+        }
+
+        let mut abstraction = AlphabetAbstraction {
+            vars: vars.clone(),
+            observables: observables.to_vec(),
+            per_var,
+            letters: Vec::new(),
+            index: HashMap::new(),
+        };
+
+        // 3. Register a letter for every observed cell combination.
+        for obs in &observations {
+            let cells = abstraction.cells_of(obs);
+            abstraction.intern(cells);
+        }
+        abstraction
+    }
+
+    fn intern(&mut self, cells: Vec<usize>) -> LetterId {
+        if let Some(id) = self.index.get(&cells) {
+            return *id;
+        }
+        let id = LetterId(self.letters.len());
+        self.letters.push(cells.clone());
+        self.index.insert(cells, id);
+        id
+    }
+
+    fn cell_of(&self, var_index: usize, raw: i64) -> Option<usize> {
+        match &self.per_var[var_index] {
+            VarAbstraction::Exact { values } => values.iter().position(|v| *v == raw),
+            VarAbstraction::Intervals { thresholds } => {
+                Some(thresholds.iter().filter(|t| raw >= **t).count())
+            }
+        }
+    }
+
+    fn cells_of(&self, obs: &Valuation) -> Vec<usize> {
+        self.observables
+            .iter()
+            .enumerate()
+            .map(|(i, id)| {
+                self.cell_of(i, obs.value(*id).to_i64())
+                    .unwrap_or(usize::MAX)
+            })
+            .collect()
+    }
+
+    /// The number of distinct letters observed when the abstraction was built.
+    pub fn num_letters(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// The observable variables the abstraction ranges over.
+    pub fn observables(&self) -> &[VarId] {
+        &self.observables
+    }
+
+    /// Maps an observation to its letter, or `None` if the observation falls
+    /// into a cell combination that never occurred when the abstraction was
+    /// built (e.g. a counterexample with a brand-new discrete value).
+    pub fn letter_of(&self, obs: &Valuation) -> Option<LetterId> {
+        let cells = self.cells_of(obs);
+        if cells.contains(&usize::MAX) {
+            return None;
+        }
+        self.index.get(&cells).copied()
+    }
+
+    /// Converts a sequence of observations into an abstract word, or `None`
+    /// if any observation has no letter.
+    pub fn word_of(&self, observations: &[Valuation]) -> Option<Vec<LetterId>> {
+        observations.iter().map(|o| self.letter_of(o)).collect()
+    }
+
+    /// The symbolic predicate characterising a letter: the conjunction of the
+    /// per-variable atomic predicates of its cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the letter id does not belong to this abstraction.
+    pub fn predicate(&self, letter: LetterId) -> Expr {
+        let cells = &self.letters[letter.0];
+        let mut conjuncts = Vec::new();
+        for (i, cell) in cells.iter().enumerate() {
+            conjuncts.push(self.cell_predicate(i, *cell));
+        }
+        Expr::and_all(conjuncts)
+    }
+
+    fn cell_predicate(&self, var_index: usize, cell: usize) -> Expr {
+        let id = self.observables[var_index];
+        let sort = self.vars.sort(id).clone();
+        let var = Expr::var(id, sort.clone());
+        match &self.per_var[var_index] {
+            VarAbstraction::Exact { values } => {
+                let raw = values[cell];
+                match &sort {
+                    Sort::Bool => {
+                        if raw != 0 {
+                            var
+                        } else {
+                            var.not()
+                        }
+                    }
+                    _ => {
+                        let c = Expr::constant(&sort, Value::from_i64(&sort, raw))
+                            .expect("observed value fits its sort");
+                        var.eq(&c)
+                    }
+                }
+            }
+            VarAbstraction::Intervals { thresholds } => {
+                if thresholds.is_empty() {
+                    return Expr::true_();
+                }
+                let constant = |t: i64| {
+                    Expr::constant(&sort, Value::from_i64(&sort, t))
+                        .expect("threshold is an observed value")
+                };
+                let lower = if cell > 0 {
+                    Some(var.ge(&constant(thresholds[cell - 1])))
+                } else {
+                    None
+                };
+                let upper = if cell < thresholds.len() {
+                    Some(var.lt(&constant(thresholds[cell])))
+                } else {
+                    None
+                };
+                match (lower, upper) {
+                    (Some(l), Some(u)) => l.and(&u),
+                    (Some(l), None) => l,
+                    (None, Some(u)) => u,
+                    (None, None) => Expr::true_(),
+                }
+            }
+        }
+    }
+
+    /// All letters of the abstraction.
+    pub fn letters(&self) -> impl Iterator<Item = LetterId> {
+        (0..self.letters.len()).map(LetterId)
+    }
+}
+
+/// Mines interval thresholds for a numeric variable: a boundary is proposed
+/// between two observations whenever their successor observations differ on
+/// some discrete observable, and the most frequently proposed boundaries are
+/// kept.
+fn mine_thresholds(
+    traces: &TraceSet,
+    observables: &[VarId],
+    discrete: &[bool],
+    var: VarId,
+    _var_index: usize,
+    max_thresholds: usize,
+) -> Vec<i64> {
+    // Collect (value of `var` at time t, class = discrete observables at t+1).
+    let mut samples: Vec<(i64, Vec<i64>)> = Vec::new();
+    for trace in traces.iter() {
+        for (current, next) in trace.steps() {
+            let class: Vec<i64> = observables
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| discrete[*i])
+                .map(|(_, id)| next.value(*id).to_i64())
+                .collect();
+            samples.push((current.value(var).to_i64(), class));
+        }
+    }
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    samples.sort();
+
+    // Vote for boundaries between adjacent samples with different classes.
+    let mut votes: BTreeMap<i64, usize> = BTreeMap::new();
+    for pair in samples.windows(2) {
+        let (a, ca) = &pair[0];
+        let (b, cb) = &pair[1];
+        if a != b && ca != cb {
+            *votes.entry(*b).or_insert(0) += 1;
+        }
+    }
+    let mut boundaries: Vec<(usize, i64)> = votes.into_iter().map(|(t, c)| (c, t)).collect();
+    boundaries.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut thresholds: Vec<i64> = boundaries
+        .into_iter()
+        .take(max_thresholds)
+        .map(|(_, t)| t)
+        .collect();
+    thresholds.sort_unstable();
+    thresholds.dedup();
+    thresholds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amle_expr::Sort;
+    use amle_system::{Trace, TraceSet};
+
+    /// Builds traces of a thermostat: `temp` is a noisy numeric input, `on`
+    /// follows `temp > 75` with a one-step delay.
+    fn thermostat_traces() -> (VarSet, VarId, VarId, TraceSet) {
+        let mut vars = VarSet::new();
+        let temp = vars.declare("temp", Sort::int(8)).unwrap();
+        let on = vars.declare("on", Sort::Bool).unwrap();
+        let mut set = TraceSet::new();
+        let temp_seqs: Vec<Vec<i64>> = vec![
+            vec![10, 30, 80, 90, 95, 60, 40, 85, 76, 75, 74, 100],
+            vec![70, 71, 72, 77, 79, 81, 20, 25, 90, 12, 99, 50],
+            vec![5, 95, 7, 93, 11, 89, 13, 87, 17, 83, 19, 81],
+        ];
+        for seq in temp_seqs {
+            let mut obs = Vec::new();
+            let mut prev_on = false;
+            for t in seq {
+                let mut v = Valuation::zeroed(&vars);
+                v.set(temp, Value::Int(t));
+                v.set(on, Value::Bool(prev_on));
+                obs.push(v);
+                prev_on = t > 75;
+            }
+            set.insert(Trace::new(obs));
+        }
+        (vars, temp, on, set)
+    }
+
+    #[test]
+    fn discrete_variables_get_equality_cells() {
+        let (vars, _, on, traces) = thermostat_traces();
+        let abs = AlphabetAbstraction::from_traces(
+            &vars,
+            &[on],
+            &traces,
+            AbstractionConfig::default(),
+        );
+        assert_eq!(abs.num_letters(), 2);
+        let preds: Vec<String> = abs.letters().map(|l| abs.predicate(l).to_string()).collect();
+        assert!(preds.iter().any(|p| p.contains('!')));
+    }
+
+    #[test]
+    fn numeric_variable_gets_threshold_near_75() {
+        let (vars, temp, on, traces) = thermostat_traces();
+        let abs = AlphabetAbstraction::from_traces(
+            &vars,
+            &[temp, on],
+            &traces,
+            AbstractionConfig {
+                max_distinct_values: 4,
+                max_thresholds: 3,
+            },
+        );
+        // The mined thresholds must include a boundary separating <=75 from >75.
+        let VarAbstraction::Intervals { thresholds } = &abs.per_var[0] else {
+            panic!("temp should be abstracted by intervals");
+        };
+        assert!(
+            thresholds.iter().any(|t| (*t > 75) && (*t <= 81)),
+            "expected a boundary just above 75, got {thresholds:?}"
+        );
+    }
+
+    #[test]
+    fn every_observation_has_a_letter_and_predicate_holds() {
+        let (vars, temp, on, traces) = thermostat_traces();
+        let abs = AlphabetAbstraction::from_traces(
+            &vars,
+            &[temp, on],
+            &traces,
+            AbstractionConfig {
+                max_distinct_values: 4,
+                max_thresholds: 4,
+            },
+        );
+        for trace in traces.iter() {
+            for obs in trace.observations() {
+                let letter = abs.letter_of(obs).expect("observed valuation has a letter");
+                assert!(abs.predicate(letter).eval_bool(obs));
+            }
+        }
+    }
+
+    #[test]
+    fn letters_are_mutually_exclusive_on_observed_data() {
+        let (vars, temp, on, traces) = thermostat_traces();
+        let abs = AlphabetAbstraction::from_traces(
+            &vars,
+            &[temp, on],
+            &traces,
+            AbstractionConfig::default(),
+        );
+        for trace in traces.iter() {
+            for obs in trace.observations() {
+                let holding: Vec<LetterId> = abs
+                    .letters()
+                    .filter(|l| abs.predicate(*l).eval_bool(obs))
+                    .collect();
+                assert_eq!(holding.len(), 1, "exactly one letter predicate must hold");
+                assert_eq!(holding[0], abs.letter_of(obs).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn word_conversion() {
+        let (vars, temp, on, traces) = thermostat_traces();
+        let abs = AlphabetAbstraction::from_traces(
+            &vars,
+            &[temp, on],
+            &traces,
+            AbstractionConfig::default(),
+        );
+        let trace = &traces.traces()[0];
+        let word = abs.word_of(trace.observations()).unwrap();
+        assert_eq!(word.len(), trace.len());
+
+        // A made-up observation with an unseen `on/temp` combination may
+        // produce no letter.
+        let mut unseen = Valuation::zeroed(&vars);
+        unseen.set(temp, Value::Int(200));
+        unseen.set(on, Value::Bool(true));
+        let _ = abs.letter_of(&unseen); // must not panic either way
+    }
+
+    #[test]
+    fn unseen_discrete_value_has_no_letter() {
+        let mut vars = VarSet::new();
+        let mode = vars
+            .declare("mode", Sort::enumeration("Mode", ["A", "B", "C"]))
+            .unwrap();
+        let mut set = TraceSet::new();
+        let mut v0 = Valuation::zeroed(&vars);
+        v0.set(mode, Value::Enum(0));
+        let mut v1 = Valuation::zeroed(&vars);
+        v1.set(mode, Value::Enum(1));
+        set.insert(Trace::new(vec![v0, v1]));
+        let abs =
+            AlphabetAbstraction::from_traces(&vars, &[mode], &set, AbstractionConfig::default());
+        assert_eq!(abs.num_letters(), 2);
+        let mut unseen = Valuation::zeroed(&vars);
+        unseen.set(mode, Value::Enum(2));
+        assert_eq!(abs.letter_of(&unseen), None);
+    }
+
+    #[test]
+    fn empty_traces_yield_empty_alphabet() {
+        let mut vars = VarSet::new();
+        let x = vars.declare("x", Sort::int(4)).unwrap();
+        let abs = AlphabetAbstraction::from_traces(
+            &vars,
+            &[x],
+            &TraceSet::new(),
+            AbstractionConfig::default(),
+        );
+        assert_eq!(abs.num_letters(), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! The k-history passive learner: automaton states are identified by the last
+//! `k` abstract letters of the access word.
+//!
+//! This is the learner the active loop uses by default. It produces exactly
+//! the Fig. 2 style of model: one state per (bounded) observation history,
+//! transitions labelled by the predicate of the observation that is consumed.
+//! Its key property for the active loop is *stable state identity*: the state
+//! reached after reading a prefix depends only on the letters of that prefix,
+//! so when a counterexample `(v_t, v_{t+1})` is spliced onto a prefix ending
+//! in a state that satisfies the violated assumption, the new edge is
+//! attached to exactly the automaton state whose completeness condition was
+//! violated — each refinement iteration makes monotone progress.
+
+use crate::learner::LetterAutomaton;
+use crate::{AbstractionConfig, AlphabetAbstraction, LearnError, LetterId, ModelLearner};
+use amle_automaton::Nfa;
+use amle_expr::{VarId, VarSet};
+use amle_system::TraceSet;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Passive learner whose states are bounded observation histories.
+///
+/// `history_depth = 1` (the default) yields one state per abstract letter
+/// plus a distinguished initial state; larger depths refine states by longer
+/// histories, which can capture counter-like sequencing at the cost of more
+/// states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryLearner {
+    /// Number of trailing letters that identify a state.
+    pub history_depth: usize,
+    /// Alphabet-abstraction configuration.
+    pub abstraction: AbstractionConfig,
+}
+
+impl Default for HistoryLearner {
+    fn default() -> Self {
+        HistoryLearner {
+            history_depth: 1,
+            abstraction: AbstractionConfig::default(),
+        }
+    }
+}
+
+impl HistoryLearner {
+    /// Creates a learner with the given history depth and default abstraction
+    /// configuration.
+    pub fn new(history_depth: usize) -> Self {
+        HistoryLearner {
+            history_depth,
+            ..Default::default()
+        }
+    }
+
+    pub(crate) fn learn_letter_automaton(&self, words: &[Vec<LetterId>]) -> LetterAutomaton {
+        let depth = self.history_depth.max(1);
+        // State identity: the (at most `depth`-long) suffix of the access
+        // word. The empty suffix is the initial state.
+        let mut state_ids: BTreeMap<Vec<LetterId>, usize> = BTreeMap::new();
+        state_ids.insert(Vec::new(), 0);
+        let mut transitions = BTreeSet::new();
+
+        for word in words {
+            let mut history: Vec<LetterId> = Vec::new();
+            for letter in word {
+                let from_len = state_ids.len();
+                let from = *state_ids.entry(history.clone()).or_insert(from_len);
+                history.push(*letter);
+                if history.len() > depth {
+                    history.remove(0);
+                }
+                let to_len = state_ids.len();
+                let to = *state_ids.entry(history.clone()).or_insert(to_len);
+                transitions.insert((from, *letter, to));
+            }
+        }
+        LetterAutomaton {
+            num_states: state_ids.len(),
+            initial: 0,
+            transitions,
+        }
+    }
+}
+
+impl ModelLearner for HistoryLearner {
+    fn learn(
+        &mut self,
+        vars: &VarSet,
+        observables: &[VarId],
+        traces: &TraceSet,
+    ) -> Result<Nfa, LearnError> {
+        if traces.is_empty() {
+            return Err(LearnError::NoTraces);
+        }
+        let abstraction =
+            AlphabetAbstraction::from_traces(vars, observables, traces, self.abstraction);
+        let words: Vec<Vec<LetterId>> = traces
+            .iter()
+            .map(|t| {
+                abstraction
+                    .word_of(t.observations())
+                    .expect("abstraction was built from these traces")
+            })
+            .collect();
+        let letter_automaton = self.learn_letter_automaton(&words);
+        debug_assert!(
+            words.iter().all(|w| letter_automaton.accepts_word(w)),
+            "history quotient must accept every sample word"
+        );
+        Ok(letter_automaton.to_nfa(&abstraction))
+    }
+
+    fn name(&self) -> &'static str {
+        "history"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amle_expr::{Expr, Sort, Value};
+    use amle_system::{Simulator, SystemBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cooler() -> amle_system::System {
+        let mut b = SystemBuilder::new();
+        b.name("cooler");
+        let temp = b.input_in_range("inp_temp", Sort::int(8), 0, 120).unwrap();
+        let on = b.state("s_on", Sort::Bool, Value::Bool(false)).unwrap();
+        let update = b.var(temp).gt(&Expr::int_val(75, 8));
+        b.update(on, update).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn learned_model_accepts_all_training_traces() {
+        let sys = cooler();
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(11);
+        let traces = sim.random_traces(20, 20, &mut rng);
+        let mut learner = HistoryLearner::default();
+        let observables = sys.all_vars();
+        let nfa = learner.learn(sys.vars(), &observables, &traces).unwrap();
+        for trace in traces.iter() {
+            assert!(nfa.accepts_trace(trace));
+        }
+    }
+
+    #[test]
+    fn depth_one_model_is_bounded_by_letter_count_plus_one() {
+        let sys = cooler();
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(3);
+        let traces = sim.random_traces(30, 30, &mut rng);
+        let mut learner = HistoryLearner::new(1);
+        let observables = sys.all_vars();
+        let nfa = learner.learn(sys.vars(), &observables, &traces).unwrap();
+        // Letters for the cooler: (temp cell) x (on value) — at most 2*2 plus
+        // the initial state, and the threshold mining may add a few cells.
+        assert!(nfa.num_states() <= 10, "unexpectedly large model: {}", nfa.num_states());
+        for trace in traces.iter() {
+            assert!(nfa.accepts_trace(trace));
+        }
+    }
+
+    #[test]
+    fn deeper_history_refines_the_model() {
+        let sys = cooler();
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(5);
+        let traces = sim.random_traces(15, 15, &mut rng);
+        let observables = sys.all_vars();
+        let shallow = HistoryLearner::new(1)
+            .learn(sys.vars(), &observables, &traces)
+            .unwrap()
+            .num_states();
+        let deep = HistoryLearner::new(2)
+            .learn(sys.vars(), &observables, &traces)
+            .unwrap()
+            .num_states();
+        assert!(shallow <= deep);
+    }
+
+    #[test]
+    fn empty_trace_set_is_an_error() {
+        let sys = cooler();
+        let mut learner = HistoryLearner::default();
+        let observables = sys.all_vars();
+        assert_eq!(
+            learner.learn(sys.vars(), &observables, &TraceSet::new()),
+            Err(LearnError::NoTraces)
+        );
+    }
+
+    #[test]
+    fn learner_name_and_depth_zero_behaves_like_depth_one() {
+        assert_eq!(HistoryLearner::default().name(), "history");
+        let words = vec![vec![LetterId(0), LetterId(1)]];
+        let a0 = HistoryLearner::new(0).learn_letter_automaton(&words);
+        let a1 = HistoryLearner::new(1).learn_letter_automaton(&words);
+        assert_eq!(a0.num_states, a1.num_states);
+    }
+}

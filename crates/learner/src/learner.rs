@@ -1,0 +1,219 @@
+//! The pluggable learner interface and shared letter-automaton utilities.
+
+use crate::{AlphabetAbstraction, LetterId};
+use amle_automaton::Nfa;
+use amle_expr::{VarId, VarSet};
+use amle_system::TraceSet;
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by model learners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LearnError {
+    /// The trace set was empty; there is nothing to learn from.
+    NoTraces,
+    /// The learner's internal search failed to find a consistent automaton
+    /// within its configured bounds.
+    SearchExhausted {
+        /// Short description of the bound that was hit.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::NoTraces => write!(f, "cannot learn a model from an empty trace set"),
+            LearnError::SearchExhausted { reason } => {
+                write!(f, "model search exhausted its bounds: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for LearnError {}
+
+/// A passive model-learning component.
+///
+/// The contract is the one stated in Section II-B of the paper: given a set
+/// of execution traces, return an NFA that admits (at least) every trace in
+/// the set. The active-learning loop in `amle-core` treats implementations of
+/// this trait as interchangeable black boxes.
+pub trait ModelLearner {
+    /// Learns an NFA over the observable variables from the given traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::NoTraces`] when the trace set is empty and
+    /// [`LearnError::SearchExhausted`] when the learner's bounded search fails.
+    fn learn(
+        &mut self,
+        vars: &VarSet,
+        observables: &[VarId],
+        traces: &TraceSet,
+    ) -> Result<Nfa, LearnError>;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Convenience enum for selecting a learner in configurations and benchmark
+/// harnesses without trait objects.
+#[derive(Debug, Clone)]
+pub enum LearnerKind {
+    /// The history-based learner (default; Fig. 2 style models).
+    History(crate::HistoryLearner),
+    /// The k-tails (bounded-future) state-merging learner.
+    KTails(crate::KTailsLearner),
+    /// SAT-based exact minimal DFA identification.
+    SatDfa(crate::SatDfaLearner),
+    /// Angluin's L* with a sample-backed teacher.
+    Lstar(crate::LstarLearner),
+}
+
+impl ModelLearner for LearnerKind {
+    fn learn(
+        &mut self,
+        vars: &VarSet,
+        observables: &[VarId],
+        traces: &TraceSet,
+    ) -> Result<Nfa, LearnError> {
+        match self {
+            LearnerKind::History(l) => l.learn(vars, observables, traces),
+            LearnerKind::KTails(l) => l.learn(vars, observables, traces),
+            LearnerKind::SatDfa(l) => l.learn(vars, observables, traces),
+            LearnerKind::Lstar(l) => l.learn(vars, observables, traces),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            LearnerKind::History(l) => l.name(),
+            LearnerKind::KTails(l) => l.name(),
+            LearnerKind::SatDfa(l) => l.name(),
+            LearnerKind::Lstar(l) => l.name(),
+        }
+    }
+}
+
+impl Default for LearnerKind {
+    fn default() -> Self {
+        LearnerKind::History(crate::HistoryLearner::default())
+    }
+}
+
+/// A finite automaton over abstract letters, the intermediate representation
+/// shared by all learners before predicates are attached.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LetterAutomaton {
+    pub num_states: usize,
+    pub initial: usize,
+    /// Transitions `(from, letter, to)`.
+    pub transitions: BTreeSet<(usize, LetterId, usize)>,
+}
+
+impl LetterAutomaton {
+    /// Converts the letter automaton into a symbolic NFA: each letter on an
+    /// edge contributes its predicate, parallel edges are merged into a
+    /// disjunction and guards are simplified for readability.
+    pub fn to_nfa(&self, abstraction: &AlphabetAbstraction) -> Nfa {
+        let mut nfa = Nfa::new();
+        nfa.add_states(self.num_states.max(1));
+        nfa.mark_initial(amle_automaton::StateId::from_index(self.initial));
+        for (from, letter, to) in &self.transitions {
+            nfa.add_transition(
+                amle_automaton::StateId::from_index(*from),
+                amle_automaton::StateId::from_index(*to),
+                abstraction.predicate(*letter),
+            );
+        }
+        nfa.merge_parallel_edges().simplify_guards().trim_unreachable()
+    }
+
+    /// Checks whether the letter automaton accepts an abstract word.
+    pub fn accepts_word(&self, word: &[LetterId]) -> bool {
+        let mut current: BTreeSet<usize> = BTreeSet::from([self.initial]);
+        for letter in word {
+            current = self
+                .transitions
+                .iter()
+                .filter(|(from, l, _)| current.contains(from) && l == letter)
+                .map(|(_, _, to)| *to)
+                .collect();
+            if current.is_empty() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AbstractionConfig;
+    use amle_expr::{Sort, Valuation, Value};
+    use amle_system::Trace;
+
+    fn letters_fixture() -> (VarSet, AlphabetAbstraction, Vec<LetterId>) {
+        let mut vars = VarSet::new();
+        let b = vars.declare("b", Sort::Bool).unwrap();
+        let mut traces = TraceSet::new();
+        let mut v0 = Valuation::zeroed(&vars);
+        v0.set(b, Value::Bool(false));
+        let mut v1 = Valuation::zeroed(&vars);
+        v1.set(b, Value::Bool(true));
+        traces.insert(Trace::new(vec![v0.clone(), v1.clone(), v0.clone()]));
+        let abs =
+            AlphabetAbstraction::from_traces(&vars, &[b], &traces, AbstractionConfig::default());
+        let word = abs
+            .word_of(traces.traces()[0].observations())
+            .expect("letters exist");
+        (vars, abs, word)
+    }
+
+    #[test]
+    fn letter_automaton_round_trip() {
+        let (_, abs, word) = letters_fixture();
+        // Single-state automaton with self loops on both letters.
+        let mut la = LetterAutomaton {
+            num_states: 1,
+            initial: 0,
+            transitions: BTreeSet::new(),
+        };
+        for l in abs.letters() {
+            la.transitions.insert((0, l, 0));
+        }
+        assert!(la.accepts_word(&word));
+        let nfa = la.to_nfa(&abs);
+        assert_eq!(nfa.num_states(), 1);
+        assert!(nfa.num_transitions() <= 1, "parallel edges must be merged");
+    }
+
+    #[test]
+    fn letter_automaton_rejects_by_dead_end() {
+        let (_, _abs, word) = letters_fixture();
+        let la = LetterAutomaton {
+            num_states: 1,
+            initial: 0,
+            transitions: BTreeSet::new(),
+        };
+        assert!(la.accepts_word(&[]));
+        assert!(!la.accepts_word(&word));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(LearnError::NoTraces.to_string().contains("empty"));
+        let e = LearnError::SearchExhausted {
+            reason: "too many states".into(),
+        };
+        assert!(e.to_string().contains("too many states"));
+    }
+
+    #[test]
+    fn learner_kind_default_is_history() {
+        assert_eq!(LearnerKind::default().name(), "history");
+    }
+}

@@ -1,0 +1,411 @@
+//! Angluin's L* algorithm with a sample-backed teacher.
+//!
+//! L* is the classic query-based active automata-learning algorithm the
+//! paper's related-work section positions itself against. It is included here
+//! as a third pluggable learner: the Minimally Adequate Teacher is realised
+//! from the trace sample itself (membership = "is this abstract word a prefix
+//! of an observed trace", equivalence = "does the hypothesis admit every
+//! sample word"), which satisfies the paper's learner contract — the returned
+//! automaton admits every input trace — while exhibiting the query behaviour
+//! of the MAT framework.
+
+use crate::learner::LetterAutomaton;
+use crate::{AbstractionConfig, AlphabetAbstraction, LearnError, LetterId, ModelLearner};
+use amle_automaton::Nfa;
+use amle_expr::{VarId, VarSet};
+use amle_system::TraceSet;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// L*-based learner with a sample-backed teacher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LstarLearner {
+    /// Safety bound on the number of refinement rounds.
+    pub max_rounds: usize,
+    /// Alphabet-abstraction configuration.
+    pub abstraction: AbstractionConfig,
+    /// Number of membership queries issued during the last `learn` call.
+    pub membership_queries: usize,
+    /// Number of equivalence queries issued during the last `learn` call.
+    pub equivalence_queries: usize,
+}
+
+impl Default for LstarLearner {
+    fn default() -> Self {
+        LstarLearner {
+            max_rounds: 200,
+            abstraction: AbstractionConfig::default(),
+            membership_queries: 0,
+            equivalence_queries: 0,
+        }
+    }
+}
+
+/// The sample-backed teacher: answers membership queries from the
+/// prefix-closure of the sample and equivalence queries by replaying the
+/// sample through the hypothesis.
+#[derive(Debug)]
+struct SampleTeacher {
+    words: Vec<Vec<LetterId>>,
+    prefixes: HashSet<Vec<LetterId>>,
+}
+
+impl SampleTeacher {
+    fn new(words: Vec<Vec<LetterId>>) -> Self {
+        let mut prefixes = HashSet::new();
+        for w in &words {
+            for k in 0..=w.len() {
+                prefixes.insert(w[..k].to_vec());
+            }
+        }
+        SampleTeacher { words, prefixes }
+    }
+
+    fn member(&self, word: &[LetterId]) -> bool {
+        self.prefixes.contains(word)
+    }
+
+    /// Returns a sample word rejected by the hypothesis, if any.
+    fn counterexample(&self, hypothesis: &LetterAutomaton) -> Option<Vec<LetterId>> {
+        self.words
+            .iter()
+            .find(|w| !hypothesis.accepts_word(w))
+            .cloned()
+    }
+}
+
+/// The L* observation table.
+///
+/// Exposed publicly so that tests and teaching material can inspect the
+/// closed/consistent fixed point the algorithm reaches.
+#[derive(Debug, Clone)]
+pub struct ObservationTable {
+    alphabet: Vec<LetterId>,
+    prefixes: Vec<Vec<LetterId>>,
+    suffixes: Vec<Vec<LetterId>>,
+    entries: HashMap<Vec<LetterId>, bool>,
+}
+
+impl ObservationTable {
+    fn new(alphabet: Vec<LetterId>) -> Self {
+        ObservationTable {
+            alphabet,
+            prefixes: vec![Vec::new()],
+            suffixes: vec![Vec::new()],
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The access prefixes (the set `S` of L*).
+    pub fn prefixes(&self) -> &[Vec<LetterId>] {
+        &self.prefixes
+    }
+
+    /// The distinguishing suffixes (the set `E` of L*).
+    pub fn suffixes(&self) -> &[Vec<LetterId>] {
+        &self.suffixes
+    }
+
+    fn fill(&mut self, teacher: &SampleTeacher, queries: &mut usize) {
+        let mut words: Vec<Vec<LetterId>> = Vec::new();
+        for p in self.rows_needed() {
+            for e in &self.suffixes {
+                let mut w = p.clone();
+                w.extend_from_slice(e);
+                words.push(w);
+            }
+        }
+        for w in words {
+            if !self.entries.contains_key(&w) {
+                *queries += 1;
+                let value = teacher.member(&w);
+                self.entries.insert(w, value);
+            }
+        }
+    }
+
+    fn rows_needed(&self) -> Vec<Vec<LetterId>> {
+        let mut rows = self.prefixes.clone();
+        for p in &self.prefixes {
+            for a in &self.alphabet {
+                let mut ext = p.clone();
+                ext.push(*a);
+                rows.push(ext);
+            }
+        }
+        rows
+    }
+
+    fn row(&self, prefix: &[LetterId]) -> Vec<bool> {
+        self.suffixes
+            .iter()
+            .map(|e| {
+                let mut w = prefix.to_vec();
+                w.extend_from_slice(e);
+                *self.entries.get(&w).expect("table was filled")
+            })
+            .collect()
+    }
+
+    /// Returns an unclosed extension `s·a`, if one exists.
+    fn find_unclosed(&self) -> Option<Vec<LetterId>> {
+        let prefix_rows: HashSet<Vec<bool>> =
+            self.prefixes.iter().map(|p| self.row(p)).collect();
+        for p in &self.prefixes {
+            for a in &self.alphabet {
+                let mut ext = p.clone();
+                ext.push(*a);
+                if !prefix_rows.contains(&self.row(&ext)) {
+                    return Some(ext);
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns a distinguishing suffix `a·e` witnessing an inconsistency, if
+    /// one exists.
+    fn find_inconsistency(&self) -> Option<Vec<LetterId>> {
+        for (i, p1) in self.prefixes.iter().enumerate() {
+            for p2 in self.prefixes.iter().skip(i + 1) {
+                if self.row(p1) != self.row(p2) {
+                    continue;
+                }
+                for a in &self.alphabet {
+                    let mut e1 = p1.clone();
+                    e1.push(*a);
+                    let mut e2 = p2.clone();
+                    e2.push(*a);
+                    for (k, e) in self.suffixes.iter().enumerate() {
+                        let mut w1 = e1.clone();
+                        w1.extend_from_slice(e);
+                        let mut w2 = e2.clone();
+                        w2.extend_from_slice(e);
+                        if self.entries.get(&w1) != self.entries.get(&w2) {
+                            let mut suffix = vec![*a];
+                            suffix.extend_from_slice(&self.suffixes[k]);
+                            return Some(suffix);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Builds the hypothesis automaton from a closed, consistent table.
+    ///
+    /// Only "accepting" rows (those whose empty-suffix entry is true) become
+    /// states, matching the prefix-closed, reject-by-dead-end semantics of
+    /// the symbolic NFAs.
+    fn hypothesis(&self) -> LetterAutomaton {
+        let mut row_ids: BTreeMap<Vec<bool>, usize> = BTreeMap::new();
+        let mut accepting: Vec<bool> = Vec::new();
+        for p in &self.prefixes {
+            let row = self.row(p);
+            let next_id = row_ids.len();
+            row_ids.entry(row.clone()).or_insert_with(|| {
+                accepting.push(row[0]);
+                next_id
+            });
+        }
+        let initial = row_ids[&self.row(&[])];
+        let mut transitions = BTreeSet::new();
+        for p in &self.prefixes {
+            let from = row_ids[&self.row(p)];
+            if !accepting[from] {
+                continue;
+            }
+            for a in &self.alphabet {
+                let mut ext = p.clone();
+                ext.push(*a);
+                let target_row = self.row(&ext);
+                if let Some(to) = row_ids.get(&target_row) {
+                    if accepting[*to] {
+                        transitions.insert((from, *a, *to));
+                    }
+                }
+            }
+        }
+        LetterAutomaton {
+            num_states: row_ids.len(),
+            initial,
+            transitions,
+        }
+    }
+}
+
+impl LstarLearner {
+    fn run_lstar(
+        &mut self,
+        alphabet: Vec<LetterId>,
+        teacher: &SampleTeacher,
+    ) -> Result<LetterAutomaton, LearnError> {
+        let mut table = ObservationTable::new(alphabet);
+        table.fill(teacher, &mut self.membership_queries);
+
+        for _ in 0..self.max_rounds {
+            // Close and make consistent.
+            loop {
+                if let Some(unclosed) = table.find_unclosed() {
+                    table.prefixes.push(unclosed);
+                    table.fill(teacher, &mut self.membership_queries);
+                    continue;
+                }
+                if let Some(suffix) = table.find_inconsistency() {
+                    table.suffixes.push(suffix);
+                    table.fill(teacher, &mut self.membership_queries);
+                    continue;
+                }
+                break;
+            }
+            let hypothesis = table.hypothesis();
+            self.equivalence_queries += 1;
+            match teacher.counterexample(&hypothesis) {
+                None => return Ok(hypothesis),
+                Some(cex) => {
+                    // Add every prefix of the counterexample to S.
+                    for k in 1..=cex.len() {
+                        let prefix = cex[..k].to_vec();
+                        if !table.prefixes.contains(&prefix) {
+                            table.prefixes.push(prefix);
+                        }
+                    }
+                    table.fill(teacher, &mut self.membership_queries);
+                }
+            }
+        }
+        Err(LearnError::SearchExhausted {
+            reason: format!("L* did not converge within {} rounds", self.max_rounds),
+        })
+    }
+}
+
+impl ModelLearner for LstarLearner {
+    fn learn(
+        &mut self,
+        vars: &VarSet,
+        observables: &[VarId],
+        traces: &TraceSet,
+    ) -> Result<Nfa, LearnError> {
+        if traces.is_empty() {
+            return Err(LearnError::NoTraces);
+        }
+        self.membership_queries = 0;
+        self.equivalence_queries = 0;
+        let abstraction =
+            AlphabetAbstraction::from_traces(vars, observables, traces, self.abstraction);
+        let words: Vec<Vec<LetterId>> = traces
+            .iter()
+            .map(|t| {
+                abstraction
+                    .word_of(t.observations())
+                    .expect("abstraction was built from these traces")
+            })
+            .collect();
+        let alphabet: Vec<LetterId> = abstraction.letters().collect();
+        let teacher = SampleTeacher::new(words.clone());
+        let letter_automaton = self.run_lstar(alphabet, &teacher)?;
+        debug_assert!(
+            words.iter().all(|w| letter_automaton.accepts_word(w)),
+            "L* hypothesis must accept every sample word at termination"
+        );
+        Ok(letter_automaton.to_nfa(&abstraction))
+    }
+
+    fn name(&self) -> &'static str {
+        "lstar"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amle_expr::{Sort, Value};
+    use amle_system::{Simulator, SystemBuilder, Trace, TraceSet};
+    use amle_expr::Valuation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toggle_system() -> amle_system::System {
+        let mut b = SystemBuilder::new();
+        let press = b.input("press", Sort::Bool).unwrap();
+        let mode = b.state("mode", Sort::Bool, Value::Bool(false)).unwrap();
+        let update = b.var(press).ite(&b.var(mode).not(), &b.var(mode));
+        b.update(mode, update).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lstar_accepts_all_training_traces() {
+        let sys = toggle_system();
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(21);
+        let traces = sim.random_traces(6, 6, &mut rng);
+        let mut learner = LstarLearner::default();
+        let observables = sys.all_vars();
+        let nfa = learner.learn(sys.vars(), &observables, &traces).unwrap();
+        for trace in traces.iter() {
+            assert!(nfa.accepts_trace(trace));
+        }
+        assert!(learner.membership_queries > 0);
+        assert!(learner.equivalence_queries >= 1);
+    }
+
+    #[test]
+    fn lstar_on_single_letter_sample_gives_tiny_model() {
+        // A single trace repeating one observation: the hypothesis should be
+        // a one-state loop.
+        let mut vars = amle_expr::VarSet::new();
+        let b = vars.declare("b", Sort::Bool).unwrap();
+        let mut v = Valuation::zeroed(&vars);
+        v.set(b, Value::Bool(true));
+        let mut traces = TraceSet::new();
+        traces.insert(Trace::new(vec![v.clone(), v.clone(), v.clone()]));
+        let mut learner = LstarLearner::default();
+        let nfa = learner.learn(&vars, &[b], &traces).unwrap();
+        assert!(nfa.num_states() <= 2);
+        assert!(nfa.accepts_trace(&traces.traces()[0]));
+    }
+
+    #[test]
+    fn empty_trace_set_is_an_error() {
+        let sys = toggle_system();
+        let mut learner = LstarLearner::default();
+        let observables = sys.all_vars();
+        assert_eq!(
+            learner.learn(sys.vars(), &observables, &TraceSet::new()),
+            Err(LearnError::NoTraces)
+        );
+    }
+
+    #[test]
+    fn round_bound_is_respected() {
+        let sys = toggle_system();
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(5);
+        let traces = sim.random_traces(4, 6, &mut rng);
+        let mut learner = LstarLearner {
+            max_rounds: 0,
+            ..Default::default()
+        };
+        let observables = sys.all_vars();
+        assert!(matches!(
+            learner.learn(sys.vars(), &observables, &traces),
+            Err(LearnError::SearchExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn query_counters_reset_between_runs() {
+        let sys = toggle_system();
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(12);
+        let traces = sim.random_traces(3, 5, &mut rng);
+        let mut learner = LstarLearner::default();
+        let observables = sys.all_vars();
+        learner.learn(sys.vars(), &observables, &traces).unwrap();
+        let first = learner.membership_queries;
+        learner.learn(sys.vars(), &observables, &traces).unwrap();
+        assert_eq!(learner.membership_queries, first);
+    }
+}

@@ -1,0 +1,327 @@
+//! SAT-based exact minimal DFA identification over the abstract alphabet.
+//!
+//! This learner is the ablation counterpart of [`crate::KTailsLearner`]: it
+//! searches for the smallest number of states `N` such that the prefix-tree
+//! acceptor of the sample can be folded into an `N`-state deterministic
+//! automaton, using the CDCL solver from `amle-sat` (a graph-colouring style
+//! encoding in the spirit of exact DFA-identification work).
+//!
+//! Because the sample contains only positive traces, a naïve "smallest
+//! automaton accepting the sample" collapses to a single state. Negative
+//! evidence is therefore inferred from the data: if a prefix occurs at least
+//! `min_support` times in the sample and a letter of the alphabet is *never*
+//! observed after it, the extension of the prefix with that letter is treated
+//! as a negative word (the automaton must not admit it). This keeps the
+//! learner honest about behaviour that the sample consistently rules out,
+//! while the active-learning loop repairs any over-restriction through model
+//! checking counterexamples.
+
+use crate::learner::LetterAutomaton;
+use crate::{AbstractionConfig, AlphabetAbstraction, LearnError, LetterId, ModelLearner, Pta};
+use amle_automaton::Nfa;
+use amle_expr::{VarId, VarSet};
+use amle_sat::{Lit, SolveResult, Solver, Var};
+use amle_system::TraceSet;
+use std::collections::BTreeSet;
+
+/// SAT-based minimal-DFA learner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SatDfaLearner {
+    /// Maximum number of automaton states to try before giving up.
+    pub max_states: usize,
+    /// Minimum number of sample words that must pass through a prefix before
+    /// missing extensions of that prefix are treated as negative evidence.
+    pub min_support: usize,
+    /// Alphabet-abstraction configuration.
+    pub abstraction: AbstractionConfig,
+}
+
+impl Default for SatDfaLearner {
+    fn default() -> Self {
+        SatDfaLearner {
+            max_states: 16,
+            min_support: 3,
+            abstraction: AbstractionConfig::default(),
+        }
+    }
+}
+
+impl SatDfaLearner {
+    /// Creates a learner with the given state bound and default settings.
+    pub fn new(max_states: usize) -> Self {
+        SatDfaLearner {
+            max_states,
+            ..Default::default()
+        }
+    }
+
+    /// Infers negative evidence: `(node, letter)` pairs such that the prefix
+    /// of `node` is well supported but never followed by `letter`.
+    fn inferred_negatives(&self, pta: &Pta, alphabet: &BTreeSet<LetterId>) -> Vec<(usize, LetterId)> {
+        let mut negatives = Vec::new();
+        for node in pta.nodes() {
+            if pta.support(node) < self.min_support || pta.children(node).is_empty() {
+                continue;
+            }
+            for letter in alphabet {
+                if !pta.children(node).contains_key(letter) {
+                    negatives.push((node, *letter));
+                }
+            }
+        }
+        negatives
+    }
+
+    /// Attempts to fold the PTA into `n` states. Returns the letter automaton
+    /// on success.
+    fn try_fold(
+        &self,
+        pta: &Pta,
+        alphabet: &BTreeSet<LetterId>,
+        negatives: &[(usize, LetterId)],
+        n: usize,
+    ) -> Option<LetterAutomaton> {
+        let letters: Vec<LetterId> = alphabet.iter().copied().collect();
+        let letter_index = |l: LetterId| letters.iter().position(|x| *x == l).expect("known letter");
+        let num_nodes = pta.num_nodes();
+
+        let mut solver = Solver::new();
+        // x[node][state]: PTA node is mapped to automaton state.
+        let x: Vec<Vec<Var>> = (0..num_nodes)
+            .map(|_| (0..n).map(|_| solver.new_var()).collect())
+            .collect();
+        // y[state][letter][state']: the automaton has a transition.
+        let y: Vec<Vec<Vec<Var>>> = (0..n)
+            .map(|_| {
+                (0..letters.len())
+                    .map(|_| (0..n).map(|_| solver.new_var()).collect())
+                    .collect()
+            })
+            .collect();
+
+        // Each node maps to exactly one state.
+        for node in 0..num_nodes {
+            solver.add_clause(x[node].iter().map(|v| Lit::positive(*v)));
+            for s1 in 0..n {
+                for s2 in (s1 + 1)..n {
+                    solver.add_clause([Lit::negative(x[node][s1]), Lit::negative(x[node][s2])]);
+                }
+            }
+        }
+        // Symmetry breaking: the root maps to state 0.
+        solver.add_clause([Lit::positive(x[pta.root()][0])]);
+
+        // Determinism of y.
+        for s in 0..n {
+            for a in 0..letters.len() {
+                for t1 in 0..n {
+                    for t2 in (t1 + 1)..n {
+                        solver.add_clause([Lit::negative(y[s][a][t1]), Lit::negative(y[s][a][t2])]);
+                    }
+                }
+            }
+        }
+
+        // Consistency: a PTA edge (node --letter--> child) forces the
+        // corresponding automaton transition, and conversely the child's state
+        // is determined by the parent's state and the transition relation.
+        for node in pta.nodes() {
+            for (letter, child) in pta.children(node) {
+                let a = letter_index(*letter);
+                for s in 0..n {
+                    for t in 0..n {
+                        // x[node][s] ∧ x[child][t] → y[s][a][t]
+                        solver.add_clause([
+                            Lit::negative(x[node][s]),
+                            Lit::negative(x[*child][t]),
+                            Lit::positive(y[s][a][t]),
+                        ]);
+                        // x[node][s] ∧ y[s][a][t] → x[child][t]
+                        solver.add_clause([
+                            Lit::negative(x[node][s]),
+                            Lit::negative(y[s][a][t]),
+                            Lit::positive(x[*child][t]),
+                        ]);
+                    }
+                }
+            }
+        }
+
+        // Negative evidence: from the state of `node`, letter `a` must be
+        // undefined.
+        for (node, letter) in negatives {
+            let a = letter_index(*letter);
+            for s in 0..n {
+                for t in 0..n {
+                    solver.add_clause([Lit::negative(x[*node][s]), Lit::negative(y[s][a][t])]);
+                }
+            }
+        }
+
+        if solver.solve() != SolveResult::Sat {
+            return None;
+        }
+
+        // Extract only transitions witnessed by a PTA edge so the automaton
+        // does not pick up arbitrary don't-care transitions.
+        let state_of = |node: usize| -> usize {
+            (0..n)
+                .find(|s| solver.value(x[node][*s]) == Some(true))
+                .expect("every node has a state")
+        };
+        let mut transitions = BTreeSet::new();
+        for node in pta.nodes() {
+            for (letter, child) in pta.children(node) {
+                transitions.insert((state_of(node), *letter, state_of(*child)));
+            }
+        }
+        Some(LetterAutomaton {
+            num_states: n,
+            initial: 0,
+            transitions,
+        })
+    }
+}
+
+impl ModelLearner for SatDfaLearner {
+    fn learn(
+        &mut self,
+        vars: &VarSet,
+        observables: &[VarId],
+        traces: &TraceSet,
+    ) -> Result<Nfa, LearnError> {
+        if traces.is_empty() {
+            return Err(LearnError::NoTraces);
+        }
+        let abstraction =
+            AlphabetAbstraction::from_traces(vars, observables, traces, self.abstraction);
+        let words: Vec<Vec<LetterId>> = traces
+            .iter()
+            .map(|t| {
+                abstraction
+                    .word_of(t.observations())
+                    .expect("abstraction was built from these traces")
+            })
+            .collect();
+        let pta = Pta::from_words(words.iter().map(|w| w.as_slice()));
+        let alphabet: BTreeSet<LetterId> = abstraction.letters().collect();
+        let negatives = self.inferred_negatives(&pta, &alphabet);
+
+        for n in 1..=self.max_states {
+            if let Some(letter_automaton) = self.try_fold(&pta, &alphabet, &negatives, n) {
+                debug_assert!(
+                    words.iter().all(|w| letter_automaton.accepts_word(w)),
+                    "SAT folding must accept every sample word"
+                );
+                return Ok(letter_automaton.to_nfa(&abstraction));
+            }
+        }
+        Err(LearnError::SearchExhausted {
+            reason: format!("no consistent DFA with at most {} states", self.max_states),
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "sat-dfa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amle_expr::{Sort, Value};
+    use amle_system::{Simulator, SystemBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toggle_system() -> amle_system::System {
+        // A mode bit that toggles whenever `press` is true.
+        let mut b = SystemBuilder::new();
+        let press = b.input("press", Sort::Bool).unwrap();
+        let mode = b.state("mode", Sort::Bool, Value::Bool(false)).unwrap();
+        let update = b.var(press).ite(&b.var(mode).not(), &b.var(mode));
+        b.update(mode, update).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sat_learner_accepts_all_training_traces() {
+        let sys = toggle_system();
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(2);
+        let traces = sim.random_traces(8, 8, &mut rng);
+        let mut learner = SatDfaLearner::default();
+        let observables = sys.all_vars();
+        let nfa = learner.learn(sys.vars(), &observables, &traces).unwrap();
+        for trace in traces.iter() {
+            assert!(nfa.accepts_trace(trace));
+        }
+    }
+
+    #[test]
+    fn sat_learner_is_no_larger_than_ktails() {
+        let sys = toggle_system();
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(9);
+        let traces = sim.random_traces(6, 8, &mut rng);
+        let observables = sys.all_vars();
+        let sat_states = SatDfaLearner::default()
+            .learn(sys.vars(), &observables, &traces)
+            .unwrap()
+            .num_states();
+        let ktails_states = crate::KTailsLearner::new(2)
+            .learn(sys.vars(), &observables, &traces)
+            .unwrap()
+            .num_states();
+        assert!(sat_states <= ktails_states.max(1) + 1);
+    }
+
+    #[test]
+    fn exhausted_search_is_reported() {
+        let sys = toggle_system();
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(4);
+        let traces = sim.random_traces(6, 10, &mut rng);
+        let mut learner = SatDfaLearner {
+            max_states: 0,
+            ..Default::default()
+        };
+        let observables = sys.all_vars();
+        assert!(matches!(
+            learner.learn(sys.vars(), &observables, &traces),
+            Err(LearnError::SearchExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_trace_set_is_an_error() {
+        let sys = toggle_system();
+        let mut learner = SatDfaLearner::default();
+        let observables = sys.all_vars();
+        assert_eq!(
+            learner.learn(sys.vars(), &observables, &TraceSet::new()),
+            Err(LearnError::NoTraces)
+        );
+    }
+
+    #[test]
+    fn negative_inference_respects_support_threshold() {
+        let words = vec![
+            vec![LetterId(0), LetterId(1)],
+            vec![LetterId(0), LetterId(1)],
+            vec![LetterId(0), LetterId(1)],
+        ];
+        let pta = Pta::from_words(words.iter().map(|w| w.as_slice()));
+        let alphabet: BTreeSet<LetterId> = [LetterId(0), LetterId(1)].into_iter().collect();
+        let strict = SatDfaLearner {
+            min_support: 1,
+            ..Default::default()
+        };
+        let lax = SatDfaLearner {
+            min_support: 100,
+            ..Default::default()
+        };
+        assert!(!strict.inferred_negatives(&pta, &alphabet).is_empty());
+        assert!(lax.inferred_negatives(&pta, &alphabet).is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! DIMACS CNF import and export.
+//!
+//! Only used for debugging and for golden tests of the bit-blaster; the
+//! production pipeline passes [`CnfFormula`] values directly.
+
+use crate::{CnfFormula, Lit};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error parsing a DIMACS CNF file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseDimacsError {
+    /// The `p cnf <vars> <clauses>` header is missing or malformed.
+    BadHeader {
+        /// The offending line.
+        line: String,
+    },
+    /// A literal token could not be parsed as an integer.
+    BadLiteral {
+        /// The offending token.
+        token: String,
+    },
+    /// A clause was not terminated by `0` before the end of input.
+    UnterminatedClause,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDimacsError::BadHeader { line } => write!(f, "malformed DIMACS header: `{line}`"),
+            ParseDimacsError::BadLiteral { token } => {
+                write!(f, "malformed DIMACS literal: `{token}`")
+            }
+            ParseDimacsError::UnterminatedClause => write!(f, "unterminated clause at end of input"),
+        }
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Parses a DIMACS CNF document into a [`CnfFormula`].
+///
+/// Comment lines (`c ...`) are ignored. The variable count from the header is
+/// honoured as a minimum; clauses may mention higher variable indices, which
+/// grow the formula.
+///
+/// # Errors
+///
+/// Returns a [`ParseDimacsError`] on malformed input.
+pub fn parse_dimacs(input: &str) -> Result<CnfFormula, ParseDimacsError> {
+    let mut cnf = CnfFormula::new();
+    let mut declared_vars = 0usize;
+    let mut header_seen = false;
+    let mut current: Vec<Lit> = Vec::new();
+
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('p') {
+            let mut parts = line.split_whitespace();
+            let _p = parts.next();
+            let kind = parts.next();
+            let vars = parts.next().and_then(|t| t.parse::<usize>().ok());
+            let clauses = parts.next().and_then(|t| t.parse::<usize>().ok());
+            if kind != Some("cnf") || vars.is_none() || clauses.is_none() {
+                return Err(ParseDimacsError::BadHeader {
+                    line: line.to_string(),
+                });
+            }
+            declared_vars = vars.expect("checked above");
+            header_seen = true;
+            continue;
+        }
+        if !header_seen {
+            return Err(ParseDimacsError::BadHeader {
+                line: line.to_string(),
+            });
+        }
+        for token in line.split_whitespace() {
+            let value: i64 = token.parse().map_err(|_| ParseDimacsError::BadLiteral {
+                token: token.to_string(),
+            })?;
+            if value == 0 {
+                cnf.add_clause(current.drain(..));
+            } else {
+                current.push(Lit::from_dimacs(value));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError::UnterminatedClause);
+    }
+    while cnf.num_vars() < declared_vars {
+        cnf.new_var();
+    }
+    Ok(cnf)
+}
+
+/// Serialises a [`CnfFormula`] to DIMACS CNF text.
+pub fn write_dimacs(cnf: &CnfFormula) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses());
+    for clause in cnf.clauses() {
+        for lit in clause {
+            let _ = write!(out, "{} ", lit.to_dimacs());
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn parse_simple_instance() {
+        let text = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.num_clauses(), 2);
+        let mut s = cnf.to_solver();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn round_trip() {
+        let text = "p cnf 4 3\n1 2 0\n-1 3 0\n-3 -2 4 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        let printed = write_dimacs(&cnf);
+        let reparsed = parse_dimacs(&printed).unwrap();
+        assert_eq!(cnf, reparsed);
+    }
+
+    #[test]
+    fn clauses_split_across_lines() {
+        let text = "p cnf 2 1\n1\n-2 0\n";
+        let cnf = parse_dimacs(text).unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.clauses()[0].len(), 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            parse_dimacs("p dnf 2 1\n1 0\n"),
+            Err(ParseDimacsError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            parse_dimacs("1 0\n"),
+            Err(ParseDimacsError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            parse_dimacs("p cnf 2 1\n1 x 0\n"),
+            Err(ParseDimacsError::BadLiteral { .. })
+        ));
+        assert!(matches!(
+            parse_dimacs("p cnf 2 1\n1 2\n"),
+            Err(ParseDimacsError::UnterminatedClause)
+        ));
+    }
+
+    #[test]
+    fn header_var_count_is_honoured() {
+        let cnf = parse_dimacs("p cnf 10 1\n1 0\n").unwrap();
+        assert_eq!(cnf.num_vars(), 10);
+    }
+}

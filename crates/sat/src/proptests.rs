@@ -1,0 +1,103 @@
+//! Property-based tests of the CDCL solver.
+//!
+//! The central invariants:
+//!
+//! 1. on satisfiable instances the returned model really satisfies every
+//!    clause (checked against [`CnfFormula::evaluate`]);
+//! 2. the solver agrees with a brute-force enumeration on small random
+//!    instances, in both the SAT and UNSAT directions;
+//! 3. solving under assumptions agrees with adding the assumptions as unit
+//!    clauses to a fresh solver.
+
+use crate::{CnfFormula, Lit, SolveResult, Var};
+use proptest::prelude::*;
+
+/// Brute-force satisfiability by enumerating all assignments.
+fn brute_force_sat(cnf: &CnfFormula) -> bool {
+    let n = cnf.num_vars();
+    assert!(n <= 16, "brute force limited to 16 variables");
+    (0u32..(1 << n)).any(|bits| {
+        let assignment: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+        cnf.evaluate(&assignment)
+    })
+}
+
+fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = CnfFormula> {
+    let clause = proptest::collection::vec((1..=max_vars, any::<bool>()), 1..=3);
+    proptest::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| {
+        let mut cnf = CnfFormula::new();
+        for _ in 0..max_vars {
+            cnf.new_var();
+        }
+        for clause in clauses {
+            cnf.add_clause(
+                clause
+                    .into_iter()
+                    .map(|(v, pos)| Lit::new(Var::from_index(v - 1), pos)),
+            );
+        }
+        cnf
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(cnf in arb_cnf(8, 24)) {
+        let mut solver = cnf.to_solver();
+        let result = solver.solve();
+        let expected = brute_force_sat(&cnf);
+        prop_assert_eq!(result == SolveResult::Sat, expected);
+        if result == SolveResult::Sat {
+            prop_assert!(cnf.evaluate(&solver.model()));
+        }
+    }
+
+    #[test]
+    fn model_is_a_real_model(cnf in arb_cnf(12, 40)) {
+        let mut solver = cnf.to_solver();
+        if solver.solve() == SolveResult::Sat {
+            prop_assert!(cnf.evaluate(&solver.model()));
+        }
+    }
+
+    #[test]
+    fn assumptions_match_unit_clauses(cnf in arb_cnf(8, 20), assumption_bits in any::<u8>()) {
+        // Use the low three bits to pick up to three assumption literals.
+        let assumptions: Vec<Lit> = (0..3)
+            .map(|i| Lit::new(Var::from_index(i), assumption_bits & (1 << i) != 0))
+            .collect();
+
+        let mut with_assumptions = cnf.to_solver();
+        let r1 = with_assumptions.solve_with_assumptions(&assumptions);
+
+        let mut with_units = cnf.clone();
+        for lit in &assumptions {
+            with_units.add_clause([*lit]);
+        }
+        let mut unit_solver = with_units.to_solver();
+        let r2 = unit_solver.solve();
+
+        prop_assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn solve_is_repeatable(cnf in arb_cnf(8, 24)) {
+        let mut s1 = cnf.to_solver();
+        let mut s2 = cnf.to_solver();
+        prop_assert_eq!(s1.solve(), s2.solve());
+        // Re-solving the same solver gives the same answer.
+        let again = s1.solve();
+        prop_assert_eq!(again, s2.solve());
+    }
+
+    #[test]
+    fn dimacs_round_trip_preserves_satisfiability(cnf in arb_cnf(6, 16)) {
+        let text = crate::write_dimacs(&cnf);
+        let reparsed = crate::parse_dimacs(&text).unwrap();
+        let mut s1 = cnf.to_solver();
+        let mut s2 = reparsed.to_solver();
+        prop_assert_eq!(s1.solve(), s2.solve());
+    }
+}

@@ -1,0 +1,814 @@
+//! The CDCL solver.
+
+use crate::{Lit, Var};
+use std::fmt;
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveResult {
+    /// The formula (under the given assumptions) is satisfiable; a model is
+    /// available through [`Solver::value`] / [`Solver::model`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+}
+
+/// Aggregate statistics of a solver instance, useful for benchmark reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+}
+
+const INVALID_CLAUSE: usize = usize::MAX;
+
+/// A CDCL SAT solver.
+///
+/// See the [crate documentation](crate) for the feature list and an example.
+/// Typical use: allocate variables with [`Solver::new_var`], add clauses with
+/// [`Solver::add_clause`], call [`Solver::solve`] (or
+/// [`Solver::solve_with_assumptions`]) and read the model back with
+/// [`Solver::value`].
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<usize>>,
+    assigns: Vec<Option<bool>>,
+    saved_phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<usize>,
+    activity: Vec<f64>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    var_inc: f64,
+    cla_inc: f64,
+    ok: bool,
+    seen: Vec<bool>,
+    stats: SolverStats,
+    max_learnts: f64,
+}
+
+impl fmt::Debug for Solver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Solver")
+            .field("num_vars", &self.num_vars())
+            .field("num_clauses", &self.clauses.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            saved_phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            activity: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            ok: true,
+            seen: Vec::new(),
+            stats: SolverStats::default(),
+            max_learnts: 0.0,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assigns.len());
+        self.assigns.push(None);
+        self.saved_phase.push(false);
+        self.level.push(0);
+        self.reason.push(INVALID_CLAUSE);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn ensure_vars(&mut self, n: usize) {
+        while self.assigns.len() < n {
+            self.new_var();
+        }
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses (original plus currently retained learnt clauses).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Solver statistics accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Adds a clause to the solver.
+    ///
+    /// Returns `false` if the solver is already known to be unsatisfiable
+    /// (either previously, or because this clause is empty after
+    /// simplification against the top-level assignment).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        if !self.ok {
+            return false;
+        }
+        debug_assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
+        let mut clause: Vec<Lit> = lits.into_iter().collect();
+        for lit in &clause {
+            self.ensure_vars(lit.var().index() + 1);
+        }
+        clause.sort_unstable();
+        clause.dedup();
+        // Tautology / satisfied / falsified literal handling at level 0.
+        let mut simplified = Vec::with_capacity(clause.len());
+        let mut i = 0;
+        while i < clause.len() {
+            let lit = clause[i];
+            if i + 1 < clause.len() && clause[i + 1] == !lit {
+                return true; // tautology: p and !p both present
+            }
+            match self.lit_value(lit) {
+                Some(true) => return true, // already satisfied at level 0
+                Some(false) => {}          // drop falsified literal
+                None => simplified.push(lit),
+            }
+            i += 1;
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(simplified[0], INVALID_CLAUSE);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_clause(simplified, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> usize {
+        debug_assert!(lits.len() >= 2);
+        let idx = self.clauses.len();
+        self.watches[(!lits[0]).code()].push(idx);
+        self.watches[(!lits[1]).code()].push(idx);
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+        });
+        if learnt {
+            self.stats.learnt_clauses += 1;
+        }
+        idx
+    }
+
+    fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.assigns[lit.var().index()].map(|b| b == lit.is_positive())
+    }
+
+    /// The value of a variable in the most recent satisfying model.
+    ///
+    /// Returns `None` for variables that were never assigned (possible only
+    /// before the first successful [`Solver::solve`] call, or for variables
+    /// added afterwards).
+    pub fn value(&self, var: Var) -> Option<bool> {
+        self.assigns.get(var.index()).copied().flatten()
+    }
+
+    /// The most recent satisfying model as a dense vector indexed by
+    /// variable. Unassigned variables default to `false`.
+    pub fn model(&self) -> Vec<bool> {
+        (0..self.num_vars())
+            .map(|i| self.assigns[i].unwrap_or(false))
+            .collect()
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: usize) -> bool {
+        match self.lit_value(lit) {
+            Some(b) => b,
+            None => {
+                let v = lit.var().index();
+                self.assigns[v] = Some(lit.is_positive());
+                self.saved_phase[v] = lit.is_positive();
+                self.level[v] = self.decision_level() as u32;
+                self.reason[v] = reason;
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut watch_list = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                // The falsified literal is !p; normalise it to position 1.
+                let false_lit = !p;
+                {
+                    let clause = &mut self.clauses[ci];
+                    if clause.lits[0] == false_lit {
+                        clause.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[ci].lits[0];
+                if self.lit_value(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut found = false;
+                let len = self.clauses[ci].lits.len();
+                for k in 2..len {
+                    let cand = self.clauses[ci].lits[k];
+                    if self.lit_value(cand) != Some(false) {
+                        self.clauses[ci].lits.swap(1, k);
+                        let new_watch = self.clauses[ci].lits[1];
+                        self.watches[(!new_watch).code()].push(ci);
+                        watch_list.swap_remove(i);
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.lit_value(first) == Some(false) {
+                    // Conflict: restore remaining watches and report.
+                    self.watches[p.code()] = watch_list;
+                    self.qhead = self.trail.len();
+                    return Some(ci);
+                }
+                self.enqueue(first, ci);
+                i += 1;
+            }
+            self.watches[p.code()] = watch_list;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, var: usize) {
+        self.activity[var] += self.var_inc;
+        if self.activity[var] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+        self.cla_inc /= 0.999;
+    }
+
+    fn bump_clause(&mut self, ci: usize) {
+        self.clauses[ci].activity += self.cla_inc;
+        if self.clauses[ci].activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (with the
+    /// asserting literal first) and the backtrack level.
+    fn analyze(&mut self, confl: usize) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for asserting literal
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = confl;
+
+        loop {
+            debug_assert_ne!(confl, INVALID_CLAUSE);
+            self.bump_clause(confl);
+            let start = usize::from(p.is_some());
+            for k in start..self.clauses[confl].lits.len() {
+                let q = self.clauses[confl].lits[k];
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(v);
+                    if self.level[v] as usize >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next literal on the trail to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            p = Some(lit);
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[lit.var().index()];
+        }
+        learnt[0] = !p.expect("conflict analysis found an asserting literal");
+
+        // Determine backtrack level (second-highest level in the clause).
+        let backtrack_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()] as usize
+        };
+
+        for lit in &learnt {
+            self.seen[lit.var().index()] = false;
+        }
+        (learnt, backtrack_level)
+    }
+
+    fn backtrack(&mut self, level: usize) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().expect("non-root decision level");
+            while self.trail.len() > lim {
+                let lit = self.trail.pop().expect("trail entry");
+                let v = lit.var().index();
+                self.saved_phase[v] = lit.is_positive();
+                self.assigns[v] = None;
+                self.reason[v] = INVALID_CLAUSE;
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&self) -> Option<Var> {
+        let mut best: Option<(usize, f64)> = None;
+        for v in 0..self.num_vars() {
+            if self.assigns[v].is_none() {
+                let act = self.activity[v];
+                match best {
+                    Some((_, b)) if b >= act => {}
+                    _ => best = Some((v, act)),
+                }
+            }
+        }
+        best.map(|(v, _)| Var::from_index(v))
+    }
+
+    fn reduce_learnts(&mut self) {
+        // Collect learnt clause indices sorted by activity (ascending) and
+        // remove the least active half that are not reasons for current
+        // assignments. Rebuilding watches afterwards keeps the code simple.
+        let mut learnt_idx: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| self.clauses[i].learnt)
+            .collect();
+        if learnt_idx.len() < 2 {
+            return;
+        }
+        learnt_idx.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let locked: Vec<usize> = self
+            .reason
+            .iter()
+            .copied()
+            .filter(|&r| r != INVALID_CLAUSE)
+            .collect();
+        let to_remove: Vec<usize> = learnt_idx
+            .iter()
+            .copied()
+            .take(learnt_idx.len() / 2)
+            .filter(|i| !locked.contains(i))
+            .collect();
+        if to_remove.is_empty() {
+            return;
+        }
+        let keep: Vec<bool> = (0..self.clauses.len())
+            .map(|i| !to_remove.contains(&i))
+            .collect();
+        // Build the index remapping and compact the clause database.
+        let mut remap = vec![INVALID_CLAUSE; self.clauses.len()];
+        let mut new_clauses = Vec::with_capacity(self.clauses.len() - to_remove.len());
+        for (i, clause) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
+            if keep[i] {
+                remap[i] = new_clauses.len();
+                new_clauses.push(clause);
+            } else {
+                self.stats.learnt_clauses = self.stats.learnt_clauses.saturating_sub(1);
+            }
+        }
+        self.clauses = new_clauses;
+        for r in &mut self.reason {
+            if *r != INVALID_CLAUSE {
+                *r = remap[*r];
+            }
+        }
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, clause) in self.clauses.iter().enumerate() {
+            self.watches[(!clause.lits[0]).code()].push(i);
+            self.watches[(!clause.lits[1]).code()].push(i);
+        }
+    }
+
+    fn luby(i: u64) -> u64 {
+        // Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+        // `i` is the 0-based restart count.
+        let mut i = i + 1;
+        loop {
+            let mut k = 1u32;
+            while (1u64 << k) - 1 < i {
+                k += 1;
+            }
+            if (1u64 << k) - 1 == i {
+                return 1u64 << (k - 1);
+            }
+            i -= (1u64 << (k - 1)) - 1;
+        }
+    }
+
+    /// Decides satisfiability of the clause database.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Decides satisfiability under the given assumption literals.
+    ///
+    /// Assumptions are treated as forced decisions at the lowest decision
+    /// levels; they do not permanently constrain the solver, so repeated calls
+    /// with different assumptions are supported.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        for lit in assumptions {
+            self.ensure_vars(lit.var().index() + 1);
+        }
+        self.backtrack(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+        self.max_learnts = (self.clauses.len() as f64 * 0.5).max(100.0);
+
+        let mut restart_count: u64 = 0;
+        let mut conflicts_until_restart = 100 * Self::luby(restart_count);
+        let mut conflicts_in_round: u64 = 0;
+
+        loop {
+            match self.propagate() {
+                Some(confl) => {
+                    self.stats.conflicts += 1;
+                    conflicts_in_round += 1;
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                        return SolveResult::Unsat;
+                    }
+                    let (learnt, backtrack_level) = self.analyze(confl);
+                    self.backtrack(backtrack_level);
+                    let assert_lit = learnt[0];
+                    if learnt.len() == 1 {
+                        if !self.enqueue(assert_lit, INVALID_CLAUSE) {
+                            self.ok = false;
+                            return SolveResult::Unsat;
+                        }
+                    } else {
+                        let ci = self.attach_clause(learnt, true);
+                        self.bump_clause(ci);
+                        self.enqueue(assert_lit, ci);
+                    }
+                    self.decay_activities();
+                }
+                None => {
+                    if conflicts_in_round >= conflicts_until_restart {
+                        conflicts_in_round = 0;
+                        restart_count += 1;
+                        self.stats.restarts += 1;
+                        conflicts_until_restart = 100 * Self::luby(restart_count);
+                        self.backtrack(assumptions.len().min(self.decision_level()));
+                    }
+                    if self.stats.learnt_clauses as f64 > self.max_learnts {
+                        self.reduce_learnts();
+                        self.max_learnts *= 1.1;
+                    }
+                    // Assumption decisions first, then free decisions.
+                    let next = if self.decision_level() < assumptions.len() {
+                        let a = assumptions[self.decision_level()];
+                        match self.lit_value(a) {
+                            Some(true) => {
+                                // Already implied: introduce an empty decision level
+                                // to keep the level/assumption correspondence.
+                                self.trail_lim.push(self.trail.len());
+                                continue;
+                            }
+                            Some(false) => {
+                                self.backtrack(0);
+                                return SolveResult::Unsat;
+                            }
+                            None => Some(a),
+                        }
+                    } else {
+                        self.pick_branch_var()
+                            .map(|v| Lit::new(v, self.saved_phase[v.index()]))
+                    };
+                    match next {
+                        None => return SolveResult::Sat,
+                        Some(lit) => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(lit, INVALID_CLAUSE);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(solver_vars: &[Var], i: i64) -> Lit {
+        let v = solver_vars[(i.unsigned_abs() - 1) as usize];
+        Lit::new(v, i > 0)
+    }
+
+    fn solver_with_vars(n: usize) -> (Solver, Vec<Var>) {
+        let mut s = Solver::new();
+        let vars = (0..n).map(|_| s.new_var()).collect();
+        (s, vars)
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unit_clauses() {
+        let (mut s, v) = solver_with_vars(2);
+        s.add_clause([lit(&v, 1)]);
+        s.add_clause([lit(&v, -2)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[0]), Some(true));
+        assert_eq!(s.value(v[1]), Some(false));
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let (mut s, v) = solver_with_vars(1);
+        s.add_clause([lit(&v, 1)]);
+        s.add_clause([lit(&v, -1)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let (mut s, _) = solver_with_vars(1);
+        assert!(!s.add_clause([]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautological_clause_is_ignored() {
+        let (mut s, v) = solver_with_vars(1);
+        s.add_clause([lit(&v, 1), lit(&v, -1)]);
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        let (mut s, v) = solver_with_vars(4);
+        s.add_clause([lit(&v, 1)]);
+        s.add_clause([lit(&v, -1), lit(&v, 2)]);
+        s.add_clause([lit(&v, -2), lit(&v, 3)]);
+        s.add_clause([lit(&v, -3), lit(&v, 4)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for var in &v {
+            assert_eq!(s.value(*var), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // 3 pigeons, 2 holes: p_{i,h} means pigeon i sits in hole h.
+        let (mut s, v) = solver_with_vars(6);
+        let p = |i: usize, h: usize| i * 2 + h + 1;
+        for i in 0..3 {
+            s.add_clause([lit(&v, p(i, 0) as i64), lit(&v, p(i, 1) as i64)]);
+        }
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause([lit(&v, -(p(i, h) as i64)), lit(&v, -(p(j, h) as i64))]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_is_unsat() {
+        let (mut s, v) = solver_with_vars(12);
+        let p = |i: usize, h: usize| i * 3 + h + 1;
+        for i in 0..4 {
+            s.add_clause((0..3).map(|h| lit(&v, p(i, h) as i64)));
+        }
+        for h in 0..3 {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    s.add_clause([lit(&v, -(p(i, h) as i64)), lit(&v, -(p(j, h) as i64))]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn satisfiable_graph_coloring() {
+        // Triangle with 3 colours is satisfiable.
+        let (mut s, v) = solver_with_vars(9);
+        let c = |node: usize, colour: usize| node * 3 + colour + 1;
+        for node in 0..3 {
+            s.add_clause((0..3).map(|k| lit(&v, c(node, k) as i64)));
+            for k1 in 0..3 {
+                for k2 in (k1 + 1)..3 {
+                    s.add_clause([lit(&v, -(c(node, k1) as i64)), lit(&v, -(c(node, k2) as i64))]);
+                }
+            }
+        }
+        for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+            for k in 0..3 {
+                s.add_clause([lit(&v, -(c(a, k) as i64)), lit(&v, -(c(b, k) as i64))]);
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Verify the colouring is proper.
+        let colour_of = |s: &Solver, node: usize| {
+            (0..3)
+                .find(|&k| s.value(v[c(node, k) - 1]) == Some(true))
+                .unwrap()
+        };
+        assert_ne!(colour_of(&s, 0), colour_of(&s, 1));
+        assert_ne!(colour_of(&s, 1), colour_of(&s, 2));
+        assert_ne!(colour_of(&s, 0), colour_of(&s, 2));
+    }
+
+    #[test]
+    fn assumptions_do_not_persist() {
+        let (mut s, v) = solver_with_vars(2);
+        s.add_clause([lit(&v, 1), lit(&v, 2)]);
+        assert_eq!(s.solve_with_assumptions(&[lit(&v, -1)]), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+        assert_eq!(s.solve_with_assumptions(&[lit(&v, -2)]), SolveResult::Sat);
+        assert_eq!(s.value(v[0]), Some(true));
+        // Conflicting assumptions yield Unsat without poisoning the solver.
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, -1), lit(&v, -2)]),
+            SolveResult::Unsat
+        );
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn assumption_contradicting_unit_is_unsat() {
+        let (mut s, v) = solver_with_vars(1);
+        s.add_clause([lit(&v, 1)]);
+        assert_eq!(s.solve_with_assumptions(&[lit(&v, -1)]), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        // A slightly larger random-ish instance with a known satisfying shape.
+        let (mut s, v) = solver_with_vars(8);
+        let clauses: Vec<Vec<i64>> = vec![
+            vec![1, 2, -3],
+            vec![-1, 4],
+            vec![3, -4, 5],
+            vec![-5, 6],
+            vec![-6, -2, 7],
+            vec![7, 8],
+            vec![-7, -8, 1],
+            vec![2, 5, 8],
+        ];
+        for c in &clauses {
+            s.add_clause(c.iter().map(|&x| lit(&v, x)));
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let model = s.model();
+        for c in &clauses {
+            assert!(c.iter().any(|&x| {
+                let val = model[(x.unsigned_abs() - 1) as usize];
+                if x > 0 {
+                    val
+                } else {
+                    !val
+                }
+            }));
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (mut s, v) = solver_with_vars(6);
+        let p = |i: usize, h: usize| i * 2 + h + 1;
+        for i in 0..3 {
+            s.add_clause([lit(&v, p(i, 0) as i64), lit(&v, p(i, 1) as i64)]);
+        }
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause([lit(&v, -(p(i, h) as i64)), lit(&v, -(p(j, h) as i64))]);
+                }
+            }
+        }
+        let _ = s.solve();
+        let stats = s.stats();
+        assert!(stats.decisions > 0 || stats.propagations > 0);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(Solver::luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn adding_clause_after_unsat_returns_false() {
+        let (mut s, v) = solver_with_vars(1);
+        s.add_clause([lit(&v, 1)]);
+        s.add_clause([lit(&v, -1)]);
+        assert!(!s.add_clause([lit(&v, 1)]));
+    }
+}

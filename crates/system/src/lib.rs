@@ -1,0 +1,59 @@
+//! # amle-system
+//!
+//! The formal system model of the paper: `S = (X, X', R, Init)`.
+//!
+//! A [`System`] is a finite-state transition system over typed variables
+//! (see `amle-expr`):
+//!
+//! * **state variables** have an initial value and an *update expression*
+//!   that defines their next value as a function of the current valuation
+//!   (this is the characteristic function of the transition relation `R`);
+//! * **input variables** are unconstrained between steps (the environment
+//!   picks a fresh value each step, optionally restricted to a declared
+//!   range).
+//!
+//! The crate also provides [`Trace`] / [`TraceSet`] (sequences of
+//! valuations, i.e. the execution traces the paper learns from) and a
+//! [`Simulator`] that executes a system on randomly sampled inputs to produce
+//! positive traces — the "instrumented implementation under a random software
+//! load" of the paper's evaluation.
+//!
+//! ## Example
+//!
+//! ```
+//! use amle_expr::{Expr, Sort, Value};
+//! use amle_system::{Simulator, SystemBuilder};
+//! use rand::SeedableRng;
+//!
+//! // A saturating counter driven by a boolean input.
+//! let mut b = SystemBuilder::new();
+//! let tick = b.input("tick", Sort::Bool)?;
+//! let count = b.state("count", Sort::int(4), Value::Int(0))?;
+//! let count_e = b.var(count);
+//! let next = b.var(tick).ite(
+//!     &count_e.lt(&Expr::int_val(15, 4)).ite(&count_e.add(&Expr::int_val(1, 4)), &count_e),
+//!     &count_e,
+//! );
+//! b.update(count, next)?;
+//! let system = b.build()?;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let trace = Simulator::new(&system).random_trace(20, &mut rng);
+//! assert_eq!(trace.len(), 20);
+//! assert!(system.is_execution_trace(&trace));
+//! # Ok::<(), amle_system::BuildSystemError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod simulate;
+mod system;
+mod trace;
+
+pub use simulate::Simulator;
+pub use system::{BuildSystemError, System, SystemBuilder};
+pub use trace::{Trace, TraceSet};
+
+#[cfg(test)]
+mod proptests;

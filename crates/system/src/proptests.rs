@@ -1,0 +1,96 @@
+//! Property-based tests for the system model and simulator.
+
+use crate::{Simulator, SystemBuilder, Trace};
+use amle_expr::{Expr, Sort, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small parametric family of systems: a mod-N counter with an enable input
+/// and a boolean flag that observes a threshold.
+fn counter_mod(n: i64) -> crate::System {
+    let bits = 6;
+    let mut b = SystemBuilder::new();
+    b.name("counter_mod");
+    let en = b.input("en", Sort::Bool).unwrap();
+    let c = b.state("c", Sort::int(bits), Value::Int(0)).unwrap();
+    let hi = b.state("hi", Sort::Bool, Value::Bool(false)).unwrap();
+    let ce = b.var(c);
+    let wrapped = ce
+        .add(&Expr::int_val(1, bits))
+        .ge(&Expr::int_val(n, bits))
+        .ite(&Expr::int_val(0, bits), &ce.add(&Expr::int_val(1, bits)));
+    let next_c = b.var(en).ite(&wrapped, &ce);
+    b.update(c, next_c.clone()).unwrap();
+    b.update(hi, next_c.ge(&Expr::int_val(n / 2, bits))).unwrap();
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_traces_are_always_execution_traces(n in 2i64..30, seed in 0u64..1000, len in 1usize..40) {
+        let sys = counter_mod(n);
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = sim.random_trace(len, &mut rng);
+        prop_assert_eq!(trace.len(), len);
+        prop_assert!(sys.is_execution_trace(&trace));
+    }
+
+    #[test]
+    fn prefixes_of_execution_traces_are_execution_traces(n in 2i64..20, seed in 0u64..500) {
+        // Mirrors the paper's observation that the language of the learned
+        // automaton must be prefix-closed because prefixes of execution
+        // traces are execution traces.
+        let sys = counter_mod(n);
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = sim.random_trace(25, &mut rng);
+        for k in 0..=trace.len() {
+            prop_assert!(sys.is_execution_trace(&trace.prefix(k)));
+        }
+    }
+
+    #[test]
+    fn counter_stays_below_modulus(n in 2i64..30, seed in 0u64..500) {
+        let sys = counter_mod(n);
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = sim.random_trace(60, &mut rng);
+        let c = sys.vars().lookup("c").unwrap();
+        for obs in trace.observations() {
+            prop_assert!(obs.value(c).to_i64() < n);
+        }
+    }
+
+    #[test]
+    fn step_determinism(n in 2i64..20, seed in 0u64..200) {
+        let sys = counter_mod(n);
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = sim.initial_with_random_inputs(&mut rng);
+        let inputs = sim.sample_inputs(&mut rng);
+        prop_assert_eq!(sys.step(&v, &inputs), sys.step(&v, &inputs));
+    }
+
+    #[test]
+    fn corrupting_a_trace_is_detected(n in 4i64..20, seed in 0u64..200, at in 1usize..10, delta in 1i64..5) {
+        let sys = counter_mod(n);
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = sim.random_trace(12, &mut rng);
+        let c = sys.vars().lookup("c").unwrap();
+        let mut obs = trace.observations().to_vec();
+        let idx = at.min(obs.len() - 1);
+        let old = obs[idx].value(c).to_i64();
+        let forged = (old + delta) % n;
+        prop_assume!(forged != old);
+        obs[idx].set(c, Value::Int(forged));
+        let corrupted = Trace::new(obs);
+        // Either the corruption broke a transition before or after `idx`;
+        // in all cases the trace must no longer validate.
+        prop_assert!(!sys.is_execution_trace(&corrupted));
+    }
+}

@@ -1,0 +1,188 @@
+//! Random-input simulation: the trace-generation front end of the pipeline.
+
+use crate::{System, Trace, TraceSet};
+use amle_expr::{Valuation, Value, VarId};
+use rand::Rng;
+
+/// Executes a [`System`] on randomly sampled inputs to produce positive
+/// execution traces.
+///
+/// This plays the role of running the instrumented implementation under a
+/// random software load in the paper's evaluation (Section IV-B generates 50
+/// random traces of length 50 per benchmark; Section IV-C uses a much larger
+/// random budget for the passive baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct Simulator<'a> {
+    system: &'a System,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for the given system.
+    pub fn new(system: &'a System) -> Self {
+        Simulator { system }
+    }
+
+    /// The system being simulated.
+    pub fn system(&self) -> &System {
+        self.system
+    }
+
+    /// Samples a value for every input variable uniformly from its range.
+    pub fn sample_inputs<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<(VarId, Value)> {
+        self.system
+            .input_vars()
+            .iter()
+            .map(|id| {
+                let (lo, hi) = self.system.input_range(*id);
+                let raw = rng.gen_range(lo..=hi);
+                (*id, Value::from_i64(self.system.vars().sort(*id), raw))
+            })
+            .collect()
+    }
+
+    /// Produces one random execution trace with `length` observations.
+    ///
+    /// The trace starts from the system's initial valuation with randomly
+    /// sampled inputs, matching the paper's definition of a positive trace
+    /// (its first observation is one transition away from an `Init` state).
+    pub fn random_trace<R: Rng + ?Sized>(&self, length: usize, rng: &mut R) -> Trace {
+        let mut trace = Trace::default();
+        if length == 0 {
+            return trace;
+        }
+        let mut current = self.initial_with_random_inputs(rng);
+        // First observation: the successor of the initial valuation.
+        current = self.system.step(&current, &self.sample_inputs(rng));
+        trace.push(current.clone());
+        for _ in 1..length {
+            current = self.system.step(&current, &self.sample_inputs(rng));
+            trace.push(current.clone());
+        }
+        trace
+    }
+
+    /// Produces `count` random traces of `length` observations each.
+    pub fn random_traces<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        length: usize,
+        rng: &mut R,
+    ) -> TraceSet {
+        let mut set = TraceSet::new();
+        for _ in 0..count {
+            set.insert(self.random_trace(length, rng));
+        }
+        set
+    }
+
+    /// Produces traces until approximately `total_inputs` random input
+    /// samples have been consumed, in chunks of `length`-observation traces.
+    ///
+    /// This is the workload shape of the paper's random-sampling baseline
+    /// (Section IV-C), parameterised so the budget can be scaled.
+    pub fn random_traces_with_budget<R: Rng + ?Sized>(
+        &self,
+        total_inputs: usize,
+        length: usize,
+        rng: &mut R,
+    ) -> TraceSet {
+        let mut set = TraceSet::new();
+        let mut used = 0usize;
+        while used < total_inputs {
+            set.insert(self.random_trace(length, rng));
+            used += length.max(1);
+        }
+        set
+    }
+
+    /// The system's initial valuation with inputs replaced by random samples.
+    pub fn initial_with_random_inputs<R: Rng + ?Sized>(&self, rng: &mut R) -> Valuation {
+        let mut v = self.system.initial_valuation();
+        for (id, value) in self.sample_inputs(rng) {
+            v.set(id, value);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemBuilder;
+    use amle_expr::{Expr, Sort};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn thermostat() -> System {
+        let mut b = SystemBuilder::new();
+        b.name("thermostat");
+        let temp = b.input_in_range("temp", Sort::int(8), 0, 120).unwrap();
+        let on = b.state("on", Sort::Bool, Value::Bool(false)).unwrap();
+        let update = b.var(temp).gt(&Expr::int_val(75, 8));
+        b.update(on, update).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn random_traces_are_execution_traces() {
+        let sys = thermostat();
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let trace = sim.random_trace(30, &mut rng);
+            assert_eq!(trace.len(), 30);
+            assert!(sys.is_execution_trace(&trace));
+        }
+    }
+
+    #[test]
+    fn sampled_inputs_respect_ranges() {
+        let sys = thermostat();
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            for (id, value) in sim.sample_inputs(&mut rng) {
+                let (lo, hi) = sys.input_range(id);
+                assert!(value.to_i64() >= lo && value.to_i64() <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_generation_is_deterministic_per_seed() {
+        let sys = thermostat();
+        let sim = Simulator::new(&sys);
+        let t1 = sim.random_trace(20, &mut StdRng::seed_from_u64(7));
+        let t2 = sim.random_trace(20, &mut StdRng::seed_from_u64(7));
+        let t3 = sim.random_trace(20, &mut StdRng::seed_from_u64(8));
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn trace_set_sizes() {
+        let sys = thermostat();
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(3);
+        let set = sim.random_traces(5, 10, &mut rng);
+        assert!(set.len() <= 5);
+        assert!(set.total_observations() <= 50);
+        let budget = sim.random_traces_with_budget(100, 10, &mut rng);
+        assert!(budget.total_observations() >= 100 || budget.len() >= 10);
+    }
+
+    #[test]
+    fn zero_length_trace_is_empty() {
+        let sys = thermostat();
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(sim.random_trace(0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn simulator_exposes_system() {
+        let sys = thermostat();
+        let sim = Simulator::new(&sys);
+        assert_eq!(sim.system().name(), "thermostat");
+    }
+}

@@ -1,0 +1,710 @@
+//! The transition-system model and its builder.
+
+use amle_expr::{Expr, Sort, Valuation, Value, VarId, VarSet};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while declaring or assembling a [`System`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildSystemError {
+    /// A variable name was declared twice.
+    DuplicateVariable {
+        /// The offending name.
+        name: String,
+    },
+    /// An initial value does not fit the sort of its state variable.
+    InitOutOfRange {
+        /// Name of the state variable.
+        name: String,
+    },
+    /// An update expression was registered for a variable that is not a
+    /// declared state variable.
+    NotAStateVariable {
+        /// Display name of the offending variable.
+        name: String,
+    },
+    /// An update expression has a different sort than its state variable.
+    UpdateSortMismatch {
+        /// Name of the state variable.
+        name: String,
+        /// Sort of the variable.
+        expected: Sort,
+        /// Sort of the offending update expression.
+        found: Sort,
+    },
+    /// A state variable has no update expression.
+    MissingUpdate {
+        /// Name of the state variable.
+        name: String,
+    },
+    /// An input range is empty or lies outside the sort's representable range.
+    BadInputRange {
+        /// Name of the input variable.
+        name: String,
+    },
+    /// The system has no state variables at all.
+    NoStateVariables,
+}
+
+impl fmt::Display for BuildSystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildSystemError::DuplicateVariable { name } => {
+                write!(f, "variable `{name}` is already declared")
+            }
+            BuildSystemError::InitOutOfRange { name } => {
+                write!(f, "initial value of `{name}` does not fit its sort")
+            }
+            BuildSystemError::NotAStateVariable { name } => {
+                write!(f, "`{name}` is not a declared state variable")
+            }
+            BuildSystemError::UpdateSortMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "update of `{name}` has sort {found} but the variable has sort {expected}"
+            ),
+            BuildSystemError::MissingUpdate { name } => {
+                write!(f, "state variable `{name}` has no update expression")
+            }
+            BuildSystemError::BadInputRange { name } => {
+                write!(f, "input `{name}` has an empty or out-of-range value range")
+            }
+            BuildSystemError::NoStateVariables => write!(f, "system has no state variables"),
+        }
+    }
+}
+
+impl Error for BuildSystemError {}
+
+/// Builder for [`System`] values.
+///
+/// Declare inputs with [`SystemBuilder::input`] (optionally range-restricted
+/// with [`SystemBuilder::input_in_range`]), state variables with
+/// [`SystemBuilder::state`], register one update expression per state
+/// variable with [`SystemBuilder::update`], and call
+/// [`SystemBuilder::build`].
+#[derive(Debug, Default)]
+pub struct SystemBuilder {
+    vars: VarSet,
+    name: String,
+    inputs: Vec<VarId>,
+    input_ranges: BTreeMap<VarId, (i64, i64)>,
+    states: Vec<VarId>,
+    init: BTreeMap<VarId, Value>,
+    updates: BTreeMap<VarId, Expr>,
+}
+
+impl SystemBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a human-readable name for the system (used in reports).
+    pub fn name<N: Into<String>>(&mut self, name: N) -> &mut Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Declares an input variable; the environment picks an arbitrary value
+    /// of the sort each step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildSystemError::DuplicateVariable`] if the name is taken.
+    pub fn input<N: Into<String>>(&mut self, name: N, sort: Sort) -> Result<VarId, BuildSystemError> {
+        let name = name.into();
+        let id = self
+            .vars
+            .declare(name.clone(), sort)
+            .map_err(|_| BuildSystemError::DuplicateVariable { name })?;
+        self.inputs.push(id);
+        Ok(id)
+    }
+
+    /// Declares an input variable restricted to an inclusive value range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildSystemError::DuplicateVariable`] if the name is taken,
+    /// or [`BuildSystemError::BadInputRange`] if the range is empty or not
+    /// representable in the sort.
+    pub fn input_in_range<N: Into<String>>(
+        &mut self,
+        name: N,
+        sort: Sort,
+        lo: i64,
+        hi: i64,
+    ) -> Result<VarId, BuildSystemError> {
+        let name = name.into();
+        let (slo, shi) = sort.value_range();
+        if lo > hi || lo < slo || hi > shi {
+            return Err(BuildSystemError::BadInputRange { name });
+        }
+        let id = self.input(name, sort)?;
+        self.input_ranges.insert(id, (lo, hi));
+        Ok(id)
+    }
+
+    /// Declares a state variable with its initial value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildSystemError::DuplicateVariable`] if the name is taken,
+    /// or [`BuildSystemError::InitOutOfRange`] if the initial value does not
+    /// fit the sort.
+    pub fn state<N: Into<String>>(
+        &mut self,
+        name: N,
+        sort: Sort,
+        init: Value,
+    ) -> Result<VarId, BuildSystemError> {
+        let name = name.into();
+        if !init.fits(&sort) {
+            return Err(BuildSystemError::InitOutOfRange { name });
+        }
+        let id = self
+            .vars
+            .declare(name.clone(), sort)
+            .map_err(|_| BuildSystemError::DuplicateVariable { name })?;
+        self.states.push(id);
+        self.init.insert(id, init);
+        Ok(id)
+    }
+
+    /// Convenience: declares a state variable of an enumeration sort with a
+    /// named initial variant.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SystemBuilder::state`]; additionally returns
+    /// [`BuildSystemError::InitOutOfRange`] if `init_variant` is not a
+    /// variant of the sort.
+    pub fn state_enum<N: Into<String>>(
+        &mut self,
+        name: N,
+        sort: Sort,
+        init_variant: &str,
+    ) -> Result<VarId, BuildSystemError> {
+        let name = name.into();
+        let idx = sort
+            .variant_index(init_variant)
+            .ok_or(BuildSystemError::InitOutOfRange { name: name.clone() })?;
+        self.state(name, sort, Value::Enum(idx as i64))
+    }
+
+    /// An expression referring to a declared variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not declared through this builder.
+    pub fn var(&self, id: VarId) -> Expr {
+        Expr::var(id, self.vars.sort(id).clone())
+    }
+
+    /// An enumeration constant of the sort of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an enumeration variable or the variant does not
+    /// exist.
+    pub fn enum_const(&self, id: VarId, variant: &str) -> Expr {
+        Expr::enum_val(self.vars.sort(id), variant)
+    }
+
+    /// Registers the update expression (next-state function) of a state
+    /// variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildSystemError::NotAStateVariable`] if `id` is not a state
+    /// variable, or [`BuildSystemError::UpdateSortMismatch`] if the expression
+    /// sort differs from the variable sort.
+    pub fn update(&mut self, id: VarId, expr: Expr) -> Result<&mut Self, BuildSystemError> {
+        if !self.states.contains(&id) {
+            return Err(BuildSystemError::NotAStateVariable {
+                name: self
+                    .vars
+                    .info(id)
+                    .map(|i| i.name.clone())
+                    .unwrap_or_else(|| id.to_string()),
+            });
+        }
+        let expected = self.vars.sort(id).clone();
+        if !expr.sort().compatible(&expected) {
+            return Err(BuildSystemError::UpdateSortMismatch {
+                name: self.vars.name(id).to_string(),
+                expected,
+                found: expr.sort().clone(),
+            });
+        }
+        self.updates.insert(id, expr);
+        Ok(self)
+    }
+
+    /// Finalises the builder into a [`System`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildSystemError::MissingUpdate`] if any state variable lacks
+    /// an update expression, or [`BuildSystemError::NoStateVariables`] if no
+    /// state variable was declared.
+    pub fn build(self) -> Result<System, BuildSystemError> {
+        if self.states.is_empty() {
+            return Err(BuildSystemError::NoStateVariables);
+        }
+        for id in &self.states {
+            if !self.updates.contains_key(id) {
+                return Err(BuildSystemError::MissingUpdate {
+                    name: self.vars.name(*id).to_string(),
+                });
+            }
+        }
+        Ok(System {
+            name: if self.name.is_empty() {
+                "unnamed".to_string()
+            } else {
+                self.name
+            },
+            vars: self.vars,
+            inputs: self.inputs,
+            input_ranges: self.input_ranges,
+            states: self.states,
+            init: self.init,
+            updates: self.updates,
+        })
+    }
+}
+
+/// A finite-state transition system `S = (X, X', R, Init)`.
+///
+/// `X` is the set of declared variables (state and input). The transition
+/// relation `R` is given functionally: each state variable's next value is
+/// its update expression evaluated on the current valuation, and each input
+/// variable's next value is an arbitrary member of its range. `Init`
+/// constrains state variables to their declared initial values and inputs to
+/// their ranges.
+#[derive(Debug, Clone)]
+pub struct System {
+    name: String,
+    vars: VarSet,
+    inputs: Vec<VarId>,
+    input_ranges: BTreeMap<VarId, (i64, i64)>,
+    states: Vec<VarId>,
+    init: BTreeMap<VarId, Value>,
+    updates: BTreeMap<VarId, Expr>,
+}
+
+impl System {
+    /// The system's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declaration table of all system variables.
+    pub fn vars(&self) -> &VarSet {
+        &self.vars
+    }
+
+    /// The declared state variables, in declaration order.
+    pub fn state_vars(&self) -> &[VarId] {
+        &self.states
+    }
+
+    /// The declared input variables, in declaration order.
+    pub fn input_vars(&self) -> &[VarId] {
+        &self.inputs
+    }
+
+    /// All variables (inputs and state) in declaration order.
+    pub fn all_vars(&self) -> Vec<VarId> {
+        self.vars.ids().collect()
+    }
+
+    /// Returns `true` if `id` is an input variable.
+    pub fn is_input(&self, id: VarId) -> bool {
+        self.inputs.contains(&id)
+    }
+
+    /// The update expression of a state variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a state variable of this system.
+    pub fn update(&self, id: VarId) -> &Expr {
+        self.updates
+            .get(&id)
+            .unwrap_or_else(|| panic!("{} is not a state variable", self.vars.name(id)))
+    }
+
+    /// The initial value of a state variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a state variable of this system.
+    pub fn initial_value(&self, id: VarId) -> Value {
+        *self
+            .init
+            .get(&id)
+            .unwrap_or_else(|| panic!("{} is not a state variable", self.vars.name(id)))
+    }
+
+    /// The declared range of an input variable (defaults to the full sort
+    /// range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an input variable of this system.
+    pub fn input_range(&self, id: VarId) -> (i64, i64) {
+        assert!(self.is_input(id), "{} is not an input variable", self.vars.name(id));
+        self.input_ranges
+            .get(&id)
+            .copied()
+            .unwrap_or_else(|| self.vars.sort(id).value_range())
+    }
+
+    /// An expression referring to a declared variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not declared in this system.
+    pub fn var(&self, id: VarId) -> Expr {
+        Expr::var(id, self.vars.sort(id).clone())
+    }
+
+    /// The initial-state constraint `Init(X)` as a boolean expression:
+    /// the conjunction of `x = init(x)` for state variables and of the range
+    /// constraints for input variables.
+    pub fn init_expr(&self) -> Expr {
+        let mut conjuncts = Vec::new();
+        for id in &self.states {
+            let value = Expr::constant(self.vars.sort(*id), self.init[id])
+                .expect("initial values were validated at build time");
+            conjuncts.push(self.var(*id).eq(&value));
+        }
+        for id in &self.inputs {
+            conjuncts.push(self.input_constraint(*id));
+        }
+        Expr::and_all(conjuncts)
+    }
+
+    /// The range constraint of an input variable as a boolean expression over
+    /// that variable (the constant `true` when the full sort range is
+    /// allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an input variable of this system.
+    pub fn input_constraint(&self, id: VarId) -> Expr {
+        let sort = self.vars.sort(id).clone();
+        let (lo, hi) = self.input_range(id);
+        let (slo, shi) = sort.value_range();
+        if (lo, hi) == (slo, shi) {
+            return Expr::true_();
+        }
+        let var = self.var(id);
+        let lo_c = Expr::constant(&sort, Value::from_i64(&sort, lo)).expect("range validated");
+        let hi_c = Expr::constant(&sort, Value::from_i64(&sort, hi)).expect("range validated");
+        if sort.is_bool() {
+            // A restricted boolean input is a constant.
+            return var.eq(&lo_c);
+        }
+        var.ge(&lo_c).and(&var.le(&hi_c))
+    }
+
+    /// The conjunction of all input range constraints.
+    pub fn input_constraints_expr(&self) -> Expr {
+        Expr::and_all(self.inputs.iter().map(|id| self.input_constraint(*id)))
+    }
+
+    /// The initial valuation: state variables at their initial values, inputs
+    /// at the low end of their range.
+    pub fn initial_valuation(&self) -> Valuation {
+        let mut v = Valuation::zeroed(&self.vars);
+        for id in &self.states {
+            v.set(*id, self.init[id]);
+        }
+        for id in &self.inputs {
+            let (lo, _) = self.input_range(*id);
+            v.set(*id, Value::from_i64(self.vars.sort(*id), lo));
+        }
+        v
+    }
+
+    /// Computes the successor valuation: state variables take the value of
+    /// their update expressions evaluated on `current`, input variables take
+    /// the values given in `next_inputs` (a list of `(input, value)` pairs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair in `next_inputs` names a non-input variable or a value
+    /// that does not fit its sort.
+    pub fn step(&self, current: &Valuation, next_inputs: &[(VarId, Value)]) -> Valuation {
+        let mut next = current.clone();
+        for id in &self.states {
+            next.set(*id, self.updates[id].eval(current));
+        }
+        for (id, value) in next_inputs {
+            assert!(self.is_input(*id), "{} is not an input variable", self.vars.name(*id));
+            assert!(
+                value.fits(self.vars.sort(*id)),
+                "value {value} does not fit input {}",
+                self.vars.name(*id)
+            );
+            next.set(*id, *value);
+        }
+        next
+    }
+
+    /// Checks whether a valuation satisfies the initial-state constraint.
+    pub fn satisfies_init(&self, v: &Valuation) -> bool {
+        self.init_expr().eval_bool(v)
+    }
+
+    /// Checks whether `(current, next)` is a transition of the system, i.e.
+    /// every state variable in `next` equals its update expression evaluated
+    /// on `current` and every input value in `next` lies in its range.
+    pub fn is_transition(&self, current: &Valuation, next: &Valuation) -> bool {
+        for id in &self.states {
+            if next.value(*id) != self.updates[id].eval(current) {
+                return false;
+            }
+        }
+        for id in &self.inputs {
+            let (lo, hi) = self.input_range(*id);
+            let v = next.value(*id).to_i64();
+            if v < lo || v > hi {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Checks whether a trace is consistent with the system's transition
+    /// relation: every consecutive pair of observations is a transition and
+    /// every recorded input value lies in its declared range.
+    ///
+    /// This mirrors the paper's definition of a *positive trace* except for
+    /// the "the first observation has a predecessor satisfying `Init`"
+    /// clause, which depends on the (unrecorded) input values at time zero;
+    /// simulator-generated traces satisfy it by construction and
+    /// counterexample traces are spliced onto prefixes of such traces.
+    pub fn is_execution_trace(&self, trace: &crate::Trace) -> bool {
+        let in_range = |obs: &Valuation| {
+            self.inputs.iter().all(|id| {
+                let (lo, hi) = self.input_range(*id);
+                let v = obs.value(*id).to_i64();
+                v >= lo && v <= hi
+            })
+        };
+        trace.observations().iter().all(in_range)
+            && trace
+                .observations()
+                .windows(2)
+                .all(|w| self.is_transition(&w[0], &w[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trace;
+
+    fn counter_system() -> (System, VarId, VarId) {
+        let mut b = SystemBuilder::new();
+        b.name("counter");
+        let tick = b.input("tick", Sort::Bool).unwrap();
+        let count = b.state("count", Sort::int(4), Value::Int(0)).unwrap();
+        let count_e = b.var(count);
+        let next = b.var(tick).ite(
+            &count_e
+                .lt(&Expr::int_val(15, 4))
+                .ite(&count_e.add(&Expr::int_val(1, 4)), &count_e),
+            &count_e,
+        );
+        b.update(count, next).unwrap();
+        (b.build().unwrap(), tick, count)
+    }
+
+    #[test]
+    fn builder_happy_path() {
+        let (sys, tick, count) = counter_system();
+        assert_eq!(sys.name(), "counter");
+        assert_eq!(sys.state_vars(), &[count]);
+        assert_eq!(sys.input_vars(), &[tick]);
+        assert!(sys.is_input(tick));
+        assert!(!sys.is_input(count));
+        assert_eq!(sys.initial_value(count), Value::Int(0));
+        assert_eq!(sys.input_range(tick), (0, 1));
+        assert_eq!(sys.all_vars().len(), 2);
+    }
+
+    #[test]
+    fn builder_rejects_duplicates() {
+        let mut b = SystemBuilder::new();
+        b.input("x", Sort::Bool).unwrap();
+        assert!(matches!(
+            b.input("x", Sort::Bool),
+            Err(BuildSystemError::DuplicateVariable { .. })
+        ));
+        assert!(matches!(
+            b.state("x", Sort::Bool, Value::Bool(false)),
+            Err(BuildSystemError::DuplicateVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_bad_init_and_ranges() {
+        let mut b = SystemBuilder::new();
+        assert!(matches!(
+            b.state("c", Sort::int(4), Value::Int(100)),
+            Err(BuildSystemError::InitOutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.input_in_range("i", Sort::int(4), 10, 3),
+            Err(BuildSystemError::BadInputRange { .. })
+        ));
+        assert!(matches!(
+            b.input_in_range("i", Sort::int(4), 0, 99),
+            Err(BuildSystemError::BadInputRange { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_bad_updates() {
+        let mut b = SystemBuilder::new();
+        let x = b.input("x", Sort::Bool).unwrap();
+        let c = b.state("c", Sort::int(4), Value::Int(0)).unwrap();
+        assert!(matches!(
+            b.update(x, Expr::true_()),
+            Err(BuildSystemError::NotAStateVariable { .. })
+        ));
+        assert!(matches!(
+            b.update(c, Expr::true_()),
+            Err(BuildSystemError::UpdateSortMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_requires_updates_and_state() {
+        let mut b = SystemBuilder::new();
+        b.state("c", Sort::int(4), Value::Int(0)).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(BuildSystemError::MissingUpdate { .. })
+        ));
+        let mut b = SystemBuilder::new();
+        b.input("x", Sort::Bool).unwrap();
+        assert!(matches!(b.build(), Err(BuildSystemError::NoStateVariables)));
+    }
+
+    #[test]
+    fn step_applies_updates_and_inputs() {
+        let (sys, tick, count) = counter_system();
+        let mut v = sys.initial_valuation();
+        v.set(tick, Value::Bool(true));
+        let next = sys.step(&v, &[(tick, Value::Bool(false))]);
+        assert_eq!(next.value(count), Value::Int(1));
+        assert_eq!(next.value(tick), Value::Bool(false));
+        let next2 = sys.step(&next, &[(tick, Value::Bool(true))]);
+        assert_eq!(next2.value(count), Value::Int(1));
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let (sys, tick, count) = counter_system();
+        let mut v = sys.initial_valuation();
+        v.set(tick, Value::Bool(true));
+        for _ in 0..40 {
+            v = sys.step(&v, &[(tick, Value::Bool(true))]);
+        }
+        assert_eq!(v.value(count), Value::Int(15));
+    }
+
+    #[test]
+    fn init_expr_and_satisfies_init() {
+        let (sys, tick, _) = counter_system();
+        let init = sys.initial_valuation();
+        assert!(sys.satisfies_init(&init));
+        let mut not_init = init.clone();
+        not_init.set(tick, Value::Bool(true));
+        // tick is an unconstrained input, so changing it keeps Init satisfied.
+        assert!(sys.satisfies_init(&not_init));
+        let count = sys.state_vars()[0];
+        let mut bad = init;
+        bad.set(count, Value::Int(3));
+        assert!(!sys.satisfies_init(&bad));
+    }
+
+    #[test]
+    fn transition_check() {
+        let (sys, tick, count) = counter_system();
+        let mut v = sys.initial_valuation();
+        v.set(tick, Value::Bool(true));
+        let next = sys.step(&v, &[(tick, Value::Bool(false))]);
+        assert!(sys.is_transition(&v, &next));
+        let mut wrong = next.clone();
+        wrong.set(count, Value::Int(9));
+        assert!(!sys.is_transition(&v, &wrong));
+    }
+
+    #[test]
+    fn execution_trace_check() {
+        let (sys, tick, _) = counter_system();
+        let mut v = sys.initial_valuation();
+        v.set(tick, Value::Bool(true));
+        let mut obs = vec![v.clone()];
+        for i in 0..5 {
+            v = sys.step(&v, &[(tick, Value::Bool(i % 2 == 0))]);
+            obs.push(v.clone());
+        }
+        let trace = Trace::new(obs);
+        assert!(sys.is_execution_trace(&trace));
+
+        let mut broken = trace.observations().to_vec();
+        broken[3].set(sys.state_vars()[0], Value::Int(12));
+        assert!(!sys.is_execution_trace(&Trace::new(broken)));
+        assert!(sys.is_execution_trace(&Trace::new(vec![])));
+    }
+
+    #[test]
+    fn input_range_constraint_expr() {
+        let mut b = SystemBuilder::new();
+        let temp = b.input_in_range("temp", Sort::int(8), 10, 90).unwrap();
+        let s = b.state("s", Sort::Bool, Value::Bool(false)).unwrap();
+        let update = b.var(temp).gt(&Expr::int_val(50, 8));
+        b.update(s, update).unwrap();
+        let sys = b.build().unwrap();
+        let c = sys.input_constraint(temp);
+        let mut v = sys.initial_valuation();
+        v.set(temp, Value::Int(50));
+        assert!(c.eval_bool(&v));
+        v.set(temp, Value::Int(5));
+        assert!(!c.eval_bool(&v));
+        v.set(temp, Value::Int(95));
+        assert!(!c.eval_bool(&v));
+        // Unrestricted boolean input yields `true`.
+        let (sys2, tick, _) = {
+            let (s, t, c) = counter_system();
+            (s, t, c)
+        };
+        assert!(sys2.input_constraint(tick).is_true());
+    }
+
+    #[test]
+    fn enum_state_builder() {
+        let mode_sort = Sort::enumeration("Mode", ["Off", "On"]);
+        let mut b = SystemBuilder::new();
+        let mode = b.state_enum("mode", mode_sort.clone(), "Off").unwrap();
+        let on = b.enum_const(mode, "On");
+        b.update(mode, on).unwrap();
+        let sys = b.build().unwrap();
+        assert_eq!(sys.initial_value(mode), Value::Enum(0));
+        let next = sys.step(&sys.initial_valuation(), &[]);
+        assert_eq!(next.value(mode), Value::Enum(1));
+    }
+}

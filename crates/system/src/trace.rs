@@ -1,0 +1,248 @@
+//! Execution traces and trace sets.
+
+use amle_expr::{Valuation, VarId, VarSet};
+use std::fmt;
+
+/// A trace: a finite sequence of observations (valuations) over time.
+///
+/// In the paper a trace `σ = v1, …, vn` records the values of the observable
+/// variables at consecutive discrete time steps. Here the observations are
+/// full-system valuations; learners and abstraction code restrict their
+/// attention to the observable subset of variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Trace {
+    observations: Vec<Valuation>,
+}
+
+impl Trace {
+    /// Creates a trace from a sequence of observations.
+    pub fn new(observations: Vec<Valuation>) -> Self {
+        Trace { observations }
+    }
+
+    /// The observations in order.
+    pub fn observations(&self) -> &[Valuation] {
+        &self.observations
+    }
+
+    /// Number of observations in the trace.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Returns `true` if the trace has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// The prefix of the first `n` observations (the whole trace if `n`
+    /// exceeds its length).
+    pub fn prefix(&self, n: usize) -> Trace {
+        Trace {
+            observations: self.observations[..n.min(self.observations.len())].to_vec(),
+        }
+    }
+
+    /// Appends an observation.
+    pub fn push(&mut self, observation: Valuation) {
+        self.observations.push(observation);
+    }
+
+    /// Iterates over consecutive observation pairs `(v_t, v_{t+1})`.
+    pub fn steps(&self) -> impl Iterator<Item = (&Valuation, &Valuation)> {
+        self.observations.windows(2).map(|w| (&w[0], &w[1]))
+    }
+
+    /// Renders the trace with variable names, one observation per line.
+    pub fn display<'a>(&'a self, vars: &'a VarSet) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Trace, &'a VarSet);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                for (t, obs) in self.0.observations.iter().enumerate() {
+                    writeln!(f, "t={t}: {}", obs.display(self.1))?;
+                }
+                Ok(())
+            }
+        }
+        D(self, vars)
+    }
+
+    /// Projects each observation onto the listed variables, returning the raw
+    /// value rows. Used by learners that only consider observable variables.
+    pub fn project(&self, observables: &[VarId]) -> Vec<Vec<amle_expr::Value>> {
+        self.observations
+            .iter()
+            .map(|obs| observables.iter().map(|id| obs.value(*id)).collect())
+            .collect()
+    }
+}
+
+impl FromIterator<Valuation> for Trace {
+    fn from_iter<T: IntoIterator<Item = Valuation>>(iter: T) -> Self {
+        Trace::new(iter.into_iter().collect())
+    }
+}
+
+/// A set (multiset, order-preserving) of traces used as learner input.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceSet {
+    traces: Vec<Trace>,
+}
+
+impl TraceSet {
+    /// Creates an empty trace set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a trace, ignoring exact duplicates of already-present traces.
+    ///
+    /// Returns `true` if the trace was new.
+    pub fn insert(&mut self, trace: Trace) -> bool {
+        if trace.is_empty() || self.traces.contains(&trace) {
+            return false;
+        }
+        self.traces.push(trace);
+        true
+    }
+
+    /// The traces in insertion order.
+    pub fn traces(&self) -> &[Trace] {
+        &self.traces
+    }
+
+    /// Number of traces in the set.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Returns `true` if the set contains no traces.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Total number of observations across all traces.
+    pub fn total_observations(&self) -> usize {
+        self.traces.iter().map(Trace::len).sum()
+    }
+
+    /// Iterates over the traces.
+    pub fn iter(&self) -> impl Iterator<Item = &Trace> {
+        self.traces.iter()
+    }
+
+    /// Merges another trace set into this one (deduplicating).
+    ///
+    /// Returns the number of traces that were actually added.
+    pub fn merge(&mut self, other: &TraceSet) -> usize {
+        other
+            .traces
+            .iter()
+            .filter(|t| self.insert((*t).clone()))
+            .count()
+    }
+}
+
+impl FromIterator<Trace> for TraceSet {
+    fn from_iter<T: IntoIterator<Item = Trace>>(iter: T) -> Self {
+        let mut set = TraceSet::new();
+        for trace in iter {
+            set.insert(trace);
+        }
+        set
+    }
+}
+
+impl Extend<Trace> for TraceSet {
+    fn extend<T: IntoIterator<Item = Trace>>(&mut self, iter: T) {
+        for trace in iter {
+            self.insert(trace);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amle_expr::{Sort, Value, VarSet};
+
+    fn vars() -> (VarSet, VarId, VarId) {
+        let mut vars = VarSet::new();
+        let a = vars.declare("a", Sort::int(4)).unwrap();
+        let b = vars.declare("b", Sort::Bool).unwrap();
+        (vars, a, b)
+    }
+
+    fn obs(vars: &VarSet, a: i64, b: bool) -> Valuation {
+        let mut v = Valuation::zeroed(vars);
+        v.set(VarId::from_index(0), Value::Int(a));
+        v.set(VarId::from_index(1), Value::Bool(b));
+        v
+    }
+
+    #[test]
+    fn trace_basics() {
+        let (vars, ..) = vars();
+        let mut trace = Trace::default();
+        assert!(trace.is_empty());
+        trace.push(obs(&vars, 1, false));
+        trace.push(obs(&vars, 2, true));
+        trace.push(obs(&vars, 3, true));
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.prefix(2).len(), 2);
+        assert_eq!(trace.prefix(99).len(), 3);
+        assert_eq!(trace.steps().count(), 2);
+    }
+
+    #[test]
+    fn trace_projection() {
+        let (vars, a, b) = vars();
+        let trace: Trace = [obs(&vars, 1, false), obs(&vars, 2, true)]
+            .into_iter()
+            .collect();
+        let rows = trace.project(&[a]);
+        assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let rows = trace.project(&[b, a]);
+        assert_eq!(rows[1], vec![Value::Bool(true), Value::Int(2)]);
+    }
+
+    #[test]
+    fn trace_display() {
+        let (vars, ..) = vars();
+        let trace: Trace = [obs(&vars, 1, false)].into_iter().collect();
+        let text = trace.display(&vars).to_string();
+        assert!(text.contains("t=0"));
+        assert!(text.contains("a=1"));
+    }
+
+    #[test]
+    fn trace_set_deduplicates() {
+        let (vars, ..) = vars();
+        let t1: Trace = [obs(&vars, 1, false)].into_iter().collect();
+        let t2: Trace = [obs(&vars, 2, false)].into_iter().collect();
+        let mut set = TraceSet::new();
+        assert!(set.insert(t1.clone()));
+        assert!(!set.insert(t1.clone()));
+        assert!(set.insert(t2.clone()));
+        assert!(!set.insert(Trace::default()));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.total_observations(), 2);
+
+        let mut other = TraceSet::new();
+        other.insert(t1);
+        other.insert([obs(&vars, 3, true)].into_iter().collect());
+        assert_eq!(set.merge(&other), 1);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn trace_set_from_iterator() {
+        let (vars, ..) = vars();
+        let t1: Trace = [obs(&vars, 1, false)].into_iter().collect();
+        let set: TraceSet = vec![t1.clone(), t1].into_iter().collect();
+        assert_eq!(set.len(), 1);
+        let mut set2 = TraceSet::new();
+        set2.extend(set.iter().cloned());
+        assert_eq!(set2.len(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Use-case from Section VI of the paper: evaluating test coverage. The
+//! learned abstraction (which provably admits all behaviours) is compared
+//! against the behaviours exercised by a given test suite; abstraction edges
+//! never taken by any test are coverage holes.
+//!
+//! Run with `cargo run --example traffic_light_coverage`.
+
+use active_model_learning::prelude::*;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark = benchmarks::benchmark_by_name("MooreTrafficLight")
+        .expect("the benchmark suite includes the traffic light");
+
+    let config = ActiveLearnerConfig {
+        observables: Some(benchmark.observables.clone()),
+        initial_traces: 40,
+        trace_length: 40,
+        k: benchmark.k,
+        ..ActiveLearnerConfig::default()
+    };
+    let mut runner = ActiveLearner::new(&benchmark.system, HistoryLearner::default(), config);
+    let report = runner.run()?;
+    let abstraction = &report.abstraction;
+
+    // A deliberately weak test suite: short runs that never let the light
+    // complete a full cycle.
+    let simulator = Simulator::new(&benchmark.system);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let tests: Vec<Trace> = (0..10).map(|_| simulator.random_trace(3, &mut rng)).collect();
+
+    // Coverage: which abstraction transitions are exercised by some test?
+    let mut covered = vec![false; abstraction.num_transitions()];
+    for test in &tests {
+        for (current, next) in test
+            .observations()
+            .iter()
+            .zip(test.observations().iter().skip(1))
+        {
+            let _ = current;
+            for (i, t) in abstraction.transitions().iter().enumerate() {
+                if t.guard.eval_bool(next) {
+                    covered[i] = true;
+                }
+            }
+        }
+    }
+    let holes: Vec<usize> = covered
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !**c)
+        .map(|(i, _)| i)
+        .collect();
+
+    println!(
+        "abstraction: {} states, {} transitions (alpha = {:.2})",
+        abstraction.num_states(),
+        abstraction.num_transitions(),
+        report.alpha
+    );
+    println!(
+        "test suite of {} short runs covers {}/{} abstraction transitions",
+        tests.len(),
+        covered.iter().filter(|c| **c).count(),
+        covered.len()
+    );
+    let vars = benchmark.system.vars();
+    for i in holes.iter().take(5) {
+        let t = &abstraction.transitions()[*i];
+        println!(
+            "  coverage hole: {} --[{}]--> {}",
+            t.from,
+            active_model_learning::automaton::display_expr(&t.guard, vars),
+            t.to
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Reverse-engineers the Mealy vending machine benchmark and compares the
+//! active algorithm against the random-sampling baseline on it — a single-row
+//! preview of the Table I comparison.
+//!
+//! Run with `cargo run --example vending_machine`.
+
+use active_model_learning::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark = benchmarks::benchmark_by_name("MealyVendingMachine")
+        .expect("the benchmark suite includes the vending machine");
+
+    // Active learning.
+    let config = ActiveLearnerConfig {
+        observables: Some(benchmark.observables.clone()),
+        initial_traces: 30,
+        trace_length: 20,
+        k: benchmark.k,
+        ..ActiveLearnerConfig::default()
+    };
+    let mut runner = ActiveLearner::new(&benchmark.system, HistoryLearner::default(), config);
+    let report = runner.run()?;
+
+    // Random-sampling baseline with a modest budget.
+    let mut passive = HistoryLearner::default();
+    let baseline = random_sampling_baseline(
+        &benchmark.system,
+        &mut passive,
+        &benchmark.observables,
+        1_000,
+        20,
+        benchmark.k,
+        7,
+    )?;
+
+    println!("MealyVendingMachine");
+    println!(
+        "  active:  alpha = {:.2}, d = {:.2}, states = {}, iterations = {}",
+        report.alpha,
+        benchmark.score_d(&report.abstraction),
+        report.num_states(),
+        report.iterations
+    );
+    println!(
+        "  random:  alpha = {:.2}, d = {:.2}, states = {}",
+        baseline.alpha,
+        benchmark.score_d(&baseline.model),
+        baseline.num_states()
+    );
+    Ok(())
+}
