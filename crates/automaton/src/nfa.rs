@@ -128,13 +128,17 @@ impl Nfa {
     /// The set of guards on transitions leaving `state` — the paper's
     /// `P(j,out)`.
     pub fn outgoing_predicates(&self, state: StateId) -> Vec<Expr> {
-        self.transitions_from(state).map(|t| t.guard.clone()).collect()
+        self.transitions_from(state)
+            .map(|t| t.guard.clone())
+            .collect()
     }
 
     /// The set of guards on transitions entering `state` — the paper's
     /// `P(j,in)`.
     pub fn incoming_predicates(&self, state: StateId) -> Vec<Expr> {
-        self.transitions_to(state).map(|t| t.guard.clone()).collect()
+        self.transitions_to(state)
+            .map(|t| t.guard.clone())
+            .collect()
     }
 
     /// The guards on transitions leaving any initial state — the paper's

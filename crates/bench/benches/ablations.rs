@@ -11,7 +11,14 @@ fn ablation_learner(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_learner");
     group.sample_size(10);
     group.bench_function("history", |b| {
-        b.iter(|| run_active(&benchmark, HistoryLearner::default(), quick_config(&benchmark)).0)
+        b.iter(|| {
+            run_active(
+                &benchmark,
+                HistoryLearner::default(),
+                quick_config(&benchmark),
+            )
+            .0
+        })
     });
     group.bench_function("ktails", |b| {
         b.iter(|| run_active(&benchmark, KTailsLearner::new(1), quick_config(&benchmark)).0)

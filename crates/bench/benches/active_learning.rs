@@ -20,8 +20,11 @@ fn table1_active(c: &mut Criterion) {
         let benchmark = benchmark_by_name(name).expect("known benchmark");
         group.bench_function(name, |b| {
             b.iter(|| {
-                let (row, _) =
-                    run_active(&benchmark, HistoryLearner::default(), quick_config(&benchmark));
+                let (row, _) = run_active(
+                    &benchmark,
+                    HistoryLearner::default(),
+                    quick_config(&benchmark),
+                );
                 assert!(row.alpha > 0.0);
                 row
             })

@@ -8,7 +8,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn table1_random(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_random");
     group.sample_size(10);
-    for name in ["HomeClimateControlCooler", "CountEvents", "ServerQueueingSystem"] {
+    for name in [
+        "HomeClimateControlCooler",
+        "CountEvents",
+        "ServerQueueingSystem",
+    ] {
         let benchmark = benchmark_by_name(name).expect("known benchmark");
         for budget in [500usize, 2_000] {
             group.bench_function(format!("{name}/budget_{budget}"), |b| {

@@ -11,7 +11,11 @@ use amle_learner::HistoryLearner;
 
 fn main() {
     println!("A1 — learner choice (history vs k-tails)");
-    for name in ["HomeClimateControlCooler", "MealyVendingMachine", "LadderLogicScheduler"] {
+    for name in [
+        "HomeClimateControlCooler",
+        "MealyVendingMachine",
+        "LadderLogicScheduler",
+    ] {
         let benchmark = benchmark_by_name(name).expect("known benchmark");
         let (history, ktails) = run_learner_ablation(&benchmark);
         println!("{}", format_active_table(&[history, ktails]));

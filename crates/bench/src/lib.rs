@@ -68,6 +68,10 @@ pub struct ActiveRow {
     pub time_s: f64,
     /// Percentage of runtime spent in model learning (`%Tm`).
     pub learn_pct: f64,
+    /// Total SAT solve calls across the checking and learning phases.
+    pub solve_calls: u64,
+    /// Wall-clock seconds spent inside the SAT backend.
+    pub solver_time_s: f64,
 }
 
 /// Runs the active-learning algorithm on one benchmark and produces its
@@ -79,6 +83,7 @@ pub fn run_active<L: ModelLearner>(
 ) -> (ActiveRow, RunReport) {
     let mut active = ActiveLearner::new(&benchmark.system, learner, config.clone());
     let report = active.run().expect("active learning run failed");
+    let solver = report.solver_stats();
     let row = ActiveRow {
         name: benchmark.name.to_string(),
         observables: benchmark.num_observables(),
@@ -89,13 +94,19 @@ pub fn run_active<L: ModelLearner>(
         alpha: report.alpha,
         time_s: report.total_time.as_secs_f64(),
         learn_pct: report.learn_time_percentage(),
+        solve_calls: solver.solve_calls,
+        solver_time_s: solver.solve_time.as_secs_f64(),
     };
     (row, report)
 }
 
 /// Convenience wrapper using the default learner and paper-shaped config.
 pub fn run_active_default(benchmark: &Benchmark) -> (ActiveRow, RunReport) {
-    run_active(benchmark, HistoryLearner::default(), paper_config(benchmark))
+    run_active(
+        benchmark,
+        HistoryLearner::default(),
+        paper_config(benchmark),
+    )
 }
 
 /// One row of the "Random Sampling" side of Table I.
@@ -156,13 +167,23 @@ pub fn run_learner_ablation(benchmark: &Benchmark) -> (ActiveRow, ActiveRow) {
 pub fn format_active_table(rows: &[ActiveRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<34} {:>3} {:>4} {:>3} {:>5} {:>3} {:>6} {:>9} {:>6}\n",
-        "Benchmark", "|X|", "k", "i", "d", "N", "alpha", "T(s)", "%Tm"
+        "{:<34} {:>3} {:>4} {:>3} {:>5} {:>3} {:>6} {:>9} {:>6} {:>7} {:>9}\n",
+        "Benchmark", "|X|", "k", "i", "d", "N", "alpha", "T(s)", "%Tm", "solves", "Tsat(s)"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<34} {:>3} {:>4} {:>3} {:>5.2} {:>3} {:>6.2} {:>9.2} {:>6.1}\n",
-            r.name, r.observables, r.k, r.iterations, r.d, r.states, r.alpha, r.time_s, r.learn_pct
+            "{:<34} {:>3} {:>4} {:>3} {:>5.2} {:>3} {:>6.2} {:>9.2} {:>6.1} {:>7} {:>9.2}\n",
+            r.name,
+            r.observables,
+            r.k,
+            r.iterations,
+            r.d,
+            r.states,
+            r.alpha,
+            r.time_s,
+            r.learn_pct,
+            r.solve_calls,
+            r.solver_time_s
         ));
     }
     out

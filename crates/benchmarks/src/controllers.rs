@@ -51,9 +51,7 @@ fn bang_bang_heater() -> Benchmark {
     // the minimum dwell of 6 steps has elapsed.
     let dwell_e = b.var(dwell);
     let dwell_done = dwell_e.ge(&Expr::int_val(6, 6));
-    let next_heat = b
-        .var(heat)
-        .ite(&warm.and(&dwell_done).not(), &cold);
+    let next_heat = b.var(heat).ite(&warm.and(&dwell_done).not(), &cold);
     let next_dwell = b.var(heat).ite(
         &dwell_done.ite(&dwell_e, &dwell_e.add(&Expr::int_val(1, 6))),
         &Expr::int_val(0, 6),
@@ -67,7 +65,7 @@ fn bang_bang_heater() -> Benchmark {
     ];
     let long_heat = {
         let mut values = vec![20];
-        values.extend(std::iter::repeat(50).take(8));
+        values.extend(std::iter::repeat_n(50, 8));
         values.push(80);
         values.push(80);
         single_input(&values)
@@ -113,12 +111,12 @@ fn automatic_transmission() -> Benchmark {
     let system = b.build().unwrap();
     let observables = system.all_vars();
     let witnesses = vec![
-        witness(&system, &single_input(&[10, 60, 60])),       // 1 -> 2
-        witness(&system, &single_input(&[10, 60, 90, 100])),  // 2 -> 3
-        witness(&system, &single_input(&[10, 60, 90, 60])),   // 3 -> 2
-        witness(&system, &single_input(&[10, 60, 20, 10])),   // 2 -> 1
-        witness(&system, &single_input(&[10, 20, 30])),       // stay in 1
-        witness(&system, &single_input(&[10, 60, 90, 120])),  // stay in 3
+        witness(&system, &single_input(&[10, 60, 60])), // 1 -> 2
+        witness(&system, &single_input(&[10, 60, 90, 100])), // 2 -> 3
+        witness(&system, &single_input(&[10, 60, 90, 60])), // 3 -> 2
+        witness(&system, &single_input(&[10, 60, 20, 10])), // 2 -> 1
+        witness(&system, &single_input(&[10, 20, 30])), // stay in 1
+        witness(&system, &single_input(&[10, 60, 90, 120])), // stay in 3
     ];
     Benchmark {
         name: "AutomaticTransmission",
@@ -175,7 +173,9 @@ fn security_system() -> Benchmark {
     b.name("SecuritySystemAlarm");
     let arm = b.input("arm", Sort::Bool).unwrap();
     let door = b.input("door", Sort::Bool).unwrap();
-    let mode = b.state_enum("alarm", mode_sort.clone(), "Disarmed").unwrap();
+    let mode = b
+        .state_enum("alarm", mode_sort.clone(), "Disarmed")
+        .unwrap();
     let disarmed = b.enum_const(mode, "Disarmed");
     let armed = b.enum_const(mode, "Armed");
     let sounding = b.enum_const(mode, "Sounding");
@@ -186,9 +186,10 @@ fn security_system() -> Benchmark {
         .not()
         .ite(&disarmed, &b.var(door).ite(&sounding, &armed));
     let from_sounding = b.var(arm).ite(&sounding, &disarmed);
-    let next = me
-        .eq(&disarmed)
-        .ite(&from_disarmed, &me.eq(&armed).ite(&from_armed, &from_sounding));
+    let next = me.eq(&disarmed).ite(
+        &from_disarmed,
+        &me.eq(&armed).ite(&from_armed, &from_sounding),
+    );
     b.update(mode, next).unwrap();
     let system = b.build().unwrap();
     let observables = system.all_vars();
@@ -225,14 +226,12 @@ fn yoyo_control() -> Benchmark {
     let at_max = le.ge(&Expr::int_val(10, 5));
     let at_min = le.le(&Expr::int_val(0, 5));
     let me = b.var(mode);
-    let next_mode = me.eq(&out).ite(
-        &at_max.ite(&inward, &out),
-        &at_min.ite(&out, &inward),
-    );
-    let moved = me.eq(&out).ite(
-        &le.add(&Expr::int_val(1, 5)),
-        &le.sub(&Expr::int_val(1, 5)),
-    );
+    let next_mode = me
+        .eq(&out)
+        .ite(&at_max.ite(&inward, &out), &at_min.ite(&out, &inward));
+    let moved = me
+        .eq(&out)
+        .ite(&le.add(&Expr::int_val(1, 5)), &le.sub(&Expr::int_val(1, 5)));
     let clamped = moved
         .gt(&Expr::int_val(10, 5))
         .ite(&Expr::int_val(10, 5), &moved);
@@ -244,11 +243,11 @@ fn yoyo_control() -> Benchmark {
         system.vars().lookup("reel").unwrap(),
         system.vars().lookup("run").unwrap(),
     ];
-    let long_run = single_input(&std::iter::repeat(1).take(26).collect::<Vec<_>>());
+    let long_run = single_input(&std::iter::repeat_n(1, 26).collect::<Vec<_>>());
     let witnesses = vec![
-        witness(&system, &single_input(&[1, 1, 1])),  // reeling out continues
-        witness(&system, &long_run.clone()),          // out -> in -> out full cycle
-        witness(&system, &single_input(&[0, 0, 0])),  // idle keeps the mode
+        witness(&system, &single_input(&[1, 1, 1])), // reeling out continues
+        witness(&system, &long_run.clone()),         // out -> in -> out full cycle
+        witness(&system, &single_input(&[0, 0, 0])), // idle keeps the mode
     ];
     Benchmark {
         name: "YoYoControlOfSatellite",
@@ -273,16 +272,17 @@ fn size_based_processing() -> Benchmark {
     let large = b.enum_const(path, "Large");
     let big = b.var(size).gt(&Expr::int_val(66, 7));
     let mid = b.var(size).gt(&Expr::int_val(33, 7));
-    b.update(path, big.ite(&large, &mid.ite(&medium, &small))).unwrap();
+    b.update(path, big.ite(&large, &mid.ite(&medium, &small)))
+        .unwrap();
     let system = b.build().unwrap();
     let observables = system.all_vars();
     let witnesses = vec![
-        witness(&system, &single_input(&[10, 20, 25])),  // stay small
-        witness(&system, &single_input(&[10, 50, 55])),  // small -> medium
-        witness(&system, &single_input(&[10, 50, 90])),  // medium -> large
-        witness(&system, &single_input(&[10, 90, 10])),  // large -> small
-        witness(&system, &single_input(&[10, 90, 50])),  // large -> medium
-        witness(&system, &single_input(&[10, 50, 10])),  // medium -> small
+        witness(&system, &single_input(&[10, 20, 25])), // stay small
+        witness(&system, &single_input(&[10, 50, 55])), // small -> medium
+        witness(&system, &single_input(&[10, 50, 90])), // medium -> large
+        witness(&system, &single_input(&[10, 90, 10])), // large -> small
+        witness(&system, &single_input(&[10, 90, 50])), // large -> medium
+        witness(&system, &single_input(&[10, 50, 10])), // medium -> small
     ];
     Benchmark {
         name: "VarSizeSizeBasedProcessing",

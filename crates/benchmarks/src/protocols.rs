@@ -15,7 +15,7 @@ fn vending_machine() -> Benchmark {
     let coin_sort = Sort::enumeration("Coin", ["None", "Nickel", "Dime"]);
     let mut b = SystemBuilder::new();
     b.name("MealyVendingMachine");
-    let coin = b.input("coin", coin_sort.clone(), ).unwrap();
+    let coin = b.input("coin", coin_sort.clone()).unwrap();
     let credit = b.state("credit", Sort::int(5), Value::Int(0)).unwrap();
     let vend = b.state("vend", Sort::Bool, Value::Bool(false)).unwrap();
     let ce = b.var(credit);
@@ -69,7 +69,8 @@ fn sequence_recognition() -> Benchmark {
     let from_hit = one.ite(&s1, &s10);
     let next = se.eq(&s0).ite(
         &from_s0,
-        &se.eq(&s1).ite(&from_s1, &se.eq(&s10).ite(&from_s10, &from_hit)),
+        &se.eq(&s1)
+            .ite(&from_s1, &se.eq(&s10).ite(&from_s10, &from_hit)),
     );
     b.update(stage, next).unwrap();
     let system = b.build().unwrap();
@@ -100,16 +101,17 @@ fn server_queue() -> Benchmark {
     let len = b.state("len", Sort::int(4), Value::Int(0)).unwrap();
     let busy = b.state("busy", Sort::Bool, Value::Bool(false)).unwrap();
     let le = b.var(len);
-    let after_arrival = b.var(arrive).and(&le.lt(&Expr::int_val(8, 4))).ite(
-        &le.add(&Expr::int_val(1, 4)),
-        &le,
-    );
+    let after_arrival = b
+        .var(arrive)
+        .and(&le.lt(&Expr::int_val(8, 4)))
+        .ite(&le.add(&Expr::int_val(1, 4)), &le);
     let after_service = b
         .var(serve)
         .and(&after_arrival.gt(&Expr::int_val(0, 4)))
         .ite(&after_arrival.sub(&Expr::int_val(1, 4)), &after_arrival);
     b.update(len, after_service.clone()).unwrap();
-    b.update(busy, after_service.gt(&Expr::int_val(0, 4))).unwrap();
+    b.update(busy, after_service.gt(&Expr::int_val(0, 4)))
+        .unwrap();
     let system = b.build().unwrap();
     let observables = vec![
         system.vars().lookup("arrive").unwrap(),
@@ -184,10 +186,9 @@ fn launch_abort_mode_logic() -> Benchmark {
         .var(abort)
         .ite(&b.var(high_alt).ite(&high, &low), &nominal);
     // Any abort mode proceeds to the safed state on the next step.
-    let next = me.eq(&nominal).ite(
-        &from_nominal,
-        &me.eq(&safed).ite(&safed, &safed),
-    );
+    let next = me
+        .eq(&nominal)
+        .ite(&from_nominal, &me.eq(&safed).ite(&safed, &safed));
     b.update(mode, next).unwrap();
     let system = b.build().unwrap();
     let observables = system.all_vars();
@@ -234,11 +235,11 @@ fn frame_sync_controller() -> Benchmark {
     let system = b.build().unwrap();
     let observables = system.all_vars();
     let witnesses = vec![
-        witness(&system, &single_input(&[0, 1, 1, 1])),    // hunt -> prelock -> lock
-        witness(&system, &single_input(&[0, 1, 0, 0])),    // prelock falls back to hunt
+        witness(&system, &single_input(&[0, 1, 1, 1])), // hunt -> prelock -> lock
+        witness(&system, &single_input(&[0, 1, 0, 0])), // prelock falls back to hunt
         witness(&system, &single_input(&[0, 1, 1, 0, 1])), // lock survives a single miss
         witness(&system, &single_input(&[0, 1, 1, 0, 0])), // two misses drop the lock
-        witness(&system, &single_input(&[0, 0, 0])),       // hunting on silence
+        witness(&system, &single_input(&[0, 0, 0])),    // hunting on silence
     ];
     Benchmark {
         name: "FrameSyncController",

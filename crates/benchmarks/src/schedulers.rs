@@ -25,7 +25,7 @@ fn count_events() -> Benchmark {
         system.vars().lookup("ev").unwrap(),
         system.vars().lookup("full").unwrap(),
     ];
-    let fill = single_input(&std::iter::repeat(1).take(13).collect::<Vec<_>>());
+    let fill = single_input(&std::iter::repeat_n(1, 13).collect::<Vec<_>>());
     let witnesses = vec![
         witness(&system, &single_input(&[1, 1, 1])), // counting, not yet full
         witness(&system, &fill),                     // reaches full and stays
@@ -62,9 +62,9 @@ fn temporal_logic_scheduler() -> Benchmark {
         system.vars().lookup("tick").unwrap(),
         system.vars().lookup("fire").unwrap(),
     ];
-    let cycle = single_input(&std::iter::repeat(1).take(18).collect::<Vec<_>>());
+    let cycle = single_input(&std::iter::repeat_n(1, 18).collect::<Vec<_>>());
     let witnesses = vec![
-        witness(&system, &cycle),                    // fires twice across two periods
+        witness(&system, &cycle), // fires twice across two periods
         witness(&system, &single_input(&[1, 1, 1])), // not firing mid-period
         witness(&system, &single_input(&[0, 0, 0])), // idle
     ];
@@ -124,7 +124,9 @@ fn moore_traffic_light() -> Benchmark {
     let le = b.var(light);
     let te = b.var(timer);
     // Dwell times: red 4, green 4, yellow 2.
-    let limit = le.eq(&yellow).ite(&Expr::int_val(2, 4), &Expr::int_val(4, 4));
+    let limit = le
+        .eq(&yellow)
+        .ite(&Expr::int_val(2, 4), &Expr::int_val(4, 4));
     let expired = te.add(&Expr::int_val(1, 4)).ge(&limit);
     let next_light = expired.ite(
         &le.eq(&red).ite(&green, &le.eq(&green).ite(&yellow, &red)),
@@ -138,9 +140,9 @@ fn moore_traffic_light() -> Benchmark {
         system.vars().lookup("en").unwrap(),
         system.vars().lookup("light").unwrap(),
     ];
-    let full_cycle = single_input(&std::iter::repeat(1).take(14).collect::<Vec<_>>());
+    let full_cycle = single_input(&std::iter::repeat_n(1, 14).collect::<Vec<_>>());
     let witnesses = vec![
-        witness(&system, &full_cycle),               // red -> green -> yellow -> red
+        witness(&system, &full_cycle), // red -> green -> yellow -> red
         witness(&system, &single_input(&[1, 1, 1])), // staying red while the timer runs
         witness(&system, &single_input(&[0, 0, 0])), // disabled
     ];
@@ -160,7 +162,9 @@ fn intersection() -> Benchmark {
     let mut b = SystemBuilder::new();
     b.name("IntersectionOfTwo1wayStreets");
     let tick = b.input("tick", Sort::Bool).unwrap();
-    let phase = b.state_enum("phase", phase_sort.clone(), "NorthGreen").unwrap();
+    let phase = b
+        .state_enum("phase", phase_sort.clone(), "NorthGreen")
+        .unwrap();
     let hold = b.state("hold", Sort::int(4), Value::Int(0)).unwrap();
     let north = b.enum_const(phase, "NorthGreen");
     let east = b.enum_const(phase, "EastGreen");
@@ -176,7 +180,7 @@ fn intersection() -> Benchmark {
         system.vars().lookup("tick").unwrap(),
         system.vars().lookup("phase").unwrap(),
     ];
-    let two_switches = single_input(&std::iter::repeat(1).take(14).collect::<Vec<_>>());
+    let two_switches = single_input(&std::iter::repeat_n(1, 14).collect::<Vec<_>>());
     let witnesses = vec![
         witness(&system, &two_switches),             // north -> east -> north
         witness(&system, &single_input(&[1, 1, 1])), // holding north
@@ -212,7 +216,7 @@ fn superstep() -> Benchmark {
         system.vars().lookup("tick").unwrap(),
         system.vars().lookup("done").unwrap(),
     ];
-    let finish = single_input(&std::iter::repeat(1).take(7).collect::<Vec<_>>());
+    let finish = single_input(&std::iter::repeat_n(1, 7).collect::<Vec<_>>());
     let witnesses = vec![
         witness(&system, &single_input(&[1, 1, 1])), // advancing, not done
         witness(&system, &finish),                   // reaches done and stays

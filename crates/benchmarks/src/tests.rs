@@ -12,7 +12,11 @@ use std::collections::HashSet;
 #[test]
 fn suite_is_non_trivial_and_names_are_unique() {
     let suite = all_benchmarks();
-    assert!(suite.len() >= 15, "suite has only {} benchmarks", suite.len());
+    assert!(
+        suite.len() >= 15,
+        "suite has only {} benchmarks",
+        suite.len()
+    );
     let names: HashSet<&str> = suite.iter().map(|b| b.name).collect();
     assert_eq!(names.len(), suite.len(), "duplicate benchmark names");
 }
@@ -36,7 +40,11 @@ fn every_benchmark_is_well_formed() {
             b.name
         );
         for id in &b.observables {
-            assert!(b.system.vars().info(*id).is_some(), "{}: bad observable", b.name);
+            assert!(
+                b.system.vars().info(*id).is_some(),
+                "{}: bad observable",
+                b.name
+            );
         }
         assert_eq!(b.num_observables(), b.observables.len());
     }
@@ -62,7 +70,11 @@ fn every_system_simulates() {
         let sim = Simulator::new(&b.system);
         let mut rng = StdRng::seed_from_u64(1);
         let trace = sim.random_trace(25, &mut rng);
-        assert!(b.system.is_execution_trace(&trace), "{}: bad random trace", b.name);
+        assert!(
+            b.system.is_execution_trace(&trace),
+            "{}: bad random trace",
+            b.name
+        );
     }
 }
 

@@ -1,7 +1,7 @@
 //! The Tseitin bit-blasting encoder.
 
-use amle_expr::{Expr, ExprKind, BinOp, UnOp, Sort, Valuation, Value, VarId, VarSet};
-use amle_sat::{CnfFormula, Lit};
+use amle_expr::{BinOp, Expr, ExprKind, Sort, UnOp, Valuation, Value, VarId, VarSet};
+use amle_sat::{ClauseSink, CnfFormula, Lit};
 use std::collections::HashMap;
 
 /// A bit-vector operand: literals in LSB-first order plus a signedness flag
@@ -31,38 +31,80 @@ impl Word {
 
 /// Incremental word-level to CNF encoder over time frames.
 ///
+/// The encoder is generic over where the clauses go: the default sink is a
+/// plain [`CnfFormula`] blob (handy for DIMACS dumps and golden tests), but
+/// any [`ClauseSink`] works — in particular an
+/// [`amle_sat::IncrementalSolver`], which is how the k-induction checker and
+/// the SAT-based learner keep one persistent solver session per workload
+/// instead of re-encoding from scratch at every query.
+///
+/// Boolean and word encodings are memoised per `(frame, expression)`, so
+/// repeated queries over a persistent sink reuse the Tseitin definitions they
+/// already emitted.
+///
 /// See the [crate documentation](crate) for an overview and example.
 #[derive(Debug)]
-pub struct Encoder {
+pub struct Encoder<S: ClauseSink = CnfFormula> {
     vars: VarSet,
-    cnf: CnfFormula,
+    sink: S,
     true_lit: Lit,
     frames: HashMap<(usize, u32), Word>,
+    bool_cache: HashMap<(usize, Expr), Lit>,
+    word_cache: HashMap<(usize, Expr), Word>,
 }
 
-impl Encoder {
-    /// Creates an encoder for systems over the given variable table.
+impl Encoder<CnfFormula> {
+    /// Creates an encoder for systems over the given variable table, writing
+    /// into a fresh [`CnfFormula`].
     pub fn new(vars: &VarSet) -> Self {
-        let mut cnf = CnfFormula::new();
-        let t = cnf.new_var();
-        let true_lit = Lit::positive(t);
-        cnf.add_clause([true_lit]);
-        Encoder {
-            vars: vars.clone(),
-            cnf,
-            true_lit,
-            frames: HashMap::new(),
-        }
+        Encoder::with_sink(vars, CnfFormula::new())
     }
 
     /// The CNF accumulated so far.
     pub fn cnf(&self) -> &CnfFormula {
-        &self.cnf
+        &self.sink
     }
 
     /// Consumes the encoder and returns the accumulated CNF.
     pub fn into_cnf(self) -> CnfFormula {
-        self.cnf
+        self.sink
+    }
+}
+
+impl<S: ClauseSink> Encoder<S> {
+    /// Creates an encoder emitting clauses directly into `sink` (a CNF
+    /// container or a live incremental solver).
+    ///
+    /// The sink should be fresh: the encoder allocates its constant-true
+    /// variable first and assumes exclusive ownership of the variable space.
+    pub fn with_sink(vars: &VarSet, mut sink: S) -> Self {
+        let t = sink.new_var();
+        let true_lit = Lit::positive(t);
+        sink.add_clause(&[true_lit]);
+        Encoder {
+            vars: vars.clone(),
+            sink,
+            true_lit,
+            frames: HashMap::new(),
+            bool_cache: HashMap::new(),
+            word_cache: HashMap::new(),
+        }
+    }
+
+    /// The clause sink the encoder writes into.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the clause sink (e.g. to solve when the sink is an
+    /// incremental solver).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consumes the encoder and returns the sink.
+    pub fn into_sink(self) -> S {
+        self.sink
     }
 
     /// The literal that is constrained to be true in every model.
@@ -76,7 +118,7 @@ impl Encoder {
     }
 
     fn fresh_lit(&mut self) -> Lit {
-        Lit::positive(self.cnf.new_var())
+        Lit::positive(self.sink.new_var())
     }
 
     /// The bit-vector of variable `id` in time frame `frame`, allocating the
@@ -110,7 +152,7 @@ impl Encoder {
                         }
                     })
                     .collect();
-                self.cnf.add_clause(clause);
+                self.sink.add_clause(&clause);
             }
         }
         self.frames.insert(key, word.clone());
@@ -138,9 +180,9 @@ impl Encoder {
             return self.false_lit();
         }
         let out = self.fresh_lit();
-        self.cnf.add_clause([!out, a]);
-        self.cnf.add_clause([!out, b]);
-        self.cnf.add_clause([out, !a, !b]);
+        self.sink.add_clause(&[!out, a]);
+        self.sink.add_clause(&[!out, b]);
+        self.sink.add_clause(&[out, !a, !b]);
         out
     }
 
@@ -168,10 +210,10 @@ impl Encoder {
             return self.true_lit;
         }
         let out = self.fresh_lit();
-        self.cnf.add_clause([!out, a, b]);
-        self.cnf.add_clause([!out, !a, !b]);
-        self.cnf.add_clause([out, !a, b]);
-        self.cnf.add_clause([out, a, !b]);
+        self.sink.add_clause(&[!out, a, b]);
+        self.sink.add_clause(&[!out, !a, !b]);
+        self.sink.add_clause(&[out, !a, b]);
+        self.sink.add_clause(&[out, a, !b]);
         out
     }
 
@@ -186,10 +228,10 @@ impl Encoder {
             return then_lit;
         }
         let out = self.fresh_lit();
-        self.cnf.add_clause([!sel, !then_lit, out]);
-        self.cnf.add_clause([!sel, then_lit, !out]);
-        self.cnf.add_clause([sel, !else_lit, out]);
-        self.cnf.add_clause([sel, else_lit, !out]);
+        self.sink.add_clause(&[!sel, !then_lit, out]);
+        self.sink.add_clause(&[!sel, then_lit, !out]);
+        self.sink.add_clause(&[sel, !else_lit, out]);
+        self.sink.add_clause(&[sel, else_lit, !out]);
         out
     }
 
@@ -335,7 +377,21 @@ impl Encoder {
     /// Panics if the expression is not boolean or mentions variables outside
     /// the encoder's variable table.
     pub fn encode_bool(&mut self, frame: usize, expr: &Expr) -> Lit {
-        assert!(expr.sort().is_bool(), "encode_bool on {} expression", expr.sort());
+        assert!(
+            expr.sort().is_bool(),
+            "encode_bool on {} expression",
+            expr.sort()
+        );
+        let key = (frame, expr.clone());
+        if let Some(&lit) = self.bool_cache.get(&key) {
+            return lit;
+        }
+        let lit = self.encode_bool_uncached(frame, expr);
+        self.bool_cache.insert(key, lit);
+        lit
+    }
+
+    fn encode_bool_uncached(&mut self, frame: usize, expr: &Expr) -> Lit {
         match expr.kind() {
             ExprKind::Const(Value::Bool(b)) => {
                 if *b {
@@ -424,6 +480,16 @@ impl Encoder {
             !expr.sort().is_bool(),
             "encode_word on a boolean expression; use encode_bool"
         );
+        let key = (frame, expr.clone());
+        if let Some(word) = self.word_cache.get(&key) {
+            return word.clone();
+        }
+        let word = self.encode_word_uncached(frame, expr);
+        self.word_cache.insert(key, word.clone());
+        word
+    }
+
+    fn encode_word_uncached(&mut self, frame: usize, expr: &Expr) -> Word {
         let width = expr.sort().bit_width() as usize;
         let signed = matches!(expr.sort(), Sort::Int { signed: true, .. });
         match expr.kind() {
@@ -463,7 +529,7 @@ impl Encoder {
     /// Panics under the same conditions as [`Encoder::encode_bool`].
     pub fn assert_expr(&mut self, frame: usize, expr: &Expr) {
         let lit = self.encode_bool(frame, expr);
-        self.cnf.add_clause([lit]);
+        self.sink.add_clause(&[lit]);
     }
 
     /// Asserts that a boolean expression does **not** hold in frame `frame`.
@@ -473,7 +539,7 @@ impl Encoder {
     /// Panics under the same conditions as [`Encoder::encode_bool`].
     pub fn assert_not_expr(&mut self, frame: usize, expr: &Expr) {
         let lit = self.encode_bool(frame, expr);
-        self.cnf.add_clause([!lit]);
+        self.sink.add_clause(&[!lit]);
     }
 
     /// Asserts that at least one of the given literals holds (adds them as a
@@ -481,7 +547,7 @@ impl Encoder {
     /// different frames, such as "the target state is hit in some frame of
     /// the unrolling".
     pub fn assert_any(&mut self, lits: &[Lit]) {
-        self.cnf.add_clause(lits.iter().copied());
+        self.sink.add_clause(lits);
     }
 
     /// Asserts that variable `target` in frame `target_frame` equals the
@@ -510,16 +576,16 @@ impl Encoder {
         if target_sort.is_bool() {
             let target_lit = self.word(target_frame, target).bits[0];
             let expr_lit = self.encode_bool(source_frame, expr);
-            self.cnf.add_clause([!target_lit, expr_lit]);
-            self.cnf.add_clause([target_lit, !expr_lit]);
+            self.sink.add_clause(&[!target_lit, expr_lit]);
+            self.sink.add_clause(&[target_lit, !expr_lit]);
         } else {
             let target_word = self.word(target_frame, target);
             let expr_word = self.encode_word(source_frame, expr);
             for i in 0..target_word.width() {
                 let t = target_word.bits[i];
                 let e = expr_word.bits[i];
-                self.cnf.add_clause([!t, e]);
-                self.cnf.add_clause([t, !e]);
+                self.sink.add_clause(&[!t, e]);
+                self.sink.add_clause(&[t, !e]);
             }
         }
     }
@@ -536,9 +602,9 @@ impl Encoder {
         let raw = value.to_i64();
         for (b, lit) in word.bits.iter().enumerate() {
             if (raw >> b) & 1 != 0 {
-                self.cnf.add_clause([*lit]);
+                self.sink.add_clause(&[*lit]);
             } else {
-                self.cnf.add_clause([!*lit]);
+                self.sink.add_clause(&[!*lit]);
             }
         }
     }
@@ -555,11 +621,8 @@ impl Encoder {
             if let Some(word) = self.frames.get(&key) {
                 let mut raw: i64 = 0;
                 for (b, lit) in word.bits.iter().enumerate() {
-                    let bit_true = model
-                        .get(lit.var().index())
-                        .copied()
-                        .unwrap_or(false)
-                        == lit.is_positive();
+                    let bit_true =
+                        model.get(lit.var().index()).copied().unwrap_or(false) == lit.is_positive();
                     if bit_true {
                         raw |= 1 << b;
                     }

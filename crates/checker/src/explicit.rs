@@ -150,8 +150,14 @@ mod tests {
         let checker = ExplicitChecker::new(&sys, 1000);
         let c = sys.vars().lookup("c").unwrap();
         let ce = sys.var(c);
-        assert_eq!(checker.is_reachable(&ce.eq(&Expr::int_val(4, 3))), Some(true));
-        assert_eq!(checker.is_reachable(&ce.eq(&Expr::int_val(7, 3))), Some(false));
+        assert_eq!(
+            checker.is_reachable(&ce.eq(&Expr::int_val(4, 3))),
+            Some(true)
+        );
+        assert_eq!(
+            checker.is_reachable(&ce.eq(&Expr::int_val(7, 3))),
+            Some(false)
+        );
     }
 
     #[test]

@@ -1,9 +1,34 @@
 //! The SAT-based bounded model checker with k-induction.
+//!
+//! The checker keeps **persistent incremental solver sessions** — one per
+//! query shape — instead of bit-blasting a fresh CNF per query:
+//!
+//! * the *condition session* holds one unrolling of the transition relation
+//!   (frames 0 → 1); per-query assumption/blocked/conclusion constraints are
+//!   selected with assumption literals, so repeated condition checks share
+//!   the transition clauses, Tseitin definitions and everything the solver
+//!   learnt about them;
+//! * the *base session* holds `Init(X₀)` plus a growing unrolling of the
+//!   transition relation; "the target state is hit within `k` steps" is a
+//!   single activation-literal clause enabled by assumption;
+//! * the *step session* holds the same unrolling without `Init`; the
+//!   k-induction step case is expressed purely through assumptions
+//!   (`¬state` on frames `0..k`, `state` on frame `k`).
+//!
+//! Because the transition relation is a total function of the previous frame
+//! and input ranges are non-empty, a longer unrolling never constrains a
+//! shorter query — frames beyond `k` simply extend any witness — so sessions
+//! can grow monotonically across queries with different bounds.
+//!
+//! [`CheckerMode::FreshPerQuery`] retains the original blob-per-query
+//! behaviour as a differential-testing oracle.
 
 use amle_bitblast::Encoder;
 use amle_expr::{Expr, Valuation, VarId};
-use amle_sat::SolveResult;
+use amle_sat::{cdcl_backend, ClauseSink, IncrementalSolver, Lit, SolveResult, SolverStats};
 use amle_system::System;
+use std::collections::HashMap;
+use std::fmt;
 
 /// Outcome of a single condition check (Fig. 3a of the paper).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,23 +77,136 @@ pub struct CheckerStats {
     pub condition_checks: u64,
     /// Number of spurious-counterexample checks performed.
     pub spurious_checks: u64,
-    /// Total number of CNF clauses across all queries.
+    /// Total number of CNF clauses live in the backing solvers, summed over
+    /// queries (a proxy for encoding work; with incremental sessions the
+    /// per-query increment is what shrinks).
     pub total_clauses: u64,
+    /// Aggregated backend solver statistics across all sessions, including
+    /// sessions already retired.
+    pub solver: SolverStats,
+}
+
+/// How the checker manages its SAT backend across queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CheckerMode {
+    /// One persistent solver session per query shape; per-query constraints
+    /// are selected with assumption literals. The default.
+    #[default]
+    Incremental,
+    /// Re-encode and re-solve from scratch at every query, as the original
+    /// implementation did. Kept as a reference oracle for differential
+    /// testing and overhead measurements.
+    FreshPerQuery,
+}
+
+/// Factory producing fresh solver instances for the checker's sessions.
+pub type SolverBackend = fn() -> Box<dyn IncrementalSolver>;
+
+/// One persistent encoder-over-solver pair.
+struct Session {
+    enc: Encoder<Box<dyn IncrementalSolver>>,
+    /// Number of transition steps already unrolled (frames `0..=unrolled`
+    /// exist and are linked).
+    unrolled: usize,
+    /// Activation literals already attached for "formula holds in some frame
+    /// `0..=k`" disjunctions, keyed by `(formula, k)`, so repeated base-case
+    /// queries re-assume instead of re-adding the clause.
+    activations: HashMap<(Expr, usize), Lit>,
+}
+
+impl Session {
+    fn new(system: &System, backend: SolverBackend) -> Self {
+        Session {
+            enc: Encoder::with_sink(system.vars(), backend()),
+            unrolled: 0,
+            activations: HashMap::new(),
+        }
+    }
+
+    /// Encodes one unrolling of the transition relation between `frame` and
+    /// `frame + 1`: every state variable's next value is its update
+    /// expression over `frame`, every input variable in `frame + 1` respects
+    /// its range.
+    fn encode_transition(&mut self, system: &System, frame: usize) {
+        for id in system.state_vars() {
+            self.enc
+                .assert_var_equals_expr_across(frame + 1, *id, frame, system.update(*id));
+        }
+        let input_constraints = system.input_constraints_expr();
+        self.enc.assert_expr(frame + 1, &input_constraints);
+    }
+
+    /// Grows the unrolling so that at least `steps` transitions exist.
+    fn ensure_unrolled(&mut self, system: &System, steps: usize) {
+        while self.unrolled < steps {
+            let frame = self.unrolled;
+            self.encode_transition(system, frame);
+            self.unrolled += 1;
+        }
+    }
+
+    fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.enc.sink_mut().solve(assumptions)
+    }
+
+    fn solver_stats(&self) -> SolverStats {
+        self.enc.sink().stats()
+    }
+
+    fn num_clauses(&self) -> usize {
+        self.enc.sink().num_clauses()
+    }
 }
 
 /// Bounded model checker with k-induction over a [`System`].
-#[derive(Debug)]
 pub struct KInductionChecker<'a> {
     system: &'a System,
     stats: CheckerStats,
+    mode: CheckerMode,
+    backend: SolverBackend,
+    /// Fig. 3a session: one transition unrolling, query via assumptions.
+    condition: Option<Session>,
+    /// Fig. 3b base-case session: `Init` plus a growing unrolling.
+    base: Option<Session>,
+    /// Fig. 3b step-case session: a growing unrolling without `Init`.
+    step: Option<Session>,
+    /// Solver statistics of sessions that have been dropped (fresh mode).
+    retired: SolverStats,
+}
+
+impl fmt::Debug for KInductionChecker<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KInductionChecker")
+            .field("system", &self.system.name())
+            .field("mode", &self.mode)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> KInductionChecker<'a> {
-    /// Creates a checker for the given system.
+    /// Creates a checker for the given system with persistent incremental
+    /// sessions and the default CDCL backend.
     pub fn new(system: &'a System) -> Self {
+        Self::with_mode(system, CheckerMode::Incremental)
+    }
+
+    /// Creates a checker with an explicit session [`CheckerMode`].
+    pub fn with_mode(system: &'a System, mode: CheckerMode) -> Self {
+        Self::with_backend(system, mode, cdcl_backend)
+    }
+
+    /// Creates a checker with an explicit mode and solver backend factory.
+    pub fn with_backend(system: &'a System, mode: CheckerMode, backend: SolverBackend) -> Self {
         KInductionChecker {
             system,
             stats: CheckerStats::default(),
+            mode,
+            backend,
+            condition: None,
+            base: None,
+            step: None,
+            retired: SolverStats::default(),
         }
     }
 
@@ -77,38 +215,184 @@ impl<'a> KInductionChecker<'a> {
         self.system
     }
 
-    /// Statistics accumulated so far.
+    /// The session mode of this checker.
+    pub fn mode(&self) -> CheckerMode {
+        self.mode
+    }
+
+    /// The name of the SAT backend in use, read from a live session when one
+    /// exists (constructing a throwaway backend instance only as a fallback).
+    pub fn backend_name(&self) -> &'static str {
+        [&self.condition, &self.base, &self.step]
+            .into_iter()
+            .flatten()
+            .next()
+            .map(|session| session.enc.sink().backend_name())
+            .unwrap_or_else(|| (self.backend)().backend_name())
+    }
+
+    /// Statistics accumulated so far, including aggregated solver statistics
+    /// across every session this checker has driven.
     pub fn stats(&self) -> CheckerStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.solver = self.solver_stats();
+        stats
     }
 
-    fn new_encoder(&self) -> Encoder {
-        Encoder::new(self.system.vars())
-    }
-
-    /// Encodes one unrolling of the transition relation between `frame` and
-    /// `frame + 1`: every state variable's next value is its update
-    /// expression over `frame`, every input variable in `frame + 1` respects
-    /// its range.
-    fn encode_transition(&self, enc: &mut Encoder, frame: usize) {
-        for id in self.system.state_vars() {
-            enc.assert_var_equals_expr_across(frame + 1, *id, frame, self.system.update(*id));
+    /// Aggregated backend statistics across all (live and retired) sessions.
+    pub fn solver_stats(&self) -> SolverStats {
+        let mut total = self.retired;
+        for session in [&self.condition, &self.base, &self.step]
+            .into_iter()
+            .flatten()
+        {
+            total += session.solver_stats();
         }
-        let input_constraints = self.system.input_constraints_expr();
-        enc.assert_expr(frame + 1, &input_constraints);
+        total
     }
 
-    fn encode_input_constraints(&self, enc: &mut Encoder, frame: usize) {
-        let input_constraints = self.system.input_constraints_expr();
-        enc.assert_expr(frame, &input_constraints);
+    /// The condition session, created on first use: input constraints on
+    /// frame 0 plus one transition unrolling (which constrains frame 1).
+    fn condition_session(system: &System, backend: SolverBackend) -> Session {
+        let mut session = Session::new(system, backend);
+        let input_constraints = system.input_constraints_expr();
+        session.enc.assert_expr(0, &input_constraints);
+        session.ensure_unrolled(system, 1);
+        session
     }
 
-    fn solve(&mut self, enc: &Encoder) -> (SolveResult, Vec<bool>) {
-        self.stats.sat_queries += 1;
-        self.stats.total_clauses += enc.cnf().num_clauses() as u64;
-        let mut solver = enc.cnf().to_solver();
-        let result = solver.solve();
-        (result, solver.model())
+    /// The base-case session: `Init(X₀)`; the unrolling grows per query.
+    fn base_session(system: &System, backend: SolverBackend) -> Session {
+        let mut session = Session::new(system, backend);
+        let init = system.init_expr();
+        session.enc.assert_expr(0, &init);
+        session
+    }
+
+    /// The step-case session: input constraints on frame 0; the unrolling
+    /// grows per query.
+    fn step_session(system: &System, backend: SolverBackend) -> Session {
+        let mut session = Session::new(system, backend);
+        let input_constraints = system.input_constraints_expr();
+        session.enc.assert_expr(0, &input_constraints);
+        session
+    }
+
+    /// Records one SAT query against `session` in the counters.
+    fn count_query(stats: &mut CheckerStats, session: &Session) {
+        stats.sat_queries += 1;
+        stats.total_clauses += session.num_clauses() as u64;
+    }
+
+    /// Runs a condition query against a session. The session must contain
+    /// the one-step transition unrolling; everything query-specific travels
+    /// through assumptions.
+    fn condition_query(
+        stats: &mut CheckerStats,
+        session: &mut Session,
+        assumption: &Expr,
+        blocked: &[Expr],
+        conclusion: &Expr,
+    ) -> CheckResult {
+        let mut assumptions = Vec::with_capacity(blocked.len() + 2);
+        assumptions.push(session.enc.encode_bool(0, assumption));
+        for blocked_state in blocked {
+            assumptions.push(!session.enc.encode_bool(0, blocked_state));
+        }
+        assumptions.push(!session.enc.encode_bool(1, conclusion));
+        Self::count_query(stats, session);
+        match session.solve(&assumptions) {
+            SolveResult::Unsat => CheckResult::Valid,
+            SolveResult::Sat => {
+                let model = session.enc.sink().model();
+                CheckResult::Violated {
+                    from: session.enc.decode_frame(&model, 0),
+                    to: session.enc.decode_frame(&model, 1),
+                }
+            }
+        }
+    }
+
+    /// Runs the k-induction base case against a session holding `Init`:
+    /// is the state reachable within `k` steps? The per-query disjunction
+    /// "state holds in some frame `0..=k`" is attached behind an activation
+    /// literal so it can be retracted by simply not assuming it; the literal
+    /// is cached per `(formula, k)` so a repeated query re-assumes instead of
+    /// duplicating the clause.
+    fn base_query(
+        stats: &mut CheckerStats,
+        session: &mut Session,
+        system: &System,
+        state_formula: &Expr,
+        k: usize,
+    ) -> SolveResult {
+        session.ensure_unrolled(system, k);
+        let key = (state_formula.clone(), k);
+        let act = match session.activations.get(&key) {
+            Some(&act) => act,
+            None => {
+                let frame_lits: Vec<Lit> = (0..=k)
+                    .map(|frame| session.enc.encode_bool(frame, state_formula))
+                    .collect();
+                let act = Lit::positive(session.enc.sink_mut().new_var());
+                let mut clause = Vec::with_capacity(frame_lits.len() + 1);
+                clause.push(!act);
+                clause.extend(frame_lits);
+                session.enc.sink_mut().add_clause(&clause);
+                session.activations.insert(key, act);
+                act
+            }
+        };
+        Self::count_query(stats, session);
+        session.solve(&[act])
+    }
+
+    /// Runs the k-induction step case against a session without `Init`:
+    /// `¬state` on frames `0..k`, one more transition, `state` on frame `k` —
+    /// expressed entirely through assumptions.
+    fn step_query(
+        stats: &mut CheckerStats,
+        session: &mut Session,
+        system: &System,
+        state_formula: &Expr,
+        k: usize,
+    ) -> SolveResult {
+        session.ensure_unrolled(system, k);
+        let mut assumptions = Vec::with_capacity(k + 1);
+        for frame in 0..k {
+            assumptions.push(!session.enc.encode_bool(frame, state_formula));
+        }
+        assumptions.push(session.enc.encode_bool(k, state_formula));
+        Self::count_query(stats, session);
+        session.solve(&assumptions)
+    }
+
+    /// Runs one query against the session in `slot`, handling the mode
+    /// dispatch in one place: incremental mode reuses (or lazily builds) the
+    /// persistent session, fresh mode builds a throwaway session and folds
+    /// its solver statistics into `retired`.
+    fn run_query<R>(
+        mode: CheckerMode,
+        stats: &mut CheckerStats,
+        retired: &mut SolverStats,
+        slot: &mut Option<Session>,
+        make: impl FnOnce() -> Session,
+        query: impl FnOnce(&mut CheckerStats, &mut Session) -> R,
+    ) -> R {
+        match mode {
+            CheckerMode::Incremental => {
+                let mut session = slot.take().unwrap_or_else(make);
+                let result = query(stats, &mut session);
+                *slot = Some(session);
+                result
+            }
+            CheckerMode::FreshPerQuery => {
+                let mut session = make();
+                let result = query(stats, &mut session);
+                *retired += session.solver_stats();
+                result
+            }
+        }
     }
 
     /// Checks a condition of the form
@@ -126,22 +410,15 @@ impl<'a> KInductionChecker<'a> {
         conclusion: &Expr,
     ) -> CheckResult {
         self.stats.condition_checks += 1;
-        let mut enc = self.new_encoder();
-        enc.assert_expr(0, assumption);
-        for blocked_state in blocked {
-            enc.assert_not_expr(0, blocked_state);
-        }
-        self.encode_input_constraints(&mut enc, 0);
-        self.encode_transition(&mut enc, 0);
-        enc.assert_not_expr(1, conclusion);
-        let (result, model) = self.solve(&enc);
-        match result {
-            SolveResult::Unsat => CheckResult::Valid,
-            SolveResult::Sat => CheckResult::Violated {
-                from: enc.decode_frame(&model, 0),
-                to: enc.decode_frame(&model, 1),
-            },
-        }
+        let (system, backend) = (self.system, self.backend);
+        Self::run_query(
+            self.mode,
+            &mut self.stats,
+            &mut self.retired,
+            &mut self.condition,
+            || Self::condition_session(system, backend),
+            |stats, session| Self::condition_query(stats, session, assumption, blocked, conclusion),
+        )
     }
 
     /// Checks the initial-state condition (1) of the paper:
@@ -193,32 +470,27 @@ impl<'a> KInductionChecker<'a> {
         assert!(k > 0, "k-induction bound must be positive");
         self.stats.spurious_checks += 1;
 
-        // Base case: Init(X0) ∧ R-chain ∧ (state at some frame 0..=k).
-        let mut enc = self.new_encoder();
-        enc.assert_expr(0, &self.system.init_expr());
-        for frame in 0..k {
-            self.encode_transition(&mut enc, frame);
-        }
-        // "The state holds in at least one frame of the unrolling": a single
-        // clause over the per-frame output literals.
-        let frame_lits: Vec<_> = (0..=k)
-            .map(|frame| enc.encode_bool(frame, state_formula))
-            .collect();
-        enc.assert_any(&frame_lits);
-        let (base, _) = self.solve(&enc);
+        let (system, backend) = (self.system, self.backend);
+        let base = Self::run_query(
+            self.mode,
+            &mut self.stats,
+            &mut self.retired,
+            &mut self.base,
+            || Self::base_session(system, backend),
+            |stats, session| Self::base_query(stats, session, system, state_formula, k),
+        );
         if base == SolveResult::Sat {
             return SpuriousResult::Reachable;
         }
 
-        // Step case: ¬state(X_0..k-1) ∧ R-chain ∧ state(X_k).
-        let mut enc = self.new_encoder();
-        self.encode_input_constraints(&mut enc, 0);
-        for frame in 0..k {
-            enc.assert_not_expr(frame, state_formula);
-            self.encode_transition(&mut enc, frame);
-        }
-        enc.assert_expr(k, state_formula);
-        let (step, _) = self.solve(&enc);
+        let step = Self::run_query(
+            self.mode,
+            &mut self.stats,
+            &mut self.retired,
+            &mut self.step,
+            || Self::step_session(system, backend),
+            |stats, session| Self::step_query(stats, session, system, state_formula, k),
+        );
         if step == SolveResult::Unsat {
             SpuriousResult::Spurious
         } else {
@@ -226,7 +498,6 @@ impl<'a> KInductionChecker<'a> {
         }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,7 +555,10 @@ mod tests {
         match checker.check_condition(&assumption, &[], &conclusion) {
             CheckResult::Valid => panic!("condition should be violated"),
             CheckResult::Violated { from, to } => {
-                assert!(sys.is_transition(&from, &to), "counterexample must be a transition");
+                assert!(
+                    sys.is_transition(&from, &to),
+                    "counterexample must be a transition"
+                );
                 let c_id = sys.vars().lookup("c").unwrap();
                 assert_eq!(to.value(c_id).to_i64(), 3);
             }
@@ -314,10 +588,7 @@ mod tests {
         let mut checker = KInductionChecker::new(&sys);
         let c = var_expr(&sys, "c");
         // From Init (c = 0), one step leads to c = 0 or c = 1.
-        let outgoing = vec![
-            c.eq(&Expr::int_val(0, 4)),
-            c.eq(&Expr::int_val(1, 4)),
-        ];
+        let outgoing = vec![c.eq(&Expr::int_val(0, 4)), c.eq(&Expr::int_val(1, 4))];
         assert!(checker.check_initial_condition(&outgoing).is_valid());
         // Claiming the successor is always exactly 1 is violated (en = false).
         let too_strong = vec![c.eq(&Expr::int_val(1, 4))];
@@ -336,7 +607,10 @@ mod tests {
         ghost.set(c_id, Value::Int(0));
         ghost.set(flag_id, Value::Bool(true));
         let formula = checker.state_formula(&ghost, &[c_id, flag_id]);
-        assert_eq!(checker.check_spurious(&formula, 8), SpuriousResult::Spurious);
+        assert_eq!(
+            checker.check_spurious(&formula, 8),
+            SpuriousResult::Spurious
+        );
         assert_eq!(checker.stats().spurious_checks, 1);
     }
 
@@ -348,7 +622,10 @@ mod tests {
         let mut target = sys.initial_valuation();
         target.set(c_id, Value::Int(3));
         let formula = checker.state_formula(&target, &[c_id]);
-        assert_eq!(checker.check_spurious(&formula, 5), SpuriousResult::Reachable);
+        assert_eq!(
+            checker.check_spurious(&formula, 5),
+            SpuriousResult::Reachable
+        );
     }
 
     #[test]
@@ -364,7 +641,10 @@ mod tests {
         let result = checker.check_spurious(&formula, 2);
         assert_ne!(result, SpuriousResult::Spurious);
         // With a sufficiently large bound the base case finds the path.
-        assert_eq!(checker.check_spurious(&formula, 6), SpuriousResult::Reachable);
+        assert_eq!(
+            checker.check_spurious(&formula, 6),
+            SpuriousResult::Reachable
+        );
     }
 
     #[test]

@@ -31,7 +31,9 @@ mod explicit;
 mod kinduction;
 
 pub use explicit::ExplicitChecker;
-pub use kinduction::{CheckResult, CheckerStats, KInductionChecker, SpuriousResult};
+pub use kinduction::{
+    CheckResult, CheckerMode, CheckerStats, KInductionChecker, SolverBackend, SpuriousResult,
+};
 
 #[cfg(test)]
 mod proptests;

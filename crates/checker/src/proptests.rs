@@ -21,7 +21,8 @@ fn parametric_system(n: i64, threshold: i64) -> System {
         .ite(&Expr::int_val(0, bits), &ce.add(&Expr::int_val(1, bits)));
     let next_c = b.var(en).ite(&wrapped, &ce);
     b.update(c, next_c.clone()).unwrap();
-    b.update(flag, next_c.ge(&Expr::int_val(threshold, bits))).unwrap();
+    b.update(flag, next_c.ge(&Expr::int_val(threshold, bits)))
+        .unwrap();
     b.build().unwrap()
 }
 

@@ -143,7 +143,11 @@ mod tests {
         let mut active = ActiveLearner::new(&sys, HistoryLearner::new(1), config);
         let report = active.run().unwrap();
 
-        assert!(report.converged, "active loop should converge, α = {}", report.alpha);
+        assert!(
+            report.converged,
+            "active loop should converge, α = {}",
+            report.alpha
+        );
         assert!(
             baseline.alpha <= report.alpha,
             "baseline α {} should not exceed active α {}",

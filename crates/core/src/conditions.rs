@@ -156,9 +156,6 @@ mod tests {
             .find(|c| c.kind == (ConditionKind::State { state: q1 }))
             .unwrap();
         assert!(dead_end.conclusion().is_false());
-        assert_eq!(
-            dead_end.as_implication().to_string(),
-            "(true => false)"
-        );
+        assert_eq!(dead_end.as_implication().to_string(), "(true => false)");
     }
 }

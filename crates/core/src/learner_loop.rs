@@ -128,11 +128,8 @@ pub(crate) fn evaluate_conditions(
         let mut blocked = Vec::new();
         let mut rounds = 0;
         loop {
-            let result = checker.check_condition(
-                &condition.assumption,
-                &blocked,
-                &condition.conclusion(),
-            );
+            let result =
+                checker.check_condition(&condition.assumption, &blocked, &condition.conclusion());
             match result {
                 CheckResult::Valid => {
                     evaluation.held += 1;
@@ -276,6 +273,9 @@ impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
         let mut check_time = Duration::ZERO;
         let mut iteration_stats = Vec::new();
         let mut checker = KInductionChecker::new(self.system);
+        // The learner accumulates solver statistics across its lifetime;
+        // snapshot them so the report attributes only this run's work.
+        let learner_stats_start = self.learner.solver_stats();
 
         let mut abstraction = None;
         let mut conditions: Vec<Condition> = Vec::new();
@@ -367,6 +367,8 @@ impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
             total_time: start.elapsed(),
             learn_time,
             check_time,
+            checker_stats: checker.stats(),
+            learner_solver_stats: self.learner.solver_stats().since(&learner_stats_start),
         })
     }
 }
@@ -375,9 +377,9 @@ impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
 mod tests {
     use super::*;
     use amle_expr::{Expr, Sort, Value};
-    use amle_learner::{HistoryLearner, LstarLearner};
     #[allow(unused_imports)]
     use amle_learner::ModelLearner as _;
+    use amle_learner::{HistoryLearner, LstarLearner};
     use amle_system::SystemBuilder;
 
     /// The Fig. 2 home climate-control cooler.
@@ -424,7 +426,11 @@ mod tests {
         let sys = cooler();
         let mut learner = ActiveLearner::new(&sys, HistoryLearner::default(), quick_config());
         let report = learner.run().unwrap();
-        assert!(report.converged, "expected convergence, got α = {}", report.alpha);
+        assert!(
+            report.converged,
+            "expected convergence, got α = {}",
+            report.alpha
+        );
         assert_eq!(report.alpha, 1.0);
         assert!(report.num_states() >= 1);
         assert!(!report.invariants.is_empty());
@@ -460,7 +466,11 @@ mod tests {
         };
         let mut learner = ActiveLearner::new(&sys, HistoryLearner::new(1), config);
         let report = learner.run().unwrap();
-        assert!(report.converged, "α = {} after {} iterations", report.alpha, report.iterations);
+        assert!(
+            report.converged,
+            "α = {} after {} iterations",
+            report.alpha, report.iterations
+        );
         // Short random traces rarely witness the saturation behaviour, so at
         // least one refinement iteration is expected.
         assert!(report.iterations >= 1);
@@ -500,6 +510,55 @@ mod tests {
             .map(|s| s.alpha)
             .fold(0.0f64, f64::max);
         assert!(report.alpha >= max_alpha - 1e-9);
+    }
+
+    #[test]
+    fn solver_stats_flow_into_the_report() {
+        let sys = cooler();
+        let mut learner = ActiveLearner::new(&sys, HistoryLearner::default(), quick_config());
+        let report = learner.run().unwrap();
+        // The checking phase issues SAT queries through the incremental
+        // backend, so aggregated solve calls must be visible in the report.
+        assert!(report.checker_stats.solver.solve_calls > 0);
+        assert!(report.checker_stats.sat_queries > 0);
+        assert_eq!(
+            report.checker_stats.solver.solve_calls,
+            report.checker_stats.sat_queries
+        );
+        assert!(report.solver_stats().solve_calls >= report.checker_stats.solver.solve_calls);
+        // The history learner does not use SAT.
+        assert_eq!(report.learner_solver_stats.solve_calls, 0);
+    }
+
+    #[test]
+    fn sat_learner_solver_stats_flow_into_the_report() {
+        let sys = cooler();
+        // Restrict the abstraction to the boolean mode variable: over the full
+        // valuation space the 8-bit input yields a large abstract alphabet and
+        // exact DFA identification is not tractable in a unit test.
+        let on = sys.vars().lookup("s_on").unwrap();
+        let config = ActiveLearnerConfig {
+            observables: Some(vec![on]),
+            initial_traces: 5,
+            trace_length: 6,
+            k: 4,
+            max_iterations: 4,
+            ..Default::default()
+        };
+        let mut learner = ActiveLearner::new(&sys, amle_learner::SatDfaLearner::default(), config);
+        let report = learner.run().unwrap();
+        assert!(report.learner_solver_stats.solve_calls > 0);
+        assert!(report.solver_stats().solve_calls > report.checker_stats.solver.solve_calls);
+
+        // The learner accumulates stats across its lifetime, but each report
+        // must attribute only its own run: an identical second run (same
+        // seed, same traces) reports the same per-run solve count, not the
+        // cumulative total.
+        let second = learner.run().unwrap();
+        assert_eq!(
+            second.learner_solver_stats.solve_calls,
+            report.learner_solver_stats.solve_calls
+        );
     }
 
     #[test]

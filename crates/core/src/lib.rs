@@ -67,5 +67,10 @@ pub use conditions::{extract_conditions, Condition, ConditionKind};
 pub use learner_loop::{ActiveLearnError, ActiveLearner, ActiveLearnerConfig};
 pub use report::{Invariant, IterationStats, RunReport};
 
+// Statistics types surfaced through `RunReport`, re-exported so harnesses
+// need not depend on the checker/sat crates directly.
+pub use amle_checker::CheckerStats;
+pub use amle_sat::SolverStats;
+
 #[cfg(test)]
 mod proptests;

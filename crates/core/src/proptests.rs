@@ -42,7 +42,11 @@ fn mod_counter(n: i64) -> System {
 fn check_theorem_1(system: &System, config: ActiveLearnerConfig) -> Result<(), TestCaseError> {
     let mut learner = ActiveLearner::new(system, HistoryLearner::default(), config);
     let report = learner.run().expect("active learning must not error");
-    prop_assert!(report.converged, "loop did not converge: α = {}", report.alpha);
+    prop_assert!(
+        report.converged,
+        "loop did not converge: α = {}",
+        report.alpha
+    );
     let sim = Simulator::new(system);
     let mut rng = StdRng::seed_from_u64(0xFEED_5EED);
     for _ in 0..15 {

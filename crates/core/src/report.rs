@@ -1,7 +1,9 @@
 //! Run reports, per-iteration statistics and extracted invariants.
 
 use amle_automaton::{display_expr, Nfa};
+use amle_checker::CheckerStats;
 use amle_expr::{Expr, VarSet};
+use amle_sat::SolverStats;
 use std::time::Duration;
 
 /// An invariant of the implementation, extracted from the final abstraction:
@@ -78,6 +80,12 @@ pub struct RunReport {
     pub learn_time: Duration,
     /// Total wall-clock time spent in model checking.
     pub check_time: Duration,
+    /// Model-checker statistics, including the aggregated backend SAT-solver
+    /// statistics of the checking phase (`checker_stats.solver`).
+    pub checker_stats: CheckerStats,
+    /// Aggregated backend SAT-solver statistics of the model-learning phase
+    /// (zero for learners that do not reason with SAT).
+    pub learner_solver_stats: SolverStats,
 }
 
 impl RunReport {
@@ -95,6 +103,12 @@ impl RunReport {
     /// Number of states of the final abstraction (the paper's `N` column).
     pub fn num_states(&self) -> usize {
         self.abstraction.num_states()
+    }
+
+    /// Combined backend SAT-solver statistics across the checking and
+    /// learning phases of the run.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.checker_stats.solver + self.learner_solver_stats
     }
 }
 
@@ -129,6 +143,8 @@ mod tests {
             total_time: Duration::from_millis(200),
             learn_time: Duration::from_millis(50),
             check_time: Duration::from_millis(150),
+            checker_stats: CheckerStats::default(),
+            learner_solver_stats: SolverStats::default(),
         };
         assert!((report.learn_time_percentage() - 25.0).abs() < 1e-9);
         assert_eq!(report.num_states(), 0);

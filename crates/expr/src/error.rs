@@ -44,9 +44,16 @@ impl fmt::Display for SortError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SortError::Mismatch { op, left, right } => {
-                write!(f, "operands of `{op}` have incompatible sorts {left} and {right}")
+                write!(
+                    f,
+                    "operands of `{op}` have incompatible sorts {left} and {right}"
+                )
             }
-            SortError::Expected { op, expected, found } => {
+            SortError::Expected {
+                op,
+                expected,
+                found,
+            } => {
                 write!(f, "operand of `{op}` must be {expected}, found {found}")
             }
             SortError::DuplicateVariable { name } => {

@@ -161,8 +161,7 @@ impl Expr {
     ///
     /// Panics if the value does not fit the width.
     pub fn int_val(value: i64, bits: u32) -> Self {
-        Expr::constant(&Sort::int(bits), Value::Int(value))
-            .expect("unsigned constant out of range")
+        Expr::constant(&Sort::int(bits), Value::Int(value)).expect("unsigned constant out of range")
     }
 
     /// A signed integer constant of the given bit width.
@@ -264,7 +263,10 @@ impl Expr {
     ///
     /// Returns a [`SortError`] if either operand is not boolean.
     pub fn try_bool_op(op: BinOp, a: &Expr, b: &Expr) -> Result<Expr, SortError> {
-        debug_assert!(matches!(op, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Implies));
+        debug_assert!(matches!(
+            op,
+            BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Implies
+        ));
         for e in [a, b] {
             if !e.sort().is_bool() {
                 return Err(SortError::Expected {
@@ -399,7 +401,10 @@ impl Expr {
             "operand of unary `-` must be int, found {}",
             self.sort()
         );
-        Expr::new(ExprKind::Unary(UnOp::Neg, self.clone()), self.sort().clone())
+        Expr::new(
+            ExprKind::Unary(UnOp::Neg, self.clone()),
+            self.sort().clone(),
+        )
     }
 
     /// Boolean conjunction. See [`Expr::try_bool_op`] for the fallible form.
@@ -603,14 +608,12 @@ impl Expr {
                     BinOp::Implies => Value::Bool(
                         !av.as_bool().expect("bool operand") || bv.as_bool().expect("bool operand"),
                     ),
-                    BinOp::Add => Value::Int(
-                        self.sort()
-                            .wrap(av.as_int().expect("int operand") + bv.as_int().expect("int operand")),
-                    ),
-                    BinOp::Sub => Value::Int(
-                        self.sort()
-                            .wrap(av.as_int().expect("int operand") - bv.as_int().expect("int operand")),
-                    ),
+                    BinOp::Add => Value::Int(self.sort().wrap(
+                        av.as_int().expect("int operand") + bv.as_int().expect("int operand"),
+                    )),
+                    BinOp::Sub => Value::Int(self.sort().wrap(
+                        av.as_int().expect("int operand") - bv.as_int().expect("int operand"),
+                    )),
                     BinOp::Mul => Value::Int(
                         self.sort().wrap(
                             av.as_int()
@@ -724,12 +727,10 @@ impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind() {
             ExprKind::Const(v) => match (self.sort(), v) {
-                (Sort::Enum(e), Value::Enum(idx)) => {
-                    match e.variants.get(*idx as usize) {
-                        Some(name) => write!(f, "{name}"),
-                        None => write!(f, "{v}"),
-                    }
-                }
+                (Sort::Enum(e), Value::Enum(idx)) => match e.variants.get(*idx as usize) {
+                    Some(name) => write!(f, "{name}"),
+                    None => write!(f, "{v}"),
+                },
                 _ => write!(f, "{v}"),
             },
             ExprKind::Var(id) => write!(f, "{id}"),

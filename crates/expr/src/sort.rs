@@ -89,7 +89,10 @@ impl Sort {
         S: Into<String>,
     {
         let variants: Vec<String> = variants.into_iter().map(Into::into).collect();
-        assert!(!variants.is_empty(), "enumeration sort needs at least one variant");
+        assert!(
+            !variants.is_empty(),
+            "enumeration sort needs at least one variant"
+        );
         Sort::Enum(Arc::new(EnumSort {
             name: name.into(),
             variants,

@@ -176,7 +176,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut vs = vec![Value::Int(3), Value::Bool(true), Value::Int(1), Value::Enum(0)];
+        let mut vs = [
+            Value::Int(3),
+            Value::Bool(true),
+            Value::Int(1),
+            Value::Enum(0),
+        ];
         vs.sort();
         assert_eq!(vs.len(), 4);
     }

@@ -359,14 +359,13 @@ mod tests {
     #[test]
     fn discrete_variables_get_equality_cells() {
         let (vars, _, on, traces) = thermostat_traces();
-        let abs = AlphabetAbstraction::from_traces(
-            &vars,
-            &[on],
-            &traces,
-            AbstractionConfig::default(),
-        );
+        let abs =
+            AlphabetAbstraction::from_traces(&vars, &[on], &traces, AbstractionConfig::default());
         assert_eq!(abs.num_letters(), 2);
-        let preds: Vec<String> = abs.letters().map(|l| abs.predicate(l).to_string()).collect();
+        let preds: Vec<String> = abs
+            .letters()
+            .map(|l| abs.predicate(l).to_string())
+            .collect();
         assert!(preds.iter().any(|p| p.contains('!')));
     }
 

@@ -157,7 +157,11 @@ mod tests {
         let nfa = learner.learn(sys.vars(), &observables, &traces).unwrap();
         // Letters for the cooler: (temp cell) x (on value) — at most 2*2 plus
         // the initial state, and the threshold mining may add a few cells.
-        assert!(nfa.num_states() <= 10, "unexpectedly large model: {}", nfa.num_states());
+        assert!(
+            nfa.num_states() <= 10,
+            "unexpectedly large model: {}",
+            nfa.num_states()
+        );
         for trace in traces.iter() {
             assert!(nfa.accepts_trace(trace));
         }

@@ -3,6 +3,7 @@
 use crate::{AlphabetAbstraction, LetterId};
 use amle_automaton::Nfa;
 use amle_expr::{VarId, VarSet};
+use amle_sat::SolverStats;
 use amle_system::TraceSet;
 use std::collections::BTreeSet;
 use std::error::Error;
@@ -56,6 +57,12 @@ pub trait ModelLearner {
 
     /// A short human-readable name for reports.
     fn name(&self) -> &'static str;
+
+    /// Backend SAT-solver statistics accumulated by this learner, for
+    /// learners that reason with SAT; others report the zero default.
+    fn solver_stats(&self) -> SolverStats {
+        SolverStats::default()
+    }
 }
 
 /// Convenience enum for selecting a learner in configurations and benchmark
@@ -95,6 +102,15 @@ impl ModelLearner for LearnerKind {
             LearnerKind::Lstar(l) => l.name(),
         }
     }
+
+    fn solver_stats(&self) -> SolverStats {
+        match self {
+            LearnerKind::History(l) => l.solver_stats(),
+            LearnerKind::KTails(l) => l.solver_stats(),
+            LearnerKind::SatDfa(l) => l.solver_stats(),
+            LearnerKind::Lstar(l) => l.solver_stats(),
+        }
+    }
 }
 
 impl Default for LearnerKind {
@@ -128,7 +144,9 @@ impl LetterAutomaton {
                 abstraction.predicate(*letter),
             );
         }
-        nfa.merge_parallel_edges().simplify_guards().trim_unreachable()
+        nfa.merge_parallel_edges()
+            .simplify_guards()
+            .trim_unreachable()
     }
 
     /// Checks whether the letter automaton accepts an abstract word.

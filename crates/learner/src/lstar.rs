@@ -115,10 +115,10 @@ impl ObservationTable {
             }
         }
         for w in words {
-            if !self.entries.contains_key(&w) {
+            if let std::collections::hash_map::Entry::Vacant(entry) = self.entries.entry(w) {
                 *queries += 1;
-                let value = teacher.member(&w);
-                self.entries.insert(w, value);
+                let value = teacher.member(entry.key());
+                entry.insert(value);
             }
         }
     }
@@ -148,8 +148,7 @@ impl ObservationTable {
 
     /// Returns an unclosed extension `s·a`, if one exists.
     fn find_unclosed(&self) -> Option<Vec<LetterId>> {
-        let prefix_rows: HashSet<Vec<bool>> =
-            self.prefixes.iter().map(|p| self.row(p)).collect();
+        let prefix_rows: HashSet<Vec<bool>> = self.prefixes.iter().map(|p| self.row(p)).collect();
         for p in &self.prefixes {
             for a in &self.alphabet {
                 let mut ext = p.clone();
@@ -320,9 +319,9 @@ impl ModelLearner for LstarLearner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use amle_expr::Valuation;
     use amle_expr::{Sort, Value};
     use amle_system::{Simulator, SystemBuilder, Trace, TraceSet};
-    use amle_expr::Valuation;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

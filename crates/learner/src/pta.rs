@@ -105,14 +105,13 @@ impl Pta {
         for _ in 0..k {
             let mut interner: HashMap<Vec<(LetterId, usize)>, usize> = HashMap::new();
             let mut next: Vec<usize> = vec![0; n];
-            for node in 0..n {
+            for (node, slot) in next.iter_mut().enumerate() {
                 let signature: Vec<(LetterId, usize)> = self.children[node]
                     .iter()
                     .map(|(l, c)| (*l, classes[*c]))
                     .collect();
                 let len = interner.len();
-                let class = *interner.entry(signature).or_insert(len);
-                next[node] = class;
+                *slot = *interner.entry(signature).or_insert(len);
             }
             if next == classes {
                 break;

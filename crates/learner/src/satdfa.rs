@@ -20,12 +20,21 @@ use crate::learner::LetterAutomaton;
 use crate::{AbstractionConfig, AlphabetAbstraction, LearnError, LetterId, ModelLearner, Pta};
 use amle_automaton::Nfa;
 use amle_expr::{VarId, VarSet};
-use amle_sat::{Lit, SolveResult, Solver, Var};
+use amle_sat::{cdcl_backend, ClauseSink, IncrementalSolver, Lit, SolveResult, SolverStats, Var};
 use amle_system::TraceSet;
 use std::collections::BTreeSet;
 
 /// SAT-based minimal-DFA learner.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The size search is **incremental**: one solver session is kept alive
+/// across the growing automaton sizes. The folding skeleton (mapping,
+/// determinism, consistency and negative-evidence clauses) is monotone in the
+/// number of states, so growing from size `n` to `n + 1` only *adds* clauses;
+/// the single non-monotone constraint — "every PTA node maps to one of the
+/// first `n` states" — is attached behind a per-size activation literal and
+/// selected with an assumption, so clauses learnt while refuting size `n`
+/// keep pruning the search at size `n + 1`.
+#[derive(Debug, Clone, Eq)]
 pub struct SatDfaLearner {
     /// Maximum number of automaton states to try before giving up.
     pub max_states: usize,
@@ -34,6 +43,17 @@ pub struct SatDfaLearner {
     pub min_support: usize,
     /// Alphabet-abstraction configuration.
     pub abstraction: AbstractionConfig,
+    /// Backend solver statistics accumulated across `learn` calls.
+    stats: SolverStats,
+}
+
+/// Equality is configuration equality; accumulated statistics are ignored.
+impl PartialEq for SatDfaLearner {
+    fn eq(&self, other: &Self) -> bool {
+        self.max_states == other.max_states
+            && self.min_support == other.min_support
+            && self.abstraction == other.abstraction
+    }
 }
 
 impl Default for SatDfaLearner {
@@ -42,6 +62,7 @@ impl Default for SatDfaLearner {
             max_states: 16,
             min_support: 3,
             abstraction: AbstractionConfig::default(),
+            stats: SolverStats::default(),
         }
     }
 }
@@ -57,7 +78,11 @@ impl SatDfaLearner {
 
     /// Infers negative evidence: `(node, letter)` pairs such that the prefix
     /// of `node` is well supported but never followed by `letter`.
-    fn inferred_negatives(&self, pta: &Pta, alphabet: &BTreeSet<LetterId>) -> Vec<(usize, LetterId)> {
+    fn inferred_negatives(
+        &self,
+        pta: &Pta,
+        alphabet: &BTreeSet<LetterId>,
+    ) -> Vec<(usize, LetterId)> {
         let mut negatives = Vec::new();
         for node in pta.nodes() {
             if pta.support(node) < self.min_support || pta.children(node).is_empty() {
@@ -71,112 +96,207 @@ impl SatDfaLearner {
         }
         negatives
     }
+}
 
-    /// Attempts to fold the PTA into `n` states. Returns the letter automaton
-    /// on success.
-    fn try_fold(
-        &self,
-        pta: &Pta,
-        alphabet: &BTreeSet<LetterId>,
+/// One incremental folding session: a single solver shared across growing
+/// automaton sizes.
+///
+/// The clause sets indexed by automaton states are monotone in the size `n`
+/// except for the at-least-one mapping constraint, which is guarded by a
+/// per-size activation literal; solving size `n` assumes `acts[n - 1]` and
+/// leaves every other size's constraint disabled.
+struct FoldSession<'p> {
+    solver: Box<dyn IncrementalSolver>,
+    pta: &'p Pta,
+    /// PTA edges as `(node, letter_index, child)`.
+    edges: Vec<(usize, usize, usize)>,
+    /// Negative evidence as `(node, letter_index)`.
+    negatives: Vec<(usize, usize)>,
+    /// `x[node][state]`: PTA node is mapped to automaton state.
+    x: Vec<Vec<Var>>,
+    /// `y[state][letter][state']`: the automaton has a transition.
+    y: Vec<Vec<Vec<Var>>>,
+    /// Per-size activation literals; `acts[n - 1]` selects size `n`.
+    acts: Vec<Lit>,
+    /// Current automaton size (number of states encoded so far).
+    n: usize,
+    num_letters: usize,
+}
+
+impl<'p> FoldSession<'p> {
+    fn new(
+        pta: &'p Pta,
+        letters: &[LetterId],
         negatives: &[(usize, LetterId)],
-        n: usize,
-    ) -> Option<LetterAutomaton> {
-        let letters: Vec<LetterId> = alphabet.iter().copied().collect();
-        let letter_index = |l: LetterId| letters.iter().position(|x| *x == l).expect("known letter");
-        let num_nodes = pta.num_nodes();
-
-        let mut solver = Solver::new();
-        // x[node][state]: PTA node is mapped to automaton state.
-        let x: Vec<Vec<Var>> = (0..num_nodes)
-            .map(|_| (0..n).map(|_| solver.new_var()).collect())
-            .collect();
-        // y[state][letter][state']: the automaton has a transition.
-        let y: Vec<Vec<Vec<Var>>> = (0..n)
-            .map(|_| {
-                (0..letters.len())
-                    .map(|_| (0..n).map(|_| solver.new_var()).collect())
-                    .collect()
+        solver: Box<dyn IncrementalSolver>,
+    ) -> Self {
+        let letter_index =
+            |l: LetterId| letters.iter().position(|x| *x == l).expect("known letter");
+        let edges = pta
+            .nodes()
+            .flat_map(|node| {
+                pta.children(node)
+                    .iter()
+                    .map(move |(letter, child)| (node, letter_index(*letter), *child))
+                    .collect::<Vec<_>>()
             })
             .collect();
+        let negatives = negatives
+            .iter()
+            .map(|(node, letter)| (*node, letter_index(*letter)))
+            .collect();
+        FoldSession {
+            solver,
+            pta,
+            edges,
+            negatives,
+            x: vec![Vec::new(); pta.num_nodes()],
+            y: Vec::new(),
+            acts: Vec::new(),
+            n: 0,
+            num_letters: letters.len(),
+        }
+    }
 
-        // Each node maps to exactly one state.
-        for node in 0..num_nodes {
-            solver.add_clause(x[node].iter().map(|v| Lit::positive(*v)));
-            for s1 in 0..n {
-                for s2 in (s1 + 1)..n {
-                    solver.add_clause([Lit::negative(x[node][s1]), Lit::negative(x[node][s2])]);
+    /// Grows the encoding by one automaton state (size `n` → `n + 1`),
+    /// adding only the clauses that mention the new state, plus the
+    /// activation-guarded at-least-one constraint for the new size.
+    fn grow(&mut self) {
+        let m = self.n; // index of the state being added
+        let n = m + 1; // new size
+
+        // New mapping variables x[node][m].
+        for node in 0..self.pta.num_nodes() {
+            let v = self.solver.new_var();
+            self.x[node].push(v);
+        }
+        // New transition variables: extend existing rows with target m, then
+        // add the full row for source state m.
+        for s in 0..m {
+            for a in 0..self.num_letters {
+                let v = self.solver.new_var();
+                self.y[s][a].push(v);
+            }
+        }
+        let new_row: Vec<Vec<Var>> = (0..self.num_letters)
+            .map(|_| (0..n).map(|_| self.solver.new_var()).collect())
+            .collect();
+        self.y.push(new_row);
+
+        // At-most-one mapping: pairs involving the new state.
+        for node in 0..self.pta.num_nodes() {
+            for s1 in 0..m {
+                self.solver.add_clause(&[
+                    Lit::negative(self.x[node][s1]),
+                    Lit::negative(self.x[node][m]),
+                ]);
+            }
+        }
+        // Symmetry breaking: the root maps to state 0, permanently.
+        if m == 0 {
+            self.solver
+                .add_clause(&[Lit::positive(self.x[self.pta.root()][0])]);
+        }
+
+        // Determinism of y: pairs involving the new target in old rows, and
+        // all pairs of the new row.
+        for s in 0..m {
+            for a in 0..self.num_letters {
+                for t1 in 0..m {
+                    self.solver.add_clause(&[
+                        Lit::negative(self.y[s][a][t1]),
+                        Lit::negative(self.y[s][a][m]),
+                    ]);
                 }
             }
         }
-        // Symmetry breaking: the root maps to state 0.
-        solver.add_clause([Lit::positive(x[pta.root()][0])]);
-
-        // Determinism of y.
-        for s in 0..n {
-            for a in 0..letters.len() {
-                for t1 in 0..n {
-                    for t2 in (t1 + 1)..n {
-                        solver.add_clause([Lit::negative(y[s][a][t1]), Lit::negative(y[s][a][t2])]);
-                    }
+        for a in 0..self.num_letters {
+            for t1 in 0..n {
+                for t2 in (t1 + 1)..n {
+                    self.solver.add_clause(&[
+                        Lit::negative(self.y[m][a][t1]),
+                        Lit::negative(self.y[m][a][t2]),
+                    ]);
                 }
             }
         }
 
         // Consistency: a PTA edge (node --letter--> child) forces the
-        // corresponding automaton transition, and conversely the child's state
-        // is determined by the parent's state and the transition relation.
-        for node in pta.nodes() {
-            for (letter, child) in pta.children(node) {
-                let a = letter_index(*letter);
-                for s in 0..n {
-                    for t in 0..n {
-                        // x[node][s] ∧ x[child][t] → y[s][a][t]
-                        solver.add_clause([
-                            Lit::negative(x[node][s]),
-                            Lit::negative(x[*child][t]),
-                            Lit::positive(y[s][a][t]),
-                        ]);
-                        // x[node][s] ∧ y[s][a][t] → x[child][t]
-                        solver.add_clause([
-                            Lit::negative(x[node][s]),
-                            Lit::negative(y[s][a][t]),
-                            Lit::positive(x[*child][t]),
-                        ]);
+        // corresponding automaton transition, and conversely the child's
+        // state is determined by the parent's state and the transition
+        // relation. Only (s, t) pairs that mention the new state are new.
+        for &(node, a, child) in &self.edges {
+            for s in 0..n {
+                for t in 0..n {
+                    if s != m && t != m {
+                        continue;
                     }
+                    self.solver.add_clause(&[
+                        Lit::negative(self.x[node][s]),
+                        Lit::negative(self.x[child][t]),
+                        Lit::positive(self.y[s][a][t]),
+                    ]);
+                    self.solver.add_clause(&[
+                        Lit::negative(self.x[node][s]),
+                        Lit::negative(self.y[s][a][t]),
+                        Lit::positive(self.x[child][t]),
+                    ]);
                 }
             }
         }
 
         // Negative evidence: from the state of `node`, letter `a` must be
         // undefined.
-        for (node, letter) in negatives {
-            let a = letter_index(*letter);
+        for &(node, a) in &self.negatives {
             for s in 0..n {
                 for t in 0..n {
-                    solver.add_clause([Lit::negative(x[*node][s]), Lit::negative(y[s][a][t])]);
+                    if s != m && t != m {
+                        continue;
+                    }
+                    self.solver.add_clause(&[
+                        Lit::negative(self.x[node][s]),
+                        Lit::negative(self.y[s][a][t]),
+                    ]);
                 }
             }
         }
 
-        if solver.solve() != SolveResult::Sat {
+        // Size-specific at-least-one mapping, behind an activation literal.
+        let act = Lit::positive(self.solver.new_var());
+        for node in 0..self.pta.num_nodes() {
+            let mut clause = Vec::with_capacity(n + 1);
+            clause.push(!act);
+            clause.extend(self.x[node].iter().map(|v| Lit::positive(*v)));
+            self.solver.add_clause(&clause);
+        }
+        self.acts.push(act);
+        self.n = n;
+    }
+
+    /// Attempts the fold at the current size; extracts the automaton on
+    /// success.
+    fn solve(&mut self) -> Option<LetterAutomaton> {
+        debug_assert!(self.n > 0, "grow before solving");
+        let act = self.acts[self.n - 1];
+        if self.solver.solve(&[act]) != SolveResult::Sat {
             return None;
         }
-
         // Extract only transitions witnessed by a PTA edge so the automaton
-        // does not pick up arbitrary don't-care transitions.
+        // does not pick up arbitrary don't-care transitions. The model must
+        // be read before the next `grow` adds clauses.
         let state_of = |node: usize| -> usize {
-            (0..n)
-                .find(|s| solver.value(x[node][*s]) == Some(true))
+            (0..self.n)
+                .find(|s| self.solver.model_value(self.x[node][*s]) == Some(true))
                 .expect("every node has a state")
         };
         let mut transitions = BTreeSet::new();
-        for node in pta.nodes() {
-            for (letter, child) in pta.children(node) {
+        for node in self.pta.nodes() {
+            for (letter, child) in self.pta.children(node) {
                 transitions.insert((state_of(node), *letter, state_of(*child)));
             }
         }
         Some(LetterAutomaton {
-            num_states: n,
+            num_states: self.n,
             initial: 0,
             transitions,
         })
@@ -205,24 +325,39 @@ impl ModelLearner for SatDfaLearner {
             .collect();
         let pta = Pta::from_words(words.iter().map(|w| w.as_slice()));
         let alphabet: BTreeSet<LetterId> = abstraction.letters().collect();
+        let letters: Vec<LetterId> = alphabet.iter().copied().collect();
         let negatives = self.inferred_negatives(&pta, &alphabet);
 
-        for n in 1..=self.max_states {
-            if let Some(letter_automaton) = self.try_fold(&pta, &alphabet, &negatives, n) {
+        // One incremental session for the whole size search: clauses learnt
+        // while refuting size n keep pruning at size n + 1.
+        let mut session = FoldSession::new(&pta, &letters, &negatives, cdcl_backend());
+        let mut found = None;
+        for _ in 1..=self.max_states {
+            session.grow();
+            if let Some(letter_automaton) = session.solve() {
                 debug_assert!(
                     words.iter().all(|w| letter_automaton.accepts_word(w)),
                     "SAT folding must accept every sample word"
                 );
-                return Ok(letter_automaton.to_nfa(&abstraction));
+                found = Some(letter_automaton);
+                break;
             }
         }
-        Err(LearnError::SearchExhausted {
-            reason: format!("no consistent DFA with at most {} states", self.max_states),
-        })
+        self.stats += session.solver.stats();
+        match found {
+            Some(letter_automaton) => Ok(letter_automaton.to_nfa(&abstraction)),
+            None => Err(LearnError::SearchExhausted {
+                reason: format!("no consistent DFA with at most {} states", self.max_states),
+            }),
+        }
     }
 
     fn name(&self) -> &'static str {
         "sat-dfa"
+    }
+
+    fn solver_stats(&self) -> SolverStats {
+        self.stats
     }
 }
 
@@ -306,7 +441,7 @@ mod tests {
 
     #[test]
     fn negative_inference_respects_support_threshold() {
-        let words = vec![
+        let words = [
             vec![LetterId(0), LetterId(1)],
             vec![LetterId(0), LetterId(1)],
             vec![LetterId(0), LetterId(1)],

@@ -32,7 +32,9 @@ impl fmt::Display for ParseDimacsError {
             ParseDimacsError::BadLiteral { token } => {
                 write!(f, "malformed DIMACS literal: `{token}`")
             }
-            ParseDimacsError::UnterminatedClause => write!(f, "unterminated clause at end of input"),
+            ParseDimacsError::UnterminatedClause => {
+                write!(f, "unterminated clause at end of input")
+            }
         }
     }
 }

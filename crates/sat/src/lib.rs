@@ -11,6 +11,8 @@
 //! * VSIDS-style variable activities with phase saving,
 //! * Luby restarts and learnt-clause database reduction,
 //! * solving under assumptions (incremental use),
+//! * a pluggable backend seam ([`IncrementalSolver`] / [`ClauseSink`]) so the
+//!   checker and learner can keep one solver session alive across queries,
 //! * a plain [`CnfFormula`] container and DIMACS import/export for testing.
 //!
 //! The solver is deliberately dependency-free and single-threaded: the CNF
@@ -38,11 +40,13 @@
 
 mod cnf;
 mod dimacs;
+mod incremental;
 mod lit;
 mod solver;
 
 pub use cnf::CnfFormula;
 pub use dimacs::{parse_dimacs, write_dimacs, ParseDimacsError};
+pub use incremental::{cdcl_backend, ClauseSink, IncrementalSolver};
 pub use lit::{Lit, Var};
 pub use solver::{SolveResult, Solver, SolverStats};
 

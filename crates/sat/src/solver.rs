@@ -2,6 +2,8 @@
 
 use crate::{Lit, Var};
 use std::fmt;
+use std::ops::{Add, AddAssign};
+use std::time::{Duration, Instant};
 
 /// Result of a satisfiability query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -24,8 +26,53 @@ pub struct SolverStats {
     pub conflicts: u64,
     /// Number of restarts performed.
     pub restarts: u64,
-    /// Number of learnt clauses currently in the database.
+    /// Number of learnt clauses currently in the database. This is a
+    /// point-in-time gauge, not a counter: when statistics from several
+    /// solver sessions are aggregated (`+`/`+=`), the result is the sum of
+    /// per-session snapshots and should be treated as approximate.
     pub learnt_clauses: u64,
+    /// Number of `solve` / `solve_with_assumptions` calls.
+    pub solve_calls: u64,
+    /// Cumulative wall-clock time spent inside `solve`.
+    pub solve_time: Duration,
+}
+
+impl AddAssign for SolverStats {
+    fn add_assign(&mut self, rhs: SolverStats) {
+        self.decisions += rhs.decisions;
+        self.propagations += rhs.propagations;
+        self.conflicts += rhs.conflicts;
+        self.restarts += rhs.restarts;
+        self.learnt_clauses += rhs.learnt_clauses;
+        self.solve_calls += rhs.solve_calls;
+        self.solve_time += rhs.solve_time;
+    }
+}
+
+impl Add for SolverStats {
+    type Output = SolverStats;
+
+    fn add(mut self, rhs: SolverStats) -> SolverStats {
+        self += rhs;
+        self
+    }
+}
+
+impl SolverStats {
+    /// The work done since an earlier snapshot of the same (accumulating)
+    /// statistics: componentwise saturating subtraction. Used to attribute
+    /// lifetime-cumulative stats to a single run.
+    pub fn since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            learnt_clauses: self.learnt_clauses.saturating_sub(earlier.learnt_clauses),
+            solve_calls: self.solve_calls.saturating_sub(earlier.solve_calls),
+            solve_time: self.solve_time.saturating_sub(earlier.solve_time),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -58,6 +105,7 @@ pub struct Solver {
     var_inc: f64,
     cla_inc: f64,
     ok: bool,
+    model_valid: bool,
     seen: Vec<bool>,
     stats: SolverStats,
     max_learnts: f64,
@@ -96,6 +144,7 @@ impl Solver {
             var_inc: 1.0,
             cla_inc: 1.0,
             ok: true,
+            model_valid: false,
             seen: Vec::new(),
             stats: SolverStats::default(),
             max_learnts: 0.0,
@@ -140,6 +189,10 @@ impl Solver {
 
     /// Adds a clause to the solver.
     ///
+    /// Clauses may be added between solve calls (incremental use); doing so
+    /// discards the current model, so read any model values you need before
+    /// growing the formula.
+    ///
     /// Returns `false` if the solver is already known to be unsatisfiable
     /// (either previously, or because this clause is empty after
     /// simplification against the top-level assignment).
@@ -147,7 +200,10 @@ impl Solver {
         if !self.ok {
             return false;
         }
-        debug_assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
+        // Clause simplification and unit enqueueing are only sound against
+        // the top-level assignment; backtracking discards any model.
+        self.model_valid = false;
+        self.backtrack(0);
         let mut clause: Vec<Lit> = lits.into_iter().collect();
         for lit in &clause {
             self.ensure_vars(lit.var().index() + 1);
@@ -211,12 +267,26 @@ impl Solver {
     /// Returns `None` for variables that were never assigned (possible only
     /// before the first successful [`Solver::solve`] call, or for variables
     /// added afterwards).
+    ///
+    /// Only meaningful while [`Solver::has_model`] is true: an Unsat solve or
+    /// an incremental [`Solver::add_clause`] discards the model, after which
+    /// this returns the residual top-level assignment, not model values. The
+    /// [`crate::IncrementalSolver`] trait methods perform this check.
     pub fn value(&self, var: Var) -> Option<bool> {
         self.assigns.get(var.index()).copied().flatten()
     }
 
+    /// Whether a satisfying model is currently available: the last solve
+    /// returned [`SolveResult::Sat`] and no clause has been added since.
+    pub fn has_model(&self) -> bool {
+        self.model_valid
+    }
+
     /// The most recent satisfying model as a dense vector indexed by
     /// variable. Unassigned variables default to `false`.
+    ///
+    /// As with [`Solver::value`], only meaningful while [`Solver::has_model`]
+    /// is true; read the model before growing the formula.
     pub fn model(&self) -> Vec<bool> {
         (0..self.num_vars())
             .map(|i| self.assigns[i].unwrap_or(false))
@@ -501,6 +571,15 @@ impl Solver {
     /// levels; they do not permanently constrain the solver, so repeated calls
     /// with different assumptions are supported.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let started = Instant::now();
+        let result = self.solve_with_assumptions_inner(assumptions);
+        self.model_valid = result == SolveResult::Sat;
+        self.stats.solve_calls += 1;
+        self.stats.solve_time += started.elapsed();
+        result
+    }
+
+    fn solve_with_assumptions_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -586,7 +665,6 @@ impl Solver {
             }
         }
     }
-
 }
 
 #[cfg(test)]
@@ -701,7 +779,10 @@ mod tests {
             s.add_clause((0..3).map(|k| lit(&v, c(node, k) as i64)));
             for k1 in 0..3 {
                 for k2 in (k1 + 1)..3 {
-                    s.add_clause([lit(&v, -(c(node, k1) as i64)), lit(&v, -(c(node, k2) as i64))]);
+                    s.add_clause([
+                        lit(&v, -(c(node, k1) as i64)),
+                        lit(&v, -(c(node, k2) as i64)),
+                    ]);
                 }
             }
         }

@@ -1,0 +1,112 @@
+//! DIMACS round-trip regression tests, driven entirely through the public
+//! API: parse → solve → serialize → reparse must yield an equisatisfiable
+//! instance with identical structure.
+
+use amle_sat::{parse_dimacs, write_dimacs, CnfFormula, Lit, SolveResult, Var};
+
+/// A deterministic pseudo-random CNF generator (SplitMix64) so the
+/// regression covers many instance shapes without a fuzzing dependency.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+fn random_cnf(gen: &mut Gen, num_vars: usize, num_clauses: usize) -> CnfFormula {
+    let mut cnf = CnfFormula::new();
+    for _ in 0..num_vars {
+        cnf.new_var();
+    }
+    for _ in 0..num_clauses {
+        let len = 1 + gen.below(3) as usize;
+        let clause: Vec<Lit> = (0..len)
+            .map(|_| {
+                let var = Var::from_index(gen.below(num_vars as u64) as usize);
+                Lit::new(var, gen.next() & 1 == 0)
+            })
+            .collect();
+        cnf.add_clause(clause);
+    }
+    cnf
+}
+
+/// Solves a copy of the formula and, when satisfiable, cross-checks the
+/// model against `CnfFormula::evaluate`.
+fn solve_and_verify(cnf: &CnfFormula) -> SolveResult {
+    let mut solver = cnf.to_solver();
+    let result = solver.solve();
+    if result == SolveResult::Sat {
+        assert!(
+            cnf.evaluate(&solver.model()),
+            "solver model does not satisfy the formula"
+        );
+    }
+    result
+}
+
+#[test]
+fn write_parse_round_trip_preserves_structure_and_satisfiability() {
+    let mut gen = Gen(0xD1_AC5);
+    for case in 0..50 {
+        let num_vars = 1 + gen.below(10) as usize;
+        let num_clauses = gen.below(30) as usize;
+        let original = random_cnf(&mut gen, num_vars, num_clauses);
+
+        let text = write_dimacs(&original);
+        let reparsed = parse_dimacs(&text).unwrap_or_else(|e| {
+            panic!("case {case}: failed to reparse serialized DIMACS: {e}\n{text}")
+        });
+
+        // Structure survives the round trip...
+        assert_eq!(reparsed.num_vars(), original.num_vars(), "case {case}");
+        assert_eq!(
+            reparsed.num_clauses(),
+            original.num_clauses(),
+            "case {case}"
+        );
+
+        // ...and so does satisfiability, in both directions of the trip.
+        let original_verdict = solve_and_verify(&original);
+        assert_eq!(solve_and_verify(&reparsed), original_verdict, "case {case}");
+
+        // A second serialize → parse leg is a fixpoint.
+        let text_again = write_dimacs(&reparsed);
+        assert_eq!(text_again, text, "case {case}: DIMACS text not stable");
+    }
+}
+
+#[test]
+fn parse_accepts_comments_and_solves_the_instance() {
+    let text = "c a tiny instance\np cnf 2 2\nc body comment\n1 2 0\n-1 0\n";
+    let cnf = parse_dimacs(text).expect("well-formed DIMACS");
+    assert_eq!(cnf.num_vars(), 2);
+    assert_eq!(cnf.num_clauses(), 2);
+    let mut solver = cnf.to_solver();
+    assert_eq!(solver.solve(), SolveResult::Sat);
+    assert_eq!(solver.value(Var::from_index(1)), Some(true));
+
+    // Round-trip the parsed instance once more through the writer.
+    let reparsed = parse_dimacs(&write_dimacs(&cnf)).unwrap();
+    let mut solver = reparsed.to_solver();
+    assert_eq!(solver.solve(), SolveResult::Sat);
+}
+
+#[test]
+fn unsatisfiable_instances_stay_unsatisfiable_through_the_round_trip() {
+    // The full assignment square over two variables.
+    let text = "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n";
+    let cnf = parse_dimacs(text).expect("well-formed DIMACS");
+    assert_eq!(solve_and_verify(&cnf), SolveResult::Unsat);
+    let reparsed = parse_dimacs(&write_dimacs(&cnf)).unwrap();
+    assert_eq!(solve_and_verify(&reparsed), SolveResult::Unsat);
+}

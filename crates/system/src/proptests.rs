@@ -22,7 +22,8 @@ fn counter_mod(n: i64) -> crate::System {
         .ite(&Expr::int_val(0, bits), &ce.add(&Expr::int_val(1, bits)));
     let next_c = b.var(en).ite(&wrapped, &ce);
     b.update(c, next_c.clone()).unwrap();
-    b.update(hi, next_c.ge(&Expr::int_val(n / 2, bits))).unwrap();
+    b.update(hi, next_c.ge(&Expr::int_val(n / 2, bits)))
+        .unwrap();
     b.build().unwrap()
 }
 

@@ -116,7 +116,11 @@ impl SystemBuilder {
     /// # Errors
     ///
     /// Returns [`BuildSystemError::DuplicateVariable`] if the name is taken.
-    pub fn input<N: Into<String>>(&mut self, name: N, sort: Sort) -> Result<VarId, BuildSystemError> {
+    pub fn input<N: Into<String>>(
+        &mut self,
+        name: N,
+        sort: Sort,
+    ) -> Result<VarId, BuildSystemError> {
         let name = name.into();
         let id = self
             .vars
@@ -360,7 +364,11 @@ impl System {
     ///
     /// Panics if `id` is not an input variable of this system.
     pub fn input_range(&self, id: VarId) -> (i64, i64) {
-        assert!(self.is_input(id), "{} is not an input variable", self.vars.name(id));
+        assert!(
+            self.is_input(id),
+            "{} is not an input variable",
+            self.vars.name(id)
+        );
         self.input_ranges
             .get(&id)
             .copied()
@@ -449,7 +457,11 @@ impl System {
             next.set(*id, self.updates[id].eval(current));
         }
         for (id, value) in next_inputs {
-            assert!(self.is_input(*id), "{} is not an input variable", self.vars.name(*id));
+            assert!(
+                self.is_input(*id),
+                "{} is not an input variable",
+                self.vars.name(*id)
+            );
             assert!(
                 value.fits(self.vars.sort(*id)),
                 "value {value} does not fit input {}",

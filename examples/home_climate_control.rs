@@ -36,5 +36,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("\nDOT:\n{}", report.abstraction.to_dot(vars));
+
+    // The checking phase runs through the incremental SAT backend; its
+    // aggregated statistics surface in the report.
+    let solver = report.solver_stats();
+    assert!(solver.solve_calls > 0, "no SAT queries were issued");
+    println!(
+        "solver: {} solve calls, {} decisions, {} propagations, {} conflicts, {:?} in solve",
+        solver.solve_calls,
+        solver.decisions,
+        solver.propagations,
+        solver.conflicts,
+        solver.solve_time
+    );
     Ok(())
 }

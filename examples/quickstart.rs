@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.iterations,
         report.num_states()
     );
-    println!("\nlearned abstraction (DOT):\n{}", report.abstraction.to_dot(system.vars()));
+    println!(
+        "\nlearned abstraction (DOT):\n{}",
+        report.abstraction.to_dot(system.vars())
+    );
     println!("proven invariants:");
     for invariant in &report.invariants {
         println!("  {}", invariant.display(system.vars()));

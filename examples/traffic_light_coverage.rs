@@ -27,7 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // complete a full cycle.
     let simulator = Simulator::new(&benchmark.system);
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    let tests: Vec<Trace> = (0..10).map(|_| simulator.random_trace(3, &mut rng)).collect();
+    let tests: Vec<Trace> = (0..10)
+        .map(|_| simulator.random_trace(3, &mut rng))
+        .collect();
 
     // Coverage: which abstraction transitions are exercised by some test?
     let mut covered = vec![false; abstraction.num_transitions()];

@@ -12,15 +12,17 @@
 //!   (`amle-automaton`);
 //! * [`learner`] — pluggable passive learners: history, k-tails, SAT-based
 //!   DFA identification, L\* (`amle-learner`);
-//! * [`sat`] / [`bitblast`] / [`checker`] — the CDCL solver, the word-level
-//!   CNF encoder and the k-induction model checker;
+//! * [`sat`] / [`bitblast`] / [`checker`] — the CDCL solver behind the
+//!   pluggable [`sat::IncrementalSolver`] backend seam, the word-level CNF
+//!   encoder (generic over any [`sat::ClauseSink`]) and the k-induction
+//!   model checker with persistent incremental solver sessions;
 //! * [`active`] — the active-learning loop, completeness conditions,
 //!   invariants and the random-sampling baseline (`amle-core`);
 //! * [`benchmarks`] — the Stateflow-style evaluation suite
 //!   (`amle-benchmarks`).
 //!
-//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the paper-to-code mapping.
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
+//! the paper-to-code mapping and the experiment naming used by `amle-bench`.
 //!
 //! ```
 //! use active_model_learning::prelude::*;
@@ -57,7 +59,8 @@ pub mod prelude {
     pub use crate::benchmarks;
     pub use amle_automaton::Nfa;
     pub use amle_core::{
-        random_sampling_baseline, ActiveLearner, ActiveLearnerConfig, RunReport,
+        random_sampling_baseline, ActiveLearner, ActiveLearnerConfig, CheckerStats, RunReport,
+        SolverStats,
     };
     pub use amle_expr::{Expr, Sort, Valuation, Value, VarId, VarSet};
     pub use amle_learner::{

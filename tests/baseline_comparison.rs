@@ -31,8 +31,7 @@ fn active_alpha_dominates_random_sampling_on_counter_benchmarks() {
             max_iterations: 40,
             ..ActiveLearnerConfig::default()
         };
-        let mut runner =
-            ActiveLearner::new(&benchmark.system, HistoryLearner::default(), config);
+        let mut runner = ActiveLearner::new(&benchmark.system, HistoryLearner::default(), config);
         let report = runner.run().expect("active run");
 
         assert!(report.converged, "{name}: active α = {}", report.alpha);

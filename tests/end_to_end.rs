@@ -5,7 +5,11 @@ use active_model_learning::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn run(benchmark_name: &str, initial_traces: usize, trace_length: usize) -> (RunReport, benchmarks::Benchmark) {
+fn run(
+    benchmark_name: &str,
+    initial_traces: usize,
+    trace_length: usize,
+) -> (RunReport, benchmarks::Benchmark) {
     let benchmark = benchmarks::benchmark_by_name(benchmark_name).expect("known benchmark");
     let config = ActiveLearnerConfig {
         observables: Some(benchmark.observables.clone()),
@@ -45,7 +49,11 @@ fn ladder_scheduler_pipeline_reaches_alpha_one() {
 #[test]
 fn converged_abstractions_admit_fresh_traces() {
     // Theorem 1 across several benchmark families.
-    for name in ["HomeClimateControlCooler", "SequenceRecognition", "CdPlayerModeManager"] {
+    for name in [
+        "HomeClimateControlCooler",
+        "SequenceRecognition",
+        "CdPlayerModeManager",
+    ] {
         let (report, benchmark) = run(name, 20, 15);
         assert!(report.converged, "{name}: α = {}", report.alpha);
         let simulator = Simulator::new(&benchmark.system);

@@ -29,7 +29,10 @@ fn counterexample_traces_are_absorbed_by_the_next_iteration() {
     assert!(stats.last().unwrap().model_transitions >= stats.first().unwrap().model_transitions);
     // Refinement actually happened (at least one new trace was spliced in).
     let refined: usize = stats.iter().map(|s| s.new_traces).sum();
-    assert!(refined > 0, "expected at least one counterexample-driven refinement");
+    assert!(
+        refined > 0,
+        "expected at least one counterexample-driven refinement"
+    );
     // α of the final iteration is 1.
     assert_eq!(stats.last().unwrap().alpha, 1.0);
 }

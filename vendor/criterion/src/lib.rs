@@ -1,0 +1,164 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the entry points the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] and [`Bencher::iter`] — backed by a very
+//! small wall-clock harness: each benchmark runs a warm-up iteration followed
+//! by `sample_size` timed iterations and prints the mean time. There is no
+//! statistical analysis, HTML report or CLI filtering.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark harness entry object.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group (a no-op in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code to
+/// time.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`, accumulating into the harness.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+        black_box(out);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    // Warm-up iteration, untimed.
+    let mut warmup = Bencher::default();
+    f(&mut warmup);
+
+    let mut bencher = Bencher::default();
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    let mean = if bencher.iterations == 0 {
+        Duration::ZERO
+    } else {
+        bencher.elapsed / bencher.iterations as u32
+    };
+    println!(
+        "bench {id:<48} {:>12.3?} mean over {} iterations",
+        mean, bencher.iterations
+    );
+}
+
+/// Groups benchmark functions under one runner function, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("counting", |b| b.iter(|| runs += 1));
+        // One warm-up plus `sample_size` timed iterations.
+        assert_eq!(runs, 11);
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("inner", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 4);
+    }
+}

@@ -1,0 +1,78 @@
+//! `any::<T>()` support for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy generating unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_takes_both_values() {
+        let mut rng = TestRng::from_test_name("any-bool");
+        let strat = any::<bool>();
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[usize::from(strat.generate(&mut rng))] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn u8_covers_range_edges_eventually() {
+        let mut rng = TestRng::from_test_name("any-u8");
+        let strat = any::<u8>();
+        let mut hits = std::collections::BTreeSet::new();
+        for _ in 0..4096 {
+            hits.insert(strat.generate(&mut rng));
+        }
+        assert!(hits.len() > 200, "poor coverage: {}", hits.len());
+    }
+}
