@@ -1,0 +1,163 @@
+//! The multi-threaded suite runner: runs the full evaluation suite (Table I
+//! plus the synthetic families) sharded across worker threads and emits the
+//! Table I-style report, with an optional sequential-vs-parallel comparison
+//! that verifies report determinism and measures the wall-clock speedup.
+//!
+//! ```text
+//! suite [--workers N] [--condition-workers N] [--quick] [--compare]
+//!       [--table1-only] [--only <substring>]
+//! ```
+//!
+//! * `--workers N` — number of suite-level worker threads (benchmarks are
+//!   sharded across them). Defaults to `AMLE_WORKERS`, then 4.
+//! * `--condition-workers N` — worker count of the per-run condition-checking
+//!   engine (see `amle_core::ParallelConfig`). Defaults to 1: benchmark-level
+//!   sharding already saturates the cores, and nesting both multiplies
+//!   threads.
+//! * `--quick` — use the smaller experiment shape (15 traces of length 15)
+//!   instead of the paper's 50×50.
+//! * `--compare` — additionally run everything sequentially (1 worker,
+//!   sequential condition engine), assert that both runs' reports are
+//!   byte-identical, and print the wall-clock speedup.
+//! * `--table1-only` — restrict the suite to the Table I benchmarks.
+//! * `--only <substring>` — restrict the suite to benchmarks whose name
+//!   contains the substring (e.g. `--only Synth`).
+
+use amle_bench::{format_active_table, paper_config, run_suite, suite_fingerprint, ActiveRow};
+use amle_benchmarks::{all_benchmarks, full_suite, Benchmark};
+use amle_core::{ActiveLearnerConfig, ParallelConfig};
+use amle_learner::HistoryLearner;
+use std::time::Instant;
+
+struct Options {
+    workers: usize,
+    condition_workers: usize,
+    quick: bool,
+    compare: bool,
+    table1_only: bool,
+    only: Option<String>,
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        workers: std::env::var("AMLE_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(4),
+        condition_workers: 1,
+        quick: false,
+        compare: false,
+        table1_only: false,
+        only: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut numeric = |name: &str| {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} requires a positive integer argument"))
+        };
+        match arg.as_str() {
+            "--workers" => options.workers = numeric("--workers"),
+            "--condition-workers" => options.condition_workers = numeric("--condition-workers"),
+            "--quick" => options.quick = true,
+            "--compare" => options.compare = true,
+            "--table1-only" => options.table1_only = true,
+            "--only" => options.only = Some(args.next().expect("--only requires a substring")),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    options.workers = options.workers.max(1);
+    options.condition_workers = options.condition_workers.max(1);
+    options
+}
+
+fn config_for(benchmark: &Benchmark, quick: bool, condition_workers: usize) -> ActiveLearnerConfig {
+    let mut config = if quick {
+        // Tighter than `quick_config`: the full-suite sweep visits every
+        // benchmark, including ones that do not converge at this scale, and
+        // for those the trace-splicing growth and the larger-k step-case
+        // queries blow up super-linearly with the iteration count.
+        ActiveLearnerConfig {
+            observables: Some(benchmark.observables.clone()),
+            initial_traces: 12,
+            trace_length: 12,
+            k: benchmark.k.min(5),
+            max_iterations: 6,
+            ..Default::default()
+        }
+    } else {
+        paper_config(benchmark)
+    };
+    config.parallel = ParallelConfig::with_workers(condition_workers);
+    config
+}
+
+fn main() {
+    let options = parse_options();
+    let mut suite = if options.table1_only {
+        all_benchmarks()
+    } else {
+        full_suite()
+    };
+    if let Some(only) = &options.only {
+        suite.retain(|b| b.name.contains(only.as_str()));
+        assert!(!suite.is_empty(), "--only `{only}` matches no benchmark");
+    }
+    eprintln!(
+        "suite: {} benchmarks, {} suite worker(s), {} condition worker(s){}",
+        suite.len(),
+        options.workers,
+        options.condition_workers,
+        if options.quick { ", quick config" } else { "" }
+    );
+
+    let run = |suite_workers: usize, condition_workers: usize| {
+        let start = Instant::now();
+        let results = run_suite(&suite, suite_workers, |benchmark| {
+            eprintln!("running {} ...", benchmark.name);
+            (
+                HistoryLearner::default(),
+                config_for(benchmark, options.quick, condition_workers),
+            )
+        });
+        (results, start.elapsed())
+    };
+
+    let (results, parallel_time) = run(options.workers, options.condition_workers);
+
+    let rows: Vec<ActiveRow> = results.iter().map(|(row, _)| row.clone()).collect();
+    println!("Table I + synthetic families — Our Algorithm");
+    println!("{}", format_active_table(&rows));
+    let converged = rows.iter().filter(|r| (r.alpha - 1.0).abs() < 1e-9).count();
+    println!(
+        "summary: {}/{} benchmarks reached alpha = 1; wall-clock {:.2}s with {} worker(s)",
+        converged,
+        rows.len(),
+        parallel_time.as_secs_f64(),
+        options.workers
+    );
+
+    if options.compare {
+        eprintln!("re-running sequentially for the determinism + speedup comparison ...");
+        let (sequential_results, sequential_time) = run(1, 1);
+        let parallel_fp = suite_fingerprint(&suite, &results);
+        let sequential_fp = suite_fingerprint(&suite, &sequential_results);
+        assert_eq!(
+            parallel_fp, sequential_fp,
+            "parallel and sequential suite reports differ"
+        );
+        println!(
+            "determinism: OK — {} workers and 1 worker produced byte-identical reports ({} fingerprint bytes)",
+            options.workers,
+            parallel_fp.len()
+        );
+        println!(
+            "speedup: sequential {:.2}s / parallel {:.2}s = {:.2}x with {} worker(s)",
+            sequential_time.as_secs_f64(),
+            parallel_time.as_secs_f64(),
+            sequential_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-9),
+            options.workers
+        );
+    }
+}

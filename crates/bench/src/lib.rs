@@ -20,6 +20,8 @@
 use amle_benchmarks::Benchmark;
 use amle_core::{random_sampling_baseline, ActiveLearner, ActiveLearnerConfig, RunReport};
 use amle_learner::{HistoryLearner, KTailsLearner, ModelLearner};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Default experiment parameters mirroring Section IV-B: 50 initial traces of
 /// length 50.
@@ -150,6 +152,61 @@ pub fn run_random_sampling(benchmark: &Benchmark, budget: usize) -> RandomRow {
     }
 }
 
+/// Runs a whole benchmark suite, sharding the benchmarks across `workers`
+/// threads. Each worker pulls the next unstarted benchmark from a shared
+/// cursor (dynamic load balancing); results are returned **in benchmark
+/// order**, so the emitted tables are byte-identical for every worker count.
+///
+/// `setup` builds the learner and configuration per benchmark; it runs on the
+/// worker thread that claims the benchmark.
+pub fn run_suite<L, F>(
+    benchmarks: &[Benchmark],
+    workers: usize,
+    setup: F,
+) -> Vec<(ActiveRow, RunReport)>
+where
+    L: ModelLearner,
+    F: Fn(&Benchmark) -> (L, ActiveLearnerConfig) + Sync,
+{
+    let workers = workers.max(1).min(benchmarks.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<(ActiveRow, RunReport)>>> =
+        Mutex::new((0..benchmarks.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(benchmark) = benchmarks.get(index) else {
+                    break;
+                };
+                let (learner, config) = setup(benchmark);
+                let outcome = run_active(benchmark, learner, config);
+                results.lock().expect("suite worker panicked")[index] = Some(outcome);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("suite worker panicked")
+        .into_iter()
+        .map(|slot| slot.expect("every benchmark produced a result"))
+        .collect()
+}
+
+/// The concatenated [`RunReport::semantic_fingerprint`]s of a suite run, one
+/// section per benchmark. Two runs of the same suite — at any combination of
+/// suite-level and condition-level worker counts — must produce identical
+/// fingerprints; the suite runner's `--compare` mode and the differential
+/// tests assert exactly this.
+pub fn suite_fingerprint(benchmarks: &[Benchmark], results: &[(ActiveRow, RunReport)]) -> String {
+    let mut out = String::new();
+    for (benchmark, (_, report)) in benchmarks.iter().zip(results) {
+        out.push_str(&format!("== {}\n", benchmark.name));
+        out.push_str(&report.semantic_fingerprint(benchmark.system.vars()));
+    }
+    out
+}
+
 /// Runs the learner-choice ablation (history vs k-tails) on one benchmark,
 /// returning `(history_row, ktails_row)`.
 pub fn run_learner_ablation(benchmark: &Benchmark) -> (ActiveRow, ActiveRow) {
@@ -226,6 +283,41 @@ mod tests {
         let row = run_random_sampling(&b, 200);
         assert!(row.states >= 1);
         assert!((0.0..=1.0).contains(&row.alpha));
+    }
+
+    #[test]
+    fn suite_runner_shards_deterministically() {
+        use amle_core::ParallelConfig;
+        let suite: Vec<_> = amle_benchmarks::full_suite()
+            .into_iter()
+            .filter(|b| b.name.starts_with("Synth"))
+            .take(4)
+            .collect();
+        assert_eq!(suite.len(), 4);
+        let config = |b: &amle_benchmarks::Benchmark| ActiveLearnerConfig {
+            observables: Some(b.observables.clone()),
+            initial_traces: 5,
+            trace_length: 6,
+            k: b.k.min(4),
+            max_iterations: 2,
+            parallel: ParallelConfig::with_workers(1),
+            ..Default::default()
+        };
+        let run =
+            |workers: usize| run_suite(&suite, workers, |b| (HistoryLearner::default(), config(b)));
+        let sequential = run(1);
+        let sharded = run(4);
+        assert_eq!(sequential.len(), sharded.len());
+        assert_eq!(
+            suite_fingerprint(&suite, &sequential),
+            suite_fingerprint(&suite, &sharded),
+            "suite-level sharding leaked into the reports"
+        );
+        // Rows come back in benchmark order regardless of which worker
+        // finished first.
+        for ((row, _), benchmark) in sharded.iter().zip(&suite) {
+            assert_eq!(row.name, benchmark.name);
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn home_climate_control() -> Benchmark {
         witness(&system, &single_input(&[20, 30, 40])),
     ];
     Benchmark {
-        name: "HomeClimateControlCooler",
+        name: "HomeClimateControlCooler".to_string(),
         system,
         observables,
         k: 10,
@@ -77,7 +77,7 @@ fn bang_bang_heater() -> Benchmark {
         witness(&system, &single_input(&[30, 30, 50, 50])), // stays on while dwell short
     ];
     Benchmark {
-        name: "BangBangControlHeater",
+        name: "BangBangControlHeater".to_string(),
         system,
         observables,
         k: 16,
@@ -119,7 +119,7 @@ fn automatic_transmission() -> Benchmark {
         witness(&system, &single_input(&[10, 60, 90, 120])), // stay in 3
     ];
     Benchmark {
-        name: "AutomaticTransmission",
+        name: "AutomaticTransmission".to_string(),
         system,
         observables,
         k: 12,
@@ -157,7 +157,7 @@ fn redundant_sensor_pair() -> Benchmark {
         witness(&system, &bool_sched(&[&[1, 1], &[0, 1], &[1, 1], &[1, 1]])), // UseB is latched
     ];
     Benchmark {
-        name: "RedundantSensorPair",
+        name: "RedundantSensorPair".to_string(),
         system,
         observables,
         k: 8,
@@ -202,7 +202,7 @@ fn security_system() -> Benchmark {
         witness(&system, &bool_sched(&[&[0, 0], &[0, 1], &[0, 0]])), // disarmed ignores door
     ];
     Benchmark {
-        name: "SecuritySystemAlarm",
+        name: "SecuritySystemAlarm".to_string(),
         system,
         observables,
         k: 10,
@@ -250,7 +250,7 @@ fn yoyo_control() -> Benchmark {
         witness(&system, &single_input(&[0, 0, 0])), // idle keeps the mode
     ];
     Benchmark {
-        name: "YoYoControlOfSatellite",
+        name: "YoYoControlOfSatellite".to_string(),
         system,
         observables,
         k: 24,
@@ -285,7 +285,7 @@ fn size_based_processing() -> Benchmark {
         witness(&system, &single_input(&[10, 50, 10])), // medium -> small
     ];
     Benchmark {
-        name: "VarSizeSizeBasedProcessing",
+        name: "VarSizeSizeBasedProcessing".to_string(),
         system,
         observables,
         k: 8,

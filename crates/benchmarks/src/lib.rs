@@ -29,9 +29,17 @@ mod controllers;
 mod protocols;
 mod schedulers;
 mod suite;
+mod synth;
 
 pub use controllers::home_climate_control_system;
-pub use suite::{all_benchmarks, benchmark_by_name, Benchmark};
+pub use suite::{
+    all_benchmarks, benchmark_by_name, full_suite, trace_from_schedule, Benchmark, ScheduleError,
+};
+pub use synth::{
+    synthetic_benchmarks, synthetic_system, SynthFamily, SynthKind, SynthSpec, DEFAULT_SEED,
+};
 
+#[cfg(test)]
+mod proptests;
 #[cfg(test)]
 mod tests;

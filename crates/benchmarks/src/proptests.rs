@@ -1,0 +1,70 @@
+//! Property-based tests of the synthetic benchmark generator: every
+//! generated system must be well-formed and every derived witness must
+//! replay on it, across random seeds, widths and input counts.
+
+use crate::synth::{SynthFamily, SynthKind, SynthSpec};
+use amle_system::Simulator;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+fn kind_strategy() -> impl Strategy<Value = SynthKind> {
+    prop_oneof![
+        Just(SynthKind::Counter),
+        Just(SynthKind::GrayCode),
+        Just(SynthKind::ModularArith),
+        Just(SynthKind::GatedToggle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_benchmarks_are_well_formed(
+        seed in 0u64..1_000,
+        bits in 0u32..12,
+        inputs in 0usize..6,
+        kind in kind_strategy(),
+    ) {
+        let b = SynthFamily::new(seed).benchmark(SynthSpec { kind, bits, inputs });
+        // Input and state variables are disjoint and together cover the
+        // variable table.
+        let input_set: HashSet<_> = b.system.input_vars().iter().copied().collect();
+        let state_set: HashSet<_> = b.system.state_vars().iter().copied().collect();
+        prop_assert!(input_set.is_disjoint(&state_set));
+        prop_assert_eq!(input_set.len() + state_set.len(), b.system.all_vars().len());
+        // Benchmark wiring.
+        prop_assert!(!b.observables.is_empty());
+        prop_assert!(b.k > 0);
+        prop_assert_eq!(b.reference_transitions, b.witnesses.len());
+        for id in &b.observables {
+            prop_assert!(b.system.vars().info(*id).is_some());
+        }
+        // Every derived witness replays on the system: consecutive
+        // observations are transitions and inputs stay in range.
+        for (i, w) in b.witnesses.iter().enumerate() {
+            prop_assert!(!w.is_empty(), "witness {} is empty", i);
+            prop_assert!(
+                b.system.is_execution_trace(w),
+                "witness {} does not replay on {}",
+                i,
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn generated_systems_drive_the_simulator(
+        seed in 0u64..200,
+        bits in 2u32..6,
+        kind in kind_strategy(),
+    ) {
+        let b = SynthFamily::new(seed).benchmark(SynthSpec { kind, bits, inputs: 2 });
+        let sim = Simulator::new(&b.system);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = sim.random_trace(20, &mut rng);
+        prop_assert!(b.system.is_execution_trace(&trace));
+    }
+}

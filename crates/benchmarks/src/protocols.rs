@@ -41,7 +41,7 @@ fn vending_machine() -> Benchmark {
         witness(&system, &single_input(&[0, 1, 1, 0])),    // not enough credit yet
     ];
     Benchmark {
-        name: "MealyVendingMachine",
+        name: "MealyVendingMachine".to_string(),
         system,
         observables,
         k: 10,
@@ -83,7 +83,7 @@ fn sequence_recognition() -> Benchmark {
         witness(&system, &single_input(&[0, 1, 0, 1, 0, 1])), // overlap after a hit
     ];
     Benchmark {
-        name: "SequenceRecognition",
+        name: "SequenceRecognition".to_string(),
         system,
         observables,
         k: 10,
@@ -124,7 +124,7 @@ fn server_queue() -> Benchmark {
         witness(&system, &sched(&[&[0, 0], &[1, 1], &[1, 1]])), // arrival and service overlap
     ];
     Benchmark {
-        name: "ServerQueueingSystem",
+        name: "ServerQueueingSystem".to_string(),
         system,
         observables,
         k: 18,
@@ -159,7 +159,7 @@ fn cd_player_mode_manager() -> Benchmark {
         witness(&system, &sched(&[&[0, 0], &[0, 0], &[0, 0]])), // stays in standby
     ];
     Benchmark {
-        name: "CdPlayerModeManager",
+        name: "CdPlayerModeManager".to_string(),
         system,
         observables,
         k: 8,
@@ -199,7 +199,7 @@ fn launch_abort_mode_logic() -> Benchmark {
         witness(&system, &sched(&[&[0, 0], &[1, 0], &[0, 0], &[0, 0]])), // safed is terminal
     ];
     Benchmark {
-        name: "LaunchAbortModeLogic",
+        name: "LaunchAbortModeLogic".to_string(),
         system,
         observables,
         k: 8,
@@ -242,7 +242,7 @@ fn frame_sync_controller() -> Benchmark {
         witness(&system, &single_input(&[0, 0, 0])),    // hunting on silence
     ];
     Benchmark {
-        name: "FrameSyncController",
+        name: "FrameSyncController".to_string(),
         system,
         observables,
         k: 12,

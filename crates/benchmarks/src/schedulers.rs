@@ -32,7 +32,7 @@ fn count_events() -> Benchmark {
         witness(&system, &single_input(&[0, 0, 0])), // idle
     ];
     Benchmark {
-        name: "CountEvents",
+        name: "CountEvents".to_string(),
         system,
         observables,
         k: 20,
@@ -69,7 +69,7 @@ fn temporal_logic_scheduler() -> Benchmark {
         witness(&system, &single_input(&[0, 0, 0])), // idle
     ];
     Benchmark {
-        name: "TemporalLogicScheduler",
+        name: "TemporalLogicScheduler".to_string(),
         system,
         observables,
         k: 18,
@@ -101,7 +101,7 @@ fn ladder_logic_scheduler() -> Benchmark {
         witness(&system, &single_input(&[0, 0])),       // hold
     ];
     Benchmark {
-        name: "LadderLogicScheduler",
+        name: "LadderLogicScheduler".to_string(),
         system,
         observables,
         k: 10,
@@ -147,7 +147,7 @@ fn moore_traffic_light() -> Benchmark {
         witness(&system, &single_input(&[0, 0, 0])), // disabled
     ];
     Benchmark {
-        name: "MooreTrafficLight",
+        name: "MooreTrafficLight".to_string(),
         system,
         observables,
         k: 14,
@@ -187,7 +187,7 @@ fn intersection() -> Benchmark {
         witness(&system, &single_input(&[0, 0])),    // idle
     ];
     Benchmark {
-        name: "IntersectionOfTwo1wayStreets",
+        name: "IntersectionOfTwo1wayStreets".to_string(),
         system,
         observables,
         k: 14,
@@ -223,7 +223,7 @@ fn superstep() -> Benchmark {
         witness(&system, &single_input(&[0, 0])),    // idle
     ];
     Benchmark {
-        name: "SuperstepWithSuperStep",
+        name: "SuperstepWithSuperStep".to_string(),
         system,
         observables,
         k: 12,

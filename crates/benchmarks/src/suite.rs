@@ -3,12 +3,15 @@
 use amle_automaton::Nfa;
 use amle_expr::{Value, VarId};
 use amle_system::{System, Trace};
+use std::error::Error;
+use std::fmt;
 
 /// One benchmark of the evaluation suite.
 #[derive(Debug, Clone)]
 pub struct Benchmark {
-    /// Benchmark name (mirrors the Table I naming scheme).
-    pub name: &'static str,
+    /// Benchmark name (mirrors the Table I naming scheme; synthetic
+    /// benchmarks use a `Synth…` prefix with their parameters).
+    pub name: String,
     /// The system under learning.
     pub system: System,
     /// The observable variables `X` for this benchmark.
@@ -35,12 +38,56 @@ impl Benchmark {
     }
 }
 
+/// Error raised when an input schedule does not match the system it is meant
+/// to drive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleError {
+    /// Name of the system the schedule was replayed on.
+    pub system: String,
+    /// Index of the offending schedule row.
+    pub row: usize,
+    /// Number of values supplied in that row.
+    pub got: usize,
+    /// Number of declared input variables.
+    pub expected: usize,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule row {} for system `{}` has {} values but the system declares {} input variables",
+            self.row, self.system, self.got, self.expected
+        )
+    }
+}
+
+impl Error for ScheduleError {}
+
 /// Helper used by the benchmark definitions: runs the system from its initial
 /// valuation under an explicit input schedule and records the resulting
 /// trace. Each schedule entry gives the raw values of the input variables (in
 /// declaration order) for one step.
-pub(crate) fn trace_from_schedule(system: &System, schedule: &[Vec<i64>]) -> Trace {
+///
+/// # Errors
+///
+/// Returns a [`ScheduleError`] naming the system and the offending row when a
+/// schedule row does not supply exactly one value per declared input
+/// variable. (Silently zipping a short row against the input list would feed
+/// the simulator stale input values — a miswritten witness would then
+/// disagree with the reference machine it is supposed to pin down.)
+pub fn trace_from_schedule(system: &System, schedule: &[Vec<i64>]) -> Result<Trace, ScheduleError> {
     let inputs = system.input_vars().to_vec();
+    for (row_index, row) in schedule.iter().enumerate() {
+        if row.len() != inputs.len() {
+            return Err(ScheduleError {
+                system: system.name().to_string(),
+                row: row_index,
+                got: row.len(),
+                expected: inputs.len(),
+            });
+        }
+    }
     let assign = |row: &Vec<i64>| -> Vec<(VarId, Value)> {
         inputs
             .iter()
@@ -59,13 +106,22 @@ pub(crate) fn trace_from_schedule(system: &System, schedule: &[Vec<i64>]) -> Tra
         current = system.step(&current, &assign(row));
         observations.push(current.clone());
     }
-    Trace::new(observations)
+    Ok(Trace::new(observations))
 }
 
-/// Helper: a witness trace is the suffix of a schedule-driven run; most
-/// benchmarks use full runs directly.
+/// Helper: a schedule-driven witness trace for a statically defined
+/// benchmark.
+///
+/// # Panics
+///
+/// Panics (naming the benchmark system) when the schedule is malformed; the
+/// static Table I definitions are validated by the suite tests, so this is a
+/// definition-time assertion rather than a runtime hazard.
 pub(crate) fn witness(system: &System, schedule: &[Vec<i64>]) -> Trace {
-    trace_from_schedule(system, schedule)
+    match trace_from_schedule(system, schedule) {
+        Ok(trace) => trace,
+        Err(e) => panic!("bad witness schedule: {e}"),
+    }
 }
 
 /// Convenience for building per-step schedules where the benchmark has a
@@ -74,7 +130,7 @@ pub(crate) fn single_input(values: &[i64]) -> Vec<Vec<i64>> {
     values.iter().map(|v| vec![*v]).collect()
 }
 
-/// All benchmarks of the suite, in a stable order.
+/// All Table I benchmarks, in a stable order.
 pub fn all_benchmarks() -> Vec<Benchmark> {
     let mut suite = Vec::new();
     suite.extend(crate::controllers::benchmarks());
@@ -83,7 +139,18 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
     suite
 }
 
-/// Looks a benchmark up by name.
+/// The full evaluation suite: Table I plus the default synthetic families
+/// (see [`crate::synthetic_benchmarks`]), in a stable order.
+pub fn full_suite() -> Vec<Benchmark> {
+    let mut suite = all_benchmarks();
+    suite.extend(crate::synth::synthetic_benchmarks(
+        crate::synth::DEFAULT_SEED,
+    ));
+    suite
+}
+
+/// Looks a benchmark up by name, across Table I and the default synthetic
+/// families.
 pub fn benchmark_by_name(name: &str) -> Option<Benchmark> {
-    all_benchmarks().into_iter().find(|b| b.name == name)
+    full_suite().into_iter().find(|b| b.name == name)
 }

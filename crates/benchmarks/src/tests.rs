@@ -1,7 +1,9 @@
 //! Suite-wide sanity tests: every benchmark must be internally consistent
 //! and usable by the learning pipeline.
 
-use crate::{all_benchmarks, benchmark_by_name, home_climate_control_system};
+use crate::{
+    all_benchmarks, benchmark_by_name, full_suite, home_climate_control_system, trace_from_schedule,
+};
 use amle_core::{ActiveLearner, ActiveLearnerConfig};
 use amle_learner::HistoryLearner;
 use amle_system::Simulator;
@@ -11,13 +13,19 @@ use std::collections::HashSet;
 
 #[test]
 fn suite_is_non_trivial_and_names_are_unique() {
-    let suite = all_benchmarks();
+    let table1 = all_benchmarks();
     assert!(
-        suite.len() >= 15,
-        "suite has only {} benchmarks",
+        table1.len() >= 15,
+        "Table I has only {} benchmarks",
+        table1.len()
+    );
+    let suite = full_suite();
+    assert!(
+        suite.len() >= table1.len() + 8,
+        "full suite has only {} benchmarks",
         suite.len()
     );
-    let names: HashSet<&str> = suite.iter().map(|b| b.name).collect();
+    let names: HashSet<&str> = suite.iter().map(|b| b.name.as_str()).collect();
     assert_eq!(names.len(), suite.len(), "duplicate benchmark names");
 }
 
@@ -25,12 +33,32 @@ fn suite_is_non_trivial_and_names_are_unique() {
 fn lookup_by_name() {
     assert!(benchmark_by_name("HomeClimateControlCooler").is_some());
     assert!(benchmark_by_name("MealyVendingMachine").is_some());
+    assert!(benchmark_by_name("SynthGrayW2").is_some());
     assert!(benchmark_by_name("DoesNotExist").is_none());
 }
 
 #[test]
+fn short_schedule_row_is_a_proper_error() {
+    // Regression: a schedule row shorter than the input-variable list used to
+    // be zipped away silently (and a longer one ignored); both are now
+    // reported as a named error instead of feeding the simulator stale
+    // inputs.
+    let b = benchmark_by_name("SynthGatedToggleT2").unwrap();
+    let err = trace_from_schedule(&b.system, &[vec![1, 1, 1], vec![1]]).unwrap_err();
+    assert_eq!(err.row, 1);
+    assert_eq!(err.got, 1);
+    assert_eq!(err.expected, 3);
+    assert!(err.system.contains("SynthGatedToggle"));
+    assert!(err.to_string().contains("row 1"));
+    let err = trace_from_schedule(&b.system, &[vec![1, 1, 1, 1]]).unwrap_err();
+    assert_eq!((err.row, err.got), (0, 4));
+    // A well-formed schedule still replays.
+    assert!(trace_from_schedule(&b.system, &[vec![1, 1, 0], vec![1, 0, 1]]).is_ok());
+}
+
+#[test]
 fn every_benchmark_is_well_formed() {
-    for b in all_benchmarks() {
+    for b in full_suite() {
         assert!(!b.observables.is_empty(), "{}: no observables", b.name);
         assert!(b.k > 0, "{}: k must be positive", b.name);
         assert_eq!(
@@ -52,7 +80,7 @@ fn every_benchmark_is_well_formed() {
 
 #[test]
 fn every_witness_is_an_execution_trace() {
-    for b in all_benchmarks() {
+    for b in full_suite() {
         for (i, w) in b.witnesses.iter().enumerate() {
             assert!(!w.is_empty(), "{}: witness {i} is empty", b.name);
             assert!(
@@ -66,7 +94,7 @@ fn every_witness_is_an_execution_trace() {
 
 #[test]
 fn every_system_simulates() {
-    for b in all_benchmarks() {
+    for b in full_suite() {
         let sim = Simulator::new(&b.system);
         let mut rng = StdRng::seed_from_u64(1);
         let trace = sim.random_trace(25, &mut rng);

@@ -24,7 +24,7 @@
 //! behaviour as a differential-testing oracle.
 
 use amle_bitblast::Encoder;
-use amle_expr::{Expr, Valuation, VarId};
+use amle_expr::{Expr, Valuation, Value, VarId};
 use amle_sat::{cdcl_backend, ClauseSink, IncrementalSolver, Lit, SolveResult, SolverStats};
 use amle_system::System;
 use std::collections::HashMap;
@@ -86,6 +86,25 @@ pub struct CheckerStats {
     pub solver: SolverStats,
 }
 
+impl std::ops::AddAssign for CheckerStats {
+    fn add_assign(&mut self, rhs: CheckerStats) {
+        self.sat_queries += rhs.sat_queries;
+        self.condition_checks += rhs.condition_checks;
+        self.spurious_checks += rhs.spurious_checks;
+        self.total_clauses += rhs.total_clauses;
+        self.solver += rhs.solver;
+    }
+}
+
+impl std::ops::Add for CheckerStats {
+    type Output = CheckerStats;
+
+    fn add(mut self, rhs: CheckerStats) -> CheckerStats {
+        self += rhs;
+        self
+    }
+}
+
 /// How the checker manages its SAT backend across queries.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum CheckerMode {
@@ -100,11 +119,14 @@ pub enum CheckerMode {
 }
 
 /// Factory producing fresh solver instances for the checker's sessions.
-pub type SolverBackend = fn() -> Box<dyn IncrementalSolver>;
+///
+/// The produced solver is `Send` so whole checkers (and their persistent
+/// sessions) can be moved into worker threads by the parallel engine.
+pub type SolverBackend = fn() -> Box<dyn IncrementalSolver + Send>;
 
 /// One persistent encoder-over-solver pair.
 struct Session {
-    enc: Encoder<Box<dyn IncrementalSolver>>,
+    enc: Encoder<Box<dyn IncrementalSolver + Send>>,
     /// Number of transition steps already unrolled (frames `0..=unrolled`
     /// exist and are linked).
     unrolled: usize,
@@ -215,6 +237,19 @@ impl<'a> KInductionChecker<'a> {
         self.system
     }
 
+    /// Creates an independent checker over the same system, mode and solver
+    /// backend, with fresh sessions and zeroed statistics.
+    ///
+    /// This is the session-cloning primitive of the parallel engine: each
+    /// worker forks the template checker once and then keeps its own
+    /// persistent incremental sessions for the lifetime of the run. Because
+    /// counterexamples are canonicalised (see
+    /// [`KInductionChecker::check_condition`]), forked checkers return
+    /// byte-identical results to the original for any query sequence.
+    pub fn fork(&self) -> KInductionChecker<'a> {
+        Self::with_backend(self.system, self.mode, self.backend)
+    }
+
     /// The session mode of this checker.
     pub fn mode(&self) -> CheckerMode {
         self.mode
@@ -290,6 +325,7 @@ impl<'a> KInductionChecker<'a> {
     fn condition_query(
         stats: &mut CheckerStats,
         session: &mut Session,
+        system: &System,
         assumption: &Expr,
         blocked: &[Expr],
         conclusion: &Expr,
@@ -304,13 +340,67 @@ impl<'a> KInductionChecker<'a> {
         match session.solve(&assumptions) {
             SolveResult::Unsat => CheckResult::Valid,
             SolveResult::Sat => {
-                let model = session.enc.sink().model();
-                CheckResult::Violated {
-                    from: session.enc.decode_frame(&model, 0),
-                    to: session.enc.decode_frame(&model, 1),
-                }
+                let (from, to) = Self::canonical_transition(stats, session, system, assumptions);
+                CheckResult::Violated { from, to }
             }
         }
+    }
+
+    /// Extracts the **canonical** (lexicographically minimal) counterexample
+    /// transition of a satisfiable condition query.
+    ///
+    /// A CDCL solver's satisfying model depends on its clause-learning and
+    /// phase-saving history, so two sessions that served different query
+    /// sequences can return different (equally valid) counterexamples for the
+    /// same query. The active-learning loop feeds counterexamples back into
+    /// the trace set, so that nondeterminism would compound into different
+    /// learned models. Canonicalisation removes it: starting from the query
+    /// assumptions, each free variable bit is probed in a fixed order
+    /// (frame 0 before frame 1, declaration order, most significant bit
+    /// first) and pinned to 0 whenever the query stays satisfiable, to 1
+    /// otherwise. Frame-1 *state* bits are functionally implied by the
+    /// transition clauses once frame 0 is pinned, so they are not probed:
+    /// their values are read off the update expressions directly. The result
+    /// is the unique minimal satisfying transition — a pure function of the
+    /// query semantics, independent of solver history, session reuse and
+    /// worker count (the probe set is static, so even the per-counterexample
+    /// solve count is deterministic).
+    fn canonical_transition(
+        stats: &mut CheckerStats,
+        session: &mut Session,
+        system: &System,
+        mut fixed: Vec<Lit>,
+    ) -> (Valuation, Valuation) {
+        let vars = system.vars();
+        let mut probe_var = |frame: usize, id: VarId| {
+            let word = session.enc.word(frame, id);
+            let mut raw: i64 = 0;
+            for b in (0..word.bits().len()).rev() {
+                let bit = word.bits()[b];
+                fixed.push(!bit);
+                Self::count_query(stats, session);
+                if session.solve(&fixed) == SolveResult::Unsat {
+                    // The bit is forced to 1 under everything pinned so far;
+                    // flip the assumption and keep going.
+                    fixed.pop();
+                    fixed.push(bit);
+                    raw |= 1 << b;
+                }
+            }
+            Value::from_i64(vars.sort(id), raw)
+        };
+        let mut from = Valuation::zeroed(vars);
+        for (id, _) in vars.iter() {
+            from.set(id, probe_var(0, id));
+        }
+        let mut to = Valuation::zeroed(vars);
+        for id in system.input_vars() {
+            to.set(*id, probe_var(1, *id));
+        }
+        for id in system.state_vars() {
+            to.set(*id, system.update(*id).eval(&from));
+        }
+        (from, to)
     }
 
     /// Runs the k-induction base case against a session holding `Init`:
@@ -417,7 +507,9 @@ impl<'a> KInductionChecker<'a> {
             &mut self.retired,
             &mut self.condition,
             || Self::condition_session(system, backend),
-            |stats, session| Self::condition_query(stats, session, assumption, blocked, conclusion),
+            |stats, session| {
+                Self::condition_query(stats, session, system, assumption, blocked, conclusion)
+            },
         )
     }
 
@@ -663,5 +755,50 @@ mod tests {
         let sys = saturating_counter();
         let mut checker = KInductionChecker::new(&sys);
         let _ = checker.check_spurious(&Expr::true_(), 0);
+    }
+
+    #[test]
+    fn checkers_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<KInductionChecker<'static>>();
+        assert_send::<CheckResult>();
+        assert_send::<SpuriousResult>();
+    }
+
+    #[test]
+    fn counterexamples_are_canonical_across_sessions_and_forks() {
+        let sys = saturating_counter();
+        let c = var_expr(&sys, "c");
+        let conclusion = c.ne(&Expr::int_val(3, 4));
+
+        // A fresh checker answering the query cold.
+        let mut cold = KInductionChecker::new(&sys);
+        let direct = cold.check_condition(&Expr::true_(), &[], &conclusion);
+
+        // A warmed-up checker whose condition session served unrelated
+        // queries first (different learnt clauses and saved phases), plus a
+        // fork of it.
+        let mut warm = KInductionChecker::new(&sys);
+        let side = c.le(&Expr::int_val(5, 4));
+        assert!(warm.check_condition(&side, &[], &side).is_valid());
+        let _ = warm.check_condition(&Expr::true_(), &[], &c.ne(&Expr::int_val(1, 4)));
+        let warmed = warm.check_condition(&Expr::true_(), &[], &conclusion);
+        let forked = warm
+            .fork()
+            .check_condition(&Expr::true_(), &[], &conclusion);
+
+        // And the fresh-per-query oracle.
+        let mut fresh = KInductionChecker::with_mode(&sys, CheckerMode::FreshPerQuery);
+        let oracle = fresh.check_condition(&Expr::true_(), &[], &conclusion);
+
+        assert_eq!(direct, warmed, "session history changed the model");
+        assert_eq!(direct, forked, "fork changed the model");
+        assert_eq!(direct, oracle, "session mode changed the model");
+        match direct {
+            CheckResult::Valid => panic!("condition should be violated"),
+            CheckResult::Violated { from, to } => {
+                assert!(sys.is_transition(&from, &to));
+            }
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! The passive random-sampling baseline of Section IV-C.
 
 use crate::conditions::extract_conditions;
-use crate::learner_loop::evaluate_conditions;
+use crate::engine::evaluate_conditions;
 use amle_automaton::Nfa;
 use amle_checker::KInductionChecker;
 use amle_expr::VarId;

@@ -1,0 +1,465 @@
+//! The condition-checking engine: sequential and parallel execution of the
+//! per-iteration completeness-condition checks.
+//!
+//! Checking the extracted conditions dominates the wall-clock time of an
+//! active-learning iteration, and the conditions are mutually independent:
+//! each one is decided by its own SAT queries, and the spurious-counterexample
+//! re-check loop of a condition only strengthens that condition's own
+//! assumption. The engine exploits this by fanning conditions out over a pool
+//! of [`std::thread::scope`] workers, each owning a private fork
+//! ([`amle_checker::KInductionChecker::fork`]) of the k-induction checker with
+//! its own persistent incremental solver sessions.
+//!
+//! **Determinism guarantee.** The merged [`ConditionEvaluation`] is
+//! byte-identical for every worker count, including 1:
+//!
+//! * verdicts (`Valid`/`Violated`, `Spurious`/`Reachable`/`Inconclusive`) are
+//!   satisfiability results, which do not depend on solver history;
+//! * counterexample *models* would normally depend on solver history, but the
+//!   checker canonicalises them to the lexicographically minimal satisfying
+//!   transition, making each condition's outcome a pure function of the
+//!   condition and the system;
+//! * workers pull work items from a shared queue (dynamic load balancing),
+//!   and results are merged back **in condition order**, so neither
+//!   scheduling nor completion order can leak into the report.
+
+use crate::conditions::{Condition, ConditionKind};
+use amle_checker::{CheckResult, CheckerStats, KInductionChecker, SpuriousResult};
+use amle_expr::{Valuation, VarId};
+use amle_system::System;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// Parallelism configuration of the condition-checking engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Number of condition-checking workers. `1` checks conditions on the
+    /// calling thread; `n > 1` spawns `n` scoped workers, each with its own
+    /// persistent checker sessions.
+    pub workers: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig { workers: 1 }
+    }
+}
+
+impl ParallelConfig {
+    /// A configuration with the given worker count (clamped to at least 1).
+    pub fn with_workers(workers: usize) -> Self {
+        ParallelConfig {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Reads the worker count from the `AMLE_WORKERS` environment variable,
+    /// defaulting to 1 (sequential) when unset or unparsable.
+    pub fn from_env() -> Self {
+        let workers = std::env::var("AMLE_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(1);
+        Self::with_workers(workers)
+    }
+}
+
+/// Outcome of checking the full condition set of one candidate model.
+#[derive(Debug, Clone)]
+pub(crate) struct ConditionEvaluation {
+    pub total: usize,
+    pub held: usize,
+    /// Valid counterexamples: the violated condition together with the
+    /// offending transition, in condition order.
+    pub counterexamples: Vec<(Condition, Valuation, Valuation)>,
+    pub spurious: usize,
+    pub inconclusive: usize,
+}
+
+impl ConditionEvaluation {
+    pub fn alpha(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.held as f64 / self.total as f64
+        }
+    }
+}
+
+/// The result of fully evaluating a single condition, including its
+/// spurious-counterexample re-check rounds.
+#[derive(Debug, Clone)]
+pub(crate) enum ConditionOutcome {
+    /// The condition was proven to hold.
+    Held,
+    /// A valid (or inconclusive, treated-as-valid) counterexample was found
+    /// after `spurious` blocked rounds.
+    Counterexample {
+        from: Valuation,
+        to: Valuation,
+        spurious: usize,
+        inconclusive: bool,
+    },
+    /// Every counterexample within the round budget was spurious; the
+    /// condition is not shown to hold but produces no new trace.
+    Exhausted { spurious: usize },
+}
+
+/// Checks one condition against the system, classifying counterexamples as in
+/// Section III-B/III-C of the paper. This is the unit of work the parallel
+/// engine distributes; thanks to canonical counterexample extraction its
+/// result is a pure function of `(condition, system, k, max_spurious_rounds)`.
+pub(crate) fn evaluate_one_condition(
+    checker: &mut KInductionChecker<'_>,
+    condition: &Condition,
+    observables: &[VarId],
+    k: usize,
+    max_spurious_rounds: usize,
+) -> ConditionOutcome {
+    let mut blocked = Vec::new();
+    let mut spurious = 0;
+    loop {
+        let result =
+            checker.check_condition(&condition.assumption, &blocked, &condition.conclusion());
+        match result {
+            CheckResult::Valid => return ConditionOutcome::Held,
+            CheckResult::Violated { from, to } => {
+                if condition.kind == ConditionKind::Initial {
+                    // Counterexamples to condition (1) start in an Init state
+                    // and are always valid.
+                    return ConditionOutcome::Counterexample {
+                        from,
+                        to,
+                        spurious,
+                        inconclusive: false,
+                    };
+                }
+                let state_formula = checker.state_formula(&from, observables);
+                match checker.check_spurious(&state_formula, k) {
+                    SpuriousResult::Spurious => {
+                        spurious += 1;
+                        blocked.push(state_formula);
+                        if spurious >= max_spurious_rounds {
+                            return ConditionOutcome::Exhausted { spurious };
+                        }
+                    }
+                    SpuriousResult::Reachable => {
+                        return ConditionOutcome::Counterexample {
+                            from,
+                            to,
+                            spurious,
+                            inconclusive: false,
+                        };
+                    }
+                    SpuriousResult::Inconclusive => {
+                        return ConditionOutcome::Counterexample {
+                            from,
+                            to,
+                            spurious,
+                            inconclusive: true,
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds per-condition outcomes (in condition order) into the aggregate
+/// evaluation. This is the deterministic merge point of the engine.
+pub(crate) fn merge_outcomes(
+    conditions: &[Condition],
+    outcomes: Vec<ConditionOutcome>,
+) -> ConditionEvaluation {
+    debug_assert_eq!(conditions.len(), outcomes.len());
+    let mut evaluation = ConditionEvaluation {
+        total: conditions.len(),
+        held: 0,
+        counterexamples: Vec::new(),
+        spurious: 0,
+        inconclusive: 0,
+    };
+    for (condition, outcome) in conditions.iter().zip(outcomes) {
+        match outcome {
+            ConditionOutcome::Held => evaluation.held += 1,
+            ConditionOutcome::Counterexample {
+                from,
+                to,
+                spurious,
+                inconclusive,
+            } => {
+                evaluation.spurious += spurious;
+                if inconclusive {
+                    evaluation.inconclusive += 1;
+                }
+                evaluation
+                    .counterexamples
+                    .push((condition.clone(), from, to));
+            }
+            ConditionOutcome::Exhausted { spurious } => evaluation.spurious += spurious,
+        }
+    }
+    evaluation
+}
+
+/// Checks every extracted condition sequentially on the given checker.
+///
+/// Shared by the sequential engine and the random-sampling baseline's α
+/// measurement.
+pub(crate) fn evaluate_conditions(
+    checker: &mut KInductionChecker<'_>,
+    conditions: &[Condition],
+    observables: &[VarId],
+    k: usize,
+    max_spurious_rounds: usize,
+) -> ConditionEvaluation {
+    let outcomes = conditions
+        .iter()
+        .map(|c| evaluate_one_condition(checker, c, observables, k, max_spurious_rounds))
+        .collect();
+    merge_outcomes(conditions, outcomes)
+}
+
+/// A condition-checking engine usable by the active-learning loop: evaluates
+/// whole condition sets and surrenders its accumulated checker statistics at
+/// the end of the run.
+pub(crate) trait ConditionEngine {
+    fn evaluate(&mut self, conditions: &[Condition]) -> ConditionEvaluation;
+    fn finish(self) -> CheckerStats;
+}
+
+/// The sequential engine: one persistent checker on the calling thread,
+/// exactly the paper's Fig. 1 behaviour.
+pub(crate) struct SequentialEngine<'a> {
+    checker: KInductionChecker<'a>,
+    observables: Vec<VarId>,
+    k: usize,
+    max_spurious_rounds: usize,
+}
+
+impl<'a> SequentialEngine<'a> {
+    pub fn new(
+        system: &'a System,
+        observables: Vec<VarId>,
+        k: usize,
+        max_spurious_rounds: usize,
+    ) -> Self {
+        SequentialEngine {
+            checker: KInductionChecker::new(system),
+            observables,
+            k,
+            max_spurious_rounds,
+        }
+    }
+}
+
+impl ConditionEngine for SequentialEngine<'_> {
+    fn evaluate(&mut self, conditions: &[Condition]) -> ConditionEvaluation {
+        evaluate_conditions(
+            &mut self.checker,
+            conditions,
+            &self.observables,
+            self.k,
+            self.max_spurious_rounds,
+        )
+    }
+
+    fn finish(self) -> CheckerStats {
+        self.checker.stats()
+    }
+}
+
+/// One unit of work: the condition's position in the extracted set plus the
+/// condition itself.
+type WorkItem = (usize, Condition);
+
+/// A message from a worker to the merge loop.
+enum PoolMessage {
+    /// One condition's outcome, tagged with its position.
+    Outcome(usize, ConditionOutcome),
+    /// The sending worker is unwinding from a panic.
+    Panicked,
+}
+
+/// Sends [`PoolMessage::Panicked`] when dropped during a panic unwind, so a
+/// dying worker fails the run loudly: without this, the merge loop would
+/// block forever on a result that will never arrive (the surviving workers
+/// keep the result channel open).
+struct PanicNotifier {
+    result_tx: mpsc::Sender<PoolMessage>,
+}
+
+impl Drop for PanicNotifier {
+    fn drop(&mut self) {
+        if thread::panicking() {
+            let _ = self.result_tx.send(PoolMessage::Panicked);
+        }
+    }
+}
+
+/// The parallel engine: a pool of scoped worker threads, each owning a forked
+/// checker with persistent sessions that survive across iterations. Work
+/// items are pulled from a shared queue; results are merged in condition
+/// order.
+pub(crate) struct WorkerPool<'scope> {
+    work_tx: Option<mpsc::Sender<WorkItem>>,
+    result_rx: mpsc::Receiver<PoolMessage>,
+    handles: Vec<thread::ScopedJoinHandle<'scope, CheckerStats>>,
+}
+
+impl<'scope> WorkerPool<'scope> {
+    /// Spawns `workers` threads on `scope`, each forking its own checker for
+    /// `system`.
+    pub fn spawn<'env: 'scope>(
+        scope: &'scope thread::Scope<'scope, 'env>,
+        system: &'env System,
+        observables: Vec<VarId>,
+        workers: usize,
+        k: usize,
+        max_spurious_rounds: usize,
+    ) -> Self {
+        let (work_tx, work_rx) = mpsc::channel::<WorkItem>();
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let (result_tx, result_rx) = mpsc::channel();
+        let template = KInductionChecker::new(system);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let work_rx = Arc::clone(&work_rx);
+            let result_tx = result_tx.clone();
+            let observables = observables.clone();
+            let mut checker = template.fork();
+            handles.push(scope.spawn(move || {
+                let _notifier = PanicNotifier {
+                    result_tx: result_tx.clone(),
+                };
+                loop {
+                    // Hold the queue lock only for the dequeue itself; the
+                    // expensive SAT work below runs unlocked.
+                    let item = match work_rx.lock().expect("queue lock poisoned").recv() {
+                        Ok(item) => item,
+                        Err(_) => break,
+                    };
+                    let (index, condition) = item;
+                    let outcome = evaluate_one_condition(
+                        &mut checker,
+                        &condition,
+                        &observables,
+                        k,
+                        max_spurious_rounds,
+                    );
+                    if result_tx
+                        .send(PoolMessage::Outcome(index, outcome))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                checker.stats()
+            }));
+        }
+        WorkerPool {
+            work_tx: Some(work_tx),
+            result_rx,
+            handles,
+        }
+    }
+}
+
+impl ConditionEngine for WorkerPool<'_> {
+    fn evaluate(&mut self, conditions: &[Condition]) -> ConditionEvaluation {
+        let work_tx = self.work_tx.as_ref().expect("pool already finished");
+        for (index, condition) in conditions.iter().enumerate() {
+            work_tx
+                .send((index, condition.clone()))
+                .expect("a worker thread panicked");
+        }
+        let mut outcomes: Vec<Option<ConditionOutcome>> = vec![None; conditions.len()];
+        for _ in 0..conditions.len() {
+            match self
+                .result_rx
+                .recv()
+                .expect("every condition-checking worker exited before finishing its work")
+            {
+                PoolMessage::Outcome(index, outcome) => outcomes[index] = Some(outcome),
+                PoolMessage::Panicked => {
+                    panic!("a condition-checking worker panicked; aborting the run")
+                }
+            }
+        }
+        merge_outcomes(
+            conditions,
+            outcomes
+                .into_iter()
+                .map(|o| o.expect("every condition produced an outcome"))
+                .collect(),
+        )
+    }
+
+    fn finish(mut self) -> CheckerStats {
+        // Closing the queue lets every worker drain out and return its stats.
+        drop(self.work_tx.take());
+        let mut total = CheckerStats::default();
+        for handle in self.handles {
+            total += handle.join().expect("worker thread panicked");
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amle_automaton::StateId;
+    use amle_expr::{Expr, Sort, Value};
+    use amle_system::SystemBuilder;
+
+    #[test]
+    #[should_panic(expected = "condition-checking worker panicked")]
+    fn a_panicking_worker_fails_the_run_instead_of_hanging() {
+        // k = 0 trips the checker's bound assertion on the first violated
+        // non-initial condition, panicking inside a worker. The merge loop
+        // must surface that as a panic of its own, not block forever waiting
+        // for an outcome that will never arrive.
+        let mut b = SystemBuilder::new();
+        let tick = b.input("tick", Sort::Bool).unwrap();
+        let s = b.state("s", Sort::Bool, Value::Bool(false)).unwrap();
+        let next = b.var(tick);
+        b.update(s, next).unwrap();
+        let _ = tick;
+        let system = b.build().unwrap();
+
+        let condition = Condition {
+            kind: ConditionKind::State {
+                state: StateId::from_index(0),
+            },
+            assumption: Expr::true_(),
+            outgoing: vec![Expr::false_()],
+        };
+        thread::scope(|scope| {
+            let mut pool = WorkerPool::spawn(scope, &system, system.all_vars(), 2, 0, 10);
+            let _ = pool.evaluate(std::slice::from_ref(&condition));
+        });
+    }
+
+    #[test]
+    fn default_is_sequential() {
+        assert_eq!(ParallelConfig::default().workers, 1);
+        assert_eq!(ParallelConfig::with_workers(0).workers, 1);
+        assert_eq!(ParallelConfig::with_workers(8).workers, 8);
+    }
+
+    #[test]
+    fn from_env_parses_and_defaults() {
+        // Sequential when unset; the CI matrix sets AMLE_WORKERS explicitly,
+        // in which case the parsed value must flow through.
+        let parsed = ParallelConfig::from_env();
+        match std::env::var("AMLE_WORKERS") {
+            Ok(v) => assert_eq!(
+                parsed.workers,
+                v.trim().parse::<usize>().unwrap_or(1).max(1)
+            ),
+            Err(_) => assert_eq!(parsed.workers, 1),
+        }
+    }
+}

@@ -1,8 +1,8 @@
 //! The active model-learning loop (Fig. 1 of the paper).
 
 use crate::conditions::{extract_conditions, Condition, ConditionKind};
+use crate::engine::{ConditionEngine, ParallelConfig, SequentialEngine, WorkerPool};
 use crate::report::{Invariant, IterationStats, RunReport};
-use amle_checker::{CheckResult, KInductionChecker, SpuriousResult};
 use amle_expr::{Valuation, VarId};
 use amle_learner::{LearnError, ModelLearner};
 use amle_system::{Simulator, System, Trace, TraceSet};
@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::error::Error;
 use std::fmt;
+use std::thread;
 use std::time::{Duration, Instant};
 
 /// Configuration of an active-learning run.
@@ -33,6 +34,10 @@ pub struct ActiveLearnerConfig {
     pub max_spurious_rounds: usize,
     /// Seed for the random trace generator.
     pub seed: u64,
+    /// Parallelism of the condition-checking engine. The default honours the
+    /// `AMLE_WORKERS` environment variable (1 = sequential); reports are
+    /// byte-identical across worker counts.
+    pub parallel: ParallelConfig,
 }
 
 impl Default for ActiveLearnerConfig {
@@ -45,6 +50,7 @@ impl Default for ActiveLearnerConfig {
             max_iterations: 25,
             max_spurious_rounds: 10,
             seed: 0xA1,
+            parallel: ParallelConfig::from_env(),
         }
     }
 }
@@ -83,99 +89,6 @@ impl From<LearnError> for ActiveLearnError {
     fn from(e: LearnError) -> Self {
         ActiveLearnError::Learner(e)
     }
-}
-
-/// Outcome of checking the full condition set of one candidate model.
-#[derive(Debug, Clone)]
-pub(crate) struct ConditionEvaluation {
-    pub total: usize,
-    pub held: usize,
-    /// Valid counterexamples: the violated condition together with the
-    /// offending transition.
-    pub counterexamples: Vec<(Condition, Valuation, Valuation)>,
-    pub spurious: usize,
-    pub inconclusive: usize,
-}
-
-impl ConditionEvaluation {
-    pub fn alpha(&self) -> f64 {
-        if self.total == 0 {
-            1.0
-        } else {
-            self.held as f64 / self.total as f64
-        }
-    }
-}
-
-/// Checks every extracted condition against the system, classifying
-/// counterexamples as in Section III-B/III-C of the paper.
-pub(crate) fn evaluate_conditions(
-    checker: &mut KInductionChecker<'_>,
-    conditions: &[Condition],
-    observables: &[VarId],
-    k: usize,
-    max_spurious_rounds: usize,
-) -> ConditionEvaluation {
-    let mut evaluation = ConditionEvaluation {
-        total: conditions.len(),
-        held: 0,
-        counterexamples: Vec::new(),
-        spurious: 0,
-        inconclusive: 0,
-    };
-
-    for condition in conditions {
-        let mut blocked = Vec::new();
-        let mut rounds = 0;
-        loop {
-            let result =
-                checker.check_condition(&condition.assumption, &blocked, &condition.conclusion());
-            match result {
-                CheckResult::Valid => {
-                    evaluation.held += 1;
-                    break;
-                }
-                CheckResult::Violated { from, to } => {
-                    if condition.kind == ConditionKind::Initial {
-                        // Counterexamples to condition (1) start in an Init
-                        // state and are always valid.
-                        evaluation
-                            .counterexamples
-                            .push((condition.clone(), from, to));
-                        break;
-                    }
-                    let state_formula = checker.state_formula(&from, observables);
-                    match checker.check_spurious(&state_formula, k) {
-                        SpuriousResult::Spurious => {
-                            evaluation.spurious += 1;
-                            blocked.push(state_formula);
-                            rounds += 1;
-                            if rounds >= max_spurious_rounds {
-                                // Give up on this condition for now; it counts
-                                // as "not shown to hold" but produces no new
-                                // trace.
-                                break;
-                            }
-                        }
-                        SpuriousResult::Reachable => {
-                            evaluation
-                                .counterexamples
-                                .push((condition.clone(), from, to));
-                            break;
-                        }
-                        SpuriousResult::Inconclusive => {
-                            evaluation.inconclusive += 1;
-                            evaluation
-                                .counterexamples
-                                .push((condition.clone(), from, to));
-                            break;
-                        }
-                    }
-                }
-            }
-        }
-    }
-    evaluation
 }
 
 /// Converts a valid counterexample into new traces by splicing it onto the
@@ -263,16 +176,44 @@ impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
 
     /// Runs the loop starting from a user-supplied initial trace set.
     ///
+    /// When `config.parallel.workers > 1` the per-iteration condition checks
+    /// are fanned out over that many scoped worker threads, each owning a
+    /// forked checker with persistent incremental sessions; results are
+    /// merged in condition order and the report is byte-identical to a
+    /// sequential run (see [`crate::ParallelConfig`]).
+    ///
     /// # Errors
     ///
     /// As for [`ActiveLearner::run`].
-    pub fn run_with_traces(&mut self, mut traces: TraceSet) -> Result<RunReport, ActiveLearnError> {
+    pub fn run_with_traces(&mut self, traces: TraceSet) -> Result<RunReport, ActiveLearnError> {
+        let observables = self.observables();
+        let workers = self.config.parallel.workers.max(1);
+        let (k, max_spurious_rounds) = (self.config.k, self.config.max_spurious_rounds);
+        if workers == 1 {
+            let engine = SequentialEngine::new(self.system, observables, k, max_spurious_rounds);
+            self.run_loop(traces, engine)
+        } else {
+            let system = self.system;
+            thread::scope(|scope| {
+                let engine =
+                    WorkerPool::spawn(scope, system, observables, workers, k, max_spurious_rounds);
+                self.run_loop(traces, engine)
+            })
+        }
+    }
+
+    /// The iteration loop of Fig. 1, generic over the condition-checking
+    /// engine.
+    fn run_loop<E: ConditionEngine>(
+        &mut self,
+        mut traces: TraceSet,
+        mut engine: E,
+    ) -> Result<RunReport, ActiveLearnError> {
         let observables = self.observables();
         let start = Instant::now();
         let mut learn_time = Duration::ZERO;
         let mut check_time = Duration::ZERO;
         let mut iteration_stats = Vec::new();
-        let mut checker = KInductionChecker::new(self.system);
         // The learner accumulates solver statistics across its lifetime;
         // snapshot them so the report attributes only this run's work.
         let learner_stats_start = self.learner.solver_stats();
@@ -297,13 +238,7 @@ impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
             // 2. Extract and check the completeness conditions.
             let check_start = Instant::now();
             let extracted = extract_conditions(&candidate, &self.system.init_expr());
-            let evaluation = evaluate_conditions(
-                &mut checker,
-                &extracted,
-                &observables,
-                self.config.k,
-                self.config.max_spurious_rounds,
-            );
+            let evaluation = engine.evaluate(&extracted);
             let iteration_check_time = check_start.elapsed();
             check_time += iteration_check_time;
 
@@ -367,7 +302,7 @@ impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
             total_time: start.elapsed(),
             learn_time,
             check_time,
-            checker_stats: checker.stats(),
+            checker_stats: engine.finish(),
             learner_solver_stats: self.learner.solver_stats().since(&learner_stats_start),
         })
     }
@@ -559,6 +494,28 @@ mod tests {
             second.learner_solver_stats.solve_calls,
             report.learner_solver_stats.solve_calls
         );
+    }
+
+    #[test]
+    fn parallel_engine_reports_match_sequential_byte_for_byte() {
+        for system in [cooler(), counter_with_flag()] {
+            let mut config = quick_config();
+            config.parallel = ParallelConfig::with_workers(1);
+            let sequential = ActiveLearner::new(&system, HistoryLearner::default(), config.clone())
+                .run()
+                .unwrap();
+            config.parallel = ParallelConfig::with_workers(4);
+            let parallel = ActiveLearner::new(&system, HistoryLearner::default(), config)
+                .run()
+                .unwrap();
+            assert_eq!(sequential.abstraction, parallel.abstraction);
+            assert_eq!(
+                sequential.semantic_fingerprint(system.vars()),
+                parallel.semantic_fingerprint(system.vars()),
+                "worker count leaked into the report for {}",
+                system.name()
+            );
+        }
     }
 
     #[test]

@@ -59,11 +59,13 @@
 
 mod baseline;
 mod conditions;
+mod engine;
 mod learner_loop;
 mod report;
 
 pub use baseline::{random_sampling_baseline, BaselineReport};
 pub use conditions::{extract_conditions, Condition, ConditionKind};
+pub use engine::ParallelConfig;
 pub use learner_loop::{ActiveLearnError, ActiveLearner, ActiveLearnerConfig};
 pub use report::{Invariant, IterationStats, RunReport};
 

@@ -110,6 +110,55 @@ impl RunReport {
     pub fn solver_stats(&self) -> SolverStats {
         self.checker_stats.solver + self.learner_solver_stats
     }
+
+    /// A canonical rendering of every semantically meaningful field of the
+    /// report: the learned automaton (as DOT), the extracted invariants, the
+    /// convergence data and the deterministic work counters.
+    ///
+    /// Wall-clock durations and solver-internal counters (conflicts,
+    /// propagations, live clause totals) are excluded — they legitimately
+    /// vary between runs and between worker counts. Everything that remains
+    /// is guaranteed byte-identical across condition-engine worker counts,
+    /// which is what the parallel differential tests and the suite runner's
+    /// `--compare` mode assert.
+    pub fn semantic_fingerprint(&self, vars: &VarSet) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "alpha={} iterations={} converged={} traces={}",
+            self.alpha, self.iterations, self.converged, self.trace_count
+        );
+        let _ = writeln!(
+            out,
+            "conditions={} spurious={} sat_queries={} solve_calls={} learner_solve_calls={}",
+            self.checker_stats.condition_checks,
+            self.checker_stats.spurious_checks,
+            self.checker_stats.sat_queries,
+            self.checker_stats.solver.solve_calls,
+            self.learner_solver_stats.solve_calls
+        );
+        for s in &self.iteration_stats {
+            let _ = writeln!(
+                out,
+                "iter {}: conditions={}/{} alpha={} new_traces={} spurious={} inconclusive={} states={} transitions={}",
+                s.iteration,
+                s.conditions_holding,
+                s.conditions,
+                s.alpha,
+                s.new_traces,
+                s.spurious_counterexamples,
+                s.inconclusive_counterexamples,
+                s.model_states,
+                s.model_transitions
+            );
+        }
+        for invariant in &self.invariants {
+            let _ = writeln!(out, "invariant: {}", invariant.display(vars));
+        }
+        out.push_str(&self.abstraction.to_dot(vars));
+        out
+    }
 }
 
 #[cfg(test)]

@@ -176,7 +176,10 @@ impl<T: IncrementalSolver + ?Sized> IncrementalSolver for Box<T> {
 }
 
 /// The default backend: a fresh dependency-free CDCL [`Solver`].
-pub fn cdcl_backend() -> Box<dyn IncrementalSolver> {
+///
+/// The trait object is `Send` so that consumers (notably the parallel
+/// condition-checking engine) can move solver sessions into worker threads.
+pub fn cdcl_backend() -> Box<dyn IncrementalSolver + Send> {
     Box::new(Solver::new())
 }
 
