@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! suite [--workers N] [--condition-workers N] [--quick] [--compare]
-//!       [--table1-only] [--only <substring>]
+//!       [--table1-only] [--stress] [--only <substring>]
+//!       [--dump-fingerprint <path>]
 //! ```
 //!
 //! * `--workers N` — number of suite-level worker threads (benchmarks are
@@ -20,10 +21,26 @@
 //!   sequential condition engine), assert that both runs' reports are
 //!   byte-identical, and print the wall-clock speedup.
 //! * `--table1-only` — restrict the suite to the Table I benchmarks.
+//! * `--stress` — extend the suite with the non-converging splicing-stress
+//!   family (`SynthSpliceStorm…`), which exercises the interned trace store
+//!   and the incremental word pipeline hardest.
 //! * `--only <substring>` — restrict the suite to benchmarks whose name
 //!   contains the substring (e.g. `--only Synth`).
+//! * `--dump-fingerprint <path>` — write the concatenated semantic
+//!   fingerprints to a file, for byte-for-byte comparison across versions
+//!   (the trace-store representation swap was verified this way).
+//!
+//! Besides the Table I columns the runner prints the trace-store / word
+//! pipeline statistics table (see the README's "suite statistics" section):
+//! per benchmark the stored trace count, distinct interned observations,
+//! shared-prefix segments, estimated KiB saved, and the learner's
+//! encoded-vs-reused word counts, followed by the per-iteration encode
+//! curve.
 
-use amle_bench::{format_active_table, paper_config, run_suite, suite_fingerprint, ActiveRow};
+use amle_bench::{
+    format_active_table, format_store_stats_table, paper_config, run_suite, suite_fingerprint,
+    ActiveRow,
+};
 use amle_benchmarks::{all_benchmarks, full_suite, Benchmark};
 use amle_core::{ActiveLearnerConfig, ParallelConfig};
 use amle_learner::HistoryLearner;
@@ -35,7 +52,9 @@ struct Options {
     quick: bool,
     compare: bool,
     table1_only: bool,
+    stress: bool,
     only: Option<String>,
+    dump_fingerprint: Option<String>,
 }
 
 fn parse_options() -> Options {
@@ -48,7 +67,9 @@ fn parse_options() -> Options {
         quick: false,
         compare: false,
         table1_only: false,
+        stress: false,
         only: None,
+        dump_fingerprint: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -63,7 +84,12 @@ fn parse_options() -> Options {
             "--quick" => options.quick = true,
             "--compare" => options.compare = true,
             "--table1-only" => options.table1_only = true,
+            "--stress" => options.stress = true,
             "--only" => options.only = Some(args.next().expect("--only requires a substring")),
+            "--dump-fingerprint" => {
+                options.dump_fingerprint =
+                    Some(args.next().expect("--dump-fingerprint requires a path"));
+            }
             other => panic!("unknown argument `{other}`"),
         }
     }
@@ -100,6 +126,14 @@ fn main() {
     } else {
         full_suite()
     };
+    // `--stress` appends exactly the splicing-stress family to either base
+    // set (`--table1-only --stress` must not smuggle the other synthetic
+    // families back in).
+    if options.stress {
+        suite.extend(amle_benchmarks::splice_stress_benchmarks(
+            amle_benchmarks::DEFAULT_SEED,
+        ));
+    }
     if let Some(only) = &options.only {
         suite.retain(|b| b.name.contains(only.as_str()));
         assert!(!suite.is_empty(), "--only `{only}` matches no benchmark");
@@ -126,9 +160,17 @@ fn main() {
 
     let (results, parallel_time) = run(options.workers, options.condition_workers);
 
+    if let Some(path) = &options.dump_fingerprint {
+        std::fs::write(path, suite_fingerprint(&suite, &results))
+            .unwrap_or_else(|e| panic!("cannot write fingerprint to {path}: {e}"));
+        eprintln!("fingerprint written to {path}");
+    }
+
     let rows: Vec<ActiveRow> = results.iter().map(|(row, _)| row.clone()).collect();
     println!("Table I + synthetic families — Our Algorithm");
     println!("{}", format_active_table(&rows));
+    println!("Trace store & word pipeline");
+    println!("{}", format_store_stats_table(&rows));
     let converged = rows.iter().filter(|r| (r.alpha - 1.0).abs() < 1e-9).count();
     println!(
         "summary: {}/{} benchmarks reached alpha = 1; wall-clock {:.2}s with {} worker(s)",

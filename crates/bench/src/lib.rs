@@ -74,6 +74,23 @@ pub struct ActiveRow {
     pub solve_calls: u64,
     /// Wall-clock seconds spent inside the SAT backend.
     pub solver_time_s: f64,
+    /// Final trace count of the run.
+    pub traces: usize,
+    /// Distinct interned observations in the trace store (`uobs`).
+    pub unique_observations: usize,
+    /// Segments of the shared-prefix DAG (`segs`).
+    pub segments: usize,
+    /// Estimated KiB saved by interning + prefix sharing versus flat traces.
+    pub saved_kib: u64,
+    /// Abstract words the learner encoded across the run (`enc`).
+    pub words_encoded: u64,
+    /// Abstract words the learner reused from its incremental cache
+    /// (`reuse`).
+    pub words_reused: u64,
+    /// Words encoded per iteration, in iteration order — the growth curve
+    /// the trace-store work targets (at most linear on non-converging
+    /// benchmarks).
+    pub words_encoded_per_iteration: Vec<u64>,
 }
 
 /// Runs the active-learning algorithm on one benchmark and produces its
@@ -98,6 +115,17 @@ pub fn run_active<L: ModelLearner>(
         learn_pct: report.learn_time_percentage(),
         solve_calls: solver.solve_calls,
         solver_time_s: solver.solve_time.as_secs_f64(),
+        traces: report.trace_count,
+        unique_observations: report.trace_store.unique_observations,
+        segments: report.trace_store.segments,
+        saved_kib: report.trace_store.approx_bytes_saved / 1024,
+        words_encoded: report.word_stats.words_encoded,
+        words_reused: report.word_stats.words_reused,
+        words_encoded_per_iteration: report
+            .iteration_stats
+            .iter()
+            .map(|s| s.words_encoded)
+            .collect(),
     };
     (row, report)
 }
@@ -241,6 +269,45 @@ pub fn format_active_table(rows: &[ActiveRow]) -> String {
             r.learn_pct,
             r.solve_calls,
             r.solver_time_s
+        ));
+    }
+    out
+}
+
+/// Formats the trace-store / word-pipeline statistics table: one row per
+/// benchmark with the store's sharing metrics and the learner's
+/// encoded-vs-reused word counts, followed by the per-iteration encode
+/// curve (the series that must grow at most linearly on non-converging
+/// benchmarks).
+pub fn format_store_stats_table(rows: &[ActiveRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<34} {:>7} {:>7} {:>7} {:>9} {:>8} {:>8}\n",
+        "Benchmark", "traces", "uobs", "segs", "savedKiB", "enc", "reuse"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<34} {:>7} {:>7} {:>7} {:>9} {:>8} {:>8}\n",
+            r.name,
+            r.traces,
+            r.unique_observations,
+            r.segments,
+            r.saved_kib,
+            r.words_encoded,
+            r.words_reused
+        ));
+    }
+    out.push('\n');
+    for r in rows {
+        let curve: Vec<String> = r
+            .words_encoded_per_iteration
+            .iter()
+            .map(u64::to_string)
+            .collect();
+        out.push_str(&format!(
+            "words encoded/iteration {:<23} [{}]\n",
+            r.name,
+            curve.join(", ")
         ));
     }
     out

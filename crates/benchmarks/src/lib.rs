@@ -33,10 +33,12 @@ mod synth;
 
 pub use controllers::home_climate_control_system;
 pub use suite::{
-    all_benchmarks, benchmark_by_name, full_suite, trace_from_schedule, Benchmark, ScheduleError,
+    all_benchmarks, benchmark_by_name, full_suite, stress_suite, trace_from_schedule, Benchmark,
+    ScheduleError,
 };
 pub use synth::{
-    synthetic_benchmarks, synthetic_system, SynthFamily, SynthKind, SynthSpec, DEFAULT_SEED,
+    splice_stress_benchmarks, synthetic_benchmarks, synthetic_system, SynthFamily, SynthKind,
+    SynthSpec, DEFAULT_SEED,
 };
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ fn kind_strategy() -> impl Strategy<Value = SynthKind> {
         Just(SynthKind::GrayCode),
         Just(SynthKind::ModularArith),
         Just(SynthKind::GatedToggle),
+        Just(SynthKind::SpliceStorm),
     ]
 }
 

@@ -149,8 +149,19 @@ pub fn full_suite() -> Vec<Benchmark> {
     suite
 }
 
-/// Looks a benchmark up by name, across Table I and the default synthetic
-/// families.
+/// The stress suite: [`full_suite`] plus the splicing-stress family
+/// ([`crate::splice_stress_benchmarks`]), in a stable order. Kept separate
+/// so that default suite fingerprints stay comparable across releases.
+pub fn stress_suite() -> Vec<Benchmark> {
+    let mut suite = full_suite();
+    suite.extend(crate::synth::splice_stress_benchmarks(
+        crate::synth::DEFAULT_SEED,
+    ));
+    suite
+}
+
+/// Looks a benchmark up by name, across Table I, the default synthetic
+/// families and the splicing-stress family.
 pub fn benchmark_by_name(name: &str) -> Option<Benchmark> {
-    full_suite().into_iter().find(|b| b.name == name)
+    stress_suite().into_iter().find(|b| b.name == name)
 }

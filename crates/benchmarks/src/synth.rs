@@ -31,6 +31,13 @@ pub enum SynthKind {
     ModularArith,
     /// A bank of toggle bits behind a master gate input.
     GatedToggle,
+    /// A deep boolean stage pipeline built to stress counterexample-trace
+    /// splicing: random traces only witness the shallow stages, so the
+    /// refinement loop keeps producing valid (or inconclusive)
+    /// counterexamples for many iterations, splicing each onto every
+    /// qualifying trace prefix. Used to measure that per-iteration word
+    /// encoding work grows at most linearly (see `stress_suite`).
+    SpliceStorm,
 }
 
 /// Parameters of one synthetic benchmark instance.
@@ -92,7 +99,8 @@ impl SynthFamily {
     /// * `Counter`: `bits` in 2..=8, `inputs` (enable lines) in 1..=4;
     /// * `GrayCode`: `bits` in 2..=3 (the cycle is encoded explicitly);
     /// * `ModularArith`: `bits` in 3..=8, `inputs` ignored;
-    /// * `GatedToggle`: `inputs` (toggle lines) in 1..=4, `bits` ignored.
+    /// * `GatedToggle`: `inputs` (toggle lines) in 1..=4, `bits` ignored;
+    /// * `SpliceStorm`: `bits` (pipeline depth) in 4..=16, `inputs` ignored.
     pub fn benchmark(&self, spec: SynthSpec) -> Benchmark {
         // Clamp first: the constant stream must be derived from the
         // *effective* parameters, so that any two specs clamping to the same
@@ -102,6 +110,7 @@ impl SynthFamily {
             SynthKind::GrayCode => (spec.bits.clamp(2, 3), 1),
             SynthKind::ModularArith => (spec.bits.clamp(3, 8), 1),
             SynthKind::GatedToggle => (1, spec.inputs.clamp(1, 4)),
+            SynthKind::SpliceStorm => (spec.bits.clamp(4, 16), 1),
         };
         // Per-instance constant stream so different specs of the same family
         // get different constants.
@@ -114,12 +123,14 @@ impl SynthFamily {
                 SynthKind::GrayCode => 2,
                 SynthKind::ModularArith => 3,
                 SynthKind::GatedToggle => 4,
+                SynthKind::SpliceStorm => 5,
             });
         match spec.kind {
             SynthKind::Counter => self.counter(bits, inputs, &mut stream),
             SynthKind::GrayCode => self.gray_code(bits),
             SynthKind::ModularArith => self.modular_arith(bits, &mut stream),
             SynthKind::GatedToggle => self.gated_toggle(inputs),
+            SynthKind::SpliceStorm => self.splice_storm(bits),
         }
     }
 
@@ -307,6 +318,53 @@ impl SynthFamily {
         }
     }
 
+    /// Boolean stage pipeline: stage `s0` follows the `hold` input, stage
+    /// `s_{i}` turns on one step after `s_{i-1}` while `hold` stays high, and
+    /// every stage drops the moment `hold` goes low.
+    ///
+    /// Only the stage bits are observable; short random traces rarely hold
+    /// the input long enough to light the deep stages, so the refinement
+    /// loop discovers roughly one stage pattern per iteration through valid
+    /// counterexamples — a steady splicing load for many iterations. Once
+    /// every stage has been seen in both polarities the abstraction's cell
+    /// structure is pinned, so incremental learners re-encode only the new
+    /// traces from then on.
+    fn splice_storm(&self, depth: u32) -> Benchmark {
+        let depth = depth as usize;
+        let name = format!("SynthSpliceStormD{depth}");
+        let mut b = SystemBuilder::new();
+        b.name(name.clone());
+        let hold = b.input("hold", Sort::Bool).unwrap();
+        let stages: Vec<VarId> = (0..depth)
+            .map(|i| {
+                b.state(format!("s{i}"), Sort::Bool, Value::Bool(false))
+                    .unwrap()
+            })
+            .collect();
+        let mut previous = Expr::true_();
+        for stage in &stages {
+            let next = b.var(hold).and(&previous);
+            b.update(*stage, next).unwrap();
+            previous = b.var(*stage);
+        }
+        let system = b.build().unwrap();
+        let observables = stages.clone();
+        // One witness per stage: hold long enough to light it. Plus one
+        // release: the whole pipeline drops at once.
+        let mut witnesses: Vec<_> = (0..depth)
+            .map(|i| witness(&system, &single_input(&vec![1; i + 2])))
+            .collect();
+        witnesses.push(witness(&system, &single_input(&[1, 1, 1, 0, 0])));
+        Benchmark {
+            name,
+            system,
+            observables,
+            k: 4,
+            reference_transitions: depth + 1,
+            witnesses,
+        }
+    }
+
     /// Gated toggle bank: each toggle input flips its bit while the master
     /// gate is high; `any` observes whether any bit is set.
     fn gated_toggle(&self, toggles: usize) -> Benchmark {
@@ -372,6 +430,24 @@ impl SynthFamily {
 /// family; see [`SynthFamily::default_suite`]).
 pub fn synthetic_benchmarks(seed: u64) -> Vec<Benchmark> {
     SynthFamily::new(seed).default_suite()
+}
+
+/// The splicing-stress benchmarks: two depths of the non-converging
+/// [`SynthKind::SpliceStorm`] pipeline. Kept out of [`crate::full_suite`] so
+/// released suite fingerprints stay comparable; the suite runner adds them
+/// with `--stress`.
+pub fn splice_stress_benchmarks(seed: u64) -> Vec<Benchmark> {
+    let family = SynthFamily::new(seed);
+    [8, 12]
+        .into_iter()
+        .map(|depth| {
+            family.benchmark(SynthSpec {
+                kind: SynthKind::SpliceStorm,
+                bits: depth,
+                inputs: 1,
+            })
+        })
+        .collect()
 }
 
 /// Convenience: generate one synthetic system directly (e.g. for tests that
@@ -443,6 +519,35 @@ mod tests {
         let c = |bench: &Benchmark| bench.system.vars().lookup("c").unwrap();
         assert_eq!(a.system.update(c(&a)), b.system.update(c(&b)));
         assert_eq!(a.witnesses, b.witnesses);
+    }
+
+    #[test]
+    fn splice_storm_pipeline_behaves_as_documented() {
+        let suite = splice_stress_benchmarks(DEFAULT_SEED);
+        assert_eq!(suite.len(), 2);
+        assert_eq!(suite[0].name, "SynthSpliceStormD8");
+        assert_eq!(suite[1].name, "SynthSpliceStormD12");
+        for benchmark in &suite {
+            // Only the stage bits are observable.
+            assert_eq!(
+                benchmark.observables.len(),
+                benchmark.system.all_vars().len() - 1
+            );
+            // The deepest witness lights the last stage; releasing the hold
+            // input clears the whole pipeline in one step.
+            for w in &benchmark.witnesses {
+                assert!(benchmark.system.is_execution_trace(w));
+            }
+            let deepest = &benchmark.witnesses[benchmark.observables.len() - 1];
+            let last = benchmark.observables[benchmark.observables.len() - 1];
+            let end = deepest.observations().last().unwrap();
+            assert_eq!(end.value(last), Value::Bool(true));
+            let release = benchmark.witnesses.last().unwrap();
+            let end = release.observations().last().unwrap();
+            for stage in &benchmark.observables {
+                assert_eq!(end.value(*stage), Value::Bool(false));
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Explicit-state reachability: an independent oracle used to cross-validate
-//! the SAT-based k-induction results on small systems.
+//! the SAT-based k-induction results (the Fig. 3b spurious-counterexample
+//! checks of the paper) on small systems.
 
 use amle_expr::{Expr, Valuation, Value, VarId};
 use amle_system::System;

@@ -25,7 +25,7 @@
 //! results on small systems in tests and property tests.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod explicit;
 mod kinduction;

@@ -1,7 +1,10 @@
-//! Extraction of completeness conditions from a candidate abstraction.
+//! Extraction of completeness conditions from a candidate abstraction
+//! (Eqs. 1 and 2 of the paper), plus the memoised assumption evaluator the
+//! splicing step uses to find qualifying trace prefixes.
 
 use amle_automaton::{Nfa, StateId};
-use amle_expr::Expr;
+use amle_expr::{Expr, Valuation};
+use amle_system::ObsId;
 
 /// Which of the paper's two condition shapes a [`Condition`] instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +48,44 @@ impl Condition {
     /// Renders the condition as an implication `assumption ∧ R ⟹ conclusion'`.
     pub fn as_implication(&self) -> Expr {
         self.assumption.implies(&self.conclusion())
+    }
+}
+
+/// Memoised evaluation of one condition's assumption over interned
+/// observations.
+///
+/// The splicing step of Section III-B scans every stored trace for its first
+/// observation satisfying the violated condition's assumption. With a flat
+/// trace set that evaluates the assumption expression once per observation
+/// *occurrence*; interning makes the evaluation a per-distinct-observation
+/// memo lookup, which is what keeps splicing cheap on heavily shared trace
+/// sets.
+pub(crate) struct AssumptionMemo<'c> {
+    assumption: &'c Expr,
+    memo: Vec<Option<bool>>,
+}
+
+impl<'c> AssumptionMemo<'c> {
+    /// Creates a memo for `assumption` over a store currently holding
+    /// `num_observations` interned observations.
+    pub fn new(assumption: &'c Expr, num_observations: usize) -> Self {
+        AssumptionMemo {
+            assumption,
+            memo: vec![None; num_observations],
+        }
+    }
+
+    /// Whether the assumption holds on the observation, evaluating the
+    /// expression at most once per distinct observation id.
+    pub fn eval(&mut self, obs: ObsId, valuation: &Valuation) -> bool {
+        match self.memo[obs.index()] {
+            Some(holds) => holds,
+            None => {
+                let holds = self.assumption.eval_bool(valuation);
+                self.memo[obs.index()] = Some(holds);
+                holds
+            }
+        }
     }
 }
 

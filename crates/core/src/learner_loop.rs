@@ -1,13 +1,14 @@
 //! The active model-learning loop (Fig. 1 of the paper).
 
-use crate::conditions::{extract_conditions, Condition, ConditionKind};
+use crate::conditions::{extract_conditions, AssumptionMemo, Condition, ConditionKind};
 use crate::engine::{ConditionEngine, ParallelConfig, SequentialEngine, WorkerPool};
 use crate::report::{Invariant, IterationStats, RunReport};
 use amle_expr::{Valuation, VarId};
 use amle_learner::{LearnError, ModelLearner};
-use amle_system::{Simulator, System, Trace, TraceSet};
+use amle_system::{Simulator, System, Trace, TraceId, TraceSet, TraceStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 use std::thread;
@@ -94,6 +95,14 @@ impl From<LearnError> for ActiveLearnError {
 /// Converts a valid counterexample into new traces by splicing it onto the
 /// shortest prefix of every existing trace that ends in a state satisfying
 /// the violated condition's assumption (Section III-B).
+///
+/// This is the **retained reference implementation** over flat traces: the
+/// loop itself runs [`splice_counterexample`] on the interned
+/// [`TraceStore`], which must insert exactly the distinct traces this
+/// function produces, in the same first-occurrence order — the differential
+/// tests below drive both with identical counterexample sequences and
+/// compare the resulting sets observation for observation.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn counterexample_traces(
     condition: &Condition,
     from: &Valuation,
@@ -120,6 +129,63 @@ pub(crate) fn counterexample_traces(
         new_traces.push(Trace::new(vec![from.clone(), to.clone()]));
     }
     new_traces
+}
+
+/// The store-backed splicing step (Section III-B): splices the valid
+/// counterexample `from → to` onto the shortest qualifying prefix of every
+/// trace stored before the call, returning the number of *new* traces this
+/// inserted.
+///
+/// Per parent trace this is O(trace length) pointer-walking (the id path is
+/// materialised once into a reused buffer) plus a memoised
+/// per-distinct-observation assumption evaluation — no observation vectors
+/// are cloned and no O(|T|) duplicate scans run. Parent traces that
+/// share the same qualifying prefix *segment* would all produce the same
+/// spliced trace, so the splice is emitted once per distinct segment
+/// (fixing the duplicate-splice waste of the flat path, which built each
+/// duplicate candidate in full before the insert rejected it). The set of
+/// traces inserted — and therefore everything downstream — is identical to
+/// the reference [`counterexample_traces`] path.
+pub(crate) fn splice_counterexample(
+    store: &mut TraceStore,
+    condition: &Condition,
+    from: &Valuation,
+    to: &Valuation,
+) -> usize {
+    if condition.kind == ConditionKind::Initial {
+        return usize::from(store.insert(std::slice::from_ref(to)).is_some());
+    }
+    // Snapshot the trace list: traces spliced in by this call (or by earlier
+    // counterexamples of the same iteration, which *are* visible) must not
+    // be re-scanned mid-call.
+    let parents: Vec<TraceId> = store.traces().collect();
+    let mut memo = AssumptionMemo::new(&condition.assumption, store.num_observations());
+    let mut seen_prefixes = HashSet::new();
+    let mut buf = Vec::new();
+    let mut inserted = 0;
+    let mut matched = false;
+    for trace in parents {
+        store.obs_ids_into(trace, &mut buf);
+        let Some(j) = buf
+            .iter()
+            .position(|obs| memo.eval(*obs, store.valuation(*obs)))
+        else {
+            continue;
+        };
+        matched = true;
+        let prefix = store.prefix(trace, j);
+        if !seen_prefixes.insert(prefix) {
+            continue; // an identical splice was already emitted
+        }
+        if store.splice(prefix, from, to).is_some() {
+            inserted += 1;
+        }
+    }
+    if !matched {
+        // No trace reaches the assumption: record the bare transition.
+        inserted += usize::from(store.insert(&[from.clone(), to.clone()]).is_some());
+    }
+    inserted
 }
 
 /// The active model-learning algorithm.
@@ -153,6 +219,40 @@ impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
     }
 
     /// Runs the loop starting from randomly generated traces.
+    ///
+    /// # Example
+    ///
+    /// Learning the Fig. 2 home climate-control cooler to completeness
+    /// (`α = 1`, Theorem 1: the abstraction admits every system trace):
+    ///
+    /// ```
+    /// use amle_core::{ActiveLearner, ActiveLearnerConfig};
+    /// use amle_expr::{Expr, Sort, Value};
+    /// use amle_learner::HistoryLearner;
+    /// use amle_system::SystemBuilder;
+    ///
+    /// let mut b = SystemBuilder::new();
+    /// let temp = b.input_in_range("inp_temp", Sort::int(8), 0, 120)?;
+    /// let on = b.state("s_on", Sort::Bool, Value::Bool(false))?;
+    /// let update = b.var(temp).gt(&Expr::int_val(75, 8));
+    /// b.update(on, update)?;
+    /// let system = b.build()?;
+    ///
+    /// let config = ActiveLearnerConfig {
+    ///     initial_traces: 10,
+    ///     trace_length: 10,
+    ///     k: 4,
+    ///     ..ActiveLearnerConfig::default()
+    /// };
+    /// let mut learner = ActiveLearner::new(&system, HistoryLearner::default(), config);
+    /// let report = learner.run()?;
+    /// assert!(report.converged);
+    /// // The run's traces lived in an interned store; the report carries its
+    /// // sharing statistics alongside the paper's columns.
+    /// assert!(report.trace_store.unique_observations > 0);
+    /// assert_eq!(report.trace_count, report.trace_store.traces);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -204,19 +304,30 @@ impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
 
     /// The iteration loop of Fig. 1, generic over the condition-checking
     /// engine.
+    ///
+    /// Internally the trace set lives in an interned [`TraceStore`]: the
+    /// learner consumes it through
+    /// [`ModelLearner::learn_from_store`] (incremental word conversion and
+    /// encoding), and counterexamples are spliced in via
+    /// [`splice_counterexample`] (O(1) shared-prefix splices). Both paths
+    /// are pinned byte-identical to the flat-trace reference semantics.
     fn run_loop<E: ConditionEngine>(
         &mut self,
-        mut traces: TraceSet,
+        traces: TraceSet,
         mut engine: E,
     ) -> Result<RunReport, ActiveLearnError> {
+        let mut store = TraceStore::from_trace_set(&traces);
+        drop(traces);
         let observables = self.observables();
         let start = Instant::now();
         let mut learn_time = Duration::ZERO;
         let mut check_time = Duration::ZERO;
         let mut iteration_stats = Vec::new();
-        // The learner accumulates solver statistics across its lifetime;
-        // snapshot them so the report attributes only this run's work.
+        // The learner accumulates solver and word statistics across its
+        // lifetime; snapshot them so the report attributes only this run's
+        // work.
         let learner_stats_start = self.learner.solver_stats();
+        let word_stats_start = self.learner.word_stats();
 
         let mut abstraction = None;
         let mut conditions: Vec<Condition> = Vec::new();
@@ -227,11 +338,13 @@ impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
         for iteration in 1..=self.config.max_iterations {
             iterations = iteration;
 
-            // 1. Learn a candidate model from the current trace set.
+            // 1. Learn a candidate model from the current trace store.
             let learn_start = Instant::now();
-            let candidate = self
-                .learner
-                .learn(self.system.vars(), &observables, &traces)?;
+            let words_before = self.learner.word_stats();
+            let candidate =
+                self.learner
+                    .learn_from_store(self.system.vars(), &observables, &store)?;
+            let iteration_words = self.learner.word_stats().since(&words_before);
             let iteration_learn_time = learn_start.elapsed();
             learn_time += iteration_learn_time;
 
@@ -244,14 +357,10 @@ impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
 
             alpha = evaluation.alpha();
 
-            // 3. Convert valid counterexamples into new traces.
+            // 3. Splice valid counterexamples into new traces.
             let mut new_traces = 0;
             for (condition, from, to) in &evaluation.counterexamples {
-                for trace in counterexample_traces(condition, from, to, &traces) {
-                    if traces.insert(trace) {
-                        new_traces += 1;
-                    }
-                }
+                new_traces += splice_counterexample(&mut store, condition, from, to);
             }
 
             iteration_stats.push(IterationStats {
@@ -266,6 +375,8 @@ impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
                 model_transitions: candidate.num_transitions(),
                 learn_time: iteration_learn_time,
                 check_time: iteration_check_time,
+                words_encoded: iteration_words.words_encoded,
+                words_reused: iteration_words.words_reused,
             });
 
             conditions = extracted;
@@ -298,12 +409,14 @@ impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
             converged,
             invariants,
             iteration_stats,
-            trace_count: traces.len(),
+            trace_count: store.len(),
             total_time: start.elapsed(),
             learn_time,
             check_time,
             checker_stats: engine.finish(),
             learner_solver_stats: self.learner.solver_stats().since(&learner_stats_start),
+            word_stats: self.learner.word_stats().since(&word_stats_start),
+            trace_store: store.stats(),
         })
     }
 }
@@ -549,6 +662,135 @@ mod tests {
         let report = learner.run_with_traces(traces).unwrap();
         assert!(report.trace_count >= 1);
         assert!(report.total_time >= report.learn_time);
+    }
+
+    /// Drives the reference flat-trace splicing and the store-backed
+    /// splicing with the same counterexample sequence and asserts the
+    /// resulting trace sets are observation-for-observation identical
+    /// (content *and* insertion order), and that both report the same
+    /// new-trace counts.
+    fn assert_splicing_differential(
+        system: &System,
+        initial: &TraceSet,
+        counterexamples: &[(Condition, Valuation, Valuation)],
+    ) {
+        let _ = system;
+        let mut reference = initial.clone();
+        let mut store = TraceStore::from_trace_set(initial);
+        for (condition, from, to) in counterexamples {
+            let mut reference_new = 0;
+            for trace in counterexample_traces(condition, from, to, &reference) {
+                if reference.insert(trace) {
+                    reference_new += 1;
+                }
+            }
+            let store_new = splice_counterexample(&mut store, condition, from, to);
+            assert_eq!(store_new, reference_new, "new-trace counts diverged");
+        }
+        let materialized = store.to_trace_set();
+        assert_eq!(
+            materialized.len(),
+            reference.len(),
+            "trace counts diverged after splicing"
+        );
+        for (got, want) in materialized.iter().zip(reference.iter()) {
+            assert_eq!(
+                got.observations(),
+                want.observations(),
+                "spliced traces diverged observation-for-observation"
+            );
+        }
+    }
+
+    /// Conditions extracted from a model learned on the system's own random
+    /// traces, plus concrete counterexample transitions sampled from fresh
+    /// simulations — a realistic splicing workload without running the
+    /// checker.
+    fn splicing_workload(
+        system: &System,
+        seed: u64,
+    ) -> (TraceSet, Vec<(Condition, Valuation, Valuation)>) {
+        let sim = Simulator::new(system);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let traces = sim.random_traces(10, 8, &mut rng);
+        let model = HistoryLearner::default()
+            .learn(system.vars(), &system.all_vars(), &traces)
+            .unwrap();
+        let conditions = extract_conditions(&model, &system.init_expr());
+        let mut counterexamples = Vec::new();
+        for (i, condition) in conditions.iter().enumerate() {
+            let probe = sim.random_trace(6, &mut rng);
+            let step = probe.steps().nth(i % 5);
+            if let Some((from, to)) = step {
+                counterexamples.push((condition.clone(), from.clone(), to.clone()));
+            }
+        }
+        assert!(
+            counterexamples.len() >= 3,
+            "workload should exercise several conditions"
+        );
+        (traces, counterexamples)
+    }
+
+    #[test]
+    fn store_splicing_matches_reference_on_the_cooler() {
+        let system = cooler();
+        let (traces, counterexamples) = splicing_workload(&system, 0xC0);
+        assert_splicing_differential(&system, &traces, &counterexamples);
+    }
+
+    #[test]
+    fn store_splicing_matches_reference_on_a_synthetic_family() {
+        let benchmark = amle_benchmarks::benchmark_by_name("SynthModularArithM5")
+            .or_else(|| {
+                amle_benchmarks::full_suite()
+                    .into_iter()
+                    .find(|b| b.name.starts_with("Synth"))
+            })
+            .expect("a synthetic benchmark exists");
+        let (traces, counterexamples) = splicing_workload(&benchmark.system, 0x5E);
+        assert_splicing_differential(&benchmark.system, &traces, &counterexamples);
+    }
+
+    #[test]
+    fn duplicate_prefix_splices_are_emitted_once() {
+        // Two traces with the same qualifying prefix: the reference path
+        // builds both candidates and dedupes on insert; the store path must
+        // emit the splice once and report one new trace — and a third trace
+        // with a *different* qualifying prefix still yields its own splice.
+        let sys = cooler();
+        let temp = sys.vars().lookup("inp_temp").unwrap();
+        let on = sys.vars().lookup("s_on").unwrap();
+        let mk = |t: i64, o: bool| {
+            let mut v = sys.initial_valuation();
+            v.set(temp, Value::Int(t));
+            v.set(on, Value::Bool(o));
+            v
+        };
+        let mut traces = TraceSet::new();
+        // Shared prefix [10, 80*] before the first `s_on` observation.
+        traces.insert(Trace::new(vec![mk(10, false), mk(80, true), mk(90, true)]));
+        traces.insert(Trace::new(vec![mk(10, false), mk(80, true), mk(20, false)]));
+        // Different prefix [30] before its first `s_on` observation.
+        traces.insert(Trace::new(vec![mk(30, false), mk(95, true)]));
+
+        let condition = Condition {
+            kind: ConditionKind::State {
+                state: amle_automaton::StateId::from_index(0),
+            },
+            assumption: sys.var(on),
+            outgoing: vec![Expr::true_()],
+        };
+        let from = mk(85, true);
+        let to = mk(20, true);
+
+        let mut store = TraceStore::from_trace_set(&traces);
+        let inserted = splice_counterexample(&mut store, &condition, &from, &to);
+        assert_eq!(inserted, 2, "one splice per distinct qualifying prefix");
+        assert_eq!(store.len(), traces.len() + 2);
+
+        // And the result matches the reference path exactly.
+        assert_splicing_differential(&sys, &traces, &[(condition, from, to)]);
     }
 
     #[test]

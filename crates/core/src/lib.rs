@@ -55,7 +55,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod baseline;
 mod conditions;
@@ -69,10 +69,13 @@ pub use engine::ParallelConfig;
 pub use learner_loop::{ActiveLearnError, ActiveLearner, ActiveLearnerConfig};
 pub use report::{Invariant, IterationStats, RunReport};
 
-// Statistics types surfaced through `RunReport`, re-exported so harnesses
-// need not depend on the checker/sat crates directly.
+// The interned trace container the loop accumulates its traces in, and the
+// statistics types surfaced through `RunReport` — re-exported so harnesses
+// need not depend on the system/learner/checker/sat crates directly.
 pub use amle_checker::CheckerStats;
+pub use amle_learner::WordStats;
 pub use amle_sat::SolverStats;
+pub use amle_system::{ObsId, SegmentId, TraceId, TraceStore, TraceStoreStats};
 
 #[cfg(test)]
 mod proptests;

@@ -3,7 +3,9 @@
 use amle_automaton::{display_expr, Nfa};
 use amle_checker::CheckerStats;
 use amle_expr::{Expr, VarSet};
+use amle_learner::WordStats;
 use amle_sat::SolverStats;
+use amle_system::TraceStoreStats;
 use std::time::Duration;
 
 /// An invariant of the implementation, extracted from the final abstraction:
@@ -54,6 +56,13 @@ pub struct IterationStats {
     pub learn_time: Duration,
     /// Wall-clock time spent in condition checking this iteration.
     pub check_time: Duration,
+    /// Abstract words the learner converted and encoded this iteration.
+    /// With an incremental learner this stays proportional to the *new*
+    /// traces per iteration instead of the full trace count.
+    pub words_encoded: u64,
+    /// Abstract words the learner reused from its incremental cache this
+    /// iteration (zero for non-incremental learners).
+    pub words_reused: u64,
 }
 
 /// The result of an active-learning run.
@@ -86,6 +95,13 @@ pub struct RunReport {
     /// Aggregated backend SAT-solver statistics of the model-learning phase
     /// (zero for learners that do not reason with SAT).
     pub learner_solver_stats: SolverStats,
+    /// Aggregated word-pipeline statistics of the model-learning phase:
+    /// how much word conversion/encoding work ran versus how much the
+    /// learner's incremental cache absorbed.
+    pub word_stats: WordStats,
+    /// Final statistics of the interned trace store the run accumulated its
+    /// traces in (unique observations, shared segments, bytes saved).
+    pub trace_store: TraceStoreStats,
 }
 
 impl RunReport {
@@ -194,6 +210,8 @@ mod tests {
             check_time: Duration::from_millis(150),
             checker_stats: CheckerStats::default(),
             learner_solver_stats: SolverStats::default(),
+            word_stats: WordStats::default(),
+            trace_store: TraceStoreStats::default(),
         };
         assert!((report.learn_time_percentage() - 25.0).abs() < 1e-9);
         assert_eq!(report.num_states(), 0);

@@ -22,7 +22,7 @@
 //! predicates.
 
 use amle_expr::{Expr, Sort, Valuation, Value, VarId, VarSet};
-use amle_system::TraceSet;
+use amle_system::{ObsId, TraceSet, TraceStore};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Identifier of an abstract letter.
@@ -99,34 +99,21 @@ impl AlphabetAbstraction {
             }
         }
 
-        // 2. Decide per-variable abstraction.
-        let discrete: Vec<bool> = distinct
+        // 2. Decide per-variable abstraction. Threshold voting is a function
+        //    of the *set* of observed steps (see [`mine_thresholds`]), so the
+        //    steps are deduplicated up front — and only collected at all
+        //    when some observable actually needs interval mining.
+        let any_numeric = observables
             .iter()
             .enumerate()
-            .map(|(i, set)| {
-                let sort = vars.sort(observables[i]);
-                sort.is_bool() || sort.is_enum() || set.len() <= config.max_distinct_values
-            })
-            .collect();
-
-        let mut per_var = Vec::with_capacity(observables.len());
-        for (i, id) in observables.iter().enumerate() {
-            if discrete[i] {
-                per_var.push(VarAbstraction::Exact {
-                    values: distinct[i].iter().copied().collect(),
-                });
-            } else {
-                let thresholds = mine_thresholds(
-                    traces,
-                    observables,
-                    &discrete,
-                    *id,
-                    i,
-                    config.max_thresholds,
-                );
-                per_var.push(VarAbstraction::Intervals { thresholds });
-            }
-        }
+            .any(|(i, id)| !is_discrete(vars.sort(*id), distinct[i].len(), config));
+        let steps: BTreeSet<(&Valuation, &Valuation)> = if any_numeric {
+            traces.iter().flat_map(|t| t.steps()).collect()
+        } else {
+            BTreeSet::new()
+        };
+        let per_var =
+            per_var_abstractions(vars, observables, &distinct, steps.iter().copied(), config);
 
         let mut abstraction = AlphabetAbstraction {
             vars: vars.clone(),
@@ -197,6 +184,37 @@ impl AlphabetAbstraction {
 
     /// Converts a sequence of observations into an abstract word, or `None`
     /// if any observation has no letter.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use amle_expr::{Sort, Valuation, Value, VarSet};
+    /// use amle_learner::{AbstractionConfig, AlphabetAbstraction};
+    /// use amle_system::{Trace, TraceSet};
+    ///
+    /// let mut vars = VarSet::new();
+    /// let on = vars.declare("on", Sort::Bool)?;
+    /// let obs = |b: bool| {
+    ///     let mut v = Valuation::zeroed(&vars);
+    ///     v.set(on, Value::Bool(b));
+    ///     v
+    /// };
+    /// let mut traces = TraceSet::new();
+    /// traces.insert(Trace::new(vec![obs(false), obs(true), obs(false)]));
+    ///
+    /// let abs = AlphabetAbstraction::from_traces(
+    ///     &vars,
+    ///     &[on],
+    ///     &traces,
+    ///     AbstractionConfig::default(),
+    /// );
+    /// // Two letters (`!on` and `on`); the word mirrors the observations.
+    /// let word = abs.word_of(traces.traces()[0].observations()).unwrap();
+    /// assert_eq!(word.len(), 3);
+    /// assert_eq!(word[0], word[2]);
+    /// assert_ne!(word[0], word[1]);
+    /// # Ok::<(), amle_expr::SortError>(())
+    /// ```
     pub fn word_of(&self, observations: &[Valuation]) -> Option<Vec<LetterId>> {
         observations.iter().map(|o| self.letter_of(o)).collect()
     }
@@ -270,39 +288,327 @@ impl AlphabetAbstraction {
     pub fn letters(&self) -> impl Iterator<Item = LetterId> {
         (0..self.letters.len()).map(LetterId)
     }
+
+    /// An abstraction with the given per-variable cell structure and no
+    /// letters registered yet (the incremental builder registers them as it
+    /// scans traces).
+    fn with_per_var(vars: &VarSet, observables: &[VarId], per_var: Vec<VarAbstraction>) -> Self {
+        AlphabetAbstraction {
+            vars: vars.clone(),
+            observables: observables.to_vec(),
+            per_var,
+            letters: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+}
+
+/// Outcome of an [`IncrementalAbstraction::update`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbstractionUpdate {
+    /// The per-variable cell structure changed (new distinct values or
+    /// different mined thresholds), so the alphabet, the letter memo and all
+    /// cached words were rebuilt from scratch.
+    Rebuilt,
+    /// The cell structure is unchanged: only the words of the newly added
+    /// traces were converted (letters memoised per interned observation id);
+    /// all previously cached words were reused as-is.
+    Incremental {
+        /// Number of traces whose words were newly converted.
+        new_traces: usize,
+    },
+}
+
+/// Incrementally maintained alphabet abstraction over a growing
+/// [`TraceStore`].
+///
+/// The active-learning loop rebuilds the abstraction every iteration; with a
+/// flat trace set that costs a full pass over every observation of every
+/// trace. This builder exploits the store's interning and append-only
+/// structure instead:
+///
+/// * distinct-value sets are folded **per interned observation** (each
+///   distinct valuation is examined once, ever);
+/// * interval thresholds are mined from the store's deduplicated step set
+///   (see [`TraceStore::steps_since`]), which is provably vote-equivalent to
+///   the per-occurrence scan (see `mine_thresholds`);
+/// * letter lookups are memoised **per observation id**, so shared trace
+///   prefixes never re-classify an observation;
+/// * abstract words are cached per trace: when the cell structure is stable
+///   between updates, only words of newly inserted traces are converted.
+///
+/// The resulting [`AlphabetAbstraction`] and words are byte-identical to the
+/// from-scratch [`AlphabetAbstraction::from_traces`] path on the materialised
+/// trace set — letters are registered in exactly the same first-occurrence
+/// order — which the differential tests pin down.
+#[derive(Debug, Clone)]
+pub struct IncrementalAbstraction {
+    config: AbstractionConfig,
+    state: Option<IncState>,
+}
+
+#[derive(Debug, Clone)]
+struct IncState {
+    store_id: u64,
+    vars: VarSet,
+    observables: Vec<VarId>,
+    /// Interned observations already folded into `distinct`.
+    obs_seen: usize,
+    /// Store segments (1 + segment count) already folded into `steps`.
+    seg_watermark: usize,
+    /// Traces whose words are cached.
+    traces_seen: usize,
+    distinct: Vec<BTreeSet<i64>>,
+    steps: BTreeSet<(ObsId, ObsId)>,
+    abstraction: AlphabetAbstraction,
+    built: bool,
+    /// Letter of each interned observation, computed at most once per
+    /// alphabet rebuild.
+    letter_memo: Vec<Option<LetterId>>,
+    words: Vec<Vec<LetterId>>,
+}
+
+impl IncState {
+    fn fresh(vars: &VarSet, observables: &[VarId], store_id: u64) -> Self {
+        IncState {
+            store_id,
+            vars: vars.clone(),
+            observables: observables.to_vec(),
+            obs_seen: 0,
+            seg_watermark: 0,
+            traces_seen: 0,
+            distinct: vec![BTreeSet::new(); observables.len()],
+            steps: BTreeSet::new(),
+            abstraction: AlphabetAbstraction::with_per_var(vars, observables, Vec::new()),
+            built: false,
+            letter_memo: Vec::new(),
+            words: Vec::new(),
+        }
+    }
+}
+
+impl IncrementalAbstraction {
+    /// Creates a builder with the given configuration.
+    pub fn new(config: AbstractionConfig) -> Self {
+        IncrementalAbstraction {
+            config,
+            state: None,
+        }
+    }
+
+    /// The configuration the builder was created with.
+    pub fn config(&self) -> AbstractionConfig {
+        self.config
+    }
+
+    /// Brings the abstraction up to date with `store`.
+    ///
+    /// When the call refers to the same store as the previous update (same
+    /// [`TraceStore::store_id`], monotonically grown) over the same
+    /// variables, only the new observations, steps and traces are processed;
+    /// otherwise everything is rebuilt. The returned [`AbstractionUpdate`]
+    /// says which of the two happened.
+    pub fn update(
+        &mut self,
+        vars: &VarSet,
+        observables: &[VarId],
+        store: &TraceStore,
+    ) -> AbstractionUpdate {
+        let reusable = matches!(
+            &self.state,
+            Some(s) if s.store_id == store.store_id()
+                && s.obs_seen <= store.num_observations()
+                && s.traces_seen <= store.len()
+                && s.vars == *vars
+                && s.observables == observables
+        );
+        if !reusable {
+            self.state = None;
+        }
+        let mut s = self
+            .state
+            .take()
+            .unwrap_or_else(|| IncState::fresh(vars, observables, store.store_id()));
+
+        // 1. Fold new interned observations into the distinct-value sets.
+        for (_, valuation) in store.observations_since(s.obs_seen) {
+            for (i, id) in observables.iter().enumerate() {
+                s.distinct[i].insert(valuation.value(*id).to_i64());
+            }
+        }
+        s.obs_seen = store.num_observations();
+
+        // 2. Fold new segments into the deduplicated step set — only needed
+        //    once some observable requires interval mining. While every
+        //    observable is discrete the watermark is deliberately *not*
+        //    advanced, so a later discrete→numeric flip (a variable crossing
+        //    `max_distinct_values`) folds the whole backlog of segments,
+        //    which the append-only store still holds.
+        let any_numeric = observables
+            .iter()
+            .enumerate()
+            .any(|(i, id)| !is_discrete(vars.sort(*id), s.distinct[i].len(), self.config));
+        if any_numeric {
+            s.steps.extend(store.steps_since(s.seg_watermark));
+            s.seg_watermark = 1 + store.num_segments();
+        }
+
+        // 3. Recompute the per-variable cell structure and decide whether the
+        //    existing alphabet is still valid.
+        let per_var = per_var_abstractions(
+            vars,
+            observables,
+            &s.distinct,
+            s.steps
+                .iter()
+                .map(|(a, b)| (store.valuation(*a), store.valuation(*b))),
+            self.config,
+        );
+        let incremental = s.built && per_var == s.abstraction.per_var;
+        if !incremental {
+            s.abstraction = AlphabetAbstraction::with_per_var(vars, observables, per_var);
+            s.built = true;
+            s.letter_memo.clear();
+            s.words.clear();
+            s.traces_seen = 0;
+        }
+        s.letter_memo.resize(store.num_observations(), None);
+
+        // 4. Convert the words of (new) traces, registering letters in
+        //    first-occurrence order and memoising them per observation id.
+        let start = s.traces_seen;
+        let mut buf = Vec::new();
+        for trace in store.traces().skip(start) {
+            store.obs_ids_into(trace, &mut buf);
+            let word = buf
+                .iter()
+                .map(|obs| match s.letter_memo[obs.index()] {
+                    Some(letter) => letter,
+                    None => {
+                        let cells = s.abstraction.cells_of(store.valuation(*obs));
+                        let letter = s.abstraction.intern(cells);
+                        s.letter_memo[obs.index()] = Some(letter);
+                        letter
+                    }
+                })
+                .collect();
+            s.words.push(word);
+        }
+        let new_traces = store.len() - start;
+        s.traces_seen = store.len();
+        self.state = Some(s);
+        if incremental {
+            AbstractionUpdate::Incremental { new_traces }
+        } else {
+            AbstractionUpdate::Rebuilt
+        }
+    }
+
+    /// The current abstraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`update`](Self::update) has never been called.
+    pub fn abstraction(&self) -> &AlphabetAbstraction {
+        &self
+            .state
+            .as_ref()
+            .expect("IncrementalAbstraction::update must run before abstraction()")
+            .abstraction
+    }
+
+    /// The cached abstract words, one per stored trace in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`update`](Self::update) has never been called.
+    pub fn words(&self) -> &[Vec<LetterId>] {
+        &self
+            .state
+            .as_ref()
+            .expect("IncrementalAbstraction::update must run before words()")
+            .words
+    }
+}
+
+/// The discrete-vs-numeric rule: variables whose sort is boolean or an
+/// enumeration, or with few observed distinct values, get equality cells;
+/// everything else gets mined interval cells.
+fn is_discrete(sort: &Sort, distinct_values: usize, config: AbstractionConfig) -> bool {
+    sort.is_bool() || sort.is_enum() || distinct_values <= config.max_distinct_values
+}
+
+/// Decides the per-variable abstractions from the distinct-value sets and the
+/// (deduplicated) step set, the shared core of [`AlphabetAbstraction::from_traces`]
+/// and the incremental builder. Callers may pass an empty `steps` iterator
+/// when every observable is discrete (the step set is only consumed by
+/// interval mining).
+fn per_var_abstractions<'a>(
+    vars: &VarSet,
+    observables: &[VarId],
+    distinct: &[BTreeSet<i64>],
+    steps: impl Iterator<Item = (&'a Valuation, &'a Valuation)> + Clone,
+    config: AbstractionConfig,
+) -> Vec<VarAbstraction> {
+    let discrete: Vec<bool> = distinct
+        .iter()
+        .enumerate()
+        .map(|(i, set)| is_discrete(vars.sort(observables[i]), set.len(), config))
+        .collect();
+
+    let mut per_var = Vec::with_capacity(observables.len());
+    for (i, id) in observables.iter().enumerate() {
+        if discrete[i] {
+            per_var.push(VarAbstraction::Exact {
+                values: distinct[i].iter().copied().collect(),
+            });
+        } else {
+            let thresholds = mine_thresholds(
+                steps.clone(),
+                observables,
+                &discrete,
+                *id,
+                config.max_thresholds,
+            );
+            per_var.push(VarAbstraction::Intervals { thresholds });
+        }
+    }
+    per_var
 }
 
 /// Mines interval thresholds for a numeric variable: a boundary is proposed
 /// between two observations whenever their successor observations differ on
 /// some discrete observable, and the most frequently proposed boundaries are
 /// kept.
-fn mine_thresholds(
-    traces: &TraceSet,
+///
+/// The vote counts are a function of the *set* of `(value, successor class)`
+/// samples: duplicated samples sort adjacently, and a window between two
+/// identical samples never votes, so exactly one vote is cast per boundary
+/// between adjacent distinct samples regardless of multiplicity. The caller
+/// may therefore pass the steps deduplicated (as the incremental pipeline
+/// does) without changing the mined thresholds.
+fn mine_thresholds<'a>(
+    steps: impl Iterator<Item = (&'a Valuation, &'a Valuation)>,
     observables: &[VarId],
     discrete: &[bool],
     var: VarId,
-    _var_index: usize,
     max_thresholds: usize,
 ) -> Vec<i64> {
     // Collect (value of `var` at time t, class = discrete observables at t+1).
-    let mut samples: Vec<(i64, Vec<i64>)> = Vec::new();
-    for trace in traces.iter() {
-        for (current, next) in trace.steps() {
+    let samples: BTreeSet<(i64, Vec<i64>)> = steps
+        .map(|(current, next)| {
             let class: Vec<i64> = observables
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| discrete[*i])
                 .map(|(_, id)| next.value(*id).to_i64())
                 .collect();
-            samples.push((current.value(var).to_i64(), class));
-        }
-    }
-    if samples.is_empty() {
-        return Vec::new();
-    }
-    samples.sort();
+            (current.value(var).to_i64(), class)
+        })
+        .collect();
 
     // Vote for boundaries between adjacent samples with different classes.
+    let samples: Vec<(i64, Vec<i64>)> = samples.into_iter().collect();
     let mut votes: BTreeMap<i64, usize> = BTreeMap::new();
     for pair in samples.windows(2) {
         let (a, ca) = &pair[0];
@@ -471,6 +777,76 @@ mod tests {
         let mut unseen = Valuation::zeroed(&vars);
         unseen.set(mode, Value::Enum(2));
         assert_eq!(abs.letter_of(&unseen), None);
+    }
+
+    #[test]
+    fn incremental_abstraction_matches_from_traces() {
+        use amle_system::TraceStore;
+        let (vars, temp, on, traces) = thermostat_traces();
+        let config = AbstractionConfig {
+            max_distinct_values: 4,
+            max_thresholds: 4,
+        };
+        let observables = [temp, on];
+        let mut store = TraceStore::from_trace_set(&traces);
+        let mut inc = IncrementalAbstraction::new(config);
+        assert_eq!(
+            inc.update(&vars, &observables, &store),
+            AbstractionUpdate::Rebuilt
+        );
+
+        let assert_equivalent = |inc: &IncrementalAbstraction, store: &TraceStore| {
+            let fresh = AlphabetAbstraction::from_traces(
+                &vars,
+                &observables,
+                &store.to_trace_set(),
+                config,
+            );
+            let built = inc.abstraction();
+            assert_eq!(built.per_var, fresh.per_var, "cell structure diverged");
+            assert_eq!(built.num_letters(), fresh.num_letters());
+            for letter in fresh.letters() {
+                assert_eq!(built.predicate(letter), fresh.predicate(letter));
+            }
+            for (trace, word) in store.traces().zip(inc.words()) {
+                let fresh_word = fresh
+                    .word_of(store.materialize(trace).observations())
+                    .expect("observed trace has a word");
+                assert_eq!(*word, fresh_word, "cached word diverged");
+            }
+        };
+        assert_equivalent(&inc, &store);
+
+        // Grow the store with a splice whose observations are already known
+        // (stable alphabet → incremental), then with a brand-new observation
+        // (changed cell structure → rebuild). Both must match from-scratch.
+        let first = store.traces().next().unwrap();
+        let known = store.materialize(first).observations()[3].clone();
+        let prefix = store.prefix(first, 5);
+        store.splice(prefix, &known, &known).unwrap();
+        assert_eq!(
+            inc.update(&vars, &observables, &store),
+            AbstractionUpdate::Incremental { new_traces: 1 }
+        );
+        assert_equivalent(&inc, &store);
+
+        let mut fresh_obs = Valuation::zeroed(&vars);
+        fresh_obs.set(temp, Value::Int(3));
+        fresh_obs.set(on, Value::Bool(true));
+        store.splice(prefix, &fresh_obs, &known).unwrap();
+        assert_eq!(
+            inc.update(&vars, &observables, &store),
+            AbstractionUpdate::Rebuilt
+        );
+        assert_equivalent(&inc, &store);
+
+        // A different store resets the state entirely.
+        let other = TraceStore::from_trace_set(&traces);
+        assert_eq!(
+            inc.update(&vars, &observables, &other),
+            AbstractionUpdate::Rebuilt
+        );
+        assert_equivalent(&inc, &other);
     }
 
     #[test]

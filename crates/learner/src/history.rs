@@ -11,11 +11,14 @@
 //! attached to exactly the automaton state whose completeness condition was
 //! violated — each refinement iteration makes monotone progress.
 
+use crate::abstraction::{AbstractionUpdate, IncrementalAbstraction};
 use crate::learner::LetterAutomaton;
-use crate::{AbstractionConfig, AlphabetAbstraction, LearnError, LetterId, ModelLearner};
+use crate::{
+    AbstractionConfig, AlphabetAbstraction, LearnError, LetterId, ModelLearner, WordStats,
+};
 use amle_automaton::Nfa;
 use amle_expr::{VarId, VarSet};
-use amle_system::TraceSet;
+use amle_system::{TraceSet, TraceStore};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Passive learner whose states are bounded observation histories.
@@ -24,12 +27,64 @@ use std::collections::{BTreeMap, BTreeSet};
 /// plus a distinguished initial state; larger depths refine states by longer
 /// histories, which can capture counter-like sequencing at the cost of more
 /// states.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The store-backed path ([`ModelLearner::learn_from_store`]) is
+/// **incremental**: the history quotient is a left fold over the sample
+/// words, so when the alphabet is stable between iterations the learner
+/// keeps its state map and transition set and folds in only the words of
+/// newly added traces. The result is byte-identical to a from-scratch fold
+/// (state ids depend only on first-encounter order, which appending
+/// preserves); only the cost changes.
+#[derive(Debug, Clone)]
 pub struct HistoryLearner {
     /// Number of trailing letters that identify a state.
     pub history_depth: usize,
     /// Alphabet-abstraction configuration.
     pub abstraction: AbstractionConfig,
+    /// Incremental state for the store-backed path.
+    cache: Option<HistoryCache>,
+    /// Accumulated word-pipeline statistics.
+    stats: WordStats,
+}
+
+/// Equality is configuration equality; incremental caches and accumulated
+/// statistics are ignored.
+impl PartialEq for HistoryLearner {
+    fn eq(&self, other: &Self) -> bool {
+        self.history_depth == other.history_depth && self.abstraction == other.abstraction
+    }
+}
+
+impl Eq for HistoryLearner {}
+
+/// The incremental fold state of the store-backed path.
+#[derive(Debug, Clone)]
+struct HistoryCache {
+    /// Depth the fold was built with; a config change invalidates it.
+    depth: usize,
+    inc: IncrementalAbstraction,
+    /// Number of cached words already folded into the quotient.
+    words_done: usize,
+    state_ids: BTreeMap<Vec<LetterId>, usize>,
+    transitions: BTreeSet<(usize, LetterId, usize)>,
+}
+
+impl HistoryCache {
+    fn fresh(depth: usize, config: AbstractionConfig) -> Self {
+        HistoryCache {
+            depth,
+            inc: IncrementalAbstraction::new(config),
+            words_done: 0,
+            state_ids: BTreeMap::from([(Vec::new(), 0)]),
+            transitions: BTreeSet::new(),
+        }
+    }
+
+    fn reset_fold(&mut self) {
+        self.words_done = 0;
+        self.state_ids = BTreeMap::from([(Vec::new(), 0)]);
+        self.transitions = BTreeSet::new();
+    }
 }
 
 impl Default for HistoryLearner {
@@ -37,7 +92,31 @@ impl Default for HistoryLearner {
         HistoryLearner {
             history_depth: 1,
             abstraction: AbstractionConfig::default(),
+            cache: None,
+            stats: WordStats::default(),
         }
+    }
+}
+
+/// Folds one sample word into the history quotient: states are the bounded
+/// letter histories, assigned dense ids in first-encounter order.
+fn fold_word(
+    depth: usize,
+    state_ids: &mut BTreeMap<Vec<LetterId>, usize>,
+    transitions: &mut BTreeSet<(usize, LetterId, usize)>,
+    word: &[LetterId],
+) {
+    let mut history: Vec<LetterId> = Vec::new();
+    for letter in word {
+        let from_len = state_ids.len();
+        let from = *state_ids.entry(history.clone()).or_insert(from_len);
+        history.push(*letter);
+        if history.len() > depth {
+            history.remove(0);
+        }
+        let to_len = state_ids.len();
+        let to = *state_ids.entry(history.clone()).or_insert(to_len);
+        transitions.insert((from, *letter, to));
     }
 }
 
@@ -58,20 +137,8 @@ impl HistoryLearner {
         let mut state_ids: BTreeMap<Vec<LetterId>, usize> = BTreeMap::new();
         state_ids.insert(Vec::new(), 0);
         let mut transitions = BTreeSet::new();
-
         for word in words {
-            let mut history: Vec<LetterId> = Vec::new();
-            for letter in word {
-                let from_len = state_ids.len();
-                let from = *state_ids.entry(history.clone()).or_insert(from_len);
-                history.push(*letter);
-                if history.len() > depth {
-                    history.remove(0);
-                }
-                let to_len = state_ids.len();
-                let to = *state_ids.entry(history.clone()).or_insert(to_len);
-                transitions.insert((from, *letter, to));
-            }
+            fold_word(depth, &mut state_ids, &mut transitions, word);
         }
         LetterAutomaton {
             num_states: state_ids.len(),
@@ -101,6 +168,7 @@ impl ModelLearner for HistoryLearner {
                     .expect("abstraction was built from these traces")
             })
             .collect();
+        self.stats.words_encoded += words.len() as u64;
         let letter_automaton = self.learn_letter_automaton(&words);
         debug_assert!(
             words.iter().all(|w| letter_automaton.accepts_word(w)),
@@ -109,8 +177,53 @@ impl ModelLearner for HistoryLearner {
         Ok(letter_automaton.to_nfa(&abstraction))
     }
 
+    fn learn_from_store(
+        &mut self,
+        vars: &VarSet,
+        observables: &[VarId],
+        store: &TraceStore,
+    ) -> Result<Nfa, LearnError> {
+        if store.is_empty() {
+            return Err(LearnError::NoTraces);
+        }
+        let depth = self.history_depth.max(1);
+        let config = self.abstraction;
+        let reusable =
+            matches!(&self.cache, Some(c) if c.depth == depth && c.inc.config() == config);
+        if !reusable {
+            self.cache = Some(HistoryCache::fresh(depth, config));
+        }
+        let cache = self.cache.as_mut().expect("cache just ensured");
+        let update = cache.inc.update(vars, observables, store);
+        if update == AbstractionUpdate::Rebuilt {
+            cache.reset_fold();
+        }
+        let words = cache.inc.words();
+        for word in &words[cache.words_done..] {
+            fold_word(depth, &mut cache.state_ids, &mut cache.transitions, word);
+        }
+        self.stats.words_encoded += (words.len() - cache.words_done) as u64;
+        self.stats.words_reused += cache.words_done as u64;
+        cache.words_done = words.len();
+
+        let letter_automaton = LetterAutomaton {
+            num_states: cache.state_ids.len(),
+            initial: 0,
+            transitions: cache.transitions.clone(),
+        };
+        debug_assert!(
+            words.iter().all(|w| letter_automaton.accepts_word(w)),
+            "history quotient must accept every sample word"
+        );
+        Ok(letter_automaton.to_nfa(cache.inc.abstraction()))
+    }
+
     fn name(&self) -> &'static str {
         "history"
+    }
+
+    fn word_stats(&self) -> WordStats {
+        self.stats
     }
 }
 
@@ -183,6 +296,48 @@ mod tests {
             .unwrap()
             .num_states();
         assert!(shallow <= deep);
+    }
+
+    #[test]
+    fn store_path_matches_flat_path_and_reuses_words() {
+        use amle_system::TraceStore;
+        let sys = cooler();
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(21);
+        let traces = sim.random_traces(12, 10, &mut rng);
+        // Boolean observables only: the cell structure is pinned once both
+        // values are seen, so growing the store must take the incremental
+        // path (a numeric observable could re-mine thresholds and rebuild).
+        let observables = vec![sys.vars().lookup("s_on").unwrap()];
+
+        let mut store = TraceStore::from_trace_set(&traces);
+        let mut incremental = HistoryLearner::default();
+        let from_store = incremental
+            .learn_from_store(sys.vars(), &observables, &store)
+            .unwrap();
+        let from_flat = HistoryLearner::default()
+            .learn(sys.vars(), &observables, &traces)
+            .unwrap();
+        assert_eq!(from_store, from_flat, "store and flat models diverged");
+        assert_eq!(incremental.word_stats().words_encoded, traces.len() as u64);
+
+        // Growing the store with a splice of known observations keeps the
+        // alphabet stable, so only the new trace's word is encoded.
+        let first = store.traces().next().unwrap();
+        let obs = store.materialize(first).observations()[2].clone();
+        let prefix = store.prefix(first, 4);
+        store.splice(prefix, &obs, &obs).unwrap();
+        let before = incremental.word_stats();
+        let grown = incremental
+            .learn_from_store(sys.vars(), &observables, &store)
+            .unwrap();
+        let delta = incremental.word_stats().since(&before);
+        assert_eq!(delta.words_encoded, 1);
+        assert_eq!(delta.words_reused, traces.len() as u64);
+        let fresh = HistoryLearner::default()
+            .learn(sys.vars(), &observables, &store.to_trace_set())
+            .unwrap();
+        assert_eq!(grown, fresh, "incremental model diverged from rebuild");
     }
 
     #[test]

@@ -4,10 +4,11 @@ use crate::{AlphabetAbstraction, LetterId};
 use amle_automaton::Nfa;
 use amle_expr::{VarId, VarSet};
 use amle_sat::SolverStats;
-use amle_system::TraceSet;
+use amle_system::{TraceSet, TraceStore};
 use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
+use std::ops::{Add, AddAssign};
 
 /// Errors raised by model learners.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +36,49 @@ impl fmt::Display for LearnError {
 
 impl Error for LearnError {}
 
+/// Word-pipeline statistics of a model learner: how many abstract words a
+/// `learn` call actually processed versus reused from its incremental cache.
+///
+/// Counters accumulate over the learner's lifetime (like
+/// [`SolverStats`]); callers snapshot and diff with [`WordStats::since`] to
+/// attribute work to one run or iteration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WordStats {
+    /// Abstract words converted and fed to the learner's internal
+    /// representation (automaton fold, SAT encoding, …).
+    pub words_encoded: u64,
+    /// Abstract words whose conversion *and* internal encoding were reused
+    /// from a previous call on the same (grown) trace store.
+    pub words_reused: u64,
+}
+
+impl WordStats {
+    /// The work done since an earlier snapshot of the same accumulating
+    /// counters.
+    pub fn since(&self, earlier: &WordStats) -> WordStats {
+        WordStats {
+            words_encoded: self.words_encoded - earlier.words_encoded,
+            words_reused: self.words_reused - earlier.words_reused,
+        }
+    }
+}
+
+impl AddAssign for WordStats {
+    fn add_assign(&mut self, rhs: WordStats) {
+        self.words_encoded += rhs.words_encoded;
+        self.words_reused += rhs.words_reused;
+    }
+}
+
+impl Add for WordStats {
+    type Output = WordStats;
+
+    fn add(mut self, rhs: WordStats) -> WordStats {
+        self += rhs;
+        self
+    }
+}
+
 /// A passive model-learning component.
 ///
 /// The contract is the one stated in Section II-B of the paper: given a set
@@ -55,6 +99,32 @@ pub trait ModelLearner {
         traces: &TraceSet,
     ) -> Result<Nfa, LearnError>;
 
+    /// Learns from an interned [`TraceStore`] instead of a flat trace set.
+    ///
+    /// This is the entry point the active-learning loop uses every
+    /// iteration. Incremental learners ([`crate::HistoryLearner`],
+    /// [`crate::SatDfaLearner`]) recognise a store they have seen before
+    /// (same [`TraceStore::store_id`], grown append-only) and only process
+    /// the traces added since the previous call; the default implementation
+    /// simply materialises the store (cloning every observation of every
+    /// trace, O(total observations) per call) and delegates to
+    /// [`learn`](ModelLearner::learn). The learned model is identical either
+    /// way — incrementality is a cost optimisation, not a semantic change —
+    /// but learners expected on the refinement loop's hot path should
+    /// override this.
+    ///
+    /// # Errors
+    ///
+    /// As for [`learn`](ModelLearner::learn).
+    fn learn_from_store(
+        &mut self,
+        vars: &VarSet,
+        observables: &[VarId],
+        store: &TraceStore,
+    ) -> Result<Nfa, LearnError> {
+        self.learn(vars, observables, &store.to_trace_set())
+    }
+
     /// A short human-readable name for reports.
     fn name(&self) -> &'static str;
 
@@ -63,10 +133,21 @@ pub trait ModelLearner {
     fn solver_stats(&self) -> SolverStats {
         SolverStats::default()
     }
+
+    /// Word-pipeline statistics accumulated by this learner across its
+    /// lifetime; learners without an incremental path report the zero
+    /// default.
+    fn word_stats(&self) -> WordStats {
+        WordStats::default()
+    }
 }
 
 /// Convenience enum for selecting a learner in configurations and benchmark
 /// harnesses without trait objects.
+// The SAT-DFA variant carries its incremental caches and is therefore the
+// largest by a margin; a handful of these exist per harness run, so the
+// footprint is irrelevant and boxing would only complicate construction.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum LearnerKind {
     /// The history-based learner (default; Fig. 2 style models).
@@ -94,6 +175,20 @@ impl ModelLearner for LearnerKind {
         }
     }
 
+    fn learn_from_store(
+        &mut self,
+        vars: &VarSet,
+        observables: &[VarId],
+        store: &TraceStore,
+    ) -> Result<Nfa, LearnError> {
+        match self {
+            LearnerKind::History(l) => l.learn_from_store(vars, observables, store),
+            LearnerKind::KTails(l) => l.learn_from_store(vars, observables, store),
+            LearnerKind::SatDfa(l) => l.learn_from_store(vars, observables, store),
+            LearnerKind::Lstar(l) => l.learn_from_store(vars, observables, store),
+        }
+    }
+
     fn name(&self) -> &'static str {
         match self {
             LearnerKind::History(l) => l.name(),
@@ -109,6 +204,15 @@ impl ModelLearner for LearnerKind {
             LearnerKind::KTails(l) => l.solver_stats(),
             LearnerKind::SatDfa(l) => l.solver_stats(),
             LearnerKind::Lstar(l) => l.solver_stats(),
+        }
+    }
+
+    fn word_stats(&self) -> WordStats {
+        match self {
+            LearnerKind::History(l) => l.word_stats(),
+            LearnerKind::KTails(l) => l.word_stats(),
+            LearnerKind::SatDfa(l) => l.word_stats(),
+            LearnerKind::Lstar(l) => l.word_stats(),
         }
     }
 }

@@ -30,7 +30,7 @@
 //! by the active-learning loop in `amle-core`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod abstraction;
 mod history;
@@ -40,10 +40,12 @@ mod lstar;
 mod pta;
 mod satdfa;
 
-pub use abstraction::{AbstractionConfig, AlphabetAbstraction, LetterId};
+pub use abstraction::{
+    AbstractionConfig, AbstractionUpdate, AlphabetAbstraction, IncrementalAbstraction, LetterId,
+};
 pub use history::HistoryLearner;
 pub use ktails::KTailsLearner;
-pub use learner::{LearnError, LearnerKind, ModelLearner};
+pub use learner::{LearnError, LearnerKind, ModelLearner, WordStats};
 pub use lstar::{LstarLearner, ObservationTable};
 pub use pta::Pta;
 pub use satdfa::SatDfaLearner;

@@ -1,4 +1,6 @@
-//! Prefix-tree acceptor (PTA) over abstract letters.
+//! Prefix-tree acceptor (PTA) over abstract letters: the trie of the sample
+//! words the passive learners (Section II-B of the paper) generalise by
+//! state merging or SAT-based folding.
 
 use crate::LetterId;
 use std::collections::{BTreeMap, HashMap};
@@ -34,6 +36,22 @@ impl Pta {
 
     /// Adds one abstract word (and implicitly all its prefixes).
     pub fn add_word(&mut self, word: &[LetterId]) {
+        let mut created = Vec::new();
+        self.add_word_recording(word, &mut created);
+    }
+
+    /// Adds one abstract word, appending every trie edge it creates to
+    /// `created` as `(parent, letter, child)` in creation order (each
+    /// created edge introduces exactly one new node, its child).
+    ///
+    /// Incremental consumers — the SAT-DFA learner's persistent folding
+    /// session — use the recording to encode only the *delta* of the
+    /// prefix tree instead of re-encoding it from scratch.
+    pub fn add_word_recording(
+        &mut self,
+        word: &[LetterId],
+        created: &mut Vec<(usize, LetterId, usize)>,
+    ) {
         let mut node = 0usize;
         self.support[0] += 1;
         for letter in word {
@@ -44,6 +62,7 @@ impl Pta {
                     self.children.push(BTreeMap::new());
                     self.support.push(0);
                     self.children[node].insert(*letter, next);
+                    created.push((node, *letter, next));
                     next
                 }
             };

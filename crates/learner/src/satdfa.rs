@@ -13,28 +13,48 @@
 //! observed after it, the extension of the prefix with that letter is treated
 //! as a negative word (the automaton must not admit it). This keeps the
 //! learner honest about behaviour that the sample consistently rules out,
-//! while the active-learning loop repairs any over-restriction through model
-//! checking counterexamples.
+//! while satisfying the paper's learner contract (Section II-B: the returned
+//! automaton admits every input trace) — the active-learning loop repairs
+//! any over-restriction through model checking counterexamples.
+//!
+//! ## Incremental encoding across refinement iterations
+//!
+//! On the store-backed path ([`crate::ModelLearner::learn_from_store`]) the
+//! learner keeps one folding session alive across the whole active-learning
+//! run. Each iteration only the *new* abstract words are folded into the
+//! prefix tree and clause-encoded; the mapping, determinism and consistency
+//! clauses of everything already encoded — and the clauses the solver learnt
+//! refuting earlier sizes — are reused:
+//!
+//! * the skeleton clause sets are monotone in the number of PTA nodes, edges
+//!   and automaton states, so a delta only ever *adds* clauses;
+//! * the one non-monotone size constraint ("every PTA node maps to one of
+//!   the first `n` states") stays behind the per-size activation literals it
+//!   already used within a single size search;
+//! * inferred negative evidence can *retract* as support grows, so each
+//!   negative's clauses sit behind their own activation literal and only the
+//!   currently-inferred negatives are assumed at solve time.
+//!
+//! A full re-encode only happens when the alphabet abstraction itself
+//! changes (new distinct values or re-mined thresholds).
 
+use crate::abstraction::{AbstractionUpdate, IncrementalAbstraction};
 use crate::learner::LetterAutomaton;
-use crate::{AbstractionConfig, AlphabetAbstraction, LearnError, LetterId, ModelLearner, Pta};
+use crate::{AbstractionConfig, LearnError, LetterId, ModelLearner, Pta, WordStats};
 use amle_automaton::Nfa;
 use amle_expr::{VarId, VarSet};
 use amle_sat::{cdcl_backend, ClauseSink, IncrementalSolver, Lit, SolveResult, SolverStats, Var};
-use amle_system::TraceSet;
-use std::collections::BTreeSet;
+use amle_system::{TraceSet, TraceStore};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// SAT-based minimal-DFA learner.
 ///
 /// The size search is **incremental**: one solver session is kept alive
-/// across the growing automaton sizes. The folding skeleton (mapping,
-/// determinism, consistency and negative-evidence clauses) is monotone in the
-/// number of states, so growing from size `n` to `n + 1` only *adds* clauses;
-/// the single non-monotone constraint — "every PTA node maps to one of the
-/// first `n` states" — is attached behind a per-size activation literal and
-/// selected with an assumption, so clauses learnt while refuting size `n`
-/// keep pruning the search at size `n + 1`.
-#[derive(Debug, Clone, Eq)]
+/// across the growing automaton sizes, and — on the store-backed path —
+/// across refinement iterations too (see the module-level docs). Clauses
+/// learnt while refuting size `n` keep pruning the search at size `n + 1`
+/// and in later iterations.
+#[derive(Debug)]
 pub struct SatDfaLearner {
     /// Maximum number of automaton states to try before giving up.
     pub max_states: usize,
@@ -45,14 +65,39 @@ pub struct SatDfaLearner {
     pub abstraction: AbstractionConfig,
     /// Backend solver statistics accumulated across `learn` calls.
     stats: SolverStats,
+    /// Word-pipeline statistics accumulated across `learn` calls.
+    word_stats: WordStats,
+    /// Incrementally maintained alphabet + words for the store-backed path.
+    inc: Option<IncrementalAbstraction>,
+    /// The persistent folding session (valid while the alphabet is stable).
+    session: Option<SatSession>,
 }
 
-/// Equality is configuration equality; accumulated statistics are ignored.
+/// Equality is configuration equality; accumulated statistics and caches are
+/// ignored.
 impl PartialEq for SatDfaLearner {
     fn eq(&self, other: &Self) -> bool {
         self.max_states == other.max_states
             && self.min_support == other.min_support
             && self.abstraction == other.abstraction
+    }
+}
+
+impl Eq for SatDfaLearner {}
+
+impl Clone for SatDfaLearner {
+    /// Clones the configuration and statistics; the incremental session is
+    /// not cloneable (it owns a live solver) and restarts empty.
+    fn clone(&self) -> Self {
+        SatDfaLearner {
+            max_states: self.max_states,
+            min_support: self.min_support,
+            abstraction: self.abstraction,
+            stats: self.stats,
+            word_stats: self.word_stats,
+            inc: None,
+            session: None,
+        }
     }
 }
 
@@ -63,6 +108,9 @@ impl Default for SatDfaLearner {
             min_support: 3,
             abstraction: AbstractionConfig::default(),
             stats: SolverStats::default(),
+            word_stats: WordStats::default(),
+            inc: None,
+            session: None,
         }
     }
 }
@@ -76,86 +124,161 @@ impl SatDfaLearner {
         }
     }
 
-    /// Infers negative evidence: `(node, letter)` pairs such that the prefix
-    /// of `node` is well supported but never followed by `letter`.
-    fn inferred_negatives(
-        &self,
-        pta: &Pta,
-        alphabet: &BTreeSet<LetterId>,
-    ) -> Vec<(usize, LetterId)> {
-        let mut negatives = Vec::new();
-        for node in pta.nodes() {
-            if pta.support(node) < self.min_support || pta.children(node).is_empty() {
-                continue;
-            }
-            for letter in alphabet {
-                if !pta.children(node).contains_key(letter) {
-                    negatives.push((node, *letter));
-                }
-            }
-        }
-        negatives
+    /// Infers negative evidence: `(node, letter index)` pairs such that the
+    /// prefix of `node` is well supported but never followed by the letter.
+    #[cfg(test)]
+    fn inferred_negatives(&self, pta: &Pta, num_letters: usize) -> BTreeSet<(usize, usize)> {
+        inferred_negatives(self.min_support, pta, num_letters)
     }
 }
 
+/// See [`SatDfaLearner::inferred_negatives`].
+fn inferred_negatives(
+    min_support: usize,
+    pta: &Pta,
+    num_letters: usize,
+) -> BTreeSet<(usize, usize)> {
+    let mut negatives = BTreeSet::new();
+    for node in pta.nodes() {
+        if pta.support(node) < min_support || pta.children(node).is_empty() {
+            continue;
+        }
+        for letter in 0..num_letters {
+            if !pta.children(node).contains_key(&LetterId(letter)) {
+                negatives.insert((node, letter));
+            }
+        }
+    }
+    negatives
+}
+
 /// One incremental folding session: a single solver shared across growing
-/// automaton sizes.
+/// automaton sizes and — as the prefix tree grows — across refinement
+/// iterations.
 ///
 /// The clause sets indexed by automaton states are monotone in the size `n`
 /// except for the at-least-one mapping constraint, which is guarded by a
 /// per-size activation literal; solving size `n` assumes `acts[n - 1]` and
-/// leaves every other size's constraint disabled.
-struct FoldSession<'p> {
+/// leaves every other size's constraint disabled. Negative-evidence clauses
+/// are guarded by per-negative activation literals for the same reason:
+/// they can retract when new words raise a prefix's support.
+struct FoldSession {
     solver: Box<dyn IncrementalSolver>,
-    pta: &'p Pta,
-    /// PTA edges as `(node, letter_index, child)`.
+    /// Encoded PTA edges as `(node, letter_index, child)`.
     edges: Vec<(usize, usize, usize)>,
-    /// Negative evidence as `(node, letter_index)`.
-    negatives: Vec<(usize, usize)>,
     /// `x[node][state]`: PTA node is mapped to automaton state.
     x: Vec<Vec<Var>>,
     /// `y[state][letter][state']`: the automaton has a transition.
     y: Vec<Vec<Vec<Var>>>,
     /// Per-size activation literals; `acts[n - 1]` selects size `n`.
     acts: Vec<Lit>,
+    /// Per-negative activation literals, keyed by `(node, letter_index)`.
+    negative_acts: BTreeMap<(usize, usize), Lit>,
     /// Current automaton size (number of states encoded so far).
     n: usize,
     num_letters: usize,
 }
 
-impl<'p> FoldSession<'p> {
-    fn new(
-        pta: &'p Pta,
-        letters: &[LetterId],
-        negatives: &[(usize, LetterId)],
-        solver: Box<dyn IncrementalSolver>,
-    ) -> Self {
-        let letter_index =
-            |l: LetterId| letters.iter().position(|x| *x == l).expect("known letter");
-        let edges = pta
-            .nodes()
-            .flat_map(|node| {
-                pta.children(node)
-                    .iter()
-                    .map(move |(letter, child)| (node, letter_index(*letter), *child))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-        let negatives = negatives
-            .iter()
-            .map(|(node, letter)| (*node, letter_index(*letter)))
-            .collect();
+impl std::fmt::Debug for FoldSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FoldSession")
+            .field("nodes", &self.x.len())
+            .field("edges", &self.edges.len())
+            .field("negatives", &self.negative_acts.len())
+            .field("n", &self.n)
+            .field("num_letters", &self.num_letters)
+            .finish()
+    }
+}
+
+impl FoldSession {
+    fn new(solver: Box<dyn IncrementalSolver>) -> Self {
         FoldSession {
             solver,
-            pta,
-            edges,
-            negatives,
-            x: vec![Vec::new(); pta.num_nodes()],
+            edges: Vec::new(),
+            x: Vec::new(),
             y: Vec::new(),
             acts: Vec::new(),
+            negative_acts: BTreeMap::new(),
             n: 0,
-            num_letters: letters.len(),
+            num_letters: 0,
         }
+    }
+
+    /// Extends the alphabet by one letter: fresh transition variables for
+    /// every encoded source state, plus their determinism constraints.
+    fn add_letter(&mut self) {
+        let a = self.num_letters;
+        for s in 0..self.n {
+            let row: Vec<Var> = (0..self.n).map(|_| self.solver.new_var()).collect();
+            for t1 in 0..self.n {
+                for t2 in (t1 + 1)..self.n {
+                    self.solver
+                        .add_clause(&[Lit::negative(row[t1]), Lit::negative(row[t2])]);
+                }
+            }
+            self.y[s].push(row);
+            debug_assert_eq!(self.y[s].len(), a + 1);
+        }
+        self.num_letters = a + 1;
+    }
+
+    /// Registers one new PTA node: mapping variables for every encoded state,
+    /// at-most-one constraints among them, and the size-specific at-least-one
+    /// constraint behind each existing size's activation literal.
+    fn add_node(&mut self) {
+        let vars: Vec<Var> = (0..self.n).map(|_| self.solver.new_var()).collect();
+        for s1 in 0..self.n {
+            for s2 in (s1 + 1)..self.n {
+                self.solver
+                    .add_clause(&[Lit::negative(vars[s1]), Lit::negative(vars[s2])]);
+            }
+        }
+        for size in 1..=self.n {
+            let mut clause = Vec::with_capacity(size + 1);
+            clause.push(!self.acts[size - 1]);
+            clause.extend(vars[..size].iter().map(|v| Lit::positive(*v)));
+            self.solver.add_clause(&clause);
+        }
+        self.x.push(vars);
+    }
+
+    /// Encodes one new PTA edge `(node, letter, child)`: the consistency
+    /// clauses tying the child's mapping to the parent's mapping and the
+    /// transition relation, over every encoded state pair.
+    fn add_edge(&mut self, node: usize, a: usize, child: usize) {
+        for s in 0..self.n {
+            for t in 0..self.n {
+                self.solver.add_clause(&[
+                    Lit::negative(self.x[node][s]),
+                    Lit::negative(self.x[child][t]),
+                    Lit::positive(self.y[s][a][t]),
+                ]);
+                self.solver.add_clause(&[
+                    Lit::negative(self.x[node][s]),
+                    Lit::negative(self.y[s][a][t]),
+                    Lit::positive(self.x[child][t]),
+                ]);
+            }
+        }
+        self.edges.push((node, a, child));
+    }
+
+    /// Registers one negative-evidence pair behind a fresh activation
+    /// literal: while assumed, letter `a` must be undefined from the state of
+    /// `node`.
+    fn add_negative(&mut self, node: usize, a: usize) {
+        let act = Lit::positive(self.solver.new_var());
+        for s in 0..self.n {
+            for t in 0..self.n {
+                self.solver.add_clause(&[
+                    !act,
+                    Lit::negative(self.x[node][s]),
+                    Lit::negative(self.y[s][a][t]),
+                ]);
+            }
+        }
+        self.negative_acts.insert((node, a), act);
     }
 
     /// Grows the encoding by one automaton state (size `n` → `n + 1`),
@@ -165,10 +288,14 @@ impl<'p> FoldSession<'p> {
         let m = self.n; // index of the state being added
         let n = m + 1; // new size
 
-        // New mapping variables x[node][m].
-        for node in 0..self.pta.num_nodes() {
+        // New mapping variables x[node][m] and at-most-one pairs.
+        for node in 0..self.x.len() {
             let v = self.solver.new_var();
             self.x[node].push(v);
+            for s1 in 0..m {
+                self.solver
+                    .add_clause(&[Lit::negative(self.x[node][s1]), Lit::negative(v)]);
+            }
         }
         // New transition variables: extend existing rows with target m, then
         // add the full row for source state m.
@@ -183,19 +310,9 @@ impl<'p> FoldSession<'p> {
             .collect();
         self.y.push(new_row);
 
-        // At-most-one mapping: pairs involving the new state.
-        for node in 0..self.pta.num_nodes() {
-            for s1 in 0..m {
-                self.solver.add_clause(&[
-                    Lit::negative(self.x[node][s1]),
-                    Lit::negative(self.x[node][m]),
-                ]);
-            }
-        }
         // Symmetry breaking: the root maps to state 0, permanently.
-        if m == 0 {
-            self.solver
-                .add_clause(&[Lit::positive(self.x[self.pta.root()][0])]);
+        if m == 0 && !self.x.is_empty() {
+            self.solver.add_clause(&[Lit::positive(self.x[0][0])]);
         }
 
         // Determinism of y: pairs involving the new target in old rows, and
@@ -221,11 +338,9 @@ impl<'p> FoldSession<'p> {
             }
         }
 
-        // Consistency: a PTA edge (node --letter--> child) forces the
-        // corresponding automaton transition, and conversely the child's
-        // state is determined by the parent's state and the transition
-        // relation. Only (s, t) pairs that mention the new state are new.
-        for &(node, a, child) in &self.edges {
+        // Consistency: only (s, t) pairs that mention the new state are new.
+        for index in 0..self.edges.len() {
+            let (node, a, child) = self.edges[index];
             for s in 0..n {
                 for t in 0..n {
                     if s != m && t != m {
@@ -245,15 +360,19 @@ impl<'p> FoldSession<'p> {
             }
         }
 
-        // Negative evidence: from the state of `node`, letter `a` must be
-        // undefined.
-        for &(node, a) in &self.negatives {
+        // Negative evidence (guarded): pairs that mention the new state, for
+        // every negative ever registered — inactive ones are simply never
+        // assumed.
+        let negatives: Vec<((usize, usize), Lit)> =
+            self.negative_acts.iter().map(|(k, v)| (*k, *v)).collect();
+        for ((node, a), act) in negatives {
             for s in 0..n {
                 for t in 0..n {
                     if s != m && t != m {
                         continue;
                     }
                     self.solver.add_clause(&[
+                        !act,
                         Lit::negative(self.x[node][s]),
                         Lit::negative(self.y[s][a][t]),
                     ]);
@@ -263,43 +382,250 @@ impl<'p> FoldSession<'p> {
 
         // Size-specific at-least-one mapping, behind an activation literal.
         let act = Lit::positive(self.solver.new_var());
-        for node in 0..self.pta.num_nodes() {
+        for node in 0..self.x.len() {
             let mut clause = Vec::with_capacity(n + 1);
             clause.push(!act);
-            clause.extend(self.x[node].iter().map(|v| Lit::positive(*v)));
+            clause.extend(self.x[node][..n].iter().map(|v| Lit::positive(*v)));
             self.solver.add_clause(&clause);
         }
         self.acts.push(act);
         self.n = n;
     }
 
-    /// Attempts the fold at the current size; extracts the automaton on
-    /// success.
-    fn solve(&mut self) -> Option<LetterAutomaton> {
-        debug_assert!(self.n > 0, "grow before solving");
-        let act = self.acts[self.n - 1];
-        if self.solver.solve(&[act]) != SolveResult::Sat {
+    /// Attempts the fold at `size` under the currently active negatives;
+    /// extracts the automaton on success.
+    fn solve_at(
+        &mut self,
+        size: usize,
+        active: &BTreeSet<(usize, usize)>,
+        pta: &Pta,
+    ) -> Option<LetterAutomaton> {
+        debug_assert!(size >= 1 && size <= self.n);
+        let mut assumptions = Vec::with_capacity(1 + active.len());
+        assumptions.push(self.acts[size - 1]);
+        assumptions.extend(active.iter().map(|key| self.negative_acts[key]));
+        if self.solver.solve(&assumptions) != SolveResult::Sat {
             return None;
         }
         // Extract only transitions witnessed by a PTA edge so the automaton
         // does not pick up arbitrary don't-care transitions. The model must
-        // be read before the next `grow` adds clauses.
+        // be read before further clauses are added.
         let state_of = |node: usize| -> usize {
-            (0..self.n)
+            (0..size)
                 .find(|s| self.solver.model_value(self.x[node][*s]) == Some(true))
                 .expect("every node has a state")
         };
         let mut transitions = BTreeSet::new();
-        for node in self.pta.nodes() {
-            for (letter, child) in self.pta.children(node) {
+        for node in pta.nodes() {
+            for (letter, child) in pta.children(node) {
                 transitions.insert((state_of(node), *letter, state_of(*child)));
             }
         }
         Some(LetterAutomaton {
-            num_states: self.n,
+            num_states: size,
             initial: 0,
             transitions,
         })
+    }
+}
+
+/// The persistent cross-iteration state of the store-backed path.
+#[derive(Debug)]
+struct SatSession {
+    /// Configuration snapshot; a mismatch invalidates the session.
+    min_support: usize,
+    pta: Pta,
+    fold: FoldSession,
+    /// Number of cached words already folded into the PTA and encoded.
+    words_done: usize,
+    /// Negatives assumed at the previous solve, to detect retraction.
+    last_negatives: BTreeSet<(usize, usize)>,
+    /// Size of the automaton found by the previous call (0 = none yet).
+    found_size: usize,
+    /// Solver statistics already harvested into the learner's accumulator.
+    harvested: SolverStats,
+}
+
+impl SatSession {
+    fn fresh(min_support: usize) -> Self {
+        SatSession {
+            min_support,
+            pta: Pta::new(),
+            fold: FoldSession::new(cdcl_backend()),
+            words_done: 0,
+            last_negatives: BTreeSet::new(),
+            found_size: 0,
+            harvested: SolverStats::default(),
+        }
+    }
+}
+
+impl SatDfaLearner {
+    /// The store-backed learning path shared by `learn` (on a temporary
+    /// store) and `learn_from_store`.
+    fn learn_incremental(
+        &mut self,
+        vars: &VarSet,
+        observables: &[VarId],
+        store: &TraceStore,
+    ) -> Result<Nfa, LearnError> {
+        if store.is_empty() {
+            return Err(LearnError::NoTraces);
+        }
+        let config = self.abstraction;
+        let inc_reusable = matches!(&self.inc, Some(i) if i.config() == config);
+        if !inc_reusable {
+            self.inc = Some(IncrementalAbstraction::new(config));
+            self.discard_session();
+        }
+        let update = self
+            .inc
+            .as_mut()
+            .expect("abstraction cache just ensured")
+            .update(vars, observables, store);
+        let alphabet_stable = matches!(update, AbstractionUpdate::Incremental { .. });
+        let session_reusable = alphabet_stable
+            && matches!(&self.session, Some(s) if s.min_support == self.min_support);
+        if !session_reusable {
+            self.discard_session();
+            self.session = Some(SatSession::fresh(self.min_support));
+        }
+        let min_support = self.min_support;
+        let inc = self.inc.as_ref().expect("abstraction cache exists");
+        let abstraction = inc.abstraction();
+        let words = inc.words();
+        let num_letters = abstraction.num_letters();
+        let session = self.session.as_mut().expect("session just ensured");
+
+        // 1. Extend the alphabet planes of the encoding.
+        let letters_grew = session.fold.num_letters < num_letters;
+        while session.fold.num_letters < num_letters {
+            session.fold.add_letter();
+        }
+        // The root node exists before any word is folded.
+        if session.fold.x.is_empty() {
+            session.fold.add_node();
+        }
+
+        // 2. Fold only the new words into the PTA, encoding the created
+        //    nodes and edges, and remembering every node the new words pass
+        //    through — negative evidence can only change at those nodes
+        //    (support is monotone and child edges are permanent).
+        let mut created = Vec::new();
+        let mut touched: BTreeSet<usize> = BTreeSet::new();
+        for word in &words[session.words_done..] {
+            created.clear();
+            session.pta.add_word_recording(word, &mut created);
+            for (node, letter, child) in &created {
+                session.fold.add_node();
+                debug_assert_eq!(session.fold.x.len() - 1, *child);
+                session.fold.add_edge(*node, letter.index(), *child);
+            }
+            let mut node = session.pta.root();
+            touched.insert(node);
+            for letter in word {
+                node = *session
+                    .pta
+                    .children(node)
+                    .get(letter)
+                    .expect("word was just added to the PTA");
+                touched.insert(node);
+            }
+        }
+        self.word_stats.words_encoded += (words.len() - session.words_done) as u64;
+        self.word_stats.words_reused += session.words_done as u64;
+        session.words_done = words.len();
+
+        // 3. Refresh the negative evidence. A new letter can create
+        //    negatives at *untouched* nodes, so alphabet growth falls back
+        //    to the full (node × letter) recompute; otherwise only the
+        //    touched nodes' rows are revisited. `monotone` records whether
+        //    any previously active negative retracted.
+        let (negatives, monotone) = if letters_grew {
+            let negatives = inferred_negatives(min_support, &session.pta, num_letters);
+            let monotone = session.last_negatives.is_subset(&negatives);
+            (negatives, monotone)
+        } else {
+            let mut negatives = std::mem::take(&mut session.last_negatives);
+            let mut retracted = false;
+            for node in &touched {
+                let stale: Vec<(usize, usize)> = negatives
+                    .range((*node, 0)..=(*node, usize::MAX))
+                    .copied()
+                    .collect();
+                for key in &stale {
+                    negatives.remove(key);
+                }
+                if session.pta.support(*node) >= min_support
+                    && !session.pta.children(*node).is_empty()
+                {
+                    for letter in 0..num_letters {
+                        if !session.pta.children(*node).contains_key(&LetterId(letter)) {
+                            negatives.insert((*node, letter));
+                        }
+                    }
+                }
+                retracted |= stale.iter().any(|key| !negatives.contains(key));
+            }
+            debug_assert_eq!(
+                negatives,
+                inferred_negatives(min_support, &session.pta, num_letters),
+                "incremental negative update diverged from the full recompute"
+            );
+            (negatives, !retracted)
+        };
+        for key in &negatives {
+            if !session.fold.negative_acts.contains_key(key) {
+                session.fold.add_negative(key.0, key.1);
+            }
+        }
+
+        // 4. Pick the starting size. Constraints grew monotonically iff no
+        //    negative was retracted, in which case previously refuted sizes
+        //    stay refuted and the search can resume at the last found size.
+        let start = if monotone && session.found_size > 0 {
+            session.found_size
+        } else {
+            1
+        };
+
+        // 5. Size search, reusing the session (and everything the solver
+        //    learnt refuting smaller sizes).
+        let mut found = None;
+        for size in start..=self.max_states {
+            while session.fold.n < size {
+                session.fold.grow();
+            }
+            if let Some(letter_automaton) = session.fold.solve_at(size, &negatives, &session.pta) {
+                session.found_size = size;
+                found = Some(letter_automaton);
+                break;
+            }
+        }
+        session.last_negatives = negatives;
+        let delta = session.fold.solver.stats().since(&session.harvested);
+        session.harvested = session.fold.solver.stats();
+        self.stats += delta;
+        match found {
+            Some(letter_automaton) => {
+                debug_assert!(
+                    words.iter().all(|w| letter_automaton.accepts_word(w)),
+                    "SAT folding must accept every sample word"
+                );
+                Ok(letter_automaton.to_nfa(abstraction))
+            }
+            None => Err(LearnError::SearchExhausted {
+                reason: format!("no consistent DFA with at most {} states", self.max_states),
+            }),
+        }
+    }
+
+    /// Drops the folding session, harvesting its outstanding solver
+    /// statistics first.
+    fn discard_session(&mut self) {
+        if let Some(session) = self.session.take() {
+            self.stats += session.fold.solver.stats().since(&session.harvested);
+        }
     }
 }
 
@@ -313,43 +639,28 @@ impl ModelLearner for SatDfaLearner {
         if traces.is_empty() {
             return Err(LearnError::NoTraces);
         }
-        let abstraction =
-            AlphabetAbstraction::from_traces(vars, observables, traces, self.abstraction);
-        let words: Vec<Vec<LetterId>> = traces
-            .iter()
-            .map(|t| {
-                abstraction
-                    .word_of(t.observations())
-                    .expect("abstraction was built from these traces")
-            })
-            .collect();
-        let pta = Pta::from_words(words.iter().map(|w| w.as_slice()));
-        let alphabet: BTreeSet<LetterId> = abstraction.letters().collect();
-        let letters: Vec<LetterId> = alphabet.iter().copied().collect();
-        let negatives = self.inferred_negatives(&pta, &alphabet);
+        // A flat trace set carries no identity to be incremental against:
+        // restart from a temporary store (the next store-backed call resets
+        // again, so behaviour stays run-deterministic).
+        self.inc = None;
+        self.discard_session();
+        let store = TraceStore::from_trace_set(traces);
+        let result = self.learn_incremental(vars, observables, &store);
+        // The session and word cache reference the dropped temporary store
+        // and can never be reused — free them (harvesting solver stats)
+        // rather than holding the full encoding until the next call.
+        self.inc = None;
+        self.discard_session();
+        result
+    }
 
-        // One incremental session for the whole size search: clauses learnt
-        // while refuting size n keep pruning at size n + 1.
-        let mut session = FoldSession::new(&pta, &letters, &negatives, cdcl_backend());
-        let mut found = None;
-        for _ in 1..=self.max_states {
-            session.grow();
-            if let Some(letter_automaton) = session.solve() {
-                debug_assert!(
-                    words.iter().all(|w| letter_automaton.accepts_word(w)),
-                    "SAT folding must accept every sample word"
-                );
-                found = Some(letter_automaton);
-                break;
-            }
-        }
-        self.stats += session.solver.stats();
-        match found {
-            Some(letter_automaton) => Ok(letter_automaton.to_nfa(&abstraction)),
-            None => Err(LearnError::SearchExhausted {
-                reason: format!("no consistent DFA with at most {} states", self.max_states),
-            }),
-        }
+    fn learn_from_store(
+        &mut self,
+        vars: &VarSet,
+        observables: &[VarId],
+        store: &TraceStore,
+    ) -> Result<Nfa, LearnError> {
+        self.learn_incremental(vars, observables, store)
     }
 
     fn name(&self) -> &'static str {
@@ -358,6 +669,10 @@ impl ModelLearner for SatDfaLearner {
 
     fn solver_stats(&self) -> SolverStats {
         self.stats
+    }
+
+    fn word_stats(&self) -> WordStats {
+        self.word_stats
     }
 }
 
@@ -437,6 +752,10 @@ mod tests {
             learner.learn(sys.vars(), &observables, &TraceSet::new()),
             Err(LearnError::NoTraces)
         );
+        assert_eq!(
+            learner.learn_from_store(sys.vars(), &observables, &TraceStore::new()),
+            Err(LearnError::NoTraces)
+        );
     }
 
     #[test]
@@ -447,7 +766,6 @@ mod tests {
             vec![LetterId(0), LetterId(1)],
         ];
         let pta = Pta::from_words(words.iter().map(|w| w.as_slice()));
-        let alphabet: BTreeSet<LetterId> = [LetterId(0), LetterId(1)].into_iter().collect();
         let strict = SatDfaLearner {
             min_support: 1,
             ..Default::default()
@@ -456,7 +774,51 @@ mod tests {
             min_support: 100,
             ..Default::default()
         };
-        assert!(!strict.inferred_negatives(&pta, &alphabet).is_empty());
-        assert!(lax.inferred_negatives(&pta, &alphabet).is_empty());
+        assert!(!strict.inferred_negatives(&pta, 2).is_empty());
+        assert!(lax.inferred_negatives(&pta, 2).is_empty());
+    }
+
+    #[test]
+    fn incremental_store_path_matches_fresh_learner() {
+        // Grow a store in two steps; the session must keep accepting every
+        // word, and the automaton size must match what a fresh learner finds
+        // on the final sample.
+        let sys = toggle_system();
+        let sim = Simulator::new(&sys);
+        let mut rng = StdRng::seed_from_u64(11);
+        let traces = sim.random_traces(8, 8, &mut rng);
+        let observables = sys.all_vars();
+
+        let mut store = TraceStore::new();
+        for trace in traces.iter().take(4) {
+            store.insert_trace(trace);
+        }
+        let mut incremental = SatDfaLearner::default();
+        let first = incremental
+            .learn_from_store(sys.vars(), &observables, &store)
+            .unwrap();
+        assert!(first.num_states() >= 1);
+        for trace in traces.iter() {
+            store.insert_trace(trace);
+        }
+        let second = incremental
+            .learn_from_store(sys.vars(), &observables, &store)
+            .unwrap();
+
+        let fresh = SatDfaLearner::default()
+            .learn(sys.vars(), &observables, &store.to_trace_set())
+            .unwrap();
+        assert_eq!(second.num_states(), fresh.num_states());
+        for trace in store.to_trace_set().iter() {
+            assert!(second.accepts_trace(trace));
+        }
+        // The second call reused the words already encoded (if the alphabet
+        // stayed stable) or re-encoded everything (if not); either way the
+        // counters account for every word exactly once per call.
+        let stats = incremental.word_stats();
+        assert_eq!(
+            stats.words_encoded + stats.words_reused,
+            (store.len() + 4) as u64
+        );
     }
 }

@@ -2,7 +2,10 @@
 //!
 //! A from-scratch CDCL (conflict-driven clause learning) SAT solver used as
 //! the reasoning engine behind the bit-blasted bounded model checker and the
-//! SAT-based automaton identification in the model learner.
+//! SAT-based automaton identification in the model learner. Every
+//! condition-check and spurious-counterexample query of the paper (Fig. 3a
+//! and 3b, Section III-B) bottoms out in [`Solver::solve`] calls issued
+//! through the incremental backend seam.
 //!
 //! Features:
 //!
@@ -36,7 +39,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cnf;
 mod dimacs;

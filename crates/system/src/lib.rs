@@ -13,10 +13,12 @@
 //!   range).
 //!
 //! The crate also provides [`Trace`] / [`TraceSet`] (sequences of
-//! valuations, i.e. the execution traces the paper learns from) and a
-//! [`Simulator`] that executes a system on randomly sampled inputs to produce
-//! positive traces — the "instrumented implementation under a random software
-//! load" of the paper's evaluation.
+//! valuations, i.e. the execution traces the paper learns from), the
+//! interned shared-prefix [`TraceStore`] the refinement loop accumulates
+//! its traces in (counterexample splices, Section III-B, are O(1) segment
+//! extensions there), and a [`Simulator`] that executes a system on randomly
+//! sampled inputs to produce positive traces — the "instrumented
+//! implementation under a random software load" of the paper's evaluation.
 //!
 //! ## Example
 //!
@@ -48,10 +50,12 @@
 #![warn(missing_docs)]
 
 mod simulate;
+mod store;
 mod system;
 mod trace;
 
 pub use simulate::Simulator;
+pub use store::{ObsId, SegmentId, TraceId, TraceStore, TraceStoreStats};
 pub use system::{BuildSystemError, System, SystemBuilder};
 pub use trace::{Trace, TraceSet};
 
