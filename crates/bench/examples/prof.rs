@@ -50,4 +50,13 @@ fn main() {
             .map(|s| s.conditions)
             .unwrap_or(0)
     );
+    println!(
+        "  cache: hits={} misses={} entries={}; engines: kiQ={} exQ={} fallb={}",
+        report.verdict_cache.hits,
+        report.verdict_cache.misses,
+        report.verdict_cache.entries,
+        report.checker_stats.kinduction_queries,
+        report.checker_stats.explicit_queries,
+        report.checker_stats.explicit_fallbacks
+    );
 }

@@ -7,6 +7,8 @@
 //! suite [--workers N] [--condition-workers N] [--quick] [--compare]
 //!       [--table1-only] [--stress] [--only <substring>]
 //!       [--dump-fingerprint <path>]
+//!       [--engine kinduction|explicit|portfolio] [--no-cache]
+//!       [--cross-validate]
 //! ```
 //!
 //! * `--workers N` — number of suite-level worker threads (benchmarks are
@@ -28,7 +30,16 @@
 //!   contains the substring (e.g. `--only Synth`).
 //! * `--dump-fingerprint <path>` — write the concatenated semantic
 //!   fingerprints to a file, for byte-for-byte comparison across versions
-//!   (the trace-store representation swap was verified this way).
+//!   (the trace-store representation swap was verified this way) and across
+//!   oracle engines (CI diffs the portfolio run against the kinduction
+//!   baseline).
+//! * `--engine kinduction|explicit|portfolio` — which condition-oracle
+//!   stack answers the checking queries (see `amle_core::OracleConfig`).
+//!   Fingerprints are byte-identical across engines.
+//! * `--no-cache` — disable the cross-iteration verdict cache (enabled by
+//!   default; fingerprints are byte-identical either way).
+//! * `--cross-validate` — portfolio cross-validation: every explicitly
+//!   routed query is also answered by k-induction and asserted equal.
 //!
 //! Besides the Table I columns the runner prints the trace-store / word
 //! pipeline statistics table (see the README's "suite statistics" section):
@@ -38,11 +49,11 @@
 //! curve.
 
 use amle_bench::{
-    format_active_table, format_store_stats_table, paper_config, run_suite, suite_fingerprint,
-    ActiveRow,
+    format_active_table, format_oracle_table, format_store_stats_table, paper_config, run_suite,
+    suite_fingerprint, ActiveRow,
 };
 use amle_benchmarks::{all_benchmarks, full_suite, Benchmark};
-use amle_core::{ActiveLearnerConfig, ParallelConfig};
+use amle_core::{ActiveLearnerConfig, OracleConfig, OracleKind, ParallelConfig};
 use amle_learner::HistoryLearner;
 use std::time::Instant;
 
@@ -55,6 +66,7 @@ struct Options {
     stress: bool,
     only: Option<String>,
     dump_fingerprint: Option<String>,
+    oracle: OracleConfig,
 }
 
 fn parse_options() -> Options {
@@ -70,6 +82,7 @@ fn parse_options() -> Options {
         stress: false,
         only: None,
         dump_fingerprint: None,
+        oracle: OracleConfig::from_env(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -90,6 +103,13 @@ fn parse_options() -> Options {
                 options.dump_fingerprint =
                     Some(args.next().expect("--dump-fingerprint requires a path"));
             }
+            "--engine" => {
+                let name = args.next().expect("--engine requires a name");
+                options.oracle.engine = OracleKind::from_name(&name)
+                    .unwrap_or_else(|| panic!("unknown engine `{name}`"));
+            }
+            "--no-cache" => options.oracle.verdict_cache = false,
+            "--cross-validate" => options.oracle.cross_validate = true,
             other => panic!("unknown argument `{other}`"),
         }
     }
@@ -98,7 +118,12 @@ fn parse_options() -> Options {
     options
 }
 
-fn config_for(benchmark: &Benchmark, quick: bool, condition_workers: usize) -> ActiveLearnerConfig {
+fn config_for(
+    benchmark: &Benchmark,
+    quick: bool,
+    condition_workers: usize,
+    oracle: OracleConfig,
+) -> ActiveLearnerConfig {
     let mut config = if quick {
         // Tighter than `quick_config`: the full-suite sweep visits every
         // benchmark, including ones that do not converge at this scale, and
@@ -116,6 +141,7 @@ fn config_for(benchmark: &Benchmark, quick: bool, condition_workers: usize) -> A
         paper_config(benchmark)
     };
     config.parallel = ParallelConfig::with_workers(condition_workers);
+    config.oracle = oracle;
     config
 }
 
@@ -139,10 +165,16 @@ fn main() {
         assert!(!suite.is_empty(), "--only `{only}` matches no benchmark");
     }
     eprintln!(
-        "suite: {} benchmarks, {} suite worker(s), {} condition worker(s){}",
+        "suite: {} benchmarks, {} suite worker(s), {} condition worker(s), engine {}{}{}",
         suite.len(),
         options.workers,
         options.condition_workers,
+        options.oracle.engine.name(),
+        if options.oracle.verdict_cache {
+            ""
+        } else {
+            ", verdict cache off"
+        },
         if options.quick { ", quick config" } else { "" }
     );
 
@@ -152,7 +184,7 @@ fn main() {
             eprintln!("running {} ...", benchmark.name);
             (
                 HistoryLearner::default(),
-                config_for(benchmark, options.quick, condition_workers),
+                config_for(benchmark, options.quick, condition_workers, options.oracle),
             )
         });
         (results, start.elapsed())
@@ -171,6 +203,11 @@ fn main() {
     println!("{}", format_active_table(&rows));
     println!("Trace store & word pipeline");
     println!("{}", format_store_stats_table(&rows));
+    println!(
+        "Oracle portfolio & verdict cache (engine: {})",
+        options.oracle.engine.name()
+    );
+    println!("{}", format_oracle_table(&rows));
     let converged = rows.iter().filter(|r| (r.alpha - 1.0).abs() < 1e-9).count();
     println!(
         "summary: {}/{} benchmarks reached alpha = 1; wall-clock {:.2}s with {} worker(s)",

@@ -81,6 +81,18 @@ pub struct CheckerStats {
     /// queries (a proxy for encoding work; with incremental sessions the
     /// per-query increment is what shrinks).
     pub total_clauses: u64,
+    /// Queries (condition + spurious) answered by the k-induction engine.
+    /// With a portfolio oracle this attributes each query to the engine that
+    /// actually produced the verdict.
+    pub kinduction_queries: u64,
+    /// Queries (condition + spurious) answered by the explicit-state engine.
+    pub explicit_queries: u64,
+    /// Concrete work units (state and transition evaluations) spent by the
+    /// explicit-state engine — its analogue of `sat_queries`.
+    pub explicit_work: u64,
+    /// Queries the portfolio routed to the explicit engine whose work budget
+    /// ran out, forcing a k-induction re-run.
+    pub explicit_fallbacks: u64,
     /// Aggregated backend solver statistics across all sessions, including
     /// sessions already retired.
     pub solver: SolverStats,
@@ -92,6 +104,10 @@ impl std::ops::AddAssign for CheckerStats {
         self.condition_checks += rhs.condition_checks;
         self.spurious_checks += rhs.spurious_checks;
         self.total_clauses += rhs.total_clauses;
+        self.kinduction_queries += rhs.kinduction_queries;
+        self.explicit_queries += rhs.explicit_queries;
+        self.explicit_work += rhs.explicit_work;
+        self.explicit_fallbacks += rhs.explicit_fallbacks;
         self.solver += rhs.solver;
     }
 }
@@ -500,6 +516,7 @@ impl<'a> KInductionChecker<'a> {
         conclusion: &Expr,
     ) -> CheckResult {
         self.stats.condition_checks += 1;
+        self.stats.kinduction_queries += 1;
         let (system, backend) = (self.system, self.backend);
         Self::run_query(
             self.mode,
@@ -536,13 +553,10 @@ impl<'a> KInductionChecker<'a> {
 
     /// The state formula `s' := ⋀ (x_i = v(x_i))` over the given variables,
     /// used both to block spurious states and to query reachability.
+    ///
+    /// Delegates to the engine-independent [`crate::state_formula`].
     pub fn state_formula(&self, state: &Valuation, over: &[VarId]) -> Expr {
-        let vars = self.system.vars();
-        Expr::and_all(over.iter().map(|id| {
-            let sort = vars.sort(*id).clone();
-            let value = Expr::constant(&sort, state.value(*id)).expect("trace value fits sort");
-            Expr::var(*id, sort).eq(&value)
-        }))
+        crate::oracle::state_formula(self.system.vars(), state, over)
     }
 
     /// Spurious-counterexample check (Fig. 3b): decides by k-induction with
@@ -561,6 +575,7 @@ impl<'a> KInductionChecker<'a> {
     pub fn check_spurious(&mut self, state_formula: &Expr, k: usize) -> SpuriousResult {
         assert!(k > 0, "k-induction bound must be positive");
         self.stats.spurious_checks += 1;
+        self.stats.kinduction_queries += 1;
 
         let (system, backend) = (self.system, self.backend);
         let base = Self::run_query(

@@ -20,20 +20,40 @@
 //!   the result is inconclusive and the paper's rule is to treat the
 //!   counterexample as valid but record it.
 //!
-//! An explicit-state breadth-first reachability engine ([`ExplicitChecker`])
-//! is provided as an independent oracle for cross-validating the SAT-based
-//! results on small systems in tests and property tests.
+//! Both query shapes are answered behind the pluggable [`ConditionOracle`]
+//! trait by three interchangeable engines:
+//!
+//! * [`KInductionChecker`] — the incremental SAT engine above;
+//! * [`ExplicitChecker`] — a production-grade explicit-state engine that
+//!   streams input assignments through an odometer (never materialising the
+//!   cartesian product), interns its reachability frontier, runs under
+//!   deterministic work budgets, and decides **exactly** the same formulas
+//!   as the SAT engine — including byte-identical canonical
+//!   counterexamples;
+//! * [`PortfolioOracle`] — routes each query by its estimated concrete
+//!   size, falls back to k-induction when the explicit budget runs out,
+//!   and offers a cross-validation mode asserting engine agreement.
+//!
+//! [`build_oracle`] assembles the stack described by an
+//! [`OracleSettings`]/[`OracleKind`] pair.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 mod explicit;
 mod kinduction;
+mod oracle;
+mod portfolio;
 
-pub use explicit::ExplicitChecker;
+pub use explicit::{ExplicitChecker, Odometer, DEFAULT_QUERY_BUDGET};
 pub use kinduction::{
     CheckResult, CheckerMode, CheckerStats, KInductionChecker, SolverBackend, SpuriousResult,
 };
+pub use oracle::{
+    build_oracle, state_formula, ConditionOracle, OracleKind, OracleSettings,
+    DEFAULT_EXPLICIT_BUDGET, DEFAULT_ROUTE_THRESHOLD,
+};
+pub use portfolio::PortfolioOracle;
 
 #[cfg(test)]
 mod proptests;

@@ -52,7 +52,7 @@ proptest! {
         let c = sys.vars().lookup("c").unwrap();
         let ce = sys.var(c);
         let mut sat_checker = KInductionChecker::new(&sys);
-        let explicit = ExplicitChecker::new(&sys, 10_000);
+        let mut explicit = ExplicitChecker::new(&sys, 10_000);
         // Check a family of candidate invariants; whenever the k-induction
         // checker says Valid, the explicit oracle must agree on reachable
         // transitions (the converse need not hold).
@@ -76,7 +76,7 @@ proptest! {
         let c = sys.vars().lookup("c").unwrap();
         let flag = sys.vars().lookup("flag").unwrap();
         let mut sat_checker = KInductionChecker::new(&sys);
-        let explicit = ExplicitChecker::new(&sys, 10_000);
+        let mut explicit = ExplicitChecker::new(&sys, 10_000);
 
         let mut state = sys.initial_valuation();
         state.set(c, Value::Int(target.min(15)));
@@ -89,6 +89,41 @@ proptest! {
             SpuriousResult::Spurious => prop_assert!(!truly_reachable, "spurious verdict for a reachable state"),
             SpuriousResult::Reachable => prop_assert!(truly_reachable, "reachable verdict for an unreachable state"),
             SpuriousResult::Inconclusive => {}
+        }
+    }
+
+    #[test]
+    fn explicit_engine_matches_kinduction_exactly(n in 3i64..10, threshold in 1i64..8, bound in 0i64..9) {
+        // The production explicit engine decides the same formulas as the
+        // SAT engine — same verdicts AND the same canonical counterexample
+        // transitions — for both query shapes.
+        let sys = parametric_system(n, threshold);
+        let c = sys.vars().lookup("c").unwrap();
+        let flag = sys.vars().lookup("flag").unwrap();
+        let ce = sys.var(c);
+        let mut sat_checker = KInductionChecker::new(&sys);
+        let mut explicit = ExplicitChecker::new(&sys, 100_000);
+
+        let conclusion = ce.ne(&Expr::int_val(bound, 4));
+        let mut budget = u64::MAX;
+        prop_assert_eq!(
+            explicit
+                .check_condition_budgeted(&Expr::true_(), &[], &conclusion, &mut budget)
+                .unwrap(),
+            sat_checker.check_condition(&Expr::true_(), &[], &conclusion)
+        );
+
+        let mut state = sys.initial_valuation();
+        state.set(c, Value::Int(bound.min(15)));
+        state.set(flag, Value::Bool(bound >= threshold));
+        let formula = sat_checker.state_formula(&state, &[c, flag]);
+        for k in [1usize, 3, (2 * n) as usize] {
+            let mut budget = u64::MAX;
+            prop_assert_eq!(
+                explicit.check_spurious_budgeted(&formula, k, &mut budget).unwrap(),
+                sat_checker.check_spurious(&formula, k),
+                "k = {}", k
+            );
         }
     }
 }

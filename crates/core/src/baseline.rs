@@ -68,7 +68,8 @@ pub fn random_sampling_baseline<L: ModelLearner>(
     let alpha_start = Instant::now();
     let mut checker = KInductionChecker::new(system);
     let conditions = extract_conditions(&model, &system.init_expr());
-    let evaluation = evaluate_conditions(&mut checker, &conditions, observables, k, 10);
+    let evaluation =
+        evaluate_conditions(&mut checker, system.vars(), &conditions, observables, k, 10);
     let alpha_time = alpha_start.elapsed();
 
     Ok(BaselineReport {

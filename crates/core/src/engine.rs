@@ -1,32 +1,60 @@
-//! The condition-checking engine: sequential and parallel execution of the
-//! per-iteration completeness-condition checks.
+//! The condition-checking engine: a query planner over pluggable condition
+//! oracles, with a cross-iteration verdict cache and a failure-history
+//! priority order, executing sequentially or over a worker pool.
 //!
 //! Checking the extracted conditions dominates the wall-clock time of an
-//! active-learning iteration, and the conditions are mutually independent:
-//! each one is decided by its own SAT queries, and the spurious-counterexample
-//! re-check loop of a condition only strengthens that condition's own
-//! assumption. The engine exploits this by fanning conditions out over a pool
-//! of [`std::thread::scope`] workers, each owning a private fork
-//! ([`amle_checker::KInductionChecker::fork`]) of the k-induction checker with
-//! its own persistent incremental solver sessions.
+//! active-learning iteration. Three observations shape the engine:
+//!
+//! 1. **Conditions are mutually independent** — each is decided by its own
+//!    oracle queries, and the spurious-counterexample re-check loop of a
+//!    condition only strengthens that condition's own assumption. The engine
+//!    fans conditions out over a pool of [`std::thread::scope`] workers, each
+//!    owning a private oracle stack (built by [`amle_checker::build_oracle`])
+//!    with its own persistent sessions.
+//! 2. **Condition outcomes are pure functions of the condition.** Thanks to
+//!    canonical counterexamples, the full outcome of evaluating a condition —
+//!    verdict, counterexample transition, spurious rounds — depends only on
+//!    `(assumption, conclusion, kind, system, k, max_spurious_rounds)`. On
+//!    stable stretches of the learning loop most hypotheses change only
+//!    locally, so most extracted conditions are *semantically identical* to
+//!    ones already decided. The **verdict cache** keys outcomes by the
+//!    semantic content `(initial?, assumption, conclusion)` — the hypothesis
+//!    automaton restricted to the condition — and replays them across
+//!    iterations without touching a solver. Keying by semantics is also the
+//!    invalidation rule: an alphabet or abstraction change rewrites the
+//!    predicates, producing different keys, so exactly the affected
+//!    conditions miss while untouched ones keep hitting; spliced traces
+//!    never invalidate anything because trace content does not enter the
+//!    outcome at all.
+//! 3. **Past failures predict future failures.** A refined state keeps its
+//!    incoming predicate while its outgoing set grows, so a condition whose
+//!    *assumption* produced counterexamples before is the best candidate to
+//!    fail again. The planner orders pending work by per-assumption failure
+//!    counts (ties broken by condition index), so likely-failing conditions
+//!    surface counterexamples first and the worker pool spends its early
+//!    slots where refinement progress is made.
 //!
 //! **Determinism guarantee.** The merged [`ConditionEvaluation`] is
-//! byte-identical for every worker count, including 1:
+//! byte-identical for every worker count (including 1), every oracle engine
+//! and cache on/off:
 //!
-//! * verdicts (`Valid`/`Violated`, `Spurious`/`Reachable`/`Inconclusive`) are
-//!   satisfiability results, which do not depend on solver history;
-//! * counterexample *models* would normally depend on solver history, but the
-//!   checker canonicalises them to the lexicographically minimal satisfying
-//!   transition, making each condition's outcome a pure function of the
-//!   condition and the system;
+//! * verdicts are satisfiability results and counterexample models are
+//!   canonicalised, so each condition's outcome is a pure function of the
+//!   condition and the system — across engines too (see `amle-checker`);
+//! * cached outcomes are exactly the outcomes the oracle would recompute;
 //! * workers pull work items from a shared queue (dynamic load balancing),
 //!   and results are merged back **in condition order**, so neither
-//!   scheduling nor completion order can leak into the report.
+//!   scheduling, priority order nor completion order can leak into the
+//!   report.
 
 use crate::conditions::{Condition, ConditionKind};
-use amle_checker::{CheckResult, CheckerStats, KInductionChecker, SpuriousResult};
-use amle_expr::{Valuation, VarId};
+use amle_checker::{
+    build_oracle, CheckResult, CheckerStats, ConditionOracle, OracleKind, OracleSettings,
+    SpuriousResult,
+};
+use amle_expr::{Expr, Valuation, VarId, VarSet};
 use amle_system::System;
+use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -65,6 +93,88 @@ impl ParallelConfig {
     }
 }
 
+/// Which oracle stack answers the loop's queries and how the planner treats
+/// repeated conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleConfig {
+    /// The condition-oracle engine (see [`OracleKind`]).
+    pub engine: OracleKind,
+    /// Whether the cross-iteration verdict cache is consulted. Reports are
+    /// byte-identical either way; the cache only skips re-solving.
+    pub verdict_cache: bool,
+    /// Per-query work budget of the explicit engine (portfolio stacks).
+    pub explicit_budget: u64,
+    /// Portfolio routing threshold (largest estimated concrete query size
+    /// still routed to the explicit engine).
+    pub route_threshold: u64,
+    /// Cross-validation mode: explicitly-routed queries are also answered
+    /// by k-induction and the results asserted equal.
+    pub cross_validate: bool,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            engine: OracleKind::default(),
+            verdict_cache: true,
+            explicit_budget: amle_checker::DEFAULT_EXPLICIT_BUDGET,
+            route_threshold: amle_checker::DEFAULT_ROUTE_THRESHOLD,
+            cross_validate: false,
+        }
+    }
+}
+
+impl OracleConfig {
+    /// Reads the engine from `AMLE_ENGINE` (`kinduction`, `explicit` or
+    /// `portfolio`) and the cache switch from `AMLE_VERDICT_CACHE`
+    /// (`0`/`off`/`false` disable it), defaulting to k-induction with the
+    /// cache on.
+    pub fn from_env() -> Self {
+        let mut config = OracleConfig::default();
+        if let Ok(name) = std::env::var("AMLE_ENGINE") {
+            match OracleKind::from_name(&name) {
+                Some(kind) => config.engine = kind,
+                // Loud, not fatal: `from_env` runs inside `Default`, but a
+                // typo must not silently evaporate the intended engine
+                // coverage.
+                None => eprintln!(
+                    "AMLE_ENGINE=`{name}` is not a known engine \
+                     (kinduction|explicit|portfolio); using {}",
+                    config.engine.name()
+                ),
+            }
+        }
+        if let Ok(flag) = std::env::var("AMLE_VERDICT_CACHE") {
+            let flag = flag.trim();
+            config.verdict_cache = !(flag == "0"
+                || flag.eq_ignore_ascii_case("off")
+                || flag.eq_ignore_ascii_case("false"));
+        }
+        config
+    }
+
+    /// The construction-time settings handed to [`build_oracle`].
+    pub(crate) fn settings(&self) -> OracleSettings {
+        OracleSettings {
+            kind: self.engine,
+            explicit_budget: self.explicit_budget,
+            route_threshold: self.route_threshold,
+            cross_validate: self.cross_validate,
+        }
+    }
+}
+
+/// Aggregate statistics of the cross-iteration verdict cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerdictCacheStats {
+    /// Conditions answered from the cache without touching an oracle.
+    pub hits: u64,
+    /// Conditions that had to be solved (and were then recorded).
+    pub misses: u64,
+    /// Distinct semantic keys live in the cache at the end of the run.
+    pub entries: u64,
+}
+
 /// Outcome of checking the full condition set of one candidate model.
 #[derive(Debug, Clone)]
 pub(crate) struct ConditionEvaluation {
@@ -75,6 +185,10 @@ pub(crate) struct ConditionEvaluation {
     pub counterexamples: Vec<(Condition, Valuation, Valuation)>,
     pub spurious: usize,
     pub inconclusive: usize,
+    /// Conditions answered by the verdict cache this evaluation.
+    pub cache_hits: usize,
+    /// Conditions actually solved by an oracle this evaluation.
+    pub solved: usize,
 }
 
 impl ConditionEvaluation {
@@ -107,11 +221,13 @@ pub(crate) enum ConditionOutcome {
 }
 
 /// Checks one condition against the system, classifying counterexamples as in
-/// Section III-B/III-C of the paper. This is the unit of work the parallel
-/// engine distributes; thanks to canonical counterexample extraction its
-/// result is a pure function of `(condition, system, k, max_spurious_rounds)`.
+/// Section III-B/III-C of the paper. This is the unit of work the engine
+/// distributes; thanks to canonical counterexample extraction its result is a
+/// pure function of `(condition, system, k, max_spurious_rounds)` — for every
+/// oracle engine.
 pub(crate) fn evaluate_one_condition(
-    checker: &mut KInductionChecker<'_>,
+    oracle: &mut (impl ConditionOracle + ?Sized),
+    vars: &VarSet,
     condition: &Condition,
     observables: &[VarId],
     k: usize,
@@ -121,7 +237,7 @@ pub(crate) fn evaluate_one_condition(
     let mut spurious = 0;
     loop {
         let result =
-            checker.check_condition(&condition.assumption, &blocked, &condition.conclusion());
+            oracle.check_condition(&condition.assumption, &blocked, &condition.conclusion());
         match result {
             CheckResult::Valid => return ConditionOutcome::Held,
             CheckResult::Violated { from, to } => {
@@ -135,8 +251,8 @@ pub(crate) fn evaluate_one_condition(
                         inconclusive: false,
                     };
                 }
-                let state_formula = checker.state_formula(&from, observables);
-                match checker.check_spurious(&state_formula, k) {
+                let state_formula = amle_checker::state_formula(vars, &from, observables);
+                match oracle.check_spurious(&state_formula, k) {
                     SpuriousResult::Spurious => {
                         spurious += 1;
                         blocked.push(state_formula);
@@ -179,6 +295,8 @@ pub(crate) fn merge_outcomes(
         counterexamples: Vec::new(),
         spurious: 0,
         inconclusive: 0,
+        cache_hits: 0,
+        solved: conditions.len(),
     };
     for (condition, outcome) in conditions.iter().zip(outcomes) {
         match outcome {
@@ -203,12 +321,14 @@ pub(crate) fn merge_outcomes(
     evaluation
 }
 
-/// Checks every extracted condition sequentially on the given checker.
+/// Checks every extracted condition sequentially on the given oracle,
+/// without planning or caching.
 ///
-/// Shared by the sequential engine and the random-sampling baseline's α
-/// measurement.
+/// Shared by the random-sampling baseline's α measurement and the planner
+/// tests.
 pub(crate) fn evaluate_conditions(
-    checker: &mut KInductionChecker<'_>,
+    oracle: &mut (impl ConditionOracle + ?Sized),
+    vars: &VarSet,
     conditions: &[Condition],
     observables: &[VarId],
     k: usize,
@@ -216,23 +336,204 @@ pub(crate) fn evaluate_conditions(
 ) -> ConditionEvaluation {
     let outcomes = conditions
         .iter()
-        .map(|c| evaluate_one_condition(checker, c, observables, k, max_spurious_rounds))
+        .map(|c| evaluate_one_condition(oracle, vars, c, observables, k, max_spurious_rounds))
         .collect();
     merge_outcomes(conditions, outcomes)
 }
 
-/// A condition-checking engine usable by the active-learning loop: evaluates
-/// whole condition sets and surrenders its accumulated checker statistics at
-/// the end of the run.
-pub(crate) trait ConditionEngine {
-    fn evaluate(&mut self, conditions: &[Condition]) -> ConditionEvaluation;
-    fn finish(self) -> CheckerStats;
+/// The semantic identity of a condition: the hypothesis automaton restricted
+/// to the condition (incoming assumption + disjunction of outgoing
+/// predicates) plus the condition shape. Together with the per-run constants
+/// (system, `k`, `max_spurious_rounds`) this determines the full outcome, so
+/// it is the verdict-cache key. Notably the automaton *state id* is absent:
+/// two states with the same predicates share an outcome, and a state that
+/// keeps its id but changes predicates gets a fresh key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ConditionKey {
+    initial: bool,
+    assumption: Expr,
+    conclusion: Expr,
 }
 
-/// The sequential engine: one persistent checker on the calling thread,
-/// exactly the paper's Fig. 1 behaviour.
+impl ConditionKey {
+    fn of(condition: &Condition) -> ConditionKey {
+        ConditionKey {
+            initial: condition.kind == ConditionKind::Initial,
+            assumption: condition.assumption.clone(),
+            conclusion: condition.conclusion(),
+        }
+    }
+}
+
+/// The failure-history key: per-assumption, deliberately coarser than the
+/// cache key. Refinement grows a state's *outgoing* set while keeping its
+/// incoming predicate, so the assumption is the stable part that predicts
+/// repeated failure.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FailureKey {
+    initial: bool,
+    assumption: Expr,
+}
+
+/// The work plan for one condition set: cache hits pre-filled, misses listed
+/// in solving order.
+struct PlannedWork {
+    /// One slot per condition, hits already filled.
+    outcomes: Vec<Option<ConditionOutcome>>,
+    /// `(condition index, cache key)` of every miss, most-likely-failing
+    /// first (per-assumption failure count, ties by index).
+    pending: Vec<(usize, ConditionKey)>,
+    /// In-batch duplicates, keyed by the primary pending index: these slots
+    /// receive a clone of the primary's outcome instead of being solved.
+    duplicates: HashMap<usize, Vec<usize>>,
+    /// Number of slots answered without solving (cache hits + in-batch
+    /// duplicates).
+    cache_hits: usize,
+}
+
+impl PlannedWork {
+    /// Fills the slot of a solved primary plus all its in-batch duplicates.
+    fn resolve(&mut self, index: usize, outcome: ConditionOutcome) {
+        if let Some(dups) = self.duplicates.remove(&index) {
+            for dup in dups {
+                self.outcomes[dup] = Some(outcome.clone());
+            }
+        }
+        self.outcomes[index] = Some(outcome);
+    }
+}
+
+/// The query planner: consults and maintains the verdict cache and the
+/// failure history. Lives on the merge side of the engine (never inside a
+/// worker), so its state evolves deterministically in condition order.
+pub(crate) struct QueryPlanner {
+    /// `None` when the cache is disabled; the failure history stays active
+    /// either way.
+    cache: Option<HashMap<ConditionKey, ConditionOutcome>>,
+    failures: HashMap<FailureKey, u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl QueryPlanner {
+    pub fn new(cache_enabled: bool) -> QueryPlanner {
+        QueryPlanner {
+            cache: cache_enabled.then(HashMap::new),
+            failures: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn plan(&mut self, conditions: &[Condition]) -> PlannedWork {
+        let mut outcomes: Vec<Option<ConditionOutcome>> = vec![None; conditions.len()];
+        // (failure count, index, key) so the priority sort compares plain
+        // integers instead of re-hashing expression trees per comparison.
+        let mut pending: Vec<(u64, usize, ConditionKey)> = Vec::new();
+        // First occurrence of each semantic key within this batch: later
+        // duplicates are not solved again, they share the primary's outcome
+        // (and count as hits — they are served by the entry the primary is
+        // about to record). Only active alongside the cache: with caching
+        // disabled every condition is genuinely solved.
+        let mut planned: HashMap<ConditionKey, usize> = HashMap::new();
+        let mut duplicates: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut cache_hits = 0;
+        for (index, condition) in conditions.iter().enumerate() {
+            let key = ConditionKey::of(condition);
+            if let Some(cache) = &self.cache {
+                if let Some(outcome) = cache.get(&key) {
+                    outcomes[index] = Some(outcome.clone());
+                    cache_hits += 1;
+                    self.hits += 1;
+                    continue;
+                }
+                if let Some(&primary) = planned.get(&key) {
+                    duplicates.entry(primary).or_default().push(index);
+                    cache_hits += 1;
+                    self.hits += 1;
+                    continue;
+                }
+                self.misses += 1;
+                planned.insert(key.clone(), index);
+            }
+            let failures = self.failure_count(&key);
+            pending.push((failures, index, key));
+        }
+        pending.sort_by(|(fa, ia, _), (fb, ib, _)| fb.cmp(fa).then(ia.cmp(ib)));
+        PlannedWork {
+            outcomes,
+            pending: pending.into_iter().map(|(_, i, k)| (i, k)).collect(),
+            duplicates,
+            cache_hits,
+        }
+    }
+
+    fn failure_count(&self, key: &ConditionKey) -> u64 {
+        let key = FailureKey {
+            initial: key.initial,
+            assumption: key.assumption.clone(),
+        };
+        self.failures.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Records a freshly solved outcome: into the cache under its semantic
+    /// key, and into the failure history when it produced a counterexample.
+    fn record(&mut self, key: ConditionKey, outcome: &ConditionOutcome) {
+        if matches!(outcome, ConditionOutcome::Counterexample { .. }) {
+            let fkey = FailureKey {
+                initial: key.initial,
+                assumption: key.assumption.clone(),
+            };
+            *self.failures.entry(fkey).or_insert(0) += 1;
+        }
+        if let Some(cache) = &mut self.cache {
+            cache.insert(key, outcome.clone());
+        }
+    }
+
+    pub fn stats(&self) -> VerdictCacheStats {
+        VerdictCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.cache.as_ref().map_or(0, |c| c.len() as u64),
+        }
+    }
+}
+
+/// Completes a plan whose every slot has been filled.
+fn finish_evaluation(conditions: &[Condition], plan: PlannedWork) -> ConditionEvaluation {
+    let cache_hits = plan.cache_hits;
+    let outcomes: Vec<ConditionOutcome> = plan
+        .outcomes
+        .into_iter()
+        .map(|o| o.expect("every condition produced an outcome"))
+        .collect();
+    let mut evaluation = merge_outcomes(conditions, outcomes);
+    evaluation.cache_hits = cache_hits;
+    evaluation.solved = conditions.len() - cache_hits;
+    evaluation
+}
+
+/// Statistics surrendered by an engine at the end of a run.
+pub(crate) struct EngineStats {
+    pub checker: CheckerStats,
+    pub cache: VerdictCacheStats,
+}
+
+/// A condition-checking engine usable by the active-learning loop: evaluates
+/// whole condition sets and surrenders its accumulated statistics at the end
+/// of the run.
+pub(crate) trait ConditionEngine {
+    fn evaluate(&mut self, conditions: &[Condition]) -> ConditionEvaluation;
+    fn finish(self) -> EngineStats;
+}
+
+/// The sequential engine: one oracle stack on the calling thread plus the
+/// planner — the paper's Fig. 1 behaviour with cached verdicts.
 pub(crate) struct SequentialEngine<'a> {
-    checker: KInductionChecker<'a>,
+    system: &'a System,
+    oracle: Box<dyn ConditionOracle + 'a>,
+    planner: QueryPlanner,
     observables: Vec<VarId>,
     k: usize,
     max_spurious_rounds: usize,
@@ -244,9 +545,12 @@ impl<'a> SequentialEngine<'a> {
         observables: Vec<VarId>,
         k: usize,
         max_spurious_rounds: usize,
+        oracle: &OracleConfig,
     ) -> Self {
         SequentialEngine {
-            checker: KInductionChecker::new(system),
+            system,
+            oracle: build_oracle(system, &oracle.settings()),
+            planner: QueryPlanner::new(oracle.verdict_cache),
             observables,
             k,
             max_spurious_rounds,
@@ -256,17 +560,27 @@ impl<'a> SequentialEngine<'a> {
 
 impl ConditionEngine for SequentialEngine<'_> {
     fn evaluate(&mut self, conditions: &[Condition]) -> ConditionEvaluation {
-        evaluate_conditions(
-            &mut self.checker,
-            conditions,
-            &self.observables,
-            self.k,
-            self.max_spurious_rounds,
-        )
+        let mut plan = self.planner.plan(conditions);
+        for (index, key) in std::mem::take(&mut plan.pending) {
+            let outcome = evaluate_one_condition(
+                &mut *self.oracle,
+                self.system.vars(),
+                &conditions[index],
+                &self.observables,
+                self.k,
+                self.max_spurious_rounds,
+            );
+            self.planner.record(key, &outcome);
+            plan.resolve(index, outcome);
+        }
+        finish_evaluation(conditions, plan)
     }
 
-    fn finish(self) -> CheckerStats {
-        self.checker.stats()
+    fn finish(self) -> EngineStats {
+        EngineStats {
+            checker: self.oracle.stats(),
+            cache: self.planner.stats(),
+        }
     }
 }
 
@@ -298,19 +612,21 @@ impl Drop for PanicNotifier {
     }
 }
 
-/// The parallel engine: a pool of scoped worker threads, each owning a forked
-/// checker with persistent sessions that survive across iterations. Work
-/// items are pulled from a shared queue; results are merged in condition
-/// order.
+/// The parallel engine: a pool of scoped worker threads, each owning its own
+/// oracle stack with persistent sessions that survive across iterations.
+/// Work items are pulled from a shared queue in planner priority order; the
+/// planner itself (cache + failure history) lives on the merge side, so its
+/// state evolves identically for every worker count.
 pub(crate) struct WorkerPool<'scope> {
     work_tx: Option<mpsc::Sender<WorkItem>>,
     result_rx: mpsc::Receiver<PoolMessage>,
     handles: Vec<thread::ScopedJoinHandle<'scope, CheckerStats>>,
+    planner: QueryPlanner,
 }
 
 impl<'scope> WorkerPool<'scope> {
-    /// Spawns `workers` threads on `scope`, each forking its own checker for
-    /// `system`.
+    /// Spawns `workers` threads on `scope`, each building its own oracle
+    /// stack for `system`.
     pub fn spawn<'env: 'scope>(
         scope: &'scope thread::Scope<'scope, 'env>,
         system: &'env System,
@@ -318,31 +634,34 @@ impl<'scope> WorkerPool<'scope> {
         workers: usize,
         k: usize,
         max_spurious_rounds: usize,
+        oracle: &OracleConfig,
     ) -> Self {
         let (work_tx, work_rx) = mpsc::channel::<WorkItem>();
         let work_rx = Arc::new(Mutex::new(work_rx));
         let (result_tx, result_rx) = mpsc::channel();
-        let template = KInductionChecker::new(system);
+        let settings = oracle.settings();
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let work_rx = Arc::clone(&work_rx);
             let result_tx = result_tx.clone();
             let observables = observables.clone();
-            let mut checker = template.fork();
             handles.push(scope.spawn(move || {
                 let _notifier = PanicNotifier {
                     result_tx: result_tx.clone(),
                 };
+                let mut oracle = build_oracle(system, &settings);
+                let vars = system.vars();
                 loop {
                     // Hold the queue lock only for the dequeue itself; the
-                    // expensive SAT work below runs unlocked.
+                    // expensive solving below runs unlocked.
                     let item = match work_rx.lock().expect("queue lock poisoned").recv() {
                         Ok(item) => item,
                         Err(_) => break,
                     };
                     let (index, condition) = item;
                     let outcome = evaluate_one_condition(
-                        &mut checker,
+                        &mut *oracle,
+                        vars,
                         &condition,
                         &observables,
                         k,
@@ -355,55 +674,59 @@ impl<'scope> WorkerPool<'scope> {
                         break;
                     }
                 }
-                checker.stats()
+                oracle.stats()
             }));
         }
         WorkerPool {
             work_tx: Some(work_tx),
             result_rx,
             handles,
+            planner: QueryPlanner::new(oracle.verdict_cache),
         }
     }
 }
 
 impl ConditionEngine for WorkerPool<'_> {
     fn evaluate(&mut self, conditions: &[Condition]) -> ConditionEvaluation {
+        let mut plan = self.planner.plan(conditions);
+        let pending = std::mem::take(&mut plan.pending);
         let work_tx = self.work_tx.as_ref().expect("pool already finished");
-        for (index, condition) in conditions.iter().enumerate() {
+        for (index, _) in &pending {
             work_tx
-                .send((index, condition.clone()))
+                .send((*index, conditions[*index].clone()))
                 .expect("a worker thread panicked");
         }
-        let mut outcomes: Vec<Option<ConditionOutcome>> = vec![None; conditions.len()];
-        for _ in 0..conditions.len() {
+        let mut keys: HashMap<usize, ConditionKey> = pending.into_iter().collect();
+        for _ in 0..keys.len() {
             match self
                 .result_rx
                 .recv()
                 .expect("every condition-checking worker exited before finishing its work")
             {
-                PoolMessage::Outcome(index, outcome) => outcomes[index] = Some(outcome),
+                PoolMessage::Outcome(index, outcome) => {
+                    let key = keys.remove(&index).expect("outcome for an unplanned index");
+                    self.planner.record(key, &outcome);
+                    plan.resolve(index, outcome);
+                }
                 PoolMessage::Panicked => {
                     panic!("a condition-checking worker panicked; aborting the run")
                 }
             }
         }
-        merge_outcomes(
-            conditions,
-            outcomes
-                .into_iter()
-                .map(|o| o.expect("every condition produced an outcome"))
-                .collect(),
-        )
+        finish_evaluation(conditions, plan)
     }
 
-    fn finish(mut self) -> CheckerStats {
+    fn finish(mut self) -> EngineStats {
         // Closing the queue lets every worker drain out and return its stats.
         drop(self.work_tx.take());
         let mut total = CheckerStats::default();
         for handle in self.handles {
             total += handle.join().expect("worker thread panicked");
         }
-        total
+        EngineStats {
+            checker: total,
+            cache: self.planner.stats(),
+        }
     }
 }
 
@@ -414,6 +737,25 @@ mod tests {
     use amle_expr::{Expr, Sort, Value};
     use amle_system::SystemBuilder;
 
+    fn toggle_system() -> System {
+        let mut b = SystemBuilder::new();
+        let tick = b.input("tick", Sort::Bool).unwrap();
+        let s = b.state("s", Sort::Bool, Value::Bool(false)).unwrap();
+        let next = b.var(tick);
+        b.update(s, next).unwrap();
+        b.build().unwrap()
+    }
+
+    fn state_condition(state_index: usize, assumption: Expr, outgoing: Vec<Expr>) -> Condition {
+        Condition {
+            kind: ConditionKind::State {
+                state: StateId::from_index(state_index),
+            },
+            assumption,
+            outgoing,
+        }
+    }
+
     #[test]
     #[should_panic(expected = "condition-checking worker panicked")]
     fn a_panicking_worker_fails_the_run_instead_of_hanging() {
@@ -421,23 +763,18 @@ mod tests {
         // non-initial condition, panicking inside a worker. The merge loop
         // must surface that as a panic of its own, not block forever waiting
         // for an outcome that will never arrive.
-        let mut b = SystemBuilder::new();
-        let tick = b.input("tick", Sort::Bool).unwrap();
-        let s = b.state("s", Sort::Bool, Value::Bool(false)).unwrap();
-        let next = b.var(tick);
-        b.update(s, next).unwrap();
-        let _ = tick;
-        let system = b.build().unwrap();
-
-        let condition = Condition {
-            kind: ConditionKind::State {
-                state: StateId::from_index(0),
-            },
-            assumption: Expr::true_(),
-            outgoing: vec![Expr::false_()],
-        };
+        let system = toggle_system();
+        let condition = state_condition(0, Expr::true_(), vec![Expr::false_()]);
         thread::scope(|scope| {
-            let mut pool = WorkerPool::spawn(scope, &system, system.all_vars(), 2, 0, 10);
+            let mut pool = WorkerPool::spawn(
+                scope,
+                &system,
+                system.all_vars(),
+                2,
+                0,
+                10,
+                &OracleConfig::default(),
+            );
             let _ = pool.evaluate(std::slice::from_ref(&condition));
         });
     }
@@ -461,5 +798,206 @@ mod tests {
             ),
             Err(_) => assert_eq!(parsed.workers, 1),
         }
+    }
+
+    #[test]
+    fn oracle_config_env_round_trip() {
+        // `from_env` must honour the AMLE_ENGINE value when the CI matrix
+        // sets one and default to kinduction + cache otherwise.
+        let parsed = OracleConfig::from_env();
+        match std::env::var("AMLE_ENGINE") {
+            Ok(v) => {
+                if let Some(kind) = OracleKind::from_name(&v) {
+                    assert_eq!(parsed.engine, kind);
+                }
+            }
+            Err(_) => assert_eq!(parsed.engine, OracleKind::KInduction),
+        }
+        if std::env::var("AMLE_VERDICT_CACHE").is_err() {
+            assert!(parsed.verdict_cache);
+        }
+    }
+
+    /// The stale-cache regression pin (a cache keyed by automaton state id or
+    /// by condition index — the natural bug — fails this test): across two
+    /// "iterations" the condition at the *same* state id and the same
+    /// position changes its predicates from an always-holding conclusion to a
+    /// falsifiable one. The planner must re-solve it (a semantic miss) and
+    /// report the violation, while the genuinely unchanged condition hits.
+    #[test]
+    fn changed_predicates_flush_exactly_the_affected_entries() {
+        let system = toggle_system();
+        let s = system.vars().lookup("s").unwrap();
+        let se = system.var(s);
+        let mut engine =
+            SequentialEngine::new(&system, system.all_vars(), 4, 10, &OracleConfig::default());
+
+        // Iteration 1: both conditions hold.
+        let unchanged = state_condition(0, se.clone(), vec![Expr::true_()]);
+        let mutated_v1 = state_condition(1, se.not(), vec![Expr::true_()]);
+        let first = engine.evaluate(&[unchanged.clone(), mutated_v1]);
+        assert_eq!(first.held, 2);
+        assert_eq!(first.cache_hits, 0);
+        assert_eq!(first.solved, 2);
+
+        // Iteration 2: state 1 keeps its id and position but its outgoing
+        // set changed to something falsifiable ("after a step, s never
+        // holds" is violated by tick = true).
+        let mutated_v2 = state_condition(1, se.not(), vec![se.not()]);
+        let second = engine.evaluate(&[unchanged, mutated_v2]);
+        assert_eq!(second.cache_hits, 1, "the unchanged condition must hit");
+        assert_eq!(second.solved, 1, "the mutated condition must re-solve");
+        assert_eq!(
+            second.counterexamples.len(),
+            1,
+            "a stale verdict would mask the violation"
+        );
+        assert_eq!(second.held, 1);
+
+        let stats = engine.finish();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 3);
+        assert_eq!(stats.cache.entries, 3);
+    }
+
+    /// Semantic keying also *merges*: a condition re-extracted under a
+    /// different state id with identical predicates is the same query and
+    /// must hit.
+    #[test]
+    fn state_ids_do_not_enter_the_cache_key() {
+        let system = toggle_system();
+        let s = system.vars().lookup("s").unwrap();
+        let se = system.var(s);
+        let mut engine =
+            SequentialEngine::new(&system, system.all_vars(), 4, 10, &OracleConfig::default());
+        let at_state_0 = state_condition(0, se.clone(), vec![Expr::true_()]);
+        let at_state_7 = state_condition(7, se, vec![Expr::true_()]);
+        let first = engine.evaluate(std::slice::from_ref(&at_state_0));
+        assert_eq!(first.solved, 1);
+        let second = engine.evaluate(std::slice::from_ref(&at_state_7));
+        assert_eq!(second.cache_hits, 1);
+        assert_eq!(second.solved, 0);
+    }
+
+    /// Cache on and cache off must produce identical evaluations (the cache
+    /// only skips work); the oracle must not be consulted again on a hit.
+    #[test]
+    fn cached_evaluations_match_uncached_and_skip_the_oracle() {
+        let system = toggle_system();
+        let s = system.vars().lookup("s").unwrap();
+        let se = system.var(s);
+        let conditions = vec![
+            state_condition(0, Expr::true_(), vec![se.clone(), se.not()]),
+            state_condition(1, se.clone(), vec![se.not()]),
+        ];
+
+        let mut cached =
+            SequentialEngine::new(&system, system.all_vars(), 4, 10, &OracleConfig::default());
+        let uncached_config = OracleConfig {
+            verdict_cache: false,
+            ..OracleConfig::default()
+        };
+        let mut uncached =
+            SequentialEngine::new(&system, system.all_vars(), 4, 10, &uncached_config);
+
+        for round in 0..3 {
+            let a = cached.evaluate(&conditions);
+            let b = uncached.evaluate(&conditions);
+            assert_eq!(a.held, b.held, "round {round}");
+            assert_eq!(a.spurious, b.spurious);
+            assert_eq!(a.inconclusive, b.inconclusive);
+            assert_eq!(a.counterexamples.len(), b.counterexamples.len());
+            for ((ca, fa, ta), (cb, fb, tb)) in a.counterexamples.iter().zip(&b.counterexamples) {
+                assert_eq!(ca, cb);
+                assert_eq!(fa, fb);
+                assert_eq!(ta, tb);
+            }
+            if round > 0 {
+                assert_eq!(a.cache_hits, conditions.len());
+                assert_eq!(b.cache_hits, 0);
+            }
+        }
+        let cached_stats = cached.finish();
+        let uncached_stats = uncached.finish();
+        // After the first round every cached evaluation is free.
+        assert_eq!(cached_stats.cache.hits, 2 * conditions.len() as u64);
+        assert_eq!(uncached_stats.cache.hits, 0);
+        assert_eq!(uncached_stats.cache.entries, 0);
+        assert!(
+            cached_stats.checker.sat_queries < uncached_stats.checker.sat_queries,
+            "the cache must actually skip solver work"
+        );
+    }
+
+    /// Semantically identical conditions within one batch are solved once:
+    /// the duplicates share the primary's outcome and count as hits. With
+    /// the cache disabled every condition is genuinely solved.
+    #[test]
+    fn in_batch_duplicates_are_solved_once_with_the_cache_on() {
+        let system = toggle_system();
+        let s = system.vars().lookup("s").unwrap();
+        let se = system.var(s);
+        let batch = vec![
+            state_condition(0, se.clone(), vec![Expr::true_()]),
+            state_condition(1, se.clone(), vec![Expr::true_()]),
+            state_condition(2, se.clone(), vec![Expr::true_()]),
+        ];
+        let mut cached =
+            SequentialEngine::new(&system, system.all_vars(), 4, 10, &OracleConfig::default());
+        let evaluation = cached.evaluate(&batch);
+        assert_eq!(evaluation.held, 3, "duplicates must still get an outcome");
+        assert_eq!(evaluation.solved, 1);
+        assert_eq!(evaluation.cache_hits, 2);
+        let stats = cached.finish();
+        assert_eq!(stats.checker.condition_checks, 1);
+        assert_eq!((stats.cache.hits, stats.cache.misses), (2, 1));
+
+        let uncached_config = OracleConfig {
+            verdict_cache: false,
+            ..OracleConfig::default()
+        };
+        let mut uncached =
+            SequentialEngine::new(&system, system.all_vars(), 4, 10, &uncached_config);
+        let evaluation = uncached.evaluate(&batch);
+        assert_eq!(evaluation.held, 3);
+        assert_eq!(evaluation.solved, 3);
+        assert_eq!(uncached.finish().checker.condition_checks, 3);
+    }
+
+    /// The failure history orders pending work: an assumption that produced
+    /// counterexamples before is solved first even from a later position,
+    /// and the coarser key survives a changed conclusion.
+    #[test]
+    fn failure_history_prioritises_likely_failing_assumptions() {
+        let system = toggle_system();
+        let s = system.vars().lookup("s").unwrap();
+        let se = system.var(s);
+        let mut planner = QueryPlanner::new(true);
+
+        let failing = state_condition(3, se.clone(), vec![se.not()]);
+        let key = ConditionKey::of(&failing);
+        planner.record(
+            key,
+            &ConditionOutcome::Counterexample {
+                from: Valuation::zeroed(system.vars()),
+                to: Valuation::zeroed(system.vars()),
+                spurious: 0,
+                inconclusive: false,
+            },
+        );
+
+        // Same assumption, *different* conclusion (the refinement case) at a
+        // late position; two fresh conditions ahead of it.
+        let refined = state_condition(3, se.clone(), vec![se.not(), se.clone()]);
+        let fresh_a = state_condition(0, Expr::true_(), vec![Expr::true_()]);
+        let fresh_b = state_condition(1, se.not(), vec![Expr::true_()]);
+        let plan = planner.plan(&[fresh_a, fresh_b, refined]);
+        assert_eq!(plan.pending.len(), 3);
+        assert_eq!(
+            plan.pending[0].0, 2,
+            "the historically failing assumption must be scheduled first"
+        );
+        assert_eq!(plan.pending[1].0, 0);
+        assert_eq!(plan.pending[2].0, 1);
     }
 }

@@ -1,7 +1,7 @@
 //! The active model-learning loop (Fig. 1 of the paper).
 
 use crate::conditions::{extract_conditions, AssumptionMemo, Condition, ConditionKind};
-use crate::engine::{ConditionEngine, ParallelConfig, SequentialEngine, WorkerPool};
+use crate::engine::{ConditionEngine, OracleConfig, ParallelConfig, SequentialEngine, WorkerPool};
 use crate::report::{Invariant, IterationStats, RunReport};
 use amle_expr::{Valuation, VarId};
 use amle_learner::{LearnError, ModelLearner};
@@ -39,6 +39,12 @@ pub struct ActiveLearnerConfig {
     /// `AMLE_WORKERS` environment variable (1 = sequential); reports are
     /// byte-identical across worker counts.
     pub parallel: ParallelConfig,
+    /// The condition-oracle stack and planner behaviour: which engine
+    /// answers queries (`AMLE_ENGINE`), whether the cross-iteration verdict
+    /// cache is on (`AMLE_VERDICT_CACHE`), and the portfolio's budget /
+    /// routing / cross-validation knobs. Semantic fingerprints are
+    /// byte-identical across engines and cache settings.
+    pub oracle: OracleConfig,
 }
 
 impl Default for ActiveLearnerConfig {
@@ -52,6 +58,7 @@ impl Default for ActiveLearnerConfig {
             max_spurious_rounds: 10,
             seed: 0xA1,
             parallel: ParallelConfig::from_env(),
+            oracle: OracleConfig::from_env(),
         }
     }
 }
@@ -289,14 +296,23 @@ impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
         let observables = self.observables();
         let workers = self.config.parallel.workers.max(1);
         let (k, max_spurious_rounds) = (self.config.k, self.config.max_spurious_rounds);
+        let oracle = self.config.oracle;
         if workers == 1 {
-            let engine = SequentialEngine::new(self.system, observables, k, max_spurious_rounds);
+            let engine =
+                SequentialEngine::new(self.system, observables, k, max_spurious_rounds, &oracle);
             self.run_loop(traces, engine)
         } else {
             let system = self.system;
             thread::scope(|scope| {
-                let engine =
-                    WorkerPool::spawn(scope, system, observables, workers, k, max_spurious_rounds);
+                let engine = WorkerPool::spawn(
+                    scope,
+                    system,
+                    observables,
+                    workers,
+                    k,
+                    max_spurious_rounds,
+                    &oracle,
+                );
                 self.run_loop(traces, engine)
             })
         }
@@ -377,6 +393,8 @@ impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
                 check_time: iteration_check_time,
                 words_encoded: iteration_words.words_encoded,
                 words_reused: iteration_words.words_reused,
+                cache_hits: evaluation.cache_hits,
+                conditions_solved: evaluation.solved,
             });
 
             conditions = extracted;
@@ -402,6 +420,7 @@ impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
             })
             .collect();
 
+        let engine_stats = engine.finish();
         Ok(RunReport {
             abstraction,
             alpha,
@@ -413,7 +432,8 @@ impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
             total_time: start.elapsed(),
             learn_time,
             check_time,
-            checker_stats: engine.finish(),
+            checker_stats: engine_stats.checker,
+            verdict_cache: engine_stats.cache,
             learner_solver_stats: self.learner.solver_stats().since(&learner_stats_start),
             word_stats: self.learner.word_stats().since(&word_stats_start),
             trace_store: store.stats(),

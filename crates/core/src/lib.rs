@@ -65,14 +65,14 @@ mod report;
 
 pub use baseline::{random_sampling_baseline, BaselineReport};
 pub use conditions::{extract_conditions, Condition, ConditionKind};
-pub use engine::ParallelConfig;
+pub use engine::{OracleConfig, ParallelConfig, VerdictCacheStats};
 pub use learner_loop::{ActiveLearnError, ActiveLearner, ActiveLearnerConfig};
 pub use report::{Invariant, IterationStats, RunReport};
 
 // The interned trace container the loop accumulates its traces in, and the
 // statistics types surfaced through `RunReport` — re-exported so harnesses
 // need not depend on the system/learner/checker/sat crates directly.
-pub use amle_checker::CheckerStats;
+pub use amle_checker::{CheckerStats, ConditionOracle, OracleKind};
 pub use amle_learner::WordStats;
 pub use amle_sat::SolverStats;
 pub use amle_system::{ObsId, SegmentId, TraceId, TraceStore, TraceStoreStats};

@@ -1,5 +1,6 @@
 //! Run reports, per-iteration statistics and extracted invariants.
 
+use crate::engine::VerdictCacheStats;
 use amle_automaton::{display_expr, Nfa};
 use amle_checker::CheckerStats;
 use amle_expr::{Expr, VarSet};
@@ -63,6 +64,11 @@ pub struct IterationStats {
     /// Abstract words the learner reused from its incremental cache this
     /// iteration (zero for non-incremental learners).
     pub words_reused: u64,
+    /// Conditions answered by the cross-iteration verdict cache this
+    /// iteration (no oracle query at all).
+    pub cache_hits: usize,
+    /// Conditions actually solved by a condition oracle this iteration.
+    pub conditions_solved: usize,
 }
 
 /// The result of an active-learning run.
@@ -90,8 +96,12 @@ pub struct RunReport {
     /// Total wall-clock time spent in model checking.
     pub check_time: Duration,
     /// Model-checker statistics, including the aggregated backend SAT-solver
-    /// statistics of the checking phase (`checker_stats.solver`).
+    /// statistics of the checking phase (`checker_stats.solver`) and the
+    /// per-engine query attribution of the oracle portfolio.
     pub checker_stats: CheckerStats,
+    /// Statistics of the cross-iteration verdict cache (hits, misses, live
+    /// entries). All zero when the cache is disabled.
+    pub verdict_cache: VerdictCacheStats,
     /// Aggregated backend SAT-solver statistics of the model-learning phase
     /// (zero for learners that do not reason with SAT).
     pub learner_solver_stats: SolverStats,
@@ -129,13 +139,17 @@ impl RunReport {
 
     /// A canonical rendering of every semantically meaningful field of the
     /// report: the learned automaton (as DOT), the extracted invariants, the
-    /// convergence data and the deterministic work counters.
+    /// convergence data and the per-iteration verdict trajectory.
     ///
-    /// Wall-clock durations and solver-internal counters (conflicts,
-    /// propagations, live clause totals) are excluded — they legitimately
-    /// vary between runs and between worker counts. Everything that remains
-    /// is guaranteed byte-identical across condition-engine worker counts,
-    /// which is what the parallel differential tests and the suite runner's
+    /// Wall-clock durations and *work* counters — SAT query counts, solver
+    /// internals, explicit-engine work units, verdict-cache hit counts — are
+    /// excluded: they legitimately vary between worker counts, oracle
+    /// engines and cache settings, while the semantics (which conditions
+    /// held, which counterexamples were found, what was learned) must not.
+    /// Everything that remains is guaranteed byte-identical across
+    /// condition-engine worker counts, across `--engine
+    /// kinduction`/`explicit`/`portfolio` and across verdict-cache on/off,
+    /// which is what the differential tests and the suite runner's
     /// `--compare` mode assert.
     pub fn semantic_fingerprint(&self, vars: &VarSet) -> String {
         use std::fmt::Write as _;
@@ -144,15 +158,6 @@ impl RunReport {
             out,
             "alpha={} iterations={} converged={} traces={}",
             self.alpha, self.iterations, self.converged, self.trace_count
-        );
-        let _ = writeln!(
-            out,
-            "conditions={} spurious={} sat_queries={} solve_calls={} learner_solve_calls={}",
-            self.checker_stats.condition_checks,
-            self.checker_stats.spurious_checks,
-            self.checker_stats.sat_queries,
-            self.checker_stats.solver.solve_calls,
-            self.learner_solver_stats.solve_calls
         );
         for s in &self.iteration_stats {
             let _ = writeln!(
@@ -209,6 +214,7 @@ mod tests {
             learn_time: Duration::from_millis(50),
             check_time: Duration::from_millis(150),
             checker_stats: CheckerStats::default(),
+            verdict_cache: VerdictCacheStats::default(),
             learner_solver_stats: SolverStats::default(),
             word_stats: WordStats::default(),
             trace_store: TraceStoreStats::default(),
