@@ -6,7 +6,8 @@
 //! ```text
 //! suite [--workers N] [--condition-workers N] [--quick] [--compare]
 //!       [--table1-only] [--stress] [--only <substring>]
-//!       [--dump-fingerprint <path>]
+//!       [--dump-fingerprint <path>] [--json <path>]
+//!       [--learner history|ktails|satdfa|lstar]
 //!       [--engine kinduction|explicit|portfolio] [--no-cache]
 //!       [--cross-validate]
 //! ```
@@ -30,9 +31,16 @@
 //!   contains the substring (e.g. `--only Synth`).
 //! * `--dump-fingerprint <path>` — write the concatenated semantic
 //!   fingerprints to a file, for byte-for-byte comparison across versions
-//!   (the trace-store representation swap was verified this way) and across
-//!   oracle engines (CI diffs the portfolio run against the kinduction
-//!   baseline).
+//!   (the trace-store representation swap and the expression-interner swap
+//!   were verified this way) and across oracle engines (CI diffs the
+//!   portfolio run against the kinduction baseline).
+//! * `--json <path>` — write the machine-readable per-benchmark results
+//!   (wall time, iterations, solver work, verdict-cache and interner
+//!   statistics, fingerprint digests; see `amle_bench::suite_json`) so perf
+//!   trajectories (`BENCH_*.json`) accumulate across versions. The
+//!   `AMLE_BENCH_JSON` environment variable supplies a default path.
+//! * `--learner history|ktails|satdfa|lstar` — the model-learning component
+//!   driven by the loop (default `history`, the paper's configuration).
 //! * `--engine kinduction|explicit|portfolio` — which condition-oracle
 //!   stack answers the checking queries (see `amle_core::OracleConfig`).
 //!   Fingerprints are byte-identical across engines.
@@ -50,11 +58,11 @@
 
 use amle_bench::{
     format_active_table, format_oracle_table, format_store_stats_table, paper_config, run_suite,
-    suite_fingerprint, ActiveRow,
+    suite_fingerprint, suite_json, ActiveRow, SuiteRunMeta,
 };
 use amle_benchmarks::{all_benchmarks, full_suite, Benchmark};
 use amle_core::{ActiveLearnerConfig, OracleConfig, OracleKind, ParallelConfig};
-use amle_learner::HistoryLearner;
+use amle_learner::{HistoryLearner, KTailsLearner, LearnerKind, LstarLearner, SatDfaLearner};
 use std::time::Instant;
 
 struct Options {
@@ -66,7 +74,21 @@ struct Options {
     stress: bool,
     only: Option<String>,
     dump_fingerprint: Option<String>,
+    json: Option<String>,
+    learner: String,
     oracle: OracleConfig,
+}
+
+/// Builds a fresh learner of the named kind (one per benchmark run, so
+/// per-learner incremental caches never leak across benchmarks).
+fn make_learner(name: &str) -> LearnerKind {
+    match name {
+        "history" => LearnerKind::History(HistoryLearner::default()),
+        "ktails" => LearnerKind::KTails(KTailsLearner::new(1)),
+        "satdfa" => LearnerKind::SatDfa(SatDfaLearner::default()),
+        "lstar" => LearnerKind::Lstar(LstarLearner::default()),
+        other => panic!("unknown learner `{other}` (history|ktails|satdfa|lstar)"),
+    }
 }
 
 fn parse_options() -> Options {
@@ -82,6 +104,10 @@ fn parse_options() -> Options {
         stress: false,
         only: None,
         dump_fingerprint: None,
+        json: std::env::var("AMLE_BENCH_JSON")
+            .ok()
+            .filter(|p| !p.is_empty()),
+        learner: "history".to_string(),
         oracle: OracleConfig::from_env(),
     };
     let mut args = std::env::args().skip(1);
@@ -102,6 +128,12 @@ fn parse_options() -> Options {
             "--dump-fingerprint" => {
                 options.dump_fingerprint =
                     Some(args.next().expect("--dump-fingerprint requires a path"));
+            }
+            "--json" => options.json = Some(args.next().expect("--json requires a path")),
+            "--learner" => {
+                let name = args.next().expect("--learner requires a name");
+                let _ = make_learner(&name); // validate eagerly
+                options.learner = name;
             }
             "--engine" => {
                 let name = args.next().expect("--engine requires a name");
@@ -165,11 +197,12 @@ fn main() {
         assert!(!suite.is_empty(), "--only `{only}` matches no benchmark");
     }
     eprintln!(
-        "suite: {} benchmarks, {} suite worker(s), {} condition worker(s), engine {}{}{}",
+        "suite: {} benchmarks, {} suite worker(s), {} condition worker(s), engine {}, learner {}{}{}",
         suite.len(),
         options.workers,
         options.condition_workers,
         options.oracle.engine.name(),
+        options.learner,
         if options.oracle.verdict_cache {
             ""
         } else {
@@ -183,7 +216,7 @@ fn main() {
         let results = run_suite(&suite, suite_workers, |benchmark| {
             eprintln!("running {} ...", benchmark.name);
             (
-                HistoryLearner::default(),
+                make_learner(&options.learner),
                 config_for(benchmark, options.quick, condition_workers, options.oracle),
             )
         });
@@ -196,6 +229,20 @@ fn main() {
         std::fs::write(path, suite_fingerprint(&suite, &results))
             .unwrap_or_else(|e| panic!("cannot write fingerprint to {path}: {e}"));
         eprintln!("fingerprint written to {path}");
+    }
+
+    if let Some(path) = &options.json {
+        let meta = SuiteRunMeta {
+            engine: options.oracle.engine.name().to_string(),
+            learner: options.learner.clone(),
+            quick: options.quick,
+            workers: options.workers,
+            condition_workers: options.condition_workers,
+            wall_time_s: parallel_time.as_secs_f64(),
+        };
+        std::fs::write(path, suite_json(&meta, &suite, &results))
+            .unwrap_or_else(|e| panic!("cannot write suite JSON to {path}: {e}"));
+        eprintln!("machine-readable results written to {path}");
     }
 
     let rows: Vec<ActiveRow> = results.iter().map(|(row, _)| row.clone()).collect();

@@ -18,7 +18,9 @@
 #![warn(missing_docs)]
 
 use amle_benchmarks::Benchmark;
-use amle_core::{random_sampling_baseline, ActiveLearner, ActiveLearnerConfig, RunReport};
+use amle_core::{
+    random_sampling_baseline, ActiveLearner, ActiveLearnerConfig, InternerStats, RunReport,
+};
 use amle_learner::{HistoryLearner, KTailsLearner, ModelLearner};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -104,6 +106,14 @@ pub struct ActiveRow {
     /// Explicit queries whose budget ran out, re-run with k-induction
     /// (`fallb`).
     pub explicit_fallbacks: u64,
+    /// Expression-interner traffic during the run: nodes created
+    /// (`inodes`), intern hit rate (`ihit%`) and canonical rewrites applied
+    /// (`rewr`).
+    pub interner: InternerStats,
+    /// Distinct expression nodes reachable from the final invariant set
+    /// (`Expr::dag_size` of the invariants' conjunction) — the honest size
+    /// measure; the tree-shaped node count overstates shared predicates.
+    pub invariant_dag_nodes: u64,
 }
 
 /// Runs the active-learning algorithm on one benchmark and produces its
@@ -145,8 +155,28 @@ pub fn run_active<L: ModelLearner>(
         explicit_queries: report.checker_stats.explicit_queries,
         explicit_work: report.checker_stats.explicit_work,
         explicit_fallbacks: report.checker_stats.explicit_fallbacks,
+        interner: report.interner,
+        invariant_dag_nodes: invariant_dag_nodes(&report),
     };
     (row, report)
+}
+
+/// Distinct expression nodes reachable from the run's invariant set: the
+/// DAG size of the conjunction of `assumption => conclusion` implications
+/// (shared predicates — abundant, since invariants reuse the hypothesis
+/// automaton's guards — are counted once).
+fn invariant_dag_nodes(report: &RunReport) -> u64 {
+    use amle_expr::Expr;
+    if report.invariants.is_empty() {
+        return 0;
+    }
+    let combined = Expr::and_all(
+        report
+            .invariants
+            .iter()
+            .map(|i| i.assumption.implies(&i.conclusion)),
+    );
+    combined.dag_size() as u64
 }
 
 /// Convenience wrapper using the default learner and paper-shaped config.
@@ -254,6 +284,130 @@ pub fn suite_fingerprint(benchmarks: &[Benchmark], results: &[(ActiveRow, RunRep
     out
 }
 
+/// A short, stable digest of a fingerprint string (FNV-1a 64, rendered as
+/// 16 hex digits): compact enough to commit next to the CI workflow and to
+/// accumulate in `BENCH_*.json` trajectories, yet any semantic drift in the
+/// underlying report changes it.
+pub fn fingerprint_digest(fingerprint: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in fingerprint.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// Run-level context recorded in the machine-readable suite output.
+#[derive(Debug, Clone)]
+pub struct SuiteRunMeta {
+    /// The condition-oracle engine name (`kinduction`, `explicit`,
+    /// `portfolio`).
+    pub engine: String,
+    /// The model-learner name (`history`, `ktails`, `satdfa`, `lstar`).
+    pub learner: String,
+    /// Whether the quick experiment shape was used.
+    pub quick: bool,
+    /// Suite-level worker threads.
+    pub workers: usize,
+    /// Per-run condition-checking workers.
+    pub condition_workers: usize,
+    /// Wall-clock seconds of the whole suite run.
+    pub wall_time_s: f64,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a suite run as a machine-readable JSON document (no external
+/// dependencies — the schema is small and hand-rolled): run metadata, the
+/// digest of the concatenated semantic fingerprint, and one record per
+/// benchmark with wall time, iterations, solver work, verdict-cache and
+/// interner statistics, and the per-benchmark fingerprint digest. This is
+/// what `suite --json <path>` (and `AMLE_BENCH_JSON`) write, so the perf
+/// trajectory (`BENCH_*.json`) can accumulate across versions.
+pub fn suite_json(
+    meta: &SuiteRunMeta,
+    benchmarks: &[Benchmark],
+    results: &[(ActiveRow, RunReport)],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"engine\": \"{}\",", json_escape(&meta.engine));
+    let _ = writeln!(out, "  \"learner\": \"{}\",", json_escape(&meta.learner));
+    let _ = writeln!(out, "  \"quick\": {},", meta.quick);
+    let _ = writeln!(out, "  \"workers\": {},", meta.workers);
+    let _ = writeln!(out, "  \"condition_workers\": {},", meta.condition_workers);
+    let _ = writeln!(out, "  \"wall_time_s\": {:.6},", meta.wall_time_s);
+    let _ = writeln!(
+        out,
+        "  \"fingerprint_digest\": \"{}\",",
+        fingerprint_digest(&suite_fingerprint(benchmarks, results))
+    );
+    out.push_str("  \"benchmarks\": [\n");
+    assert_eq!(
+        benchmarks.len(),
+        results.len(),
+        "one result per benchmark, in benchmark order (as run_suite returns)"
+    );
+    for (index, (benchmark, (row, report))) in benchmarks.iter().zip(results).enumerate() {
+        let digest = fingerprint_digest(&report.semantic_fingerprint(benchmark.system.vars()));
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"name\": \"{}\", \"time_s\": {:.6}, \"iterations\": {}, \"alpha\": {}, \
+             \"converged\": {}, \"states\": {}, \"d\": {}, \"traces\": {}, \
+             \"solve_calls\": {}, \"solver_time_s\": {:.6}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"words_encoded\": {}, \"words_reused\": {}, \
+             \"interner\": {{\"nodes_interned\": {}, \"hits\": {}, \
+             \"hit_rate\": {:.4}, \"canonical_rewrites\": {}}}, \
+             \"invariant_dag_nodes\": {}, \"fingerprint_digest\": \"{}\"",
+            json_escape(&row.name),
+            row.time_s,
+            row.iterations,
+            row.alpha,
+            report.converged,
+            row.states,
+            row.d,
+            row.traces,
+            row.solve_calls,
+            row.solver_time_s,
+            row.cache_hits,
+            row.cache_misses,
+            row.words_encoded,
+            row.words_reused,
+            row.interner.nodes_interned,
+            row.interner.hits,
+            row.interner.hit_rate(),
+            row.interner.canonical_rewrites,
+            row.invariant_dag_nodes,
+            digest
+        );
+        out.push('}');
+        if index + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Runs the learner-choice ablation (history vs k-tails) on one benchmark,
 /// returning `(history_row, ktails_row)`.
 pub fn run_learner_ablation(benchmark: &Benchmark) -> (ActiveRow, ActiveRow) {
@@ -297,24 +451,29 @@ pub fn format_active_table(rows: &[ActiveRow]) -> String {
 }
 
 /// Formats the oracle-portfolio statistics table: verdict-cache hits and
-/// misses plus the per-engine query attribution (k-induction vs explicit,
-/// explicit work units and budget fallbacks).
+/// misses, the per-engine query attribution (k-induction vs explicit,
+/// explicit work units and budget fallbacks), and the expression-interner
+/// traffic the canonical cache keys ride on (nodes interned, intern hit
+/// rate, canonical rewrites applied).
 pub fn format_oracle_table(rows: &[ActiveRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<34} {:>6} {:>6} {:>7} {:>7} {:>10} {:>6}\n",
-        "Benchmark", "hits", "miss", "kiQ", "exQ", "exWork", "fallb"
+        "{:<34} {:>6} {:>6} {:>7} {:>7} {:>10} {:>6} {:>7} {:>6} {:>7}\n",
+        "Benchmark", "hits", "miss", "kiQ", "exQ", "exWork", "fallb", "inodes", "ihit%", "rewr"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<34} {:>6} {:>6} {:>7} {:>7} {:>10} {:>6}\n",
+            "{:<34} {:>6} {:>6} {:>7} {:>7} {:>10} {:>6} {:>7} {:>6.1} {:>7}\n",
             r.name,
             r.cache_hits,
             r.cache_misses,
             r.kinduction_queries,
             r.explicit_queries,
             r.explicit_work,
-            r.explicit_fallbacks
+            r.explicit_fallbacks,
+            r.interner.nodes_interned,
+            100.0 * r.interner.hit_rate(),
+            r.interner.canonical_rewrites
         ));
     }
     out
@@ -490,5 +649,118 @@ mod tests {
         assert!(table.lines().count() >= 2);
         let rrow = run_random_sampling(&b, 100);
         assert!(format_random_table(&[rrow]).contains("MealyVendingMachine"));
+    }
+
+    /// The interner statistics must flow from the run into the row and the
+    /// oracle table: a real run interns predicate nodes, applies canonical
+    /// rewrites while keying the verdict cache, and reports a nonzero
+    /// invariant DAG size.
+    ///
+    /// The interner and its canonical memo are process-global, so this must
+    /// run on a benchmark no other test in this binary touches — a repeat
+    /// run of an already-seen benchmark legitimately interns ~nothing new.
+    #[test]
+    fn interner_stats_flow_into_rows_and_tables() {
+        let b = benchmark_by_name("RedundantSensorPair").unwrap();
+        let (row, report) = run_active(&b, HistoryLearner::default(), quick_config(&b));
+        assert!(row.interner.nodes_interned > 0, "a run must intern nodes");
+        assert!(
+            row.interner.canonical_rewrites > 0,
+            "keying the verdict cache must apply canonical rewrites"
+        );
+        assert_eq!(row.interner, report.interner);
+        assert!((0.0..=1.0).contains(&row.interner.hit_rate()));
+        assert!(row.invariant_dag_nodes > 0);
+        let table = format_oracle_table(std::slice::from_ref(&row));
+        assert!(table.contains("inodes"));
+        assert!(table.contains("rewr"));
+        assert!(table.contains("RedundantSensorPair"));
+    }
+
+    #[test]
+    fn fingerprint_digest_is_stable_and_content_sensitive() {
+        let a = fingerprint_digest("alpha=1 iterations=3");
+        assert_eq!(a, fingerprint_digest("alpha=1 iterations=3"));
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_ne!(a, fingerprint_digest("alpha=1 iterations=4"));
+        // Pinned value: the digest is part of the accumulated BENCH_*.json
+        // trajectory, so accidental algorithm changes must show up here.
+        assert_eq!(fingerprint_digest(""), "cbf29ce484222325");
+    }
+
+    /// The machine-readable suite output: structurally valid JSON (checked
+    /// with a tiny scanner: balanced braces/brackets outside strings), one
+    /// record per benchmark, and the digest of the suite fingerprint.
+    #[test]
+    fn suite_json_shape() {
+        let suite: Vec<_> = amle_benchmarks::full_suite()
+            .into_iter()
+            .filter(|b| b.name.starts_with("SynthGray"))
+            .take(2)
+            .collect();
+        assert_eq!(suite.len(), 2);
+        let results = run_suite(&suite, 1, |b| {
+            (
+                HistoryLearner::default(),
+                amle_core::ActiveLearnerConfig {
+                    observables: Some(b.observables.clone()),
+                    initial_traces: 5,
+                    trace_length: 6,
+                    k: b.k.min(4),
+                    max_iterations: 2,
+                    parallel: amle_core::ParallelConfig::with_workers(1),
+                    ..Default::default()
+                },
+            )
+        });
+        let meta = SuiteRunMeta {
+            engine: "kinduction".to_string(),
+            learner: "history".to_string(),
+            quick: true,
+            workers: 1,
+            condition_workers: 1,
+            wall_time_s: 0.25,
+        };
+        let json = suite_json(&meta, &suite, &results);
+        for needle in [
+            "\"schema\": 1",
+            "\"engine\": \"kinduction\"",
+            "\"learner\": \"history\"",
+            "\"fingerprint_digest\"",
+            "\"interner\"",
+            "\"canonical_rewrites\"",
+            "\"invariant_dag_nodes\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        for b in &suite {
+            assert!(json.contains(&format!("\"name\": \"{}\"", b.name)));
+        }
+        let expected_digest = fingerprint_digest(&suite_fingerprint(&suite, &results));
+        assert!(json.contains(&expected_digest));
+        // Balanced-structure scan.
+        let (mut depth, mut brackets, mut in_string, mut escaped) = (0i32, 0i32, false, false);
+        for c in json.chars() {
+            if in_string {
+                match (escaped, c) {
+                    (true, _) => escaped = false,
+                    (false, '\\') => escaped = true,
+                    (false, '"') => in_string = false,
+                    _ => {}
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                '[' => brackets += 1,
+                ']' => brackets -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0 && brackets >= 0, "unbalanced JSON");
+        }
+        assert_eq!((depth, brackets, in_string), (0, 0, false));
     }
 }

@@ -1,6 +1,6 @@
 //! The Tseitin bit-blasting encoder.
 
-use amle_expr::{BinOp, Expr, ExprKind, Sort, UnOp, Valuation, Value, VarId, VarSet};
+use amle_expr::{BinOp, Expr, ExprId, ExprKind, Sort, UnOp, Valuation, Value, VarId, VarSet};
 use amle_sat::{ClauseSink, CnfFormula, Lit};
 use std::collections::HashMap;
 
@@ -38,9 +38,12 @@ impl Word {
 /// the SAT-based learner keep one persistent solver session per workload
 /// instead of re-encoding from scratch at every query.
 ///
-/// Boolean and word encodings are memoised per `(frame, expression)`, so
-/// repeated queries over a persistent sink reuse the Tseitin definitions they
-/// already emitted.
+/// Boolean and word encodings are memoised per `(frame, expression)`, keyed
+/// by the expression's interned [`ExprId`] — probing is a constant-time
+/// integer lookup, and structurally identical expressions built at different
+/// sites (the refinement loop rebuilds its predicates every iteration) hit
+/// the same entry without a tree walk. Repeated queries over a persistent
+/// sink therefore reuse the Tseitin definitions they already emitted.
 ///
 /// See the [crate documentation](crate) for an overview and example.
 #[derive(Debug)]
@@ -49,8 +52,8 @@ pub struct Encoder<S: ClauseSink = CnfFormula> {
     sink: S,
     true_lit: Lit,
     frames: HashMap<(usize, u32), Word>,
-    bool_cache: HashMap<(usize, Expr), Lit>,
-    word_cache: HashMap<(usize, Expr), Word>,
+    bool_cache: HashMap<(usize, ExprId), Lit>,
+    word_cache: HashMap<(usize, ExprId), Word>,
 }
 
 impl Encoder<CnfFormula> {
@@ -382,7 +385,7 @@ impl<S: ClauseSink> Encoder<S> {
             "encode_bool on {} expression",
             expr.sort()
         );
-        let key = (frame, expr.clone());
+        let key = (frame, expr.id());
         if let Some(&lit) = self.bool_cache.get(&key) {
             return lit;
         }
@@ -480,7 +483,7 @@ impl<S: ClauseSink> Encoder<S> {
             !expr.sort().is_bool(),
             "encode_word on a boolean expression; use encode_bool"
         );
-        let key = (frame, expr.clone());
+        let key = (frame, expr.id());
         if let Some(word) = self.word_cache.get(&key) {
             return word.clone();
         }

@@ -381,6 +381,15 @@ impl<'a> ExplicitChecker<'a> {
         conclusion: &Expr,
         budget: &mut u64,
     ) -> Option<CheckResult> {
+        // The emulated k-induction cases evaluate the query predicates once
+        // per enumerated valuation; canonical forms (memoised in the
+        // interner) shrink the evaluated DAG — constant subtrees folded,
+        // duplicate conjuncts deduplicated — without touching verdicts or
+        // the canonical counterexample order.
+        let assumption = assumption.canonical();
+        let blocked: Vec<Expr> = blocked.iter().map(Expr::canonical).collect();
+        let conclusion = conclusion.canonical();
+        let (assumption, blocked, conclusion) = (&assumption, &blocked, &conclusion);
         let system = self.system;
         let mut frame0 = self.frame0_assignments();
         let mut inputs = self.input_assignments();
@@ -440,6 +449,7 @@ impl<'a> ExplicitChecker<'a> {
         budget: &mut u64,
     ) -> Option<SpuriousResult> {
         assert!(k > 0, "k-induction bound must be positive");
+        let state_formula = &state_formula.canonical();
         let result = if self.base_reachable_within(state_formula, k, budget)? {
             SpuriousResult::Reachable
         } else if self.step_case_holds(state_formula, k, budget)? {

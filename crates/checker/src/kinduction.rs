@@ -24,7 +24,7 @@
 //! behaviour as a differential-testing oracle.
 
 use amle_bitblast::Encoder;
-use amle_expr::{Expr, Valuation, Value, VarId};
+use amle_expr::{Expr, ExprId, Valuation, Value, VarId};
 use amle_sat::{cdcl_backend, ClauseSink, IncrementalSolver, Lit, SolveResult, SolverStats};
 use amle_system::System;
 use std::collections::HashMap;
@@ -147,9 +147,10 @@ struct Session {
     /// exist and are linked).
     unrolled: usize,
     /// Activation literals already attached for "formula holds in some frame
-    /// `0..=k`" disjunctions, keyed by `(formula, k)`, so repeated base-case
-    /// queries re-assume instead of re-adding the clause.
-    activations: HashMap<(Expr, usize), Lit>,
+    /// `0..=k`" disjunctions, keyed by `(interned formula id, k)` — an O(1)
+    /// probe — so repeated base-case queries re-assume instead of re-adding
+    /// the clause.
+    activations: HashMap<(ExprId, usize), Lit>,
 }
 
 impl Session {
@@ -433,7 +434,7 @@ impl<'a> KInductionChecker<'a> {
         k: usize,
     ) -> SolveResult {
         session.ensure_unrolled(system, k);
-        let key = (state_formula.clone(), k);
+        let key = (state_formula.id(), k);
         let act = match session.activations.get(&key) {
             Some(&act) => act,
             None => {
@@ -517,6 +518,14 @@ impl<'a> KInductionChecker<'a> {
     ) -> CheckResult {
         self.stats.condition_checks += 1;
         self.stats.kinduction_queries += 1;
+        // Session reuse works on canonical query forms: semantically
+        // identical predicates assembled in different shapes share one set
+        // of Tseitin definitions and assumption literals inside the
+        // persistent session. Verdicts and (canonicalised) counterexamples
+        // are untouched — the rewrites are semantics-preserving.
+        let assumption = assumption.canonical();
+        let blocked: Vec<Expr> = blocked.iter().map(Expr::canonical).collect();
+        let conclusion = conclusion.canonical();
         let (system, backend) = (self.system, self.backend);
         Self::run_query(
             self.mode,
@@ -525,7 +534,7 @@ impl<'a> KInductionChecker<'a> {
             &mut self.condition,
             || Self::condition_session(system, backend),
             |stats, session| {
-                Self::condition_query(stats, session, system, assumption, blocked, conclusion)
+                Self::condition_query(stats, session, system, &assumption, &blocked, &conclusion)
             },
         )
     }
@@ -576,6 +585,9 @@ impl<'a> KInductionChecker<'a> {
         assert!(k > 0, "k-induction bound must be positive");
         self.stats.spurious_checks += 1;
         self.stats.kinduction_queries += 1;
+        // Same-state queries built in different shapes share the activation
+        // literal and the per-frame encodings of both sessions.
+        let state_formula = &state_formula.canonical();
 
         let (system, backend) = (self.system, self.backend);
         let base = Self::run_query(

@@ -60,13 +60,22 @@ pub trait ConditionOracle: Send {
 /// both to block spurious states and to query reachability.
 ///
 /// This is engine-independent (it only reads the variable table), so it
-/// lives next to the oracle trait rather than on any one checker.
+/// lives next to the oracle trait rather than on any one checker. The
+/// conjunction is built through the canonical constructors
+/// ([`Expr::canonical`]): the same state described over the same variables
+/// always interns to the same node, whatever order the caller's variable
+/// list is in — which is what lets the checkers' session maps (activation
+/// literals, blocked-state encodings) and the explicit engine's emulated
+/// base/step cases treat repeated states as O(1) repeats. State formulas
+/// are internal to checking and never rendered, so the canonical shape
+/// cannot perturb any report.
 pub fn state_formula(vars: &VarSet, state: &Valuation, over: &[VarId]) -> Expr {
     Expr::and_all(over.iter().map(|id| {
         let sort = vars.sort(*id).clone();
         let value = Expr::constant(&sort, state.value(*id)).expect("trace value fits sort");
         Expr::var(*id, sort).eq(&value)
     }))
+    .canonical()
 }
 
 /// Which oracle implementation answers the loop's queries.

@@ -348,6 +348,17 @@ pub(crate) fn evaluate_conditions(
 /// it is the verdict-cache key. Notably the automaton *state id* is absent:
 /// two states with the same predicates share an outcome, and a state that
 /// keeps its id but changes predicates gets a fresh key.
+///
+/// The key predicates are **canonicalised** ([`Expr::canonical`]): a
+/// refined hypothesis frequently rebuilds the same predicate in a different
+/// shape — outgoing disjunctions reassembled in another order, a duplicated
+/// disjunct, a constant-true guard threaded through — and every such
+/// variant decides identically (condition outcomes are pure functions of
+/// the predicates' *semantics*; counterexamples are canonicalised by the
+/// oracles). Canonical keys let those re-shaped conditions hit the verdict
+/// cache across iterations instead of re-solving. Equality and hashing on
+/// the interned canonical forms are O(1), so planning cost per condition is
+/// a couple of integer probes.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct ConditionKey {
     initial: bool,
@@ -359,8 +370,8 @@ impl ConditionKey {
     fn of(condition: &Condition) -> ConditionKey {
         ConditionKey {
             initial: condition.kind == ConditionKind::Initial,
-            assumption: condition.assumption.clone(),
-            conclusion: condition.conclusion(),
+            assumption: condition.assumption.canonical(),
+            conclusion: condition.conclusion().canonical(),
         }
     }
 }
@@ -858,6 +869,47 @@ mod tests {
         assert_eq!(stats.cache.hits, 1);
         assert_eq!(stats.cache.misses, 3);
         assert_eq!(stats.cache.entries, 3);
+    }
+
+    /// The canonical-key pin of the interner PR: conditions whose predicates
+    /// are semantically identical but *syntactically different* — the same
+    /// assumption threaded through a redundant `&& true`, the same outgoing
+    /// set disjoined in a different order with a duplicated disjunct — must
+    /// collapse onto one verdict-cache key and replay instead of re-solving.
+    /// (Keys built on the raw expressions — the pre-canonicalisation
+    /// behaviour — miss here.)
+    #[test]
+    fn syntactically_reshaped_conditions_hit_the_cache() {
+        let system = toggle_system();
+        let s = system.vars().lookup("s").unwrap();
+        let se = system.var(s);
+        let mut engine =
+            SequentialEngine::new(&system, system.all_vars(), 4, 10, &OracleConfig::default());
+
+        let original = state_condition(0, se.clone(), vec![se.clone(), se.not()]);
+        let first = engine.evaluate(std::slice::from_ref(&original));
+        assert_eq!((first.cache_hits, first.solved), (0, 1));
+
+        // The refinement-loop motif: same semantics, different shape, and a
+        // different state id for good measure.
+        let reshaped = state_condition(
+            7,
+            Expr::true_().and(&se),
+            vec![se.not(), se.clone(), se.not()],
+        );
+        assert_ne!(original.assumption, reshaped.assumption);
+        assert_ne!(original.conclusion(), reshaped.conclusion());
+        let second = engine.evaluate(std::slice::from_ref(&reshaped));
+        assert_eq!(
+            second.cache_hits, 1,
+            "canonical keys must merge the variants"
+        );
+        assert_eq!(second.solved, 0);
+        assert_eq!(second.held, first.held);
+
+        let stats = engine.finish();
+        assert_eq!((stats.cache.hits, stats.cache.misses), (1, 1));
+        assert_eq!(stats.cache.entries, 1);
     }
 
     /// Semantic keying also *merges*: a condition re-extracted under a

@@ -341,9 +341,11 @@ impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
         let mut iteration_stats = Vec::new();
         // The learner accumulates solver and word statistics across its
         // lifetime; snapshot them so the report attributes only this run's
-        // work.
+        // work. The expression interner's counters are process-global, so a
+        // delta snapshot bounds them to this run the same way.
         let learner_stats_start = self.learner.solver_stats();
         let word_stats_start = self.learner.word_stats();
+        let interner_start = amle_expr::InternerStats::snapshot();
 
         let mut abstraction = None;
         let mut conditions: Vec<Condition> = Vec::new();
@@ -437,6 +439,7 @@ impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
             learner_solver_stats: self.learner.solver_stats().since(&learner_stats_start),
             word_stats: self.learner.word_stats().since(&word_stats_start),
             trace_store: store.stats(),
+            interner: amle_expr::InternerStats::snapshot().since(&interner_start),
         })
     }
 }

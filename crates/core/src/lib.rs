@@ -73,6 +73,7 @@ pub use report::{Invariant, IterationStats, RunReport};
 // statistics types surfaced through `RunReport` — re-exported so harnesses
 // need not depend on the system/learner/checker/sat crates directly.
 pub use amle_checker::{CheckerStats, ConditionOracle, OracleKind};
+pub use amle_expr::InternerStats;
 pub use amle_learner::WordStats;
 pub use amle_sat::SolverStats;
 pub use amle_system::{ObsId, SegmentId, TraceId, TraceStore, TraceStoreStats};

@@ -3,7 +3,7 @@
 use crate::engine::VerdictCacheStats;
 use amle_automaton::{display_expr, Nfa};
 use amle_checker::CheckerStats;
-use amle_expr::{Expr, VarSet};
+use amle_expr::{Expr, InternerStats, VarSet};
 use amle_learner::WordStats;
 use amle_sat::SolverStats;
 use amle_system::TraceStoreStats;
@@ -112,6 +112,12 @@ pub struct RunReport {
     /// Final statistics of the interned trace store the run accumulated its
     /// traces in (unique observations, shared segments, bytes saved).
     pub trace_store: TraceStoreStats,
+    /// Expression-interner traffic during this run (nodes interned, intern
+    /// hits, canonical rewrites applied). The underlying counters are
+    /// process-global, so when several runs execute concurrently (the
+    /// sharded suite) a run's delta includes its neighbours' traffic — a
+    /// load indicator, deliberately excluded from the semantic fingerprint.
+    pub interner: InternerStats,
 }
 
 impl RunReport {
@@ -218,6 +224,7 @@ mod tests {
             learner_solver_stats: SolverStats::default(),
             word_stats: WordStats::default(),
             trace_store: TraceStoreStats::default(),
+            interner: InternerStats::default(),
         };
         assert!((report.learn_time_percentage() - 25.0).abs() < 1e-9);
         assert_eq!(report.num_states(), 0);

@@ -1,8 +1,11 @@
 //! The expression AST, constructors, evaluation and traversal.
 
+use crate::intern::{self, ExprId};
 use crate::{Sort, SortError, Valuation, Value, VarId};
-use std::collections::{BTreeSet, HashMap};
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Unary operators.
@@ -98,17 +101,33 @@ pub enum ExprKind {
     Ite(Expr, Expr, Expr),
 }
 
-#[derive(Debug, PartialEq, Eq, Hash)]
-struct ExprNode {
-    kind: ExprKind,
-    sort: Sort,
+#[derive(Debug)]
+pub(crate) struct ExprNode {
+    /// Dense interner id; equality of ids is equality of trees.
+    pub(crate) id: u32,
+    /// Cached structural hash (a pure function of `kind` + `sort`).
+    pub(crate) shash: u64,
+    /// Cached tree size (shared nodes counted once per occurrence),
+    /// saturating at `u64::MAX`.
+    pub(crate) tree_size: u64,
+    pub(crate) kind: ExprKind,
+    pub(crate) sort: Sort,
 }
 
-/// An immutable, cheaply clonable expression.
+/// An immutable, cheaply clonable, **hash-consed** expression.
 ///
-/// Expressions form a DAG of reference-counted nodes; cloning is an `Arc`
-/// clone. Constructors check sorts eagerly so that downstream components
-/// (evaluation, bit-blasting) never encounter ill-typed terms.
+/// Expressions form a DAG of reference-counted nodes managed by a
+/// process-global interner: each distinct
+/// `(kind, sort)` node exists exactly once, so structurally equal expressions
+/// built at different sites share one allocation and one [`ExprId`]. Cloning
+/// is an `Arc` clone; [`Eq`]/[`Hash`]/[`Ord`] are O(1) id/hash operations
+/// rather than tree walks, which is what makes expressions cheap cache keys
+/// throughout the pipeline. Constructors check sorts eagerly so that
+/// downstream components (evaluation, bit-blasting) never encounter ill-typed
+/// terms; they preserve the shape they are given — the canonicalising
+/// rewrites live behind the explicit [`Expr::canonical`] seam so that
+/// rendered predicates stay byte-for-byte stable while cache keys
+/// canonicalise.
 ///
 /// # Example
 ///
@@ -124,12 +143,50 @@ struct ExprNode {
 /// v.set(x, Value::Int(10));
 /// assert_eq!(pred.eval(&v), Value::Bool(true));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct Expr(Arc<ExprNode>);
 
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.id == other.0.id
+    }
+}
+
+impl Eq for Expr {}
+
+impl Hash for Expr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // The cached structural hash: O(1), and — unlike the id — a pure
+        // function of the tree content, so hash-based containers behave
+        // identically for structurally identical key sets.
+        state.write_u64(self.0.shash);
+    }
+}
+
+impl PartialOrd for Expr {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Expr {
+    /// An O(1) total order consistent with `Eq`: interning order. Suitable
+    /// for ordered containers, **not** for orderings that leak into reports —
+    /// ids depend on thread interleaving; use [`Expr::structural_cmp`] where
+    /// the order itself must be deterministic.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.id.cmp(&other.0.id)
+    }
+}
+
 impl Expr {
-    fn new(kind: ExprKind, sort: Sort) -> Self {
-        Expr(Arc::new(ExprNode { kind, sort }))
+    pub(crate) fn new(kind: ExprKind, sort: Sort) -> Self {
+        intern::intern(kind, sort)
+    }
+
+    /// Wraps a freshly allocated interner node. Only the interner calls this.
+    pub(crate) fn from_node(node: ExprNode) -> Self {
+        Expr(Arc::new(node))
     }
 
     // ------------------------------------------------------------------
@@ -159,19 +216,29 @@ impl Expr {
     ///
     /// # Panics
     ///
-    /// Panics if the value does not fit the width.
+    /// Panics if the value does not fit the width, naming the offending value
+    /// and width.
     pub fn int_val(value: i64, bits: u32) -> Self {
-        Expr::constant(&Sort::int(bits), Value::Int(value)).expect("unsigned constant out of range")
+        Expr::constant(&Sort::int(bits), Value::Int(value)).unwrap_or_else(|_| {
+            panic!(
+                "unsigned constant {value} does not fit the u{bits} sort (0..={})",
+                Sort::int(bits).value_range().1
+            )
+        })
     }
 
     /// A signed integer constant of the given bit width.
     ///
     /// # Panics
     ///
-    /// Panics if the value does not fit the width.
+    /// Panics if the value does not fit the width, naming the offending value
+    /// and width.
     pub fn signed_int_val(value: i64, bits: u32) -> Self {
-        Expr::constant(&Sort::signed_int(bits), Value::Int(value))
-            .expect("signed constant out of range")
+        let sort = Sort::signed_int(bits);
+        let (lo, hi) = sort.value_range();
+        Expr::constant(&sort, Value::Int(value)).unwrap_or_else(|_| {
+            panic!("signed constant {value} does not fit the i{bits} sort ({lo}..={hi})")
+        })
     }
 
     /// An enumeration constant referring to the named variant.
@@ -232,6 +299,86 @@ impl Expr {
     /// The top-level node shape.
     pub fn kind(&self) -> &ExprKind {
         &self.0.kind
+    }
+
+    /// The interner id of this expression: equal ids ⟺ structurally equal
+    /// trees. The O(1) cache key used by the bit-blaster's memo tables and
+    /// the checker's session maps.
+    pub fn id(&self) -> ExprId {
+        ExprId(self.0.id)
+    }
+
+    /// The cached structural hash: a deterministic pure function of the tree
+    /// content (unlike the id, which depends on interning order).
+    pub fn structural_hash(&self) -> u64 {
+        self.0.shash
+    }
+
+    pub(crate) fn tree_size(&self) -> u64 {
+        self.0.tree_size
+    }
+
+    /// A deterministic total order on expressions, consistent with `Eq`:
+    /// a pure function of the two trees' contents, independent of interning
+    /// order. The canonicaliser sorts commutative operand chains with this,
+    /// which is what keeps canonical forms — and therefore verdict-cache
+    /// behaviour — identical across runs, worker counts and thread
+    /// interleavings. Cost: O(1) in the common cases (id equality or
+    /// distinct structural hashes), O(tree) only on hash collisions.
+    pub fn structural_cmp(&self, other: &Expr) -> Ordering {
+        if self.0.id == other.0.id {
+            return Ordering::Equal;
+        }
+        self.0
+            .shash
+            .cmp(&other.0.shash)
+            .then_with(|| Self::structural_cmp_deep(self, other))
+    }
+
+    /// Tie-break for hash collisions: lexicographic comparison of the trees.
+    fn structural_cmp_deep(a: &Expr, b: &Expr) -> Ordering {
+        fn rank(kind: &ExprKind) -> u8 {
+            match kind {
+                ExprKind::Const(_) => 0,
+                ExprKind::Var(_) => 1,
+                ExprKind::Unary(..) => 2,
+                ExprKind::Binary(..) => 3,
+                ExprKind::Ite(..) => 4,
+            }
+        }
+        fn sort_cmp(a: &Sort, b: &Sort) -> Ordering {
+            fn key(s: &Sort) -> (u8, u32, bool, &str) {
+                match s {
+                    Sort::Bool => (0, 0, false, ""),
+                    Sort::Int { bits, signed } => (1, *bits, *signed, ""),
+                    Sort::Enum(e) => (2, e.variants.len() as u32, false, e.name.as_str()),
+                }
+            }
+            key(a)
+                .cmp(&key(b))
+                .then_with(|| match (a.enum_variants(), b.enum_variants()) {
+                    (Some(va), Some(vb)) => va.cmp(vb),
+                    _ => Ordering::Equal,
+                })
+        }
+        sort_cmp(a.sort(), b.sort())
+            .then_with(|| rank(a.kind()).cmp(&rank(b.kind())))
+            .then_with(|| match (a.kind(), b.kind()) {
+                (ExprKind::Const(va), ExprKind::Const(vb)) => va.cmp(vb),
+                (ExprKind::Var(ia), ExprKind::Var(ib)) => ia.cmp(ib),
+                (ExprKind::Unary(opa, aa), ExprKind::Unary(opb, ab)) => (*opa as u8)
+                    .cmp(&(*opb as u8))
+                    .then_with(|| aa.structural_cmp(ab)),
+                (ExprKind::Binary(opa, aa, ba), ExprKind::Binary(opb, ab, bb)) => (*opa as u8)
+                    .cmp(&(*opb as u8))
+                    .then_with(|| aa.structural_cmp(ab))
+                    .then_with(|| ba.structural_cmp(bb)),
+                (ExprKind::Ite(ca, ta, ea), ExprKind::Ite(cb, tb, eb)) => ca
+                    .structural_cmp(cb)
+                    .then_with(|| ta.structural_cmp(tb))
+                    .then_with(|| ea.structural_cmp(eb)),
+                _ => unreachable!("rank() ordered distinct kinds"),
+            })
     }
 
     /// Returns the constant value if this expression is a literal constant.
@@ -711,15 +858,46 @@ impl Expr {
         }
     }
 
-    /// Number of nodes in the expression tree (counting shared nodes once per
-    /// occurrence). Used as a crude size measure in tests and reports.
+    /// Number of nodes in the expression *tree* (counting shared nodes once
+    /// per occurrence). Used as a crude size measure in tests and reports.
+    ///
+    /// The count is precomputed bottom-up at interning time from the
+    /// children's cached counts, so reading it is O(1) even on heavily shared
+    /// DAGs — the naive recursion it replaces re-walked every shared subtree
+    /// once per occurrence, which is exponential time on expressions like a
+    /// 60-deep `e = e + e` chain. On such inputs the tree count saturates at
+    /// `usize::MAX`; use [`Expr::dag_size`] when the number of *distinct*
+    /// nodes is the honest measure.
     pub fn node_count(&self) -> usize {
-        match self.kind() {
-            ExprKind::Const(_) | ExprKind::Var(_) => 1,
-            ExprKind::Unary(_, a) => 1 + a.node_count(),
-            ExprKind::Binary(_, a, b) => 1 + a.node_count() + b.node_count(),
-            ExprKind::Ite(c, t, e) => 1 + c.node_count() + t.node_count() + e.node_count(),
+        usize::try_from(self.0.tree_size).unwrap_or(usize::MAX)
+    }
+
+    /// Number of **distinct** nodes in the expression DAG — the actual memory
+    /// and traversal footprint, which is what should feed reports and work
+    /// budgets (the tree-shaped [`Expr::node_count`] overstates shared
+    /// expressions exponentially). O(distinct nodes).
+    pub fn dag_size(&self) -> usize {
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut stack: Vec<Expr> = vec![self.clone()];
+        while let Some(e) = stack.pop() {
+            if !seen.insert(e.0.id) {
+                continue;
+            }
+            match e.kind() {
+                ExprKind::Const(_) | ExprKind::Var(_) => {}
+                ExprKind::Unary(_, a) => stack.push(a.clone()),
+                ExprKind::Binary(_, a, b) => {
+                    stack.push(a.clone());
+                    stack.push(b.clone());
+                }
+                ExprKind::Ite(c, t, e) => {
+                    stack.push(c.clone());
+                    stack.push(t.clone());
+                    stack.push(e.clone());
+                }
+            }
         }
+        seen.len()
     }
 }
 
@@ -914,6 +1092,33 @@ mod tests {
         assert_eq!(x.add(&y).eq(&x).node_count(), 5);
     }
 
+    /// The regression the `dag_size` satellite pins: a 64-deep `e = e + e`
+    /// doubling chain has 2^65 - 1 tree nodes. The old recursive
+    /// `node_count` walked them all (practically hanging); now the tree
+    /// count is a saturating O(1) read and `dag_size` reports the honest
+    /// footprint.
+    #[test]
+    fn node_count_is_safe_on_exponentially_shared_dags() {
+        let (_, _, x, _, _) = setup();
+        let mut e = x;
+        for _ in 0..64 {
+            e = e.add(&e);
+        }
+        assert_eq!(e.node_count(), usize::MAX, "tree count saturates");
+        assert_eq!(e.dag_size(), 65, "one variable + 64 adders");
+    }
+
+    #[test]
+    fn dag_size_counts_distinct_nodes() {
+        let (_, _, x, y, _) = setup();
+        let sum = x.add(&y);
+        // (x + y) == (x + y): 5 tree occurrences, 4 distinct nodes.
+        let e = sum.eq(&sum);
+        assert_eq!(e.node_count(), 7);
+        assert_eq!(e.dag_size(), 4);
+        assert_eq!(x.dag_size(), 1);
+    }
+
     #[test]
     fn exprs_are_cheap_to_clone_and_hash() {
         use std::collections::HashSet;
@@ -923,5 +1128,63 @@ mod tests {
         let mut set = HashSet::new();
         set.insert(e1);
         assert!(set.contains(&e2));
+    }
+
+    #[test]
+    fn equality_is_id_equality() {
+        let (_, _, x, y, _) = setup();
+        let a = x.add(&y).gt(&x);
+        let b = x.add(&y).gt(&x);
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        assert_eq!(a.structural_cmp(&b), std::cmp::Ordering::Equal);
+        let c = y.add(&x).gt(&x);
+        assert_ne!(a, c);
+        assert_ne!(a.id(), c.id());
+        assert_ne!(a.structural_cmp(&c), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn structural_cmp_is_a_deterministic_total_order() {
+        let (_, _, x, y, b) = setup();
+        let exprs = [
+            Expr::true_(),
+            x.clone(),
+            y.clone(),
+            b.not(),
+            x.add(&y),
+            x.lt(&y),
+            b.ite(&x, &y).eq(&x),
+        ];
+        for a in &exprs {
+            for c in &exprs {
+                let ab = a.structural_cmp(c);
+                assert_eq!(ab, c.structural_cmp(a).reverse(), "antisymmetry");
+                assert_eq!(
+                    ab == std::cmp::Ordering::Equal,
+                    a == c,
+                    "consistency with Eq"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsigned constant 300 does not fit the u8 sort")]
+    fn int_val_panic_names_value_and_width() {
+        let _ = Expr::int_val(300, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "signed constant -129 does not fit the i8 sort (-128..=127)")]
+    fn signed_int_val_panic_names_value_and_width() {
+        let _ = Expr::signed_int_val(-129, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "signed constant 128 does not fit the i8 sort")]
+    fn signed_int_val_panic_fires_for_positive_overflow_too() {
+        let _ = Expr::signed_int_val(128, 8);
     }
 }

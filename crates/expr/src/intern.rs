@@ -1,0 +1,341 @@
+//! The global hash-consing interner behind [`Expr`].
+//!
+//! Every distinct `(kind, sort)` expression node is stored exactly once, in a
+//! process-wide arena, and handed out as a reference-counted [`Expr`] carrying
+//! a dense [`ExprId`] plus a cached structural hash. Consequences:
+//!
+//! * **O(1) identity.** `Eq`, `Hash` and `Ord` on [`Expr`] are single integer
+//!   operations instead of tree walks — every cache keyed on expressions
+//!   (the bit-blaster's `(frame, expr)` memo tables, the checker's activation
+//!   map, the condition planner's verdict cache) probes in constant time.
+//! * **Structural sharing for free.** Two sites that build the same subtree
+//!   get the same allocation, however far apart they are in the pipeline.
+//! * **Stable ids.** Ids are never reused, so an [`ExprId`] held in a cache
+//!   key stays valid for the lifetime of the process. Interned nodes are
+//!   retained for the lifetime of the process as well — expression nodes are
+//!   small and deduplicated, so the arena grows with the number of *distinct*
+//!   subtrees ever built, which the learning loop keeps modest by
+//!   construction (predicates are rebuilt identically across iterations).
+//!
+//! The interner is sharded: a node's structural hash selects one of a fixed
+//! number of mutex-protected shards, so concurrent condition-checking workers
+//! interning counterexample formulas rarely contend. Statistics (nodes
+//! interned, intern hits, canonical rewrites) are kept in process-global
+//! atomics and surfaced through [`InternerStats`].
+//!
+//! **Determinism.** Ids depend on interning order, which depends on thread
+//! interleaving — so nothing semantic may depend on id *values*. Everything
+//! that must be deterministic (canonical operand ordering, see
+//! [`Expr::canonical`](crate::Expr::canonical)) uses the *structural* hash
+//! and [`Expr::structural_cmp`](crate::Expr::structural_cmp) instead, both of
+//! which are pure functions of the tree content.
+
+use crate::expr::{Expr, ExprKind, ExprNode};
+use crate::{Sort, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// The dense, process-global identifier of an interned expression node.
+///
+/// Two [`Expr`]s are structurally equal **iff** their ids are equal; this is
+/// the O(1) identity every expression-keyed cache in the workspace relies on.
+/// Ids are never reused. They are *not* deterministic across runs or thread
+/// interleavings — use them as cache keys, never as an ordering that leaks
+/// into reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(pub(crate) u32);
+
+impl ExprId {
+    /// The raw dense index of the node in the interner arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Snapshot of the process-global interner counters.
+///
+/// The counters accumulate over the process lifetime (like
+/// `amle_sat::SolverStats` accumulate over a solver's); callers snapshot with
+/// [`InternerStats::snapshot`] and diff with [`InternerStats::since`] to
+/// attribute interner work to one run. When several runs execute concurrently
+/// (the sharded suite runner), a run's delta includes its neighbours' interner
+/// traffic — the numbers are a load indicator, not a per-run invariant, and
+/// are deliberately excluded from semantic fingerprints.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InternerStats {
+    /// Distinct nodes created (intern misses).
+    pub nodes_interned: u64,
+    /// Intern calls answered by an existing node (structural duplicates).
+    pub hits: u64,
+    /// Canonicalisation steps that changed a node's local shape (constant
+    /// folds, neutral/absorbing eliminations, double negations, reflexive
+    /// comparison collapses, commutative reorderings), counted once per
+    /// distinct node thanks to the canonical memo.
+    pub canonical_rewrites: u64,
+}
+
+impl InternerStats {
+    /// The current value of the global counters.
+    pub fn snapshot() -> InternerStats {
+        let interner = interner();
+        InternerStats {
+            nodes_interned: interner.interned.load(Ordering::Relaxed),
+            hits: interner.hits.load(Ordering::Relaxed),
+            canonical_rewrites: interner.rewrites.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The work done since an earlier snapshot of the same global counters.
+    pub fn since(&self, earlier: &InternerStats) -> InternerStats {
+        InternerStats {
+            nodes_interned: self.nodes_interned - earlier.nodes_interned,
+            hits: self.hits - earlier.hits,
+            canonical_rewrites: self.canonical_rewrites - earlier.canonical_rewrites,
+        }
+    }
+
+    /// Fraction of intern calls answered by an existing node, in `0..=1`
+    /// (0 when no call was made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.nodes_interned + self.hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::ops::AddAssign for InternerStats {
+    fn add_assign(&mut self, rhs: InternerStats) {
+        self.nodes_interned += rhs.nodes_interned;
+        self.hits += rhs.hits;
+        self.canonical_rewrites += rhs.canonical_rewrites;
+    }
+}
+
+impl std::ops::Add for InternerStats {
+    type Output = InternerStats;
+
+    fn add(mut self, rhs: InternerStats) -> InternerStats {
+        self += rhs;
+        self
+    }
+}
+
+const SHARD_COUNT: usize = 16;
+
+struct Interner {
+    next_id: AtomicU32,
+    interned: AtomicU64,
+    hits: AtomicU64,
+    rewrites: AtomicU64,
+    /// Structural hash → nodes with that hash (collision buckets are tiny).
+    shards: [Mutex<HashMap<u64, Vec<Expr>>>; SHARD_COUNT],
+    /// Node id → its canonical form (memo of `Expr::canonical`).
+    canonical: [Mutex<HashMap<u32, Expr>>; SHARD_COUNT],
+}
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        next_id: AtomicU32::new(0),
+        interned: AtomicU64::new(0),
+        hits: AtomicU64::new(0),
+        rewrites: AtomicU64::new(0),
+        shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        canonical: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+    })
+}
+
+/// Interns a node, returning the unique [`Expr`] for its `(kind, sort)`.
+pub(crate) fn intern(kind: ExprKind, sort: Sort) -> Expr {
+    let interner = interner();
+    let shash = node_hash(&kind, &sort);
+    let shard = &interner.shards[(shash as usize) % SHARD_COUNT];
+    let mut map = shard.lock().expect("interner shard poisoned");
+    let bucket = map.entry(shash).or_default();
+    if let Some(existing) = bucket
+        .iter()
+        .find(|e| *e.kind() == kind && *e.sort() == sort)
+    {
+        let existing = existing.clone();
+        interner.hits.fetch_add(1, Ordering::Relaxed);
+        return existing;
+    }
+    let id = interner.next_id.fetch_add(1, Ordering::Relaxed);
+    assert!(id != u32::MAX, "expression interner id space exhausted");
+    let tree_size = tree_size_of(&kind);
+    let expr = Expr::from_node(ExprNode {
+        id,
+        shash,
+        tree_size,
+        kind,
+        sort,
+    });
+    bucket.push(expr.clone());
+    interner.interned.fetch_add(1, Ordering::Relaxed);
+    expr
+}
+
+/// Looks up the memoised canonical form of the node with id `id`.
+pub(crate) fn canonical_memo_get(id: u32) -> Option<Expr> {
+    let interner = interner();
+    let shard = &interner.canonical[(id as usize) % SHARD_COUNT];
+    shard
+        .lock()
+        .expect("canonical memo shard poisoned")
+        .get(&id)
+        .cloned()
+}
+
+/// Records the canonical form of the node with id `id`. `rewrote` says
+/// whether canonicalisation changed the node's local shape (for the
+/// [`InternerStats::canonical_rewrites`] counter); repeated insertions of the
+/// same id are ignored so the counter stays once-per-node.
+pub(crate) fn canonical_memo_insert(id: u32, canonical: Expr, rewrote: bool) {
+    let interner = interner();
+    let shard = &interner.canonical[(id as usize) % SHARD_COUNT];
+    let mut map = shard.lock().expect("canonical memo shard poisoned");
+    if map.insert(id, canonical).is_none() && rewrote {
+        interner.rewrites.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The tree size of a node given its (already interned) children: 1 plus the
+/// children's tree sizes, saturating. Shared subtrees count once per
+/// occurrence, which on adversarially shared DAGs grows exponentially — the
+/// saturating arithmetic (and the O(1) lookup of the children's precomputed
+/// sizes) is what keeps [`Expr::node_count`](crate::Expr::node_count) safe on
+/// such inputs.
+fn tree_size_of(kind: &ExprKind) -> u64 {
+    let children: u64 = match kind {
+        ExprKind::Const(_) | ExprKind::Var(_) => 0,
+        ExprKind::Unary(_, a) => a.tree_size(),
+        ExprKind::Binary(_, a, b) => a.tree_size().saturating_add(b.tree_size()),
+        ExprKind::Ite(c, t, e) => c
+            .tree_size()
+            .saturating_add(t.tree_size())
+            .saturating_add(e.tree_size()),
+    };
+    children.saturating_add(1)
+}
+
+// ---------------------------------------------------------------------------
+// Structural hashing: a deterministic, content-only hash. Children contribute
+// their cached hashes, so hashing a node is O(arity).
+// ---------------------------------------------------------------------------
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    splitmix64(h ^ splitmix64(v))
+}
+
+fn hash_str(h: u64, s: &str) -> u64 {
+    let mut h = mix(h, s.len() as u64);
+    for chunk in s.as_bytes().chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = mix(h, u64::from_le_bytes(word));
+    }
+    h
+}
+
+fn sort_hash(sort: &Sort) -> u64 {
+    match sort {
+        Sort::Bool => splitmix64(1),
+        Sort::Int { bits, signed } => mix(mix(2, *bits as u64), *signed as u64),
+        Sort::Enum(e) => {
+            let mut h = hash_str(3, &e.name);
+            for variant in &e.variants {
+                h = hash_str(h, variant);
+            }
+            h
+        }
+    }
+}
+
+fn value_hash(value: &Value) -> u64 {
+    match value {
+        Value::Bool(b) => mix(1, *b as u64),
+        Value::Int(i) => mix(2, *i as u64),
+        Value::Enum(i) => mix(3, *i as u64),
+    }
+}
+
+fn node_hash(kind: &ExprKind, sort: &Sort) -> u64 {
+    let h = match kind {
+        ExprKind::Const(v) => mix(11, value_hash(v)),
+        ExprKind::Var(id) => mix(12, id.index() as u64),
+        ExprKind::Unary(op, a) => mix(mix(13, *op as u64), a.structural_hash()),
+        ExprKind::Binary(op, a, b) => mix(
+            mix(mix(14, *op as u64), a.structural_hash()),
+            b.structural_hash(),
+        ),
+        ExprKind::Ite(c, t, e) => mix(
+            mix(mix(15, c.structural_hash()), t.structural_hash()),
+            e.structural_hash(),
+        ),
+    };
+    mix(h, sort_hash(sort))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Expr;
+
+    #[test]
+    fn interning_is_structural() {
+        let a = Expr::int_val(5, 8).add(&Expr::int_val(6, 8));
+        let b = Expr::int_val(5, 8).add(&Expr::int_val(6, 8));
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a, b);
+        let c = Expr::int_val(6, 8).add(&Expr::int_val(5, 8));
+        assert_ne!(a.id(), c.id());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sorts_distinguish_nodes() {
+        // Same kind shape, different sort: `0u8` vs `0u4` must not collapse.
+        let a = Expr::int_val(0, 8);
+        let b = Expr::int_val(0, 4);
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.id(), Expr::int_val(0, 8).id());
+    }
+
+    #[test]
+    fn stats_move_monotonically() {
+        let before = InternerStats::snapshot();
+        // A fresh, never-before-interned node (salted with the snapshot so
+        // repeated test runs within a process still miss at least once).
+        let salt = (before.nodes_interned % 251) as i64;
+        let e = Expr::int_val(salt, 61).add(&Expr::int_val(salt, 61));
+        let _ = e.clone();
+        let after = InternerStats::snapshot();
+        let delta = after.since(&before);
+        assert!(delta.nodes_interned >= 1, "fresh nodes must be counted");
+        assert!(after.nodes_interned >= before.nodes_interned);
+        assert!((0.0..=1.0).contains(&delta.hit_rate()));
+    }
+
+    #[test]
+    fn structural_hash_is_cached_and_equal_for_equal_nodes() {
+        let a = Expr::true_().and(&Expr::false_());
+        let b = Expr::true_().and(&Expr::false_());
+        assert_eq!(a.structural_hash(), b.structural_hash());
+        assert_eq!(
+            a.structural_hash(),
+            node_hash(a.kind(), a.sort()),
+            "cached hash must match a recomputation"
+        );
+    }
+}

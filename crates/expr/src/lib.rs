@@ -10,10 +10,20 @@
 //! * [`Value`] — a concrete value of some sort.
 //! * [`VarSet`] / [`VarId`] — a declaration table for the observable and
 //!   internal variables of a system.
-//! * [`Expr`] — an immutable, reference-counted expression DAG with the
-//!   operations needed to describe transition relations, initial-state
-//!   constraints and transition-edge predicates: boolean connectives,
-//!   bounded-integer arithmetic, comparisons and if-then-else.
+//! * [`Expr`] — an immutable, reference-counted, **hash-consed** expression
+//!   DAG with the operations needed to describe transition relations,
+//!   initial-state constraints and transition-edge predicates: boolean
+//!   connectives, bounded-integer arithmetic, comparisons and if-then-else.
+//!   Every distinct node exists once in a process-global interner, so
+//!   `Eq`/`Hash`/`Ord` are O(1) id operations (see [`ExprId`]) and
+//!   expression-keyed caches throughout the pipeline probe in constant time;
+//!   [`InternerStats`] reports the interner's traffic.
+//! * [`Expr::canonical`] — the canonicalisation seam: a memoised,
+//!   semantics-preserving normal form (constant folding, neutral/absorbing
+//!   elimination, double negation, reflexive comparisons, sorted + flattened
+//!   commutative chains) used for semantic cache keys, while the raw
+//!   constructors preserve their given shape so rendered predicates stay
+//!   byte-stable.
 //! * Evaluation over [`Valuation`]s with wrap-around fixed-width semantics,
 //!   constant folding and a light-weight simplifier used to keep learned
 //!   predicates readable.
@@ -43,8 +53,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod canonical;
 mod error;
 mod expr;
+mod intern;
 mod simplify;
 mod sort;
 mod value;
@@ -52,6 +64,7 @@ mod var;
 
 pub use error::SortError;
 pub use expr::{BinOp, Expr, ExprKind, UnOp};
+pub use intern::{ExprId, InternerStats};
 pub use simplify::simplify;
 pub use sort::Sort;
 pub use value::Value;

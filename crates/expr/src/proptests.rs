@@ -5,7 +5,10 @@
 //! 1. simplification preserves semantics on random expressions and random
 //!    valuations;
 //! 2. evaluation always stays within the sort's representable range;
-//! 3. substitution with constants agrees with evaluation.
+//! 3. substitution with constants agrees with evaluation;
+//! 4. the hash-consing interner gives `a == b ⟺ id(a) == id(b)`;
+//! 5. canonicalisation is evaluation-equivalent to the raw AST, idempotent,
+//!    sort-preserving, and never perturbs the rendered form of the input.
 
 use crate::{simplify, Expr, Sort, Valuation, Value, VarId, VarSet};
 use proptest::prelude::*;
@@ -135,5 +138,63 @@ proptest! {
         let once = simplify(&e);
         let twice = simplify(&once);
         prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn interning_makes_equality_id_equality(a in arb_bool_expr(3), b in arb_bool_expr(3)) {
+        // a == b ⟺ id(a) == id(b): the identity every expression-keyed
+        // cache in the workspace relies on.
+        prop_assert_eq!(a == b, a.id() == b.id());
+        prop_assert_eq!(a.clone().id(), a.id(), "cloning preserves identity");
+        if a == b {
+            prop_assert_eq!(a.structural_hash(), b.structural_hash());
+            prop_assert_eq!(a.structural_cmp(&b), std::cmp::Ordering::Equal);
+        } else {
+            prop_assert!(a.structural_cmp(&b) != std::cmp::Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn canonical_is_evaluation_equivalent_bool(e in arb_bool_expr(3), v in arb_valuation()) {
+        let c = e.canonical();
+        prop_assert_eq!(e.eval(&v), c.eval(&v));
+        prop_assert_eq!(e.sort(), c.sort());
+    }
+
+    #[test]
+    fn canonical_is_evaluation_equivalent_int(e in arb_int_expr(3), v in arb_valuation()) {
+        let c = e.canonical();
+        prop_assert_eq!(e.eval(&v), c.eval(&v));
+        prop_assert_eq!(e.sort(), c.sort());
+    }
+
+    #[test]
+    fn canonical_is_idempotent(e in arb_bool_expr(3)) {
+        let once = e.canonical();
+        let twice = once.canonical();
+        prop_assert_eq!(once.id(), twice.id());
+    }
+
+    #[test]
+    fn canonical_never_perturbs_the_rendered_input(e in arb_bool_expr(3)) {
+        // The seam contract: canonicalisation is a *projection* for cache
+        // keys; the expression handed to reports must render identically
+        // whether or not someone canonicalised it along the way.
+        let rendered = e.to_string();
+        let _ = e.canonical();
+        prop_assert_eq!(e.to_string(), rendered);
+    }
+
+    #[test]
+    fn canonical_dag_never_grows(e in arb_bool_expr(3)) {
+        prop_assert!(e.canonical().dag_size() <= e.dag_size());
+    }
+
+    #[test]
+    fn dag_size_bounds_node_count(e in arb_bool_expr(3)) {
+        let dag = e.dag_size();
+        let tree = e.node_count();
+        prop_assert!(dag <= tree, "distinct nodes cannot exceed tree occurrences");
+        prop_assert!(dag >= 1);
     }
 }

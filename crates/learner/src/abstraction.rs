@@ -72,6 +72,13 @@ pub struct AlphabetAbstraction {
     observables: Vec<VarId>,
     per_var: Vec<VarAbstraction>,
     letters: Vec<Vec<usize>>,
+    /// The symbolic predicate of each letter, built once when the letter is
+    /// registered. Predicates are hash-consed `Expr`s, so letters with equal
+    /// guards — within one abstraction or across the rebuilds of successive
+    /// iterations — share one interned node, and the repeated
+    /// [`AlphabetAbstraction::predicate`] calls of NFA construction are
+    /// clone-of-`Arc` cheap.
+    predicates: Vec<Expr>,
     index: HashMap<Vec<usize>, LetterId>,
 }
 
@@ -120,6 +127,7 @@ impl AlphabetAbstraction {
             observables: observables.to_vec(),
             per_var,
             letters: Vec::new(),
+            predicates: Vec::new(),
             index: HashMap::new(),
         };
 
@@ -136,7 +144,9 @@ impl AlphabetAbstraction {
             return *id;
         }
         let id = LetterId(self.letters.len());
+        let predicate = self.predicate_of_cells(&cells);
         self.letters.push(cells.clone());
+        self.predicates.push(predicate);
         self.index.insert(cells, id);
         id
     }
@@ -220,13 +230,18 @@ impl AlphabetAbstraction {
     }
 
     /// The symbolic predicate characterising a letter: the conjunction of the
-    /// per-variable atomic predicates of its cells.
+    /// per-variable atomic predicates of its cells. Synthesised once when
+    /// the letter is registered (see the `predicates` field) and returned as
+    /// a cheap clone of the interned expression.
     ///
     /// # Panics
     ///
     /// Panics if the letter id does not belong to this abstraction.
     pub fn predicate(&self, letter: LetterId) -> Expr {
-        let cells = &self.letters[letter.0];
+        self.predicates[letter.0].clone()
+    }
+
+    fn predicate_of_cells(&self, cells: &[usize]) -> Expr {
         let mut conjuncts = Vec::new();
         for (i, cell) in cells.iter().enumerate() {
             conjuncts.push(self.cell_predicate(i, *cell));
@@ -298,6 +313,7 @@ impl AlphabetAbstraction {
             observables: observables.to_vec(),
             per_var,
             letters: Vec::new(),
+            predicates: Vec::new(),
             index: HashMap::new(),
         }
     }
@@ -847,6 +863,28 @@ mod tests {
             AbstractionUpdate::Rebuilt
         );
         assert_equivalent(&inc, &other);
+    }
+
+    /// Letters with equal guards share one interned expression node: two
+    /// independently built abstractions over the same data synthesise
+    /// predicates with identical `ExprId`s, and repeated `predicate()` calls
+    /// return the letter's cached node instead of re-assembling the
+    /// conjunction.
+    #[test]
+    fn letter_predicates_are_interned_across_rebuilds() {
+        let (vars, temp, on, traces) = thermostat_traces();
+        let config = AbstractionConfig::default();
+        let a = AlphabetAbstraction::from_traces(&vars, &[temp, on], &traces, config);
+        let b = AlphabetAbstraction::from_traces(&vars, &[temp, on], &traces, config);
+        assert_eq!(a.num_letters(), b.num_letters());
+        for letter in a.letters() {
+            assert_eq!(
+                a.predicate(letter).id(),
+                b.predicate(letter).id(),
+                "equal guards must be one hash-consed node"
+            );
+            assert_eq!(a.predicate(letter).id(), a.predicate(letter).id());
+        }
     }
 
     #[test]
