@@ -13,9 +13,14 @@
 //!
 //! Criterion benches in `benches/` time the same experiments so that
 //! `cargo bench` exercises every table and figure.
+//!
+//! The `perf-diff` binary (backed by [`perf`]) compares two `suite --json`
+//! documents and flags per-benchmark regressions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod perf;
 
 use amle_benchmarks::Benchmark;
 use amle_core::{
@@ -76,6 +81,18 @@ pub struct ActiveRow {
     pub solve_calls: u64,
     /// Wall-clock seconds spent inside the SAT backend.
     pub solver_time_s: f64,
+    /// CDCL decisions across all solver sessions (`dec`).
+    pub decisions: u64,
+    /// Unit propagations across all solver sessions (`props`).
+    pub propagations: u64,
+    /// Conflicts across all solver sessions (`confl`).
+    pub conflicts: u64,
+    /// Literals removed from learnt clauses by recursive minimization before
+    /// attachment (`minlit`).
+    pub minimized_lits: u64,
+    /// Mean LBD ("glue") of the learnt clauses stored across all solver
+    /// sessions (`mLBD`); low glue means reusable clauses.
+    pub mean_lbd: f64,
     /// Final trace count of the run.
     pub traces: usize,
     /// Distinct interned observations in the trace store (`uobs`).
@@ -138,6 +155,11 @@ pub fn run_active<L: ModelLearner>(
         learn_pct: report.learn_time_percentage(),
         solve_calls: solver.solve_calls,
         solver_time_s: solver.solve_time.as_secs_f64(),
+        decisions: solver.decisions,
+        propagations: solver.propagations,
+        conflicts: solver.conflicts,
+        minimized_lits: solver.minimized_lits,
+        mean_lbd: solver.mean_lbd(),
         traces: report.trace_count,
         unique_observations: report.trace_store.unique_observations,
         segments: report.trace_store.segments,
@@ -337,7 +359,12 @@ fn json_escape(s: &str) -> String {
 /// benchmark with wall time, iterations, solver work, verdict-cache and
 /// interner statistics, and the per-benchmark fingerprint digest. This is
 /// what `suite --json <path>` (and `AMLE_BENCH_JSON`) write, so the perf
-/// trajectory (`BENCH_*.json`) can accumulate across versions.
+/// trajectory (`BENCH_*.json`) can accumulate across versions, and what
+/// the `perf-diff` binary consumes to compare two runs.
+///
+/// Schema history: **2** added the CDCL work counters (`decisions`,
+/// `propagations`, `conflicts`, `minimized_lits`, `mean_lbd`); schema 1
+/// records lack them. `perf-diff` accepts both.
 pub fn suite_json(
     meta: &SuiteRunMeta,
     benchmarks: &[Benchmark],
@@ -346,7 +373,7 @@ pub fn suite_json(
     use std::fmt::Write as _;
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"schema\": 2,");
     let _ = writeln!(out, "  \"engine\": \"{}\",", json_escape(&meta.engine));
     let _ = writeln!(out, "  \"learner\": \"{}\",", json_escape(&meta.learner));
     let _ = writeln!(out, "  \"quick\": {},", meta.quick);
@@ -372,6 +399,8 @@ pub fn suite_json(
             "\"name\": \"{}\", \"time_s\": {:.6}, \"iterations\": {}, \"alpha\": {}, \
              \"converged\": {}, \"states\": {}, \"d\": {}, \"traces\": {}, \
              \"solve_calls\": {}, \"solver_time_s\": {:.6}, \
+             \"decisions\": {}, \"propagations\": {}, \"conflicts\": {}, \
+             \"minimized_lits\": {}, \"mean_lbd\": {:.4}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \
              \"words_encoded\": {}, \"words_reused\": {}, \
              \"interner\": {{\"nodes_interned\": {}, \"hits\": {}, \
@@ -387,6 +416,11 @@ pub fn suite_json(
             row.traces,
             row.solve_calls,
             row.solver_time_s,
+            row.decisions,
+            row.propagations,
+            row.conflicts,
+            row.minimized_lits,
+            row.mean_lbd,
             row.cache_hits,
             row.cache_misses,
             row.words_encoded,
@@ -452,18 +486,38 @@ pub fn format_active_table(rows: &[ActiveRow]) -> String {
 
 /// Formats the oracle-portfolio statistics table: verdict-cache hits and
 /// misses, the per-engine query attribution (k-induction vs explicit,
-/// explicit work units and budget fallbacks), and the expression-interner
+/// explicit work units and budget fallbacks), the expression-interner
 /// traffic the canonical cache keys ride on (nodes interned, intern hit
-/// rate, canonical rewrites applied).
+/// rate, canonical rewrites applied), and the CDCL search-quality columns
+/// (conflicts, propagations per conflict, literals removed by learnt-clause
+/// minimization, mean learnt-clause LBD).
 pub fn format_oracle_table(rows: &[ActiveRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<34} {:>6} {:>6} {:>7} {:>7} {:>10} {:>6} {:>7} {:>6} {:>7}\n",
-        "Benchmark", "hits", "miss", "kiQ", "exQ", "exWork", "fallb", "inodes", "ihit%", "rewr"
+        "{:<34} {:>6} {:>6} {:>7} {:>7} {:>10} {:>6} {:>7} {:>6} {:>7} {:>8} {:>8} {:>7} {:>5}\n",
+        "Benchmark",
+        "hits",
+        "miss",
+        "kiQ",
+        "exQ",
+        "exWork",
+        "fallb",
+        "inodes",
+        "ihit%",
+        "rewr",
+        "confl",
+        "prop/cf",
+        "minlit",
+        "mLBD"
     ));
     for r in rows {
+        let props_per_conflict = if r.conflicts == 0 {
+            0.0
+        } else {
+            r.propagations as f64 / r.conflicts as f64
+        };
         out.push_str(&format!(
-            "{:<34} {:>6} {:>6} {:>7} {:>7} {:>10} {:>6} {:>7} {:>6.1} {:>7}\n",
+            "{:<34} {:>6} {:>6} {:>7} {:>7} {:>10} {:>6} {:>7} {:>6.1} {:>7} {:>8} {:>8.1} {:>7} {:>5.1}\n",
             r.name,
             r.cache_hits,
             r.cache_misses,
@@ -473,7 +527,11 @@ pub fn format_oracle_table(rows: &[ActiveRow]) -> String {
             r.explicit_fallbacks,
             r.interner.nodes_interned,
             100.0 * r.interner.hit_rate(),
-            r.interner.canonical_rewrites
+            r.interner.canonical_rewrites,
+            r.conflicts,
+            props_per_conflict,
+            r.minimized_lits,
+            r.mean_lbd
         ));
     }
     out
@@ -724,13 +782,19 @@ mod tests {
         };
         let json = suite_json(&meta, &suite, &results);
         for needle in [
-            "\"schema\": 1",
+            "\"schema\": 2",
             "\"engine\": \"kinduction\"",
             "\"learner\": \"history\"",
             "\"fingerprint_digest\"",
             "\"interner\"",
             "\"canonical_rewrites\"",
             "\"invariant_dag_nodes\"",
+            // Schema-2 CDCL work counters, one per benchmark record.
+            "\"decisions\"",
+            "\"propagations\"",
+            "\"conflicts\"",
+            "\"minimized_lits\"",
+            "\"mean_lbd\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

@@ -1,0 +1,181 @@
+//! First-UIP conflict analysis with recursive learnt-clause minimization.
+//!
+//! The resolution loop walks the trail backwards from the conflict,
+//! resolving on current-level literals until a single one — the first unique
+//! implication point — remains. Before the learnt clause is attached it is
+//! *minimized*: a literal is dropped when it is implied by the rest of the
+//! clause, which holds exactly when every literal of its reason clause is
+//! already in the learnt clause or (recursively) redundant itself. The
+//! recursion is MiniSat's `litRedundant` made iterative, with the
+//! `abstract_levels` bitmask pruning branches whose decision level cannot
+//! appear in the clause.
+//!
+//! The same pass computes the clause's LBD (number of distinct decision
+//! levels among its literals) via a stamping array, so database reduction
+//! can tier clauses by glue without re-deriving it.
+
+use super::clause_db::ClauseRef;
+use super::Solver;
+use crate::Lit;
+
+impl Solver {
+    /// First-UIP conflict analysis. Returns the minimized learnt clause
+    /// (asserting literal first, a highest-remaining-level literal second)
+    /// and the backtrack level.
+    pub(super) fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for asserting literal
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = confl;
+
+        loop {
+            debug_assert!(confl.is_valid());
+            self.db.bump_activity(confl);
+            // Skip slot 0 of reason clauses: it holds the literal being
+            // resolved on.
+            let start = usize::from(p.is_some());
+            for k in start..self.db.len(confl) {
+                let q = self.db.lit(confl, k);
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.order.bump(v as u32);
+                    if self.level[v] as usize >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next literal on the trail to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            p = Some(lit);
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[lit.var().index()];
+        }
+        learnt[0] = !p.expect("conflict analysis found an asserting literal");
+
+        self.minimize(&mut learnt);
+
+        // Determine backtrack level (second-highest level in the clause).
+        let backtrack_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()] as usize
+        };
+
+        (learnt, backtrack_level)
+    }
+
+    /// Recursive clause minimization: removes every literal of
+    /// `learnt[1..]` whose reason-side implication graph bottoms out inside
+    /// the clause itself. Clears all `seen` flags set by analysis and by the
+    /// redundancy search on the way out.
+    fn minimize(&mut self, learnt: &mut Vec<Lit>) {
+        // At this point `seen` is set exactly for the variables of
+        // `learnt[1..]`; the redundancy walk relies on that to recognise
+        // literals already covered by the clause.
+        self.analyze_toclear.clear();
+        self.analyze_toclear.extend_from_slice(learnt);
+        let mut abstract_levels: u64 = 0;
+        for lit in learnt.iter().skip(1) {
+            abstract_levels |= self.abstract_level(lit.var().index());
+        }
+        let before = learnt.len();
+        let mut j = 1;
+        for i in 1..learnt.len() {
+            let lit = learnt[i];
+            if !self.reason[lit.var().index()].is_valid()
+                || !self.lit_redundant(lit, abstract_levels)
+            {
+                learnt[j] = lit;
+                j += 1;
+            }
+        }
+        learnt.truncate(j);
+        self.stats.minimized_lits += (before - j) as u64;
+        for i in 0..self.analyze_toclear.len() {
+            let v = self.analyze_toclear[i].var().index();
+            self.seen[v] = false;
+        }
+    }
+
+    /// A compact fingerprint of a variable's decision level; the union over
+    /// the learnt clause prunes redundancy searches that reach a level
+    /// certain to be outside the clause.
+    fn abstract_level(&self, var: usize) -> u64 {
+        1u64 << (self.level[var] & 63)
+    }
+
+    /// Whether `lit`'s assignment is implied by literals already in the
+    /// learnt clause (transitively through reason clauses). Newly visited
+    /// variables are marked `seen` and logged in `analyze_toclear` so a
+    /// successful search memoises its sub-results for later literals; a
+    /// failed search rolls its marks back.
+    fn lit_redundant(&mut self, lit: Lit, abstract_levels: u64) -> bool {
+        self.analyze_stack.clear();
+        self.analyze_stack.push(lit);
+        let top = self.analyze_toclear.len();
+        while let Some(q) = self.analyze_stack.pop() {
+            let reason = self.reason[q.var().index()];
+            debug_assert!(reason.is_valid(), "only implied literals are explored");
+            // Slot 0 is the implied literal (!q); examine the antecedents.
+            for k in 1..self.db.len(reason) {
+                let l = self.db.lit(reason, k);
+                let v = l.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    if self.reason[v].is_valid() && (self.abstract_level(v) & abstract_levels) != 0
+                    {
+                        self.seen[v] = true;
+                        self.analyze_stack.push(l);
+                        self.analyze_toclear.push(l);
+                    } else {
+                        // A decision (or out-of-clause-level) antecedent:
+                        // `lit` is not redundant. Undo this search's marks.
+                        for idx in top..self.analyze_toclear.len() {
+                            let u = self.analyze_toclear[idx].var().index();
+                            self.seen[u] = false;
+                        }
+                        self.analyze_toclear.truncate(top);
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The LBD ("glue") of a clause: the number of distinct decision levels
+    /// among its literals, computed with a stamping array in O(len).
+    pub(super) fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_marker += 1;
+        let marker = self.lbd_marker;
+        let mut lbd = 0u32;
+        for lit in lits {
+            let level = self.level[lit.var().index()] as usize;
+            if self.lbd_stamp[level] != marker {
+                self.lbd_stamp[level] = marker;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+}

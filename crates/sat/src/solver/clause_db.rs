@@ -1,0 +1,330 @@
+//! The flat clause arena.
+//!
+//! All clauses — original and learnt — live in one contiguous `Vec<u32>`.
+//! A [`ClauseRef`] is the word offset of a clause header inside that arena;
+//! it is stable until the next garbage collection, at which point the
+//! [`GcMap`] returned by [`ClauseDb::collect_garbage`] translates old
+//! references to their relocated addresses (watcher lists and the reason
+//! array are updated in place, never rebuilt from the clause literals).
+//!
+//! Clause layout, in arena words:
+//!
+//! ```text
+//! [ len | flags/lbd | activity(f32 bits) | lit0 | lit1 | ... ]
+//! ```
+//!
+//! The header keeps the learnt flag, a deletion tombstone and the clause's
+//! LBD ("literal blocks distance" — the number of distinct decision levels
+//! among its literals at learn time, the glue metric driving database
+//! reduction) packed into one word, and the clause activity as raw `f32`
+//! bits in another, so every clause costs exactly `3 + len` words.
+
+use crate::Lit;
+
+/// Header words preceding the literals of every clause.
+const HEADER_WORDS: usize = 3;
+/// `flags` bit marking a learnt clause.
+const FLAG_LEARNT: u32 = 1 << 31;
+/// `flags` bit marking a deleted (tombstoned) clause awaiting collection.
+const FLAG_DELETED: u32 = 1 << 30;
+/// Low bits of the flags word holding the clamped LBD.
+const LBD_MASK: u32 = (1 << 16) - 1;
+
+/// A stable reference to a clause in the arena: the word offset of its
+/// header. Stable across clause additions; translated through a [`GcMap`]
+/// across garbage collections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(super) struct ClauseRef(u32);
+
+impl ClauseRef {
+    /// Sentinel for "no clause" (decision variables, retired reasons).
+    pub(super) const INVALID: ClauseRef = ClauseRef(u32::MAX);
+
+    /// Whether this reference points at an actual clause.
+    pub(super) fn is_valid(self) -> bool {
+        self != Self::INVALID
+    }
+}
+
+/// The flat `u32` clause arena plus the learnt-clause index.
+#[derive(Debug, Default)]
+pub(super) struct ClauseDb {
+    data: Vec<u32>,
+    /// References of all live learnt clauses, in attachment order.
+    learnts: Vec<ClauseRef>,
+    /// Number of live original (problem) clauses.
+    originals: usize,
+    /// Arena words occupied by tombstoned clauses (triggers collection).
+    wasted: usize,
+    /// Clause-activity bump amount (rescaled alongside the activities).
+    act_inc: f32,
+}
+
+impl ClauseDb {
+    pub(super) fn new() -> Self {
+        ClauseDb {
+            data: Vec::new(),
+            learnts: Vec::new(),
+            originals: 0,
+            wasted: 0,
+            act_inc: 1.0,
+        }
+    }
+
+    /// Allocates a clause and returns its reference.
+    pub(super) fn alloc(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "unit clauses live on the trail");
+        let cref = ClauseRef(self.data.len() as u32);
+        self.data.push(lits.len() as u32);
+        self.data
+            .push(if learnt { FLAG_LEARNT } else { 0 } | LBD_MASK.min(lits.len() as u32));
+        self.data.push(0f32.to_bits());
+        self.data.extend(lits.iter().map(|l| l.0));
+        if learnt {
+            self.learnts.push(cref);
+        } else {
+            self.originals += 1;
+        }
+        cref
+    }
+
+    pub(super) fn len(&self, cref: ClauseRef) -> usize {
+        self.data[cref.0 as usize] as usize
+    }
+
+    pub(super) fn lit(&self, cref: ClauseRef, index: usize) -> Lit {
+        Lit(self.data[cref.0 as usize + HEADER_WORDS + index])
+    }
+
+    pub(super) fn swap_lits(&mut self, cref: ClauseRef, a: usize, b: usize) {
+        let base = cref.0 as usize + HEADER_WORDS;
+        self.data.swap(base + a, base + b);
+    }
+
+    /// The literals of a clause as a slice of raw codes.
+    #[cfg(test)]
+    fn lits(&self, cref: ClauseRef) -> impl Iterator<Item = Lit> + '_ {
+        let base = cref.0 as usize + HEADER_WORDS;
+        let len = self.len(cref);
+        self.data[base..base + len].iter().map(|&code| Lit(code))
+    }
+
+    pub(super) fn is_learnt(&self, cref: ClauseRef) -> bool {
+        self.data[cref.0 as usize + 1] & FLAG_LEARNT != 0
+    }
+
+    pub(super) fn is_deleted(&self, cref: ClauseRef) -> bool {
+        self.data[cref.0 as usize + 1] & FLAG_DELETED != 0
+    }
+
+    /// The clause's LBD (glue) as recorded at learn/update time.
+    pub(super) fn lbd(&self, cref: ClauseRef) -> u32 {
+        self.data[cref.0 as usize + 1] & LBD_MASK
+    }
+
+    pub(super) fn set_lbd(&mut self, cref: ClauseRef, lbd: u32) {
+        let word = &mut self.data[cref.0 as usize + 1];
+        *word = (*word & !LBD_MASK) | lbd.min(LBD_MASK);
+    }
+
+    pub(super) fn activity(&self, cref: ClauseRef) -> f32 {
+        f32::from_bits(self.data[cref.0 as usize + 2])
+    }
+
+    fn set_activity(&mut self, cref: ClauseRef, activity: f32) {
+        self.data[cref.0 as usize + 2] = activity.to_bits();
+    }
+
+    /// Bumps the clause's activity, rescaling every stored activity when the
+    /// counter threatens to overflow.
+    pub(super) fn bump_activity(&mut self, cref: ClauseRef) {
+        let bumped = self.activity(cref) + self.act_inc;
+        self.set_activity(cref, bumped);
+        if bumped > 1e20 {
+            for i in 0..self.learnts.len() {
+                let c = self.learnts[i];
+                let rescaled = self.activity(c) * 1e-20;
+                self.set_activity(c, rescaled);
+            }
+            self.act_inc *= 1e-20;
+        }
+    }
+
+    /// Decays clause activities by inflating the bump amount.
+    pub(super) fn decay_activity(&mut self) {
+        self.act_inc /= 0.999;
+    }
+
+    /// Tombstones a clause. The arena space is reclaimed by the next
+    /// [`ClauseDb::collect_garbage`]; until then the clause still parses but
+    /// reports [`ClauseDb::is_deleted`].
+    pub(super) fn delete(&mut self, cref: ClauseRef) {
+        debug_assert!(!self.is_deleted(cref));
+        self.data[cref.0 as usize + 1] |= FLAG_DELETED;
+        self.wasted += HEADER_WORDS + self.len(cref);
+        if !self.is_learnt(cref) {
+            self.originals -= 1;
+        }
+    }
+
+    /// Live clause count (originals plus retained learnts).
+    pub(super) fn num_clauses(&self) -> usize {
+        self.originals + self.learnts.len()
+    }
+
+    /// Live learnt clauses, in attachment order.
+    pub(super) fn learnts(&self) -> &[ClauseRef] {
+        &self.learnts
+    }
+
+    /// Compacts the arena: copies live clauses (in arena order) into a fresh
+    /// buffer and returns a [`GcMap`] that translates pre-collection
+    /// references. The learnt index is relocated here; watcher lists and the
+    /// reason array are the caller's to relocate (it owns them).
+    pub(super) fn collect_garbage(&mut self) -> GcMap {
+        let mut new_data = Vec::with_capacity(self.data.len() - self.wasted);
+        let mut cursor = 0usize;
+        while cursor < self.data.len() {
+            let len = self.data[cursor] as usize;
+            let total = HEADER_WORDS + len;
+            if self.data[cursor + 1] & FLAG_DELETED == 0 {
+                let relocated = new_data.len() as u32;
+                new_data.extend_from_slice(&self.data[cursor..cursor + total]);
+                // Reuse the old length slot as a forwarding pointer; the
+                // deleted bit in the old flags word (still clear here)
+                // distinguishes forwarded clauses from dropped ones.
+                self.data[cursor] = relocated;
+            }
+            cursor += total;
+        }
+        let map = GcMap {
+            old: std::mem::replace(&mut self.data, new_data),
+        };
+        self.wasted = 0;
+        let mut learnts = std::mem::take(&mut self.learnts);
+        learnts.retain_mut(|cref| match map.translate(*cref) {
+            Some(new_cref) => {
+                *cref = new_cref;
+                true
+            }
+            None => false,
+        });
+        self.learnts = learnts;
+        map
+    }
+}
+
+/// Translation table from pre-collection to post-collection clause
+/// references, built from the abandoned arena buffer (each live clause's old
+/// header slot holds its forwarding address).
+pub(super) struct GcMap {
+    old: Vec<u32>,
+}
+
+impl GcMap {
+    /// The post-collection address of `cref`, or `None` if the clause was
+    /// tombstoned and has been dropped.
+    pub(super) fn translate(&self, cref: ClauseRef) -> Option<ClauseRef> {
+        if self.old[cref.0 as usize + 1] & FLAG_DELETED != 0 {
+            None
+        } else {
+            Some(ClauseRef(self.old[cref.0 as usize]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(codes: &[usize]) -> Vec<Lit> {
+        codes.iter().map(|&c| Lit::from_code(c)).collect()
+    }
+
+    #[test]
+    fn alloc_and_read_back() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(&lits(&[0, 2, 5]), false);
+        let b = db.alloc(&lits(&[1, 3]), true);
+        assert_eq!(db.len(a), 3);
+        assert_eq!(db.len(b), 2);
+        assert_eq!(db.lit(a, 2), Lit::from_code(5));
+        assert!(!db.is_learnt(a));
+        assert!(db.is_learnt(b));
+        assert_eq!(db.num_clauses(), 2);
+        assert_eq!(db.learnts(), &[b]);
+        let collected: Vec<Lit> = db.lits(a).collect();
+        assert_eq!(collected, lits(&[0, 2, 5]));
+    }
+
+    #[test]
+    fn lbd_round_trips_and_clamps() {
+        let mut db = ClauseDb::new();
+        let c = db.alloc(&lits(&[0, 2]), true);
+        db.set_lbd(c, 7);
+        assert_eq!(db.lbd(c), 7);
+        db.set_lbd(c, u32::MAX);
+        assert_eq!(db.lbd(c), LBD_MASK);
+        assert!(db.is_learnt(c), "lbd writes must not clobber flags");
+    }
+
+    #[test]
+    fn swapping_literals_is_in_place() {
+        let mut db = ClauseDb::new();
+        let c = db.alloc(&lits(&[0, 2, 4]), false);
+        db.swap_lits(c, 0, 2);
+        assert_eq!(db.lit(c, 0), Lit::from_code(4));
+        assert_eq!(db.lit(c, 2), Lit::from_code(0));
+    }
+
+    #[test]
+    fn garbage_collection_relocates_survivors() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(&lits(&[0, 2, 4]), false);
+        let b = db.alloc(&lits(&[1, 3]), true);
+        let c = db.alloc(&lits(&[5, 7, 9, 11]), true);
+        db.delete(b);
+        let map = db.collect_garbage();
+        assert_eq!(map.translate(b), None);
+        let a2 = map.translate(a).unwrap();
+        let c2 = map.translate(c).unwrap();
+        assert_eq!(a2, a, "first clause does not move");
+        assert!(c2.0 < c.0, "later clauses slide down");
+        let moved: Vec<Lit> = db.lits(c2).collect();
+        assert_eq!(moved, lits(&[5, 7, 9, 11]));
+        assert_eq!(db.learnts(), &[c2]);
+        assert_eq!(db.num_clauses(), 2);
+    }
+
+    #[test]
+    fn activity_bump_rescales_before_overflow() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(&lits(&[0, 2]), true);
+        let b = db.alloc(&lits(&[1, 3]), true);
+        db.set_activity(a, 1.05e20);
+        db.bump_activity(a);
+        assert!(db.activity(a) <= 1.1, "activities rescaled");
+        assert!(db.activity(b) <= 1.0);
+        // The bump amount shrank with the rescale: bumping still works.
+        db.bump_activity(b);
+        assert!(db.activity(b) > 0.0);
+    }
+
+    #[test]
+    fn variable_sized_clauses_pack_densely() {
+        let mut db = ClauseDb::new();
+        let mut refs = Vec::new();
+        for width in 2..10usize {
+            refs.push((
+                width,
+                db.alloc(&lits(&(0..width * 2).step_by(2).collect::<Vec<_>>()), false),
+            ));
+        }
+        for (width, cref) in refs {
+            assert_eq!(db.len(cref), width);
+            for i in 0..width {
+                assert_eq!(db.lit(cref, i), Lit::from_code(i * 2));
+            }
+        }
+    }
+}

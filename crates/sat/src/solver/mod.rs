@@ -1,6 +1,28 @@
 //! The CDCL solver.
+//!
+//! The search core is split across focused submodules:
+//!
+//! * [`clause_db`] — the flat `u32` clause arena ([`clause_db::ClauseRef`],
+//!   per-clause LBD and activity, tombstone-and-compact garbage collection);
+//! * [`propagate`] — two-watched-literal propagation with blocker literals
+//!   and the dense lbool assignment array;
+//! * [`decision`] — the indexed VSIDS max-heap behind branching decisions;
+//! * [`analyze`] — first-UIP conflict analysis with recursive learnt-clause
+//!   minimization and learn-time LBD computation.
+//!
+//! This module owns the [`Solver`] state, the public API and the top-level
+//! search loop (assumption handling, Luby restarts, clause-database
+//! reduction).
+
+mod analyze;
+mod clause_db;
+mod decision;
+mod propagate;
 
 use crate::{Lit, Var};
+use clause_db::{ClauseDb, ClauseRef};
+use decision::VsidsHeap;
+use propagate::Watcher;
 use std::fmt;
 use std::ops::{Add, AddAssign};
 use std::time::{Duration, Instant};
@@ -27,14 +49,28 @@ pub struct SolverStats {
     /// Number of restarts performed.
     pub restarts: u64,
     /// Number of learnt clauses currently in the database. This is a
-    /// point-in-time gauge, not a counter: when statistics from several
-    /// solver sessions are aggregated (`+`/`+=`), the result is the sum of
-    /// per-session snapshots and should be treated as approximate.
+    /// point-in-time **gauge**, not a counter: aggregating statistics from
+    /// several solver sessions (`+`/`+=`) takes the maximum of the
+    /// per-session snapshots (summing gauges would overstate the live count),
+    /// and [`SolverStats::since`] passes the current gauge value through
+    /// unchanged rather than differencing it.
     pub learnt_clauses: u64,
     /// Number of `solve` / `solve_with_assumptions` calls.
     pub solve_calls: u64,
     /// Cumulative wall-clock time spent inside `solve`.
     pub solve_time: Duration,
+    /// Literals removed from learnt clauses by recursive (MiniSat-style)
+    /// conflict-clause minimization before attachment.
+    pub minimized_lits: u64,
+    /// Sum of the LBD ("glue") values of all stored learnt clauses, as
+    /// computed at learn time. Divide by [`SolverStats::lbd_clauses`] (or
+    /// call [`SolverStats::mean_lbd`]) for the mean glue — low means the
+    /// solver is learning reusable clauses.
+    pub lbd_sum: u64,
+    /// Number of learnt clauses that contributed to
+    /// [`SolverStats::lbd_sum`] (unit learnts are asserted on the trail, not
+    /// stored, and carry no LBD).
+    pub lbd_clauses: u64,
 }
 
 impl AddAssign for SolverStats {
@@ -43,9 +79,14 @@ impl AddAssign for SolverStats {
         self.propagations += rhs.propagations;
         self.conflicts += rhs.conflicts;
         self.restarts += rhs.restarts;
-        self.learnt_clauses += rhs.learnt_clauses;
+        // Gauge, not counter: the aggregate of per-session snapshots is the
+        // largest live database, not their sum.
+        self.learnt_clauses = self.learnt_clauses.max(rhs.learnt_clauses);
         self.solve_calls += rhs.solve_calls;
         self.solve_time += rhs.solve_time;
+        self.minimized_lits += rhs.minimized_lits;
+        self.lbd_sum += rhs.lbd_sum;
+        self.lbd_clauses += rhs.lbd_clauses;
     }
 }
 
@@ -60,29 +101,43 @@ impl Add for SolverStats {
 
 impl SolverStats {
     /// The work done since an earlier snapshot of the same (accumulating)
-    /// statistics: componentwise saturating subtraction. Used to attribute
-    /// lifetime-cumulative stats to a single run.
+    /// statistics: componentwise saturating subtraction for the counters.
+    /// `learnt_clauses` is a gauge, so the *current* value passes through
+    /// unchanged — a difference of snapshots of a quantity that also shrinks
+    /// (database reduction) would be meaningless.
     pub fn since(&self, earlier: &SolverStats) -> SolverStats {
         SolverStats {
             decisions: self.decisions.saturating_sub(earlier.decisions),
             propagations: self.propagations.saturating_sub(earlier.propagations),
             conflicts: self.conflicts.saturating_sub(earlier.conflicts),
             restarts: self.restarts.saturating_sub(earlier.restarts),
-            learnt_clauses: self.learnt_clauses.saturating_sub(earlier.learnt_clauses),
+            learnt_clauses: self.learnt_clauses,
             solve_calls: self.solve_calls.saturating_sub(earlier.solve_calls),
             solve_time: self.solve_time.saturating_sub(earlier.solve_time),
+            minimized_lits: self.minimized_lits.saturating_sub(earlier.minimized_lits),
+            lbd_sum: self.lbd_sum.saturating_sub(earlier.lbd_sum),
+            lbd_clauses: self.lbd_clauses.saturating_sub(earlier.lbd_clauses),
+        }
+    }
+
+    /// Mean LBD (glue) of the learnt clauses recorded in these statistics,
+    /// or 0 when none were stored.
+    pub fn mean_lbd(&self) -> f64 {
+        if self.lbd_clauses == 0 {
+            0.0
+        } else {
+            self.lbd_sum as f64 / self.lbd_clauses as f64
         }
     }
 }
 
-#[derive(Debug)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    activity: f64,
-}
-
-const INVALID_CLAUSE: usize = usize::MAX;
+// Dense lbool encoding of the assignment, indexed by **literal code**: a
+// literal and its negation occupy adjacent slots, so reading a literal's
+// truth value is one unconditional array probe — no `Option<bool>` branch,
+// no sign fix-up — which is what the propagation inner loop wants.
+const LTRUE: u8 = 0;
+const LFALSE: u8 = 1;
+const LUNDEF: u8 = 2;
 
 /// A CDCL SAT solver.
 ///
@@ -92,30 +147,44 @@ const INVALID_CLAUSE: usize = usize::MAX;
 /// [`Solver::solve_with_assumptions`]) and read the model back with
 /// [`Solver::value`].
 pub struct Solver {
-    clauses: Vec<Clause>,
-    watches: Vec<Vec<usize>>,
-    assigns: Vec<Option<bool>>,
+    /// The flat clause arena (originals + learnts) and learnt index.
+    db: ClauseDb,
+    /// Watcher lists indexed by literal code: watchers of `p` are the
+    /// clauses to revisit when `p` becomes **false**.
+    watches: Vec<Vec<Watcher>>,
+    /// lbool per literal code (see [`LTRUE`]/[`LFALSE`]/[`LUNDEF`]).
+    value: Vec<u8>,
     saved_phase: Vec<bool>,
     level: Vec<u32>,
-    reason: Vec<usize>,
-    activity: Vec<f64>,
+    reason: Vec<ClauseRef>,
+    /// VSIDS decision order (owns the activities).
+    order: VsidsHeap,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
-    var_inc: f64,
-    cla_inc: f64,
     ok: bool,
     model_valid: bool,
     seen: Vec<bool>,
+    /// Scratch for conflict analysis: literals whose `seen` flag must be
+    /// cleared, and the DFS stack of the recursive minimization.
+    analyze_toclear: Vec<Lit>,
+    analyze_stack: Vec<Lit>,
+    /// Level-stamping scratch for O(clause) LBD computation.
+    lbd_stamp: Vec<u64>,
+    lbd_marker: u64,
     stats: SolverStats,
     max_learnts: f64,
+    /// Test hook: forces a tiny learnt-clause budget so database reduction
+    /// and arena GC run on small instances.
+    #[cfg(test)]
+    max_learnts_override: Option<f64>,
 }
 
 impl fmt::Debug for Solver {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Solver")
             .field("num_vars", &self.num_vars())
-            .field("num_clauses", &self.clauses.len())
+            .field("num_clauses", &self.num_clauses())
             .field("stats", &self.stats)
             .finish()
     }
@@ -131,55 +200,61 @@ impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Self {
         Solver {
-            clauses: Vec::new(),
+            db: ClauseDb::new(),
             watches: Vec::new(),
-            assigns: Vec::new(),
+            value: Vec::new(),
             saved_phase: Vec::new(),
             level: Vec::new(),
             reason: Vec::new(),
-            activity: Vec::new(),
+            order: VsidsHeap::new(),
             trail: Vec::new(),
             trail_lim: Vec::new(),
             qhead: 0,
-            var_inc: 1.0,
-            cla_inc: 1.0,
             ok: true,
             model_valid: false,
             seen: Vec::new(),
+            analyze_toclear: Vec::new(),
+            analyze_stack: Vec::new(),
+            lbd_stamp: vec![0],
+            lbd_marker: 0,
             stats: SolverStats::default(),
             max_learnts: 0.0,
+            #[cfg(test)]
+            max_learnts_override: None,
         }
     }
 
     /// Allocates a fresh variable.
     pub fn new_var(&mut self) -> Var {
-        let v = Var::from_index(self.assigns.len());
-        self.assigns.push(None);
+        let v = Var::from_index(self.level.len());
+        self.value.push(LUNDEF);
+        self.value.push(LUNDEF);
         self.saved_phase.push(false);
         self.level.push(0);
-        self.reason.push(INVALID_CLAUSE);
-        self.activity.push(0.0);
+        self.reason.push(ClauseRef::INVALID);
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.order.push_var();
+        self.lbd_stamp.push(0);
         v
     }
 
     /// Ensures at least `n` variables exist.
     pub fn ensure_vars(&mut self, n: usize) {
-        while self.assigns.len() < n {
+        while self.num_vars() < n {
             self.new_var();
         }
     }
 
     /// Number of allocated variables.
     pub fn num_vars(&self) -> usize {
-        self.assigns.len()
+        self.level.len()
     }
 
     /// Number of clauses (original plus currently retained learnt clauses).
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len()
+        self.db.num_clauses()
     }
 
     /// Solver statistics accumulated so far.
@@ -231,35 +306,44 @@ impl Solver {
                 false
             }
             1 => {
-                self.enqueue(simplified[0], INVALID_CLAUSE);
+                self.enqueue(simplified[0], ClauseRef::INVALID);
                 self.ok = self.propagate().is_none();
                 self.ok
             }
             _ => {
-                self.attach_clause(simplified, false);
+                self.attach_clause(&simplified, false);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> usize {
+    /// Allocates the clause in the arena and installs both watchers, each
+    /// carrying the *other* watched literal as its blocker.
+    fn attach_clause(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
-        let idx = self.clauses.len();
-        self.watches[(!lits[0]).code()].push(idx);
-        self.watches[(!lits[1]).code()].push(idx);
-        self.clauses.push(Clause {
-            lits,
-            learnt,
-            activity: 0.0,
+        let cref = self.db.alloc(lits, learnt);
+        self.watches[(!lits[0]).code()].push(Watcher {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[(!lits[1]).code()].push(Watcher {
+            cref,
+            blocker: lits[0],
         });
         if learnt {
-            self.stats.learnt_clauses += 1;
+            self.stats.learnt_clauses = self.db.learnts().len() as u64;
         }
-        idx
+        cref
     }
 
+    /// lbool of a literal as an `Option<bool>` (API-level probes; the
+    /// propagation loop reads the raw array instead).
     fn lit_value(&self, lit: Lit) -> Option<bool> {
-        self.assigns[lit.var().index()].map(|b| b == lit.is_positive())
+        match self.value[lit.code()] {
+            LTRUE => Some(true),
+            LFALSE => Some(false),
+            _ => None,
+        }
     }
 
     /// The value of a variable in the most recent satisfying model.
@@ -273,7 +357,10 @@ impl Solver {
     /// this returns the residual top-level assignment, not model values. The
     /// [`crate::IncrementalSolver`] trait methods perform this check.
     pub fn value(&self, var: Var) -> Option<bool> {
-        self.assigns.get(var.index()).copied().flatten()
+        if var.index() >= self.num_vars() {
+            return None;
+        }
+        self.lit_value(Lit::positive(var))
     }
 
     /// Whether a satisfying model is currently available: the last solve
@@ -289,7 +376,7 @@ impl Solver {
     /// is true; read the model before growing the formula.
     pub fn model(&self) -> Vec<bool> {
         (0..self.num_vars())
-            .map(|i| self.assigns[i].unwrap_or(false))
+            .map(|i| self.value(Var::from_index(i)).unwrap_or(false))
             .collect()
     }
 
@@ -297,12 +384,16 @@ impl Solver {
         self.trail_lim.len()
     }
 
-    fn enqueue(&mut self, lit: Lit, reason: usize) -> bool {
-        match self.lit_value(lit) {
-            Some(b) => b,
-            None => {
+    /// Assigns `lit` true with the given reason clause, or reports whether
+    /// it already had a consistent value.
+    fn enqueue(&mut self, lit: Lit, reason: ClauseRef) -> bool {
+        match self.value[lit.code()] {
+            LTRUE => true,
+            LFALSE => false,
+            _ => {
                 let v = lit.var().index();
-                self.assigns[v] = Some(lit.is_positive());
+                self.value[lit.code()] = LTRUE;
+                self.value[(!lit).code()] = LFALSE;
                 self.saved_phase[v] = lit.is_positive();
                 self.level[v] = self.decision_level() as u32;
                 self.reason[v] = reason;
@@ -312,235 +403,99 @@ impl Solver {
         }
     }
 
-    fn propagate(&mut self) -> Option<usize> {
-        while self.qhead < self.trail.len() {
-            let p = self.trail[self.qhead];
-            self.qhead += 1;
-            self.stats.propagations += 1;
-
-            let mut watch_list = std::mem::take(&mut self.watches[p.code()]);
-            let mut i = 0;
-            while i < watch_list.len() {
-                let ci = watch_list[i];
-                // The falsified literal is !p; normalise it to position 1.
-                let false_lit = !p;
-                {
-                    let clause = &mut self.clauses[ci];
-                    if clause.lits[0] == false_lit {
-                        clause.lits.swap(0, 1);
-                    }
-                }
-                let first = self.clauses[ci].lits[0];
-                if self.lit_value(first) == Some(true) {
-                    i += 1;
-                    continue;
-                }
-                // Look for a new literal to watch.
-                let mut found = false;
-                let len = self.clauses[ci].lits.len();
-                for k in 2..len {
-                    let cand = self.clauses[ci].lits[k];
-                    if self.lit_value(cand) != Some(false) {
-                        self.clauses[ci].lits.swap(1, k);
-                        let new_watch = self.clauses[ci].lits[1];
-                        self.watches[(!new_watch).code()].push(ci);
-                        watch_list.swap_remove(i);
-                        found = true;
-                        break;
-                    }
-                }
-                if found {
-                    continue;
-                }
-                // Clause is unit or conflicting.
-                if self.lit_value(first) == Some(false) {
-                    // Conflict: restore remaining watches and report.
-                    self.watches[p.code()] = watch_list;
-                    self.qhead = self.trail.len();
-                    return Some(ci);
-                }
-                self.enqueue(first, ci);
-                i += 1;
-            }
-            self.watches[p.code()] = watch_list;
-        }
-        None
-    }
-
-    fn bump_var(&mut self, var: usize) {
-        self.activity[var] += self.var_inc;
-        if self.activity[var] > 1e100 {
-            for a in &mut self.activity {
-                *a *= 1e-100;
-            }
-            self.var_inc *= 1e-100;
-        }
-    }
-
-    fn decay_activities(&mut self) {
-        self.var_inc /= 0.95;
-        self.cla_inc /= 0.999;
-    }
-
-    fn bump_clause(&mut self, ci: usize) {
-        self.clauses[ci].activity += self.cla_inc;
-        if self.clauses[ci].activity > 1e20 {
-            for c in &mut self.clauses {
-                c.activity *= 1e-20;
-            }
-            self.cla_inc *= 1e-20;
-        }
-    }
-
-    /// First-UIP conflict analysis. Returns the learnt clause (with the
-    /// asserting literal first) and the backtrack level.
-    fn analyze(&mut self, confl: usize) -> (Vec<Lit>, usize) {
-        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for asserting literal
-        let mut counter = 0usize;
-        let mut p: Option<Lit> = None;
-        let mut index = self.trail.len();
-        let mut confl = confl;
-
-        loop {
-            debug_assert_ne!(confl, INVALID_CLAUSE);
-            self.bump_clause(confl);
-            let start = usize::from(p.is_some());
-            for k in start..self.clauses[confl].lits.len() {
-                let q = self.clauses[confl].lits[k];
-                let v = q.var().index();
-                if !self.seen[v] && self.level[v] > 0 {
-                    self.seen[v] = true;
-                    self.bump_var(v);
-                    if self.level[v] as usize >= self.decision_level() {
-                        counter += 1;
-                    } else {
-                        learnt.push(q);
-                    }
-                }
-            }
-            // Select the next literal on the trail to resolve on.
-            loop {
-                index -= 1;
-                if self.seen[self.trail[index].var().index()] {
-                    break;
-                }
-            }
-            let lit = self.trail[index];
-            p = Some(lit);
-            self.seen[lit.var().index()] = false;
-            counter -= 1;
-            if counter == 0 {
-                break;
-            }
-            confl = self.reason[lit.var().index()];
-        }
-        learnt[0] = !p.expect("conflict analysis found an asserting literal");
-
-        // Determine backtrack level (second-highest level in the clause).
-        let backtrack_level = if learnt.len() == 1 {
-            0
-        } else {
-            let mut max_i = 1;
-            for i in 2..learnt.len() {
-                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
-                    max_i = i;
-                }
-            }
-            learnt.swap(1, max_i);
-            self.level[learnt[1].var().index()] as usize
-        };
-
-        for lit in &learnt {
-            self.seen[lit.var().index()] = false;
-        }
-        (learnt, backtrack_level)
-    }
-
-    fn backtrack(&mut self, level: usize) {
-        while self.decision_level() > level {
+    fn backtrack(&mut self, target_level: usize) {
+        while self.decision_level() > target_level {
             let lim = self.trail_lim.pop().expect("non-root decision level");
             while self.trail.len() > lim {
                 let lit = self.trail.pop().expect("trail entry");
                 let v = lit.var().index();
                 self.saved_phase[v] = lit.is_positive();
-                self.assigns[v] = None;
-                self.reason[v] = INVALID_CLAUSE;
+                self.value[lit.code()] = LUNDEF;
+                self.value[(!lit).code()] = LUNDEF;
+                self.reason[v] = ClauseRef::INVALID;
+                self.order.insert(v as u32);
             }
         }
         self.qhead = self.trail.len();
     }
 
-    fn pick_branch_var(&self) -> Option<Var> {
-        let mut best: Option<(usize, f64)> = None;
-        for v in 0..self.num_vars() {
-            if self.assigns[v].is_none() {
-                let act = self.activity[v];
-                match best {
-                    Some((_, b)) if b >= act => {}
-                    _ => best = Some((v, act)),
-                }
+    /// The next branching variable: the unassigned variable with maximal
+    /// VSIDS activity, popped from the decision heap in O(log n). Variables
+    /// that were assigned while enqueued are discarded lazily; backtracking
+    /// reinserts whatever it unassigns.
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop_max() {
+            if self.value[Lit::positive(Var::from_index(v as usize)).code()] == LUNDEF {
+                return Some(Var::from_index(v as usize));
             }
         }
-        best.map(|(v, _)| Var::from_index(v))
+        None
     }
 
+    /// Whether the clause is the reason of a current assignment (reason
+    /// clauses keep their implied literal at slot 0, so this is O(1)).
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let first = self.db.lit(cref, 0);
+        self.value[first.code()] == LTRUE && self.reason[first.var().index()] == cref
+    }
+
+    /// Glue/activity-tiered learnt-database reduction: clauses with LBD ≤ 2
+    /// ("glue" clauses) and reason clauses are always kept; of the rest, the
+    /// half with the worst (highest-LBD, then least-active) scores is
+    /// tombstoned and the arena compacted in place, relocating watcher lists
+    /// and reasons instead of rebuilding them.
     fn reduce_learnts(&mut self) {
-        // Collect learnt clause indices sorted by activity (ascending) and
-        // remove the least active half that are not reasons for current
-        // assignments. Rebuilding watches afterwards keeps the code simple.
-        let mut learnt_idx: Vec<usize> = (0..self.clauses.len())
-            .filter(|&i| self.clauses[i].learnt)
+        let mut candidates: Vec<ClauseRef> = self
+            .db
+            .learnts()
+            .iter()
+            .copied()
+            .filter(|&c| self.db.lbd(c) > 2 && !self.is_locked(c))
             .collect();
-        if learnt_idx.len() < 2 {
+        if candidates.len() < 2 {
             return;
         }
-        learnt_idx.sort_by(|&a, &b| {
-            self.clauses[a]
-                .activity
-                .partial_cmp(&self.clauses[b].activity)
-                .unwrap_or(std::cmp::Ordering::Equal)
+        // Worst first: highest LBD, then lowest activity; the clause
+        // reference breaks exact ties deterministically (older first).
+        candidates.sort_by(|&a, &b| {
+            self.db
+                .lbd(b)
+                .cmp(&self.db.lbd(a))
+                .then_with(|| {
+                    self.db
+                        .activity(a)
+                        .partial_cmp(&self.db.activity(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .then_with(|| a.cmp(&b))
         });
-        let locked: Vec<usize> = self
-            .reason
-            .iter()
-            .copied()
-            .filter(|&r| r != INVALID_CLAUSE)
-            .collect();
-        let to_remove: Vec<usize> = learnt_idx
-            .iter()
-            .copied()
-            .take(learnt_idx.len() / 2)
-            .filter(|i| !locked.contains(i))
-            .collect();
-        if to_remove.is_empty() {
-            return;
+        for &cref in &candidates[..candidates.len() / 2] {
+            self.db.delete(cref);
         }
-        let keep: Vec<bool> = (0..self.clauses.len())
-            .map(|i| !to_remove.contains(&i))
-            .collect();
-        // Build the index remapping and compact the clause database.
-        let mut remap = vec![INVALID_CLAUSE; self.clauses.len()];
-        let mut new_clauses = Vec::with_capacity(self.clauses.len() - to_remove.len());
-        for (i, clause) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
-            if keep[i] {
-                remap[i] = new_clauses.len();
-                new_clauses.push(clause);
-            } else {
-                self.stats.learnt_clauses = self.stats.learnt_clauses.saturating_sub(1);
-            }
+        self.collect_garbage();
+        self.stats.learnt_clauses = self.db.learnts().len() as u64;
+    }
+
+    /// Compacts the clause arena and relocates every watcher and reason
+    /// reference through the returned forwarding map. Watchers of dropped
+    /// clauses are filtered out in place; list order (and blockers) of the
+    /// survivors is preserved, so propagation visits clauses in the same
+    /// order as before the collection.
+    fn collect_garbage(&mut self) {
+        let map = self.db.collect_garbage();
+        for list in &mut self.watches {
+            list.retain_mut(|w| match map.translate(w.cref) {
+                Some(cref) => {
+                    w.cref = cref;
+                    true
+                }
+                None => false,
+            });
         }
-        self.clauses = new_clauses;
         for r in &mut self.reason {
-            if *r != INVALID_CLAUSE {
-                *r = remap[*r];
+            if r.is_valid() {
+                *r = map.translate(*r).expect("reason clauses are never deleted");
             }
-        }
-        for w in &mut self.watches {
-            w.clear();
-        }
-        for (i, clause) in self.clauses.iter().enumerate() {
-            self.watches[(!clause.lits[0]).code()].push(i);
-            self.watches[(!clause.lits[1]).code()].push(i);
         }
     }
 
@@ -579,6 +534,14 @@ impl Solver {
         result
     }
 
+    fn initial_max_learnts(&self) -> f64 {
+        #[cfg(test)]
+        if let Some(forced) = self.max_learnts_override {
+            return forced;
+        }
+        (self.db.num_clauses() as f64 * 0.5).max(100.0)
+    }
+
     fn solve_with_assumptions_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
         if !self.ok {
             return SolveResult::Unsat;
@@ -591,7 +554,7 @@ impl Solver {
             self.ok = false;
             return SolveResult::Unsat;
         }
-        self.max_learnts = (self.clauses.len() as f64 * 0.5).max(100.0);
+        self.max_learnts = self.initial_max_learnts();
 
         let mut restart_count: u64 = 0;
         let mut conflicts_until_restart = 100 * Self::luby(restart_count);
@@ -610,16 +573,21 @@ impl Solver {
                     self.backtrack(backtrack_level);
                     let assert_lit = learnt[0];
                     if learnt.len() == 1 {
-                        if !self.enqueue(assert_lit, INVALID_CLAUSE) {
+                        if !self.enqueue(assert_lit, ClauseRef::INVALID) {
                             self.ok = false;
                             return SolveResult::Unsat;
                         }
                     } else {
-                        let ci = self.attach_clause(learnt, true);
-                        self.bump_clause(ci);
-                        self.enqueue(assert_lit, ci);
+                        let lbd = self.compute_lbd(&learnt);
+                        let cref = self.attach_clause(&learnt, true);
+                        self.db.set_lbd(cref, lbd);
+                        self.stats.lbd_sum += u64::from(lbd);
+                        self.stats.lbd_clauses += 1;
+                        self.db.bump_activity(cref);
+                        self.enqueue(assert_lit, cref);
                     }
-                    self.decay_activities();
+                    self.order.decay();
+                    self.db.decay_activity();
                 }
                 None => {
                     if conflicts_in_round >= conflicts_until_restart {
@@ -658,7 +626,7 @@ impl Solver {
                         Some(lit) => {
                             self.stats.decisions += 1;
                             self.trail_lim.push(self.trail.len());
-                            self.enqueue(lit, INVALID_CLAUSE);
+                            self.enqueue(lit, ClauseRef::INVALID);
                         }
                     }
                 }
@@ -680,6 +648,20 @@ mod tests {
         let mut s = Solver::new();
         let vars = (0..n).map(|_| s.new_var()).collect();
         (s, vars)
+    }
+
+    fn add_pigeonhole(s: &mut Solver, v: &[Var], pigeons: usize, holes: usize) {
+        let p = |i: usize, h: usize| (i * holes + h + 1) as i64;
+        for i in 0..pigeons {
+            s.add_clause((0..holes).map(|h| lit(v, p(i, h))));
+        }
+        for h in 0..holes {
+            for i in 0..pigeons {
+                for j in (i + 1)..pigeons {
+                    s.add_clause([lit(v, -p(i, h)), lit(v, -p(j, h))]);
+                }
+            }
+        }
     }
 
     #[test]
@@ -736,36 +718,15 @@ mod tests {
 
     #[test]
     fn pigeonhole_3_into_2_is_unsat() {
-        // 3 pigeons, 2 holes: p_{i,h} means pigeon i sits in hole h.
         let (mut s, v) = solver_with_vars(6);
-        let p = |i: usize, h: usize| i * 2 + h + 1;
-        for i in 0..3 {
-            s.add_clause([lit(&v, p(i, 0) as i64), lit(&v, p(i, 1) as i64)]);
-        }
-        for h in 0..2 {
-            for i in 0..3 {
-                for j in (i + 1)..3 {
-                    s.add_clause([lit(&v, -(p(i, h) as i64)), lit(&v, -(p(j, h) as i64))]);
-                }
-            }
-        }
+        add_pigeonhole(&mut s, &v, 3, 2);
         assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
     #[test]
     fn pigeonhole_4_into_3_is_unsat() {
         let (mut s, v) = solver_with_vars(12);
-        let p = |i: usize, h: usize| i * 3 + h + 1;
-        for i in 0..4 {
-            s.add_clause((0..3).map(|h| lit(&v, p(i, h) as i64)));
-        }
-        for h in 0..3 {
-            for i in 0..4 {
-                for j in (i + 1)..4 {
-                    s.add_clause([lit(&v, -(p(i, h) as i64)), lit(&v, -(p(j, h) as i64))]);
-                }
-            }
-        }
+        add_pigeonhole(&mut s, &v, 4, 3);
         assert_eq!(s.solve(), SolveResult::Unsat);
         assert!(s.stats().conflicts > 0);
     }
@@ -861,17 +822,7 @@ mod tests {
     #[test]
     fn stats_are_populated() {
         let (mut s, v) = solver_with_vars(6);
-        let p = |i: usize, h: usize| i * 2 + h + 1;
-        for i in 0..3 {
-            s.add_clause([lit(&v, p(i, 0) as i64), lit(&v, p(i, 1) as i64)]);
-        }
-        for h in 0..2 {
-            for i in 0..3 {
-                for j in (i + 1)..3 {
-                    s.add_clause([lit(&v, -(p(i, h) as i64)), lit(&v, -(p(j, h) as i64))]);
-                }
-            }
-        }
+        add_pigeonhole(&mut s, &v, 3, 2);
         let _ = s.solve();
         let stats = s.stats();
         assert!(stats.decisions > 0 || stats.propagations > 0);
@@ -891,5 +842,107 @@ mod tests {
         s.add_clause([lit(&v, 1)]);
         s.add_clause([lit(&v, -1)]);
         assert!(!s.add_clause([lit(&v, 1)]));
+    }
+
+    /// Forcing a one-clause learnt budget makes every round of the search
+    /// run the glue/activity-tiered reduction and the arena GC; the solver
+    /// must still decide the pigeonhole instance correctly, and the learnt
+    /// gauge must reflect the reduced database, not the learn counter.
+    #[test]
+    fn database_reduction_and_gc_preserve_unsatisfiability() {
+        let (mut s, v) = solver_with_vars(20);
+        add_pigeonhole(&mut s, &v, 5, 4);
+        s.max_learnts_override = Some(1.0);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let stats = s.stats();
+        assert!(stats.conflicts > 2, "instance must be non-trivial");
+        assert!(
+            stats.learnt_clauses <= stats.conflicts,
+            "gauge exceeds everything ever learnt"
+        );
+    }
+
+    #[test]
+    fn database_reduction_preserves_satisfiability_and_models() {
+        let (mut s, v) = solver_with_vars(16);
+        // Satisfiable near-pigeonhole: 4 pigeons, 4 holes.
+        let mut clauses: Vec<Vec<i64>> = Vec::new();
+        let p = |i: usize, h: usize| (i * 4 + h + 1) as i64;
+        for i in 0..4 {
+            clauses.push((0..4).map(|h| p(i, h)).collect());
+        }
+        for h in 0..4 {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    clauses.push(vec![-p(i, h), -p(j, h)]);
+                }
+            }
+        }
+        for c in &clauses {
+            s.add_clause(c.iter().map(|&x| lit(&v, x)));
+        }
+        s.max_learnts_override = Some(1.0);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let model = s.model();
+        for c in &clauses {
+            assert!(c.iter().any(|&x| {
+                let val = model[(x.unsigned_abs() - 1) as usize];
+                if x > 0 {
+                    val
+                } else {
+                    !val
+                }
+            }));
+        }
+    }
+
+    /// Conflict-clause minimization must actually fire on instances with
+    /// implication structure, and the LBD accounting must cover every stored
+    /// learnt clause.
+    #[test]
+    fn minimization_and_lbd_statistics_accumulate() {
+        let (mut s, v) = solver_with_vars(20);
+        add_pigeonhole(&mut s, &v, 5, 4);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let stats = s.stats();
+        assert!(stats.lbd_clauses > 0, "no learnt clause recorded an LBD");
+        assert!(stats.lbd_sum >= stats.lbd_clauses, "LBD is at least 1");
+        assert!(stats.mean_lbd() >= 1.0);
+        assert!(
+            stats.minimized_lits > 0,
+            "recursive minimization never removed a literal"
+        );
+    }
+
+    #[test]
+    fn learnt_gauge_aggregates_as_max_and_counters_as_sums() {
+        let a = SolverStats {
+            learnt_clauses: 10,
+            decisions: 3,
+            minimized_lits: 2,
+            lbd_sum: 8,
+            lbd_clauses: 4,
+            ..SolverStats::default()
+        };
+        let b = SolverStats {
+            learnt_clauses: 7,
+            decisions: 5,
+            minimized_lits: 1,
+            lbd_sum: 4,
+            lbd_clauses: 2,
+            ..SolverStats::default()
+        };
+        let sum = a + b;
+        assert_eq!(sum.learnt_clauses, 10, "gauge: max, not sum");
+        assert_eq!(sum.decisions, 8);
+        assert_eq!(sum.minimized_lits, 3);
+        assert_eq!(sum.lbd_sum, 12);
+        assert_eq!(sum.lbd_clauses, 6);
+        assert!((sum.mean_lbd() - 2.0).abs() < 1e-12);
+        // `since` diffs counters but passes the gauge through.
+        let diff = sum.since(&b);
+        assert_eq!(diff.learnt_clauses, 10);
+        assert_eq!(diff.decisions, 3);
+        assert_eq!(diff.lbd_sum, 8);
     }
 }
