@@ -1,0 +1,335 @@
+//! Load generator and smoke client for the `amle-served` daemon.
+//!
+//! ```text
+//! serve-client [--addr ADDR] [--system NAME] [--sessions N] [--batches N]
+//!              [--traces N] [--length N] [--seed N] [--workers N]
+//!              [--expect-converged] [--shutdown]
+//! ```
+//!
+//! Connects to a running daemon (retrying the connect for a few seconds so
+//! CI can start the daemon in the background without a sleep), opens
+//! `--sessions` sessions named `load-0`, `load-1`, …, and drives each
+//! through `--batches` ingest+refine rounds with deterministically seeded
+//! simulator traces (session index folded into the seed, so concurrent
+//! sessions learn from distinct trace sets). Retriable rejections — a full
+//! session queue or an expired deadline — are retried with backoff, which
+//! doubles as an end-to-end exercise of the daemon's backpressure contract.
+//!
+//! * `--addr ADDR` — daemon address (default `127.0.0.1:4155`).
+//! * `--system NAME` — benchmark system to learn (default
+//!   `HomeClimateControlCooler`).
+//! * `--sessions N` / `--batches N` / `--traces N` / `--length N` — load
+//!   shape: sessions, ingest+refine rounds per session, traces per batch,
+//!   trace length (defaults 1 / 2 / 8 / 12).
+//! * `--seed N` — base RNG seed (default 7).
+//! * `--workers N` — condition-checking workers per session (default 1).
+//! * `--expect-converged` — exit non-zero unless every session's final
+//!   refinement reports `converged: true` (the CI smoke gate).
+//! * `--shutdown` — send `shutdown` after the load and wait for the
+//!   acknowledgement, so the daemon process exits cleanly.
+
+use amle_bench::fingerprint_digest;
+use amle_benchmarks::benchmark_by_name;
+use amle_serve::json::{parse_json, Json};
+use amle_system::{wire, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Options {
+    addr: String,
+    system: String,
+    sessions: usize,
+    batches: usize,
+    traces: usize,
+    length: usize,
+    seed: u64,
+    workers: usize,
+    expect_converged: bool,
+    shutdown: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: serve-client [--addr ADDR] [--system NAME] [--sessions N] [--batches N]\n\
+         \x20                   [--traces N] [--length N] [--seed N] [--workers N]\n\
+         \x20                   [--expect-converged] [--shutdown]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_options() -> Result<Options, ExitCode> {
+    let mut options = Options {
+        addr: "127.0.0.1:4155".to_string(),
+        system: "HomeClimateControlCooler".to_string(),
+        sessions: 1,
+        batches: 2,
+        traces: 8,
+        length: 12,
+        seed: 7,
+        workers: 1,
+        expect_converged: false,
+        shutdown: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> Result<String, ExitCode> {
+            args.next().ok_or_else(|| {
+                eprintln!("{name} requires an argument");
+                usage()
+            })
+        };
+        fn numeric<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, ExitCode> {
+            raw.parse().map_err(|_| {
+                eprintln!("{name} requires a number, got `{raw}`");
+                usage()
+            })
+        }
+        match arg.as_str() {
+            "--addr" => options.addr = value("--addr")?,
+            "--system" => options.system = value("--system")?,
+            "--sessions" => options.sessions = numeric("--sessions", &value("--sessions")?)?,
+            "--batches" => options.batches = numeric("--batches", &value("--batches")?)?,
+            "--traces" => options.traces = numeric("--traces", &value("--traces")?)?,
+            "--length" => options.length = numeric("--length", &value("--length")?)?,
+            "--seed" => options.seed = numeric("--seed", &value("--seed")?)?,
+            "--workers" => options.workers = numeric("--workers", &value("--workers")?)?,
+            "--expect-converged" => options.expect_converged = true,
+            "--shutdown" => options.shutdown = true,
+            "--help" | "-h" => return Err(usage()),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return Err(usage());
+            }
+        }
+    }
+    options.sessions = options.sessions.max(1);
+    options.batches = options.batches.max(1);
+    options.traces = options.traces.max(1);
+    options.length = options.length.max(2);
+    options.workers = options.workers.max(1);
+    Ok(options)
+}
+
+/// One protocol connection: a request line out, a response line in.
+struct Client {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects, retrying for up to ~10s so a freshly spawned daemon has
+    /// time to bind.
+    fn connect(addr: &str) -> Result<Client, String> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let reader = BufReader::new(
+                        stream
+                            .try_clone()
+                            .map_err(|e| format!("clone stream: {e}"))?,
+                    );
+                    return Ok(Client { reader, stream });
+                }
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Err(e) => return Err(format!("cannot connect to {addr}: {e}")),
+            }
+        }
+    }
+
+    fn send(&mut self, request: &Json) -> Result<Json, String> {
+        self.stream
+            .write_all(request.render().as_bytes())
+            .and_then(|()| self.stream.write_all(b"\n"))
+            .map_err(|e| format!("write request: {e}"))?;
+        let mut line = String::new();
+        self.reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read response: {e}"))?;
+        if line.is_empty() {
+            return Err("daemon closed the connection".to_string());
+        }
+        parse_json(line.trim_end()).map_err(|e| format!("bad response line {line:?}: {e}"))
+    }
+
+    /// Sends, retrying retriable rejections (full queue, expired deadline)
+    /// with linear backoff. Non-retriable errors are final.
+    fn send_retry(&mut self, request: &Json) -> Result<Json, String> {
+        for attempt in 0..50u64 {
+            let response = self.send(request)?;
+            if response.get("ok").and_then(Json::as_bool) == Some(true) {
+                return Ok(response);
+            }
+            let retriable = response.get("retriable").and_then(Json::as_bool) == Some(true);
+            let error = response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown error")
+                .to_string();
+            if !retriable {
+                return Err(error);
+            }
+            std::thread::sleep(Duration::from_millis(50 * (attempt + 1)));
+        }
+        Err("retriable rejection persisted after 50 attempts".to_string())
+    }
+}
+
+fn req<const N: usize>(op: &str, fields: [(&str, Json); N]) -> Json {
+    let mut pairs = vec![("op".to_string(), Json::from(op))];
+    pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    pairs.into_iter().collect()
+}
+
+fn trace_batch(options: &Options, session: usize, batch: usize) -> Result<Json, String> {
+    let benchmark = benchmark_by_name(&options.system)
+        .ok_or_else(|| format!("unknown system `{}`", options.system))?;
+    let seed = options
+        .seed
+        .wrapping_add(1000 * session as u64)
+        .wrapping_add(batch as u64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let traces =
+        Simulator::new(&benchmark.system).random_traces(options.traces, options.length, &mut rng);
+    Ok(traces
+        .iter()
+        .map(|t| -> Json {
+            wire::trace_to_rows(t)
+                .into_iter()
+                .map(|row| -> Json { row.into_iter().map(Json::from).collect() })
+                .collect()
+        })
+        .collect())
+}
+
+fn drive_session(options: &Options, index: usize) -> Result<(bool, String), String> {
+    let name = format!("load-{index}");
+    let mut client = Client::connect(&options.addr)?;
+    let config: Json = [
+        ("workers".to_string(), Json::from(options.workers)),
+        ("k".to_string(), Json::Null),
+    ]
+    .into_iter()
+    .filter(|(_, v)| *v != Json::Null)
+    .collect();
+    client.send_retry(&req(
+        "open",
+        [
+            ("session", Json::from(name.as_str())),
+            ("system", Json::from(options.system.as_str())),
+            ("config", config),
+        ],
+    ))?;
+    let mut converged = false;
+    let mut digest = String::new();
+    for batch in 0..options.batches {
+        let traces = trace_batch(options, index, batch)?;
+        client.send_retry(&req(
+            "ingest",
+            [("session", Json::from(name.as_str())), ("traces", traces)],
+        ))?;
+        let refined =
+            client.send_retry(&req("refine", [("session", Json::from(name.as_str()))]))?;
+        converged = refined.get("converged").and_then(Json::as_bool) == Some(true);
+        digest = refined
+            .get("fingerprint_digest")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let fingerprint = refined
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .unwrap_or("");
+        if fingerprint_digest(fingerprint) != digest {
+            return Err(format!(
+                "session {name}: fingerprint digest mismatch (daemon says {digest})"
+            ));
+        }
+        eprintln!(
+            "session {name}: batch {}/{} alpha={} converged={converged} digest={digest}",
+            batch + 1,
+            options.batches,
+            refined
+                .get("alpha")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN),
+        );
+    }
+    client.send_retry(&req("close", [("session", Json::from(name.as_str()))]))?;
+    Ok((converged, digest))
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(code) => return code,
+    };
+    if benchmark_by_name(&options.system).is_none() {
+        eprintln!("unknown system `{}`", options.system);
+        return ExitCode::FAILURE;
+    }
+
+    // Sessions run on concurrent connections — the point of a resident
+    // daemon — and each drives its own ingest/refine rounds.
+    let options = &options;
+    let outcomes: Vec<Result<(bool, String), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..options.sessions)
+            .map(|index| scope.spawn(move || drive_session(options, index)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("session thread panicked".to_string()))
+            })
+            .collect()
+    });
+
+    let mut failed = false;
+    let mut all_converged = true;
+    for (index, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            Ok((converged, digest)) => {
+                println!(
+                    "session load-{index}: {} digest={digest}",
+                    if *converged {
+                        "converged"
+                    } else {
+                        "not converged"
+                    }
+                );
+                all_converged &= converged;
+            }
+            Err(e) => {
+                eprintln!("session load-{index} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if options.shutdown {
+        match Client::connect(&options.addr).and_then(|mut c| c.send_retry(&req("shutdown", []))) {
+            Ok(_) => println!("daemon acknowledged shutdown"),
+            Err(e) => {
+                eprintln!("shutdown failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else if options.expect_converged && !all_converged {
+        eprintln!("--expect-converged: at least one session did not reach alpha = 1");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

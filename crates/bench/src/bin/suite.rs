@@ -63,6 +63,7 @@ use amle_bench::{
 use amle_benchmarks::{all_benchmarks, full_suite, Benchmark};
 use amle_core::{ActiveLearnerConfig, OracleConfig, OracleKind, ParallelConfig};
 use amle_learner::{HistoryLearner, KTailsLearner, LearnerKind, LstarLearner, SatDfaLearner};
+use std::process::ExitCode;
 use std::time::Instant;
 
 struct Options {
@@ -80,18 +81,31 @@ struct Options {
 }
 
 /// Builds a fresh learner of the named kind (one per benchmark run, so
-/// per-learner incremental caches never leak across benchmarks).
-fn make_learner(name: &str) -> LearnerKind {
+/// per-learner incremental caches never leak across benchmarks). `None` for
+/// an unknown name; callers validate at argument-parse time.
+fn make_learner(name: &str) -> Option<LearnerKind> {
     match name {
-        "history" => LearnerKind::History(HistoryLearner::default()),
-        "ktails" => LearnerKind::KTails(KTailsLearner::new(1)),
-        "satdfa" => LearnerKind::SatDfa(SatDfaLearner::default()),
-        "lstar" => LearnerKind::Lstar(LstarLearner::default()),
-        other => panic!("unknown learner `{other}` (history|ktails|satdfa|lstar)"),
+        "history" => Some(LearnerKind::History(HistoryLearner::default())),
+        "ktails" => Some(LearnerKind::KTails(KTailsLearner::new(1))),
+        "satdfa" => Some(LearnerKind::SatDfa(SatDfaLearner::default())),
+        "lstar" => Some(LearnerKind::Lstar(LstarLearner::default())),
+        _ => None,
     }
 }
 
-fn parse_options() -> Options {
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: suite [--workers N] [--condition-workers N] [--quick] [--compare]\n\
+         \x20            [--table1-only] [--stress] [--only <substring>]\n\
+         \x20            [--dump-fingerprint <path>] [--json <path>]\n\
+         \x20            [--learner history|ktails|satdfa|lstar]\n\
+         \x20            [--engine kinduction|explicit|portfolio] [--no-cache]\n\
+         \x20            [--cross-validate]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_options() -> Result<Options, ExitCode> {
     let mut options = Options {
         workers: std::env::var("AMLE_WORKERS")
             .ok()
@@ -112,42 +126,61 @@ fn parse_options() -> Options {
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut numeric = |name: &str| {
-            args.next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| panic!("{name} requires a positive integer argument"))
+        let mut value = |name: &str| -> Result<String, ExitCode> {
+            args.next().ok_or_else(|| {
+                eprintln!("{name} requires an argument");
+                usage()
+            })
+        };
+        let mut numeric = |name: &str| -> Result<usize, ExitCode> {
+            let raw = value(name)?;
+            raw.parse().map_err(|_| {
+                eprintln!("{name} requires a positive integer, got `{raw}`");
+                usage()
+            })
         };
         match arg.as_str() {
-            "--workers" => options.workers = numeric("--workers"),
-            "--condition-workers" => options.condition_workers = numeric("--condition-workers"),
+            "--workers" => options.workers = numeric("--workers")?,
+            "--condition-workers" => options.condition_workers = numeric("--condition-workers")?,
             "--quick" => options.quick = true,
             "--compare" => options.compare = true,
             "--table1-only" => options.table1_only = true,
             "--stress" => options.stress = true,
-            "--only" => options.only = Some(args.next().expect("--only requires a substring")),
+            "--only" => options.only = Some(value("--only")?),
             "--dump-fingerprint" => {
-                options.dump_fingerprint =
-                    Some(args.next().expect("--dump-fingerprint requires a path"));
+                options.dump_fingerprint = Some(value("--dump-fingerprint")?);
             }
-            "--json" => options.json = Some(args.next().expect("--json requires a path")),
+            "--json" => options.json = Some(value("--json")?),
             "--learner" => {
-                let name = args.next().expect("--learner requires a name");
-                let _ = make_learner(&name); // validate eagerly
+                let name = value("--learner")?;
+                if make_learner(&name).is_none() {
+                    eprintln!("unknown learner `{name}` (history|ktails|satdfa|lstar)");
+                    return Err(usage());
+                }
                 options.learner = name;
             }
             "--engine" => {
-                let name = args.next().expect("--engine requires a name");
-                options.oracle.engine = OracleKind::from_name(&name)
-                    .unwrap_or_else(|| panic!("unknown engine `{name}`"));
+                let name = value("--engine")?;
+                match OracleKind::from_name(&name) {
+                    Some(engine) => options.oracle.engine = engine,
+                    None => {
+                        eprintln!("unknown engine `{name}` (kinduction|explicit|portfolio)");
+                        return Err(usage());
+                    }
+                }
             }
             "--no-cache" => options.oracle.verdict_cache = false,
             "--cross-validate" => options.oracle.cross_validate = true,
-            other => panic!("unknown argument `{other}`"),
+            "--help" | "-h" => return Err(usage()),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return Err(usage());
+            }
         }
     }
     options.workers = options.workers.max(1);
     options.condition_workers = options.condition_workers.max(1);
-    options
+    Ok(options)
 }
 
 fn config_for(
@@ -177,8 +210,11 @@ fn config_for(
     config
 }
 
-fn main() {
-    let options = parse_options();
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(code) => return code,
+    };
     let mut suite = if options.table1_only {
         all_benchmarks()
     } else {
@@ -194,7 +230,10 @@ fn main() {
     }
     if let Some(only) = &options.only {
         suite.retain(|b| b.name.contains(only.as_str()));
-        assert!(!suite.is_empty(), "--only `{only}` matches no benchmark");
+        if suite.is_empty() {
+            eprintln!("--only `{only}` matches no benchmark");
+            return ExitCode::from(2);
+        }
     }
     eprintln!(
         "suite: {} benchmarks, {} suite worker(s), {} condition worker(s), engine {}, learner {}{}{}",
@@ -216,7 +255,7 @@ fn main() {
         let results = run_suite(&suite, suite_workers, |benchmark| {
             eprintln!("running {} ...", benchmark.name);
             (
-                make_learner(&options.learner),
+                make_learner(&options.learner).expect("learner name validated at parse time"),
                 config_for(benchmark, options.quick, condition_workers, options.oracle),
             )
         });
@@ -226,8 +265,10 @@ fn main() {
     let (results, parallel_time) = run(options.workers, options.condition_workers);
 
     if let Some(path) = &options.dump_fingerprint {
-        std::fs::write(path, suite_fingerprint(&suite, &results))
-            .unwrap_or_else(|e| panic!("cannot write fingerprint to {path}: {e}"));
+        if let Err(e) = std::fs::write(path, suite_fingerprint(&suite, &results)) {
+            eprintln!("cannot write fingerprint to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
         eprintln!("fingerprint written to {path}");
     }
 
@@ -240,8 +281,10 @@ fn main() {
             condition_workers: options.condition_workers,
             wall_time_s: parallel_time.as_secs_f64(),
         };
-        std::fs::write(path, suite_json(&meta, &suite, &results))
-            .unwrap_or_else(|e| panic!("cannot write suite JSON to {path}: {e}"));
+        if let Err(e) = std::fs::write(path, suite_json(&meta, &suite, &results)) {
+            eprintln!("cannot write suite JSON to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
         eprintln!("machine-readable results written to {path}");
     }
 
@@ -269,10 +312,10 @@ fn main() {
         let (sequential_results, sequential_time) = run(1, 1);
         let parallel_fp = suite_fingerprint(&suite, &results);
         let sequential_fp = suite_fingerprint(&suite, &sequential_results);
-        assert_eq!(
-            parallel_fp, sequential_fp,
-            "parallel and sequential suite reports differ"
-        );
+        if parallel_fp != sequential_fp {
+            eprintln!("determinism violation: parallel and sequential suite reports differ");
+            return ExitCode::FAILURE;
+        }
         println!(
             "determinism: OK — {} workers and 1 worker produced byte-identical reports ({} fingerprint bytes)",
             options.workers,
@@ -286,4 +329,5 @@ fn main() {
             options.workers
         );
     }
+    ExitCode::SUCCESS
 }

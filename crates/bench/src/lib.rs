@@ -306,18 +306,10 @@ pub fn suite_fingerprint(benchmarks: &[Benchmark], results: &[(ActiveRow, RunRep
     out
 }
 
-/// A short, stable digest of a fingerprint string (FNV-1a 64, rendered as
-/// 16 hex digits): compact enough to commit next to the CI workflow and to
-/// accumulate in `BENCH_*.json` trajectories, yet any semantic drift in the
-/// underlying report changes it.
-pub fn fingerprint_digest(fingerprint: &str) -> String {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in fingerprint.as_bytes() {
-        hash ^= u64::from(*byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    format!("{hash:016x}")
-}
+// The digest lives in amle-core (the daemon stamps it into snapshots and
+// refinement events); re-exported here so suite output and perf-diff keep
+// using the same 16-hex-digit FNV-1a rendering without a drifting copy.
+pub use amle_core::fingerprint_digest;
 
 /// Run-level context recorded in the machine-readable suite output.
 #[derive(Debug, Clone)]

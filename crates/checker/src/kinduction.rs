@@ -121,6 +121,35 @@ impl std::ops::Add for CheckerStats {
     }
 }
 
+impl CheckerStats {
+    /// The work done since an earlier snapshot of the same (accumulating)
+    /// checker — counters are differenced, the embedded solver gauge passes
+    /// through via [`SolverStats::since`]. This is what lets a long-lived
+    /// oracle session attribute per-refinement work: snapshot before, `since`
+    /// after.
+    pub fn since(&self, earlier: &CheckerStats) -> CheckerStats {
+        CheckerStats {
+            sat_queries: self.sat_queries.saturating_sub(earlier.sat_queries),
+            condition_checks: self
+                .condition_checks
+                .saturating_sub(earlier.condition_checks),
+            spurious_checks: self.spurious_checks.saturating_sub(earlier.spurious_checks),
+            total_clauses: self.total_clauses.saturating_sub(earlier.total_clauses),
+            kinduction_queries: self
+                .kinduction_queries
+                .saturating_sub(earlier.kinduction_queries),
+            explicit_queries: self
+                .explicit_queries
+                .saturating_sub(earlier.explicit_queries),
+            explicit_work: self.explicit_work.saturating_sub(earlier.explicit_work),
+            explicit_fallbacks: self
+                .explicit_fallbacks
+                .saturating_sub(earlier.explicit_fallbacks),
+            solver: self.solver.since(&earlier.solver),
+        }
+    }
+}
+
 /// How the checker manages its SAT backend across queries.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum CheckerMode {

@@ -82,14 +82,40 @@ impl ParallelConfig {
         }
     }
 
-    /// Reads the worker count from the `AMLE_WORKERS` environment variable,
-    /// defaulting to 1 (sequential) when unset or unparsable.
+    /// Reads the worker count from the `AMLE_WORKERS` environment variable:
+    /// unset (or empty) means 1 (sequential), `0` is clamped to 1, and a
+    /// value that does not parse as an unsigned integer falls back to 1 with
+    /// a one-time warning — a typo in a CI matrix or a service unit must not
+    /// silently evaporate the intended parallel coverage.
     pub fn from_env() -> Self {
-        let workers = std::env::var("AMLE_WORKERS")
-            .ok()
-            .and_then(|v| v.trim().parse().ok())
-            .unwrap_or(1);
-        Self::with_workers(workers)
+        Self::with_workers(Self::workers_from_env_value(
+            std::env::var("AMLE_WORKERS").ok().as_deref(),
+        ))
+    }
+
+    /// The pure parsing rule behind [`ParallelConfig::from_env`], factored
+    /// out so tests can pin it without mutating the process environment.
+    fn workers_from_env_value(value: Option<&str>) -> usize {
+        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+        let Some(raw) = value else { return 1 };
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return 1;
+        }
+        match raw.parse::<usize>() {
+            // `with_workers` clamps again, but clamping here keeps the rule
+            // self-contained: 0 is "sequential", never "no workers".
+            Ok(n) => n.max(1),
+            Err(_) => {
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "AMLE_WORKERS=`{raw}` is not a worker count; \
+                         using 1 (sequential)"
+                    )
+                });
+                1
+            }
+        }
     }
 }
 
@@ -541,27 +567,34 @@ pub(crate) trait ConditionEngine {
 
 /// The sequential engine: one oracle stack on the calling thread plus the
 /// planner — the paper's Fig. 1 behaviour with cached verdicts.
-pub(crate) struct SequentialEngine<'a> {
+///
+/// Both the oracle and the planner are **borrowed**, not owned: the caller
+/// decides their lifetime. A batch run builds both fresh and drops them with
+/// the report; a resident [`crate::Session`] keeps the same warm oracle
+/// (incremental solver sessions intact) and the same verdict cache across
+/// many refinement calls.
+pub(crate) struct SequentialEngine<'o, 'a> {
     system: &'a System,
-    oracle: Box<dyn ConditionOracle + 'a>,
-    planner: QueryPlanner,
+    oracle: &'o mut (dyn ConditionOracle + 'a),
+    planner: &'o mut QueryPlanner,
     observables: Vec<VarId>,
     k: usize,
     max_spurious_rounds: usize,
 }
 
-impl<'a> SequentialEngine<'a> {
+impl<'o, 'a> SequentialEngine<'o, 'a> {
     pub fn new(
         system: &'a System,
+        oracle: &'o mut (dyn ConditionOracle + 'a),
+        planner: &'o mut QueryPlanner,
         observables: Vec<VarId>,
         k: usize,
         max_spurious_rounds: usize,
-        oracle: &OracleConfig,
     ) -> Self {
         SequentialEngine {
             system,
-            oracle: build_oracle(system, &oracle.settings()),
-            planner: QueryPlanner::new(oracle.verdict_cache),
+            oracle,
+            planner,
             observables,
             k,
             max_spurious_rounds,
@@ -569,7 +602,7 @@ impl<'a> SequentialEngine<'a> {
     }
 }
 
-impl ConditionEngine for SequentialEngine<'_> {
+impl ConditionEngine for SequentialEngine<'_, '_> {
     fn evaluate(&mut self, conditions: &[Condition]) -> ConditionEvaluation {
         let mut plan = self.planner.plan(conditions);
         for (index, key) in std::mem::take(&mut plan.pending) {
@@ -628,16 +661,20 @@ impl Drop for PanicNotifier {
 /// Work items are pulled from a shared queue in planner priority order; the
 /// planner itself (cache + failure history) lives on the merge side, so its
 /// state evolves identically for every worker count.
-pub(crate) struct WorkerPool<'scope> {
+pub(crate) struct WorkerPool<'scope, 'p> {
     work_tx: Option<mpsc::Sender<WorkItem>>,
     result_rx: mpsc::Receiver<PoolMessage>,
     handles: Vec<thread::ScopedJoinHandle<'scope, CheckerStats>>,
-    planner: QueryPlanner,
+    planner: &'p mut QueryPlanner,
 }
 
-impl<'scope> WorkerPool<'scope> {
+impl<'scope, 'p> WorkerPool<'scope, 'p> {
     /// Spawns `workers` threads on `scope`, each building its own oracle
-    /// stack for `system`.
+    /// stack for `system`. The planner is borrowed from the caller so the
+    /// verdict cache can outlive the pool (worker oracles are rebuilt per
+    /// refinement inside their `thread::scope`, but cached verdicts — living
+    /// on the merge side — persist).
+    #[allow(clippy::too_many_arguments)] // internal seam; callers are the two refine paths
     pub fn spawn<'env: 'scope>(
         scope: &'scope thread::Scope<'scope, 'env>,
         system: &'env System,
@@ -646,6 +683,7 @@ impl<'scope> WorkerPool<'scope> {
         k: usize,
         max_spurious_rounds: usize,
         oracle: &OracleConfig,
+        planner: &'p mut QueryPlanner,
     ) -> Self {
         let (work_tx, work_rx) = mpsc::channel::<WorkItem>();
         let work_rx = Arc::new(Mutex::new(work_rx));
@@ -692,12 +730,12 @@ impl<'scope> WorkerPool<'scope> {
             work_tx: Some(work_tx),
             result_rx,
             handles,
-            planner: QueryPlanner::new(oracle.verdict_cache),
+            planner,
         }
     }
 }
 
-impl ConditionEngine for WorkerPool<'_> {
+impl ConditionEngine for WorkerPool<'_, '_> {
     fn evaluate(&mut self, conditions: &[Condition]) -> ConditionEvaluation {
         let mut plan = self.planner.plan(conditions);
         let pending = std::mem::take(&mut plan.pending);
@@ -767,6 +805,18 @@ mod tests {
         }
     }
 
+    /// The owned halves a [`SequentialEngine`] borrows — what a batch run
+    /// builds fresh and a resident session keeps warm.
+    fn engine_parts<'a>(
+        system: &'a System,
+        config: &OracleConfig,
+    ) -> (Box<dyn ConditionOracle + 'a>, QueryPlanner) {
+        (
+            build_oracle(system, &config.settings()),
+            QueryPlanner::new(config.verdict_cache),
+        )
+    }
+
     #[test]
     #[should_panic(expected = "condition-checking worker panicked")]
     fn a_panicking_worker_fails_the_run_instead_of_hanging() {
@@ -776,6 +826,7 @@ mod tests {
         // for an outcome that will never arrive.
         let system = toggle_system();
         let condition = state_condition(0, Expr::true_(), vec![Expr::false_()]);
+        let mut planner = QueryPlanner::new(true);
         thread::scope(|scope| {
             let mut pool = WorkerPool::spawn(
                 scope,
@@ -785,6 +836,7 @@ mod tests {
                 0,
                 10,
                 &OracleConfig::default(),
+                &mut planner,
             );
             let _ = pool.evaluate(std::slice::from_ref(&condition));
         });
@@ -795,6 +847,26 @@ mod tests {
         assert_eq!(ParallelConfig::default().workers, 1);
         assert_eq!(ParallelConfig::with_workers(0).workers, 1);
         assert_eq!(ParallelConfig::with_workers(8).workers, 8);
+    }
+
+    /// The `AMLE_WORKERS` parsing rule, pinned without touching the process
+    /// environment: unset/empty → sequential, `0` clamps to 1 (never "no
+    /// workers"), garbage falls back to 1 (with a one-time warning) instead
+    /// of silently dropping the intended parallelism to a panic or to 0.
+    #[test]
+    fn workers_env_value_clamps_and_defaults() {
+        assert_eq!(ParallelConfig::workers_from_env_value(None), 1);
+        assert_eq!(ParallelConfig::workers_from_env_value(Some("")), 1);
+        assert_eq!(ParallelConfig::workers_from_env_value(Some("  ")), 1);
+        assert_eq!(ParallelConfig::workers_from_env_value(Some(" 7 ")), 7);
+        assert_eq!(
+            ParallelConfig::workers_from_env_value(Some("0")),
+            1,
+            "0 must clamp to sequential, not zero workers"
+        );
+        assert_eq!(ParallelConfig::workers_from_env_value(Some("four")), 1);
+        assert_eq!(ParallelConfig::workers_from_env_value(Some("-3")), 1);
+        assert_eq!(ParallelConfig::workers_from_env_value(Some("3.5")), 1);
     }
 
     #[test]
@@ -840,8 +912,15 @@ mod tests {
         let system = toggle_system();
         let s = system.vars().lookup("s").unwrap();
         let se = system.var(s);
-        let mut engine =
-            SequentialEngine::new(&system, system.all_vars(), 4, 10, &OracleConfig::default());
+        let (mut oracle, mut planner) = engine_parts(&system, &OracleConfig::default());
+        let mut engine = SequentialEngine::new(
+            &system,
+            &mut *oracle,
+            &mut planner,
+            system.all_vars(),
+            4,
+            10,
+        );
 
         // Iteration 1: both conditions hold.
         let unchanged = state_condition(0, se.clone(), vec![Expr::true_()]);
@@ -883,8 +962,15 @@ mod tests {
         let system = toggle_system();
         let s = system.vars().lookup("s").unwrap();
         let se = system.var(s);
-        let mut engine =
-            SequentialEngine::new(&system, system.all_vars(), 4, 10, &OracleConfig::default());
+        let (mut oracle, mut planner) = engine_parts(&system, &OracleConfig::default());
+        let mut engine = SequentialEngine::new(
+            &system,
+            &mut *oracle,
+            &mut planner,
+            system.all_vars(),
+            4,
+            10,
+        );
 
         let original = state_condition(0, se.clone(), vec![se.clone(), se.not()]);
         let first = engine.evaluate(std::slice::from_ref(&original));
@@ -920,8 +1006,15 @@ mod tests {
         let system = toggle_system();
         let s = system.vars().lookup("s").unwrap();
         let se = system.var(s);
-        let mut engine =
-            SequentialEngine::new(&system, system.all_vars(), 4, 10, &OracleConfig::default());
+        let (mut oracle, mut planner) = engine_parts(&system, &OracleConfig::default());
+        let mut engine = SequentialEngine::new(
+            &system,
+            &mut *oracle,
+            &mut planner,
+            system.all_vars(),
+            4,
+            10,
+        );
         let at_state_0 = state_condition(0, se.clone(), vec![Expr::true_()]);
         let at_state_7 = state_condition(7, se, vec![Expr::true_()]);
         let first = engine.evaluate(std::slice::from_ref(&at_state_0));
@@ -943,14 +1036,29 @@ mod tests {
             state_condition(1, se.clone(), vec![se.not()]),
         ];
 
-        let mut cached =
-            SequentialEngine::new(&system, system.all_vars(), 4, 10, &OracleConfig::default());
+        let (mut cached_oracle, mut cached_planner) =
+            engine_parts(&system, &OracleConfig::default());
+        let mut cached = SequentialEngine::new(
+            &system,
+            &mut *cached_oracle,
+            &mut cached_planner,
+            system.all_vars(),
+            4,
+            10,
+        );
         let uncached_config = OracleConfig {
             verdict_cache: false,
             ..OracleConfig::default()
         };
-        let mut uncached =
-            SequentialEngine::new(&system, system.all_vars(), 4, 10, &uncached_config);
+        let (mut uncached_oracle, mut uncached_planner) = engine_parts(&system, &uncached_config);
+        let mut uncached = SequentialEngine::new(
+            &system,
+            &mut *uncached_oracle,
+            &mut uncached_planner,
+            system.all_vars(),
+            4,
+            10,
+        );
 
         for round in 0..3 {
             let a = cached.evaluate(&conditions);
@@ -994,8 +1102,16 @@ mod tests {
             state_condition(1, se.clone(), vec![Expr::true_()]),
             state_condition(2, se.clone(), vec![Expr::true_()]),
         ];
-        let mut cached =
-            SequentialEngine::new(&system, system.all_vars(), 4, 10, &OracleConfig::default());
+        let (mut cached_oracle, mut cached_planner) =
+            engine_parts(&system, &OracleConfig::default());
+        let mut cached = SequentialEngine::new(
+            &system,
+            &mut *cached_oracle,
+            &mut cached_planner,
+            system.all_vars(),
+            4,
+            10,
+        );
         let evaluation = cached.evaluate(&batch);
         assert_eq!(evaluation.held, 3, "duplicates must still get an outcome");
         assert_eq!(evaluation.solved, 1);
@@ -1008,8 +1124,15 @@ mod tests {
             verdict_cache: false,
             ..OracleConfig::default()
         };
-        let mut uncached =
-            SequentialEngine::new(&system, system.all_vars(), 4, 10, &uncached_config);
+        let (mut uncached_oracle, mut uncached_planner) = engine_parts(&system, &uncached_config);
+        let mut uncached = SequentialEngine::new(
+            &system,
+            &mut *uncached_oracle,
+            &mut uncached_planner,
+            system.all_vars(),
+            4,
+            10,
+        );
         let evaluation = uncached.evaluate(&batch);
         assert_eq!(evaluation.held, 3);
         assert_eq!(evaluation.solved, 3);

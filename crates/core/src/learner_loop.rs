@@ -1,8 +1,11 @@
 //! The active model-learning loop (Fig. 1 of the paper).
 
 use crate::conditions::{extract_conditions, AssumptionMemo, Condition, ConditionKind};
-use crate::engine::{ConditionEngine, OracleConfig, ParallelConfig, SequentialEngine, WorkerPool};
+use crate::engine::{
+    ConditionEngine, OracleConfig, ParallelConfig, QueryPlanner, SequentialEngine, WorkerPool,
+};
 use crate::report::{Invariant, IterationStats, RunReport};
+use amle_checker::build_oracle;
 use amle_expr::{Valuation, VarId};
 use amle_learner::{LearnError, ModelLearner};
 use amle_system::{Simulator, System, Trace, TraceId, TraceSet, TraceStore};
@@ -296,152 +299,185 @@ impl<'a, L: ModelLearner> ActiveLearner<'a, L> {
         let observables = self.observables();
         let workers = self.config.parallel.workers.max(1);
         let (k, max_spurious_rounds) = (self.config.k, self.config.max_spurious_rounds);
-        let oracle = self.config.oracle;
+        let oracle_config = self.config.oracle;
+        let max_iterations = self.config.max_iterations;
+        let mut store = TraceStore::from_trace_set(&traces);
+        drop(traces);
+        // The engine's owned halves: a batch run builds both fresh and drops
+        // them with the report. A resident `Session` owns the same pieces and
+        // keeps them warm across refinement calls.
+        let mut planner = QueryPlanner::new(oracle_config.verdict_cache);
         if workers == 1 {
-            let engine =
-                SequentialEngine::new(self.system, observables, k, max_spurious_rounds, &oracle);
-            self.run_loop(traces, engine)
+            let mut oracle = build_oracle(self.system, &oracle_config.settings());
+            let engine = SequentialEngine::new(
+                self.system,
+                &mut *oracle,
+                &mut planner,
+                observables.clone(),
+                k,
+                max_spurious_rounds,
+            );
+            run_refinement(
+                self.system,
+                &mut self.learner,
+                &observables,
+                max_iterations,
+                &mut store,
+                engine,
+            )
         } else {
             let system = self.system;
+            let learner = &mut self.learner;
             thread::scope(|scope| {
                 let engine = WorkerPool::spawn(
                     scope,
                     system,
-                    observables,
+                    observables.clone(),
                     workers,
                     k,
                     max_spurious_rounds,
-                    &oracle,
+                    &oracle_config,
+                    &mut planner,
                 );
-                self.run_loop(traces, engine)
+                run_refinement(
+                    system,
+                    learner,
+                    &observables,
+                    max_iterations,
+                    &mut store,
+                    engine,
+                )
             })
         }
     }
+}
 
-    /// The iteration loop of Fig. 1, generic over the condition-checking
-    /// engine.
-    ///
-    /// Internally the trace set lives in an interned [`TraceStore`]: the
-    /// learner consumes it through
-    /// [`ModelLearner::learn_from_store`] (incremental word conversion and
-    /// encoding), and counterexamples are spliced in via
-    /// [`splice_counterexample`] (O(1) shared-prefix splices). Both paths
-    /// are pinned byte-identical to the flat-trace reference semantics.
-    fn run_loop<E: ConditionEngine>(
-        &mut self,
-        traces: TraceSet,
-        mut engine: E,
-    ) -> Result<RunReport, ActiveLearnError> {
-        let mut store = TraceStore::from_trace_set(&traces);
-        drop(traces);
-        let observables = self.observables();
-        let start = Instant::now();
-        let mut learn_time = Duration::ZERO;
-        let mut check_time = Duration::ZERO;
-        let mut iteration_stats = Vec::new();
-        // The learner accumulates solver and word statistics across its
-        // lifetime; snapshot them so the report attributes only this run's
-        // work. The expression interner's counters are process-global, so a
-        // delta snapshot bounds them to this run the same way.
-        let learner_stats_start = self.learner.solver_stats();
-        let word_stats_start = self.learner.word_stats();
-        let interner_start = amle_expr::InternerStats::snapshot();
+/// The iteration loop of Fig. 1, generic over the condition-checking engine
+/// and running over an **externally owned** trace store.
+///
+/// This is the shared core of the batch [`ActiveLearner`] and the resident
+/// [`crate::Session`]: the batch path builds a fresh store from its initial
+/// trace set and drops it with the report, while a session keeps the store
+/// (plus the engine's oracle and verdict cache) alive across calls, so each
+/// refinement continues from the spliced result of the previous one.
+///
+/// The trace set lives in an interned [`TraceStore`]: the learner consumes
+/// it through [`ModelLearner::learn_from_store`] (incremental word
+/// conversion and encoding), and counterexamples are spliced in via
+/// [`splice_counterexample`] (O(1) shared-prefix splices). Both paths are
+/// pinned byte-identical to the flat-trace reference semantics.
+pub(crate) fn run_refinement<L: ModelLearner, E: ConditionEngine>(
+    system: &System,
+    learner: &mut L,
+    observables: &[VarId],
+    max_iterations: usize,
+    store: &mut TraceStore,
+    mut engine: E,
+) -> Result<RunReport, ActiveLearnError> {
+    let start = Instant::now();
+    let mut learn_time = Duration::ZERO;
+    let mut check_time = Duration::ZERO;
+    let mut iteration_stats = Vec::new();
+    // The learner accumulates solver and word statistics across its
+    // lifetime; snapshot them so the report attributes only this run's
+    // work. The expression interner's counters are process-global, so a
+    // delta snapshot bounds them to this run the same way.
+    let learner_stats_start = learner.solver_stats();
+    let word_stats_start = learner.word_stats();
+    let interner_start = amle_expr::InternerStats::snapshot();
 
-        let mut abstraction = None;
-        let mut conditions: Vec<Condition> = Vec::new();
-        let mut alpha = 0.0;
-        let mut converged = false;
-        let mut iterations = 0;
+    let mut abstraction = None;
+    let mut conditions: Vec<Condition> = Vec::new();
+    let mut alpha = 0.0;
+    let mut converged = false;
+    let mut iterations = 0;
 
-        for iteration in 1..=self.config.max_iterations {
-            iterations = iteration;
+    for iteration in 1..=max_iterations {
+        iterations = iteration;
 
-            // 1. Learn a candidate model from the current trace store.
-            let learn_start = Instant::now();
-            let words_before = self.learner.word_stats();
-            let candidate =
-                self.learner
-                    .learn_from_store(self.system.vars(), &observables, &store)?;
-            let iteration_words = self.learner.word_stats().since(&words_before);
-            let iteration_learn_time = learn_start.elapsed();
-            learn_time += iteration_learn_time;
+        // 1. Learn a candidate model from the current trace store.
+        let learn_start = Instant::now();
+        let words_before = learner.word_stats();
+        let candidate = learner.learn_from_store(system.vars(), observables, store)?;
+        let iteration_words = learner.word_stats().since(&words_before);
+        let iteration_learn_time = learn_start.elapsed();
+        learn_time += iteration_learn_time;
 
-            // 2. Extract and check the completeness conditions.
-            let check_start = Instant::now();
-            let extracted = extract_conditions(&candidate, &self.system.init_expr());
-            let evaluation = engine.evaluate(&extracted);
-            let iteration_check_time = check_start.elapsed();
-            check_time += iteration_check_time;
+        // 2. Extract and check the completeness conditions.
+        let check_start = Instant::now();
+        let extracted = extract_conditions(&candidate, &system.init_expr());
+        let evaluation = engine.evaluate(&extracted);
+        let iteration_check_time = check_start.elapsed();
+        check_time += iteration_check_time;
 
-            alpha = evaluation.alpha();
+        alpha = evaluation.alpha();
 
-            // 3. Splice valid counterexamples into new traces.
-            let mut new_traces = 0;
-            for (condition, from, to) in &evaluation.counterexamples {
-                new_traces += splice_counterexample(&mut store, condition, from, to);
-            }
-
-            iteration_stats.push(IterationStats {
-                iteration,
-                conditions: evaluation.total,
-                conditions_holding: evaluation.held,
-                alpha,
-                new_traces,
-                spurious_counterexamples: evaluation.spurious,
-                inconclusive_counterexamples: evaluation.inconclusive,
-                model_states: candidate.num_states(),
-                model_transitions: candidate.num_transitions(),
-                learn_time: iteration_learn_time,
-                check_time: iteration_check_time,
-                words_encoded: iteration_words.words_encoded,
-                words_reused: iteration_words.words_reused,
-                cache_hits: evaluation.cache_hits,
-                conditions_solved: evaluation.solved,
-            });
-
-            conditions = extracted;
-            abstraction = Some(candidate);
-
-            if alpha >= 1.0 {
-                converged = true;
-                break;
-            }
-            if new_traces == 0 {
-                // No progress is possible: every violated condition produced
-                // only already-known traces (or none at all).
-                break;
-            }
+        // 3. Splice valid counterexamples into new traces.
+        let mut new_traces = 0;
+        for (condition, from, to) in &evaluation.counterexamples {
+            new_traces += splice_counterexample(store, condition, from, to);
         }
 
-        let abstraction = abstraction.expect("at least one iteration ran");
-        let invariants = conditions
-            .iter()
-            .map(|c| Invariant {
-                assumption: c.assumption.clone(),
-                conclusion: c.conclusion(),
-            })
-            .collect();
-
-        let engine_stats = engine.finish();
-        Ok(RunReport {
-            abstraction,
+        iteration_stats.push(IterationStats {
+            iteration,
+            conditions: evaluation.total,
+            conditions_holding: evaluation.held,
             alpha,
-            iterations,
-            converged,
-            invariants,
-            iteration_stats,
-            trace_count: store.len(),
-            total_time: start.elapsed(),
-            learn_time,
-            check_time,
-            checker_stats: engine_stats.checker,
-            verdict_cache: engine_stats.cache,
-            learner_solver_stats: self.learner.solver_stats().since(&learner_stats_start),
-            word_stats: self.learner.word_stats().since(&word_stats_start),
-            trace_store: store.stats(),
-            interner: amle_expr::InternerStats::snapshot().since(&interner_start),
-        })
+            new_traces,
+            spurious_counterexamples: evaluation.spurious,
+            inconclusive_counterexamples: evaluation.inconclusive,
+            model_states: candidate.num_states(),
+            model_transitions: candidate.num_transitions(),
+            learn_time: iteration_learn_time,
+            check_time: iteration_check_time,
+            words_encoded: iteration_words.words_encoded,
+            words_reused: iteration_words.words_reused,
+            cache_hits: evaluation.cache_hits,
+            conditions_solved: evaluation.solved,
+        });
+
+        conditions = extracted;
+        abstraction = Some(candidate);
+
+        if alpha >= 1.0 {
+            converged = true;
+            break;
+        }
+        if new_traces == 0 {
+            // No progress is possible: every violated condition produced
+            // only already-known traces (or none at all).
+            break;
+        }
     }
+
+    let abstraction = abstraction.expect("at least one iteration ran");
+    let invariants = conditions
+        .iter()
+        .map(|c| Invariant {
+            assumption: c.assumption.clone(),
+            conclusion: c.conclusion(),
+        })
+        .collect();
+
+    let engine_stats = engine.finish();
+    Ok(RunReport {
+        abstraction,
+        alpha,
+        iterations,
+        converged,
+        invariants,
+        iteration_stats,
+        trace_count: store.len(),
+        total_time: start.elapsed(),
+        learn_time,
+        check_time,
+        checker_stats: engine_stats.checker,
+        verdict_cache: engine_stats.cache,
+        learner_solver_stats: learner.solver_stats().since(&learner_stats_start),
+        word_stats: learner.word_stats().since(&word_stats_start),
+        trace_store: store.stats(),
+        interner: amle_expr::InternerStats::snapshot().since(&interner_start),
+    })
 }
 
 #[cfg(test)]

@@ -62,12 +62,14 @@ mod conditions;
 mod engine;
 mod learner_loop;
 mod report;
+mod session;
 
 pub use baseline::{random_sampling_baseline, BaselineReport};
 pub use conditions::{extract_conditions, Condition, ConditionKind};
 pub use engine::{OracleConfig, ParallelConfig, VerdictCacheStats};
 pub use learner_loop::{ActiveLearnError, ActiveLearner, ActiveLearnerConfig};
-pub use report::{Invariant, IterationStats, RunReport};
+pub use report::{fingerprint_digest, Invariant, IterationStats, RunReport};
+pub use session::{IngestOutcome, Session, SessionStats};
 
 // The interned trace container the loop accumulates its traces in, and the
 // statistics types surfaced through `RunReport` — re-exported so harnesses

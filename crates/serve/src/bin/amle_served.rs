@@ -1,0 +1,62 @@
+//! The serving daemon binary.
+//!
+//! ```text
+//! amle-served [--listen ADDR]
+//! ```
+//!
+//! * `--listen ADDR` — address to bind (default `127.0.0.1:4155`; use port 0
+//!   for an ephemeral port).
+//!
+//! Prints `listening on <addr>` to stdout once the socket is bound, then
+//! serves until a `shutdown` request arrives and exits 0 after draining
+//! every session. The protocol is newline-delimited JSON; see the
+//! `amle_serve::server` module docs and DESIGN.md's "serving shell" chapter.
+
+use amle_serve::Server;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: amle-served [--listen ADDR]");
+    eprintln!("  --listen ADDR   address to bind (default 127.0.0.1:4155)");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut listen = "127.0.0.1:4155".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => match args.next() {
+                Some(addr) => listen = addr,
+                None => {
+                    eprintln!("--listen requires an address");
+                    return usage();
+                }
+            },
+            "--help" | "-h" => {
+                return usage();
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let server = match Server::bind(&listen) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -53,6 +53,7 @@ mod simulate;
 mod store;
 mod system;
 mod trace;
+pub mod wire;
 
 pub use simulate::Simulator;
 pub use store::{ObsId, SegmentId, TraceId, TraceStore, TraceStoreStats};

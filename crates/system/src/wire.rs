@@ -1,0 +1,225 @@
+//! Wire codec for traces: raw `i64` row matrices.
+//!
+//! The serving daemon and its snapshot files carry traces as plain integer
+//! matrices — one row per time step, one column per variable in declaration
+//! order, booleans as 0/1 (the same numeric view [`Value::to_i64`] gives and
+//! the simulator's trace files use). This module is the single
+//! encode/decode seam so the protocol, the snapshot format and the tests
+//! cannot drift apart on column order or range handling.
+//!
+//! Decoding is strict: a row of the wrong width or a value outside its
+//! sort's representable range is an error, never a silent wrap — a snapshot
+//! that round-trips must describe exactly the traces that produced it.
+
+use crate::{Trace, TraceStore};
+use amle_expr::{Valuation, Value, VarSet};
+use std::fmt;
+
+/// Errors produced when decoding raw rows back into traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// A row's column count did not match the variable set.
+    RowWidth {
+        /// Index of the offending row within the trace.
+        row: usize,
+        /// Number of declared variables.
+        expected: usize,
+        /// Number of columns the row actually had.
+        got: usize,
+    },
+    /// A value lies outside the representable range of its variable's sort.
+    ValueOutOfRange {
+        /// Index of the offending row within the trace.
+        row: usize,
+        /// Name of the variable whose column is out of range.
+        var: String,
+        /// The raw value received.
+        value: i64,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::RowWidth { row, expected, got } => write!(
+                f,
+                "row {row}: expected {expected} columns (one per declared variable), got {got}"
+            ),
+            WireError::ValueOutOfRange { row, var, value } => {
+                write!(
+                    f,
+                    "row {row}: value {value} out of range for variable `{var}`"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a trace as raw rows: one row per observation, one column per
+/// variable in declaration order, booleans as 0/1.
+pub fn trace_to_rows(trace: &Trace) -> Vec<Vec<i64>> {
+    trace
+        .observations()
+        .iter()
+        .map(|obs| obs.values().iter().map(Value::to_i64).collect())
+        .collect()
+}
+
+/// Decodes raw rows back into a trace over the given variable set.
+///
+/// Each row must have exactly one column per declared variable, and every
+/// value must lie within its sort's representable range.
+pub fn trace_from_rows(vars: &VarSet, rows: &[Vec<i64>]) -> Result<Trace, WireError> {
+    let mut observations = Vec::with_capacity(rows.len());
+    for (row_idx, row) in rows.iter().enumerate() {
+        if row.len() != vars.len() {
+            return Err(WireError::RowWidth {
+                row: row_idx,
+                expected: vars.len(),
+                got: row.len(),
+            });
+        }
+        let mut values = Vec::with_capacity(row.len());
+        for (id, raw) in vars.ids().zip(row.iter()) {
+            let sort = vars.sort(id);
+            let value = Value::from_i64(sort, *raw);
+            if value.to_i64() != *raw {
+                return Err(WireError::ValueOutOfRange {
+                    row: row_idx,
+                    var: vars.name(id).to_string(),
+                    value: *raw,
+                });
+            }
+            values.push(value);
+        }
+        observations.push(Valuation::from_values(vars, values));
+    }
+    Ok(Trace::new(observations))
+}
+
+/// Dumps every trace of a store as raw row matrices, in insertion order.
+///
+/// This is the snapshot body: replaying the matrices through
+/// [`trace_from_rows`] and [`TraceStore::insert_trace`] reconstructs a store
+/// with the same insertion order, and therefore the same learner input.
+pub fn store_rows(store: &TraceStore) -> Vec<Vec<Vec<i64>>> {
+    store
+        .traces()
+        .map(|id| trace_to_rows(&store.materialize(id)))
+        .collect()
+}
+
+/// A short integrity digest (FNV-1a 64, 16 hex digits) over row matrices.
+///
+/// Snapshot files embed the digest of the store they serialized; restore
+/// recomputes it over the replayed store and refuses to proceed on mismatch,
+/// so a truncated or hand-edited snapshot fails loudly instead of learning
+/// from corrupt traces.
+pub fn rows_digest(traces: &[Vec<Vec<i64>>]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |n: i64| {
+        for byte in n.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for trace in traces {
+        mix(-1); // trace separator: cannot collide with a length below
+        mix(trace.len() as i64);
+        for row in trace {
+            mix(row.len() as i64);
+            for value in row {
+                mix(*value);
+            }
+        }
+    }
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amle_expr::Sort;
+
+    fn vars() -> VarSet {
+        let mut vars = VarSet::new();
+        vars.declare("inp", Sort::int(4)).unwrap();
+        vars.declare("flag", Sort::Bool).unwrap();
+        vars
+    }
+
+    #[test]
+    fn round_trips_a_trace() {
+        let vars = vars();
+        let rows = vec![vec![3, 0], vec![7, 1], vec![0, 1]];
+        let trace = trace_from_rows(&vars, &rows).unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace_to_rows(&trace), rows);
+    }
+
+    #[test]
+    fn rejects_wrong_width_rows() {
+        let vars = vars();
+        let err = trace_from_rows(&vars, &[vec![1, 0, 9]]).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::RowWidth {
+                row: 0,
+                expected: 2,
+                got: 3
+            }
+        );
+        assert!(err.to_string().contains("columns"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_values() {
+        let vars = vars();
+        // Sort::int(4) cannot hold 99; rejecting beats silently wrapping.
+        let err = trace_from_rows(&vars, &[vec![99, 0]]).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::ValueOutOfRange {
+                row: 0,
+                var: "inp".to_string(),
+                value: 99
+            }
+        );
+        // Booleans only admit 0/1.
+        let err = trace_from_rows(&vars, &[vec![1, 2]]).unwrap_err();
+        assert!(matches!(err, WireError::ValueOutOfRange { value: 2, .. }));
+    }
+
+    #[test]
+    fn store_rows_preserve_insertion_order_and_digest() {
+        let vars = vars();
+        let first = trace_from_rows(&vars, &[vec![1, 0], vec![2, 1]]).unwrap();
+        let second = trace_from_rows(&vars, &[vec![2, 1], vec![1, 0]]).unwrap();
+
+        let mut store = TraceStore::new();
+        store.insert_trace(&first).unwrap();
+        store.insert_trace(&second).unwrap();
+        let rows = store_rows(&store);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec![vec![1, 0], vec![2, 1]]);
+        assert_eq!(rows[1], vec![vec![2, 1], vec![1, 0]]);
+
+        // Replaying the rows reconstructs a store with the same digest.
+        let mut replayed = TraceStore::new();
+        for matrix in &rows {
+            let trace = trace_from_rows(&vars, matrix).unwrap();
+            replayed.insert_trace(&trace);
+        }
+        assert_eq!(rows_digest(&rows), rows_digest(&store_rows(&replayed)));
+
+        // Any mutation changes the digest.
+        let mut tampered = rows.clone();
+        tampered[1][0][0] = 3;
+        assert_ne!(rows_digest(&rows), rows_digest(&tampered));
+        // Moving a row across a trace boundary changes it too.
+        let rebalanced = vec![vec![vec![1, 0]], vec![vec![2, 1], vec![2, 1], vec![1, 0]]];
+        assert_ne!(rows_digest(&rows), rows_digest(&rebalanced));
+    }
+}
