@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! suite [--workers N] [--condition-workers N] [--quick] [--compare]
-//!       [--table1-only] [--stress] [--only <substring>]
+//!       [--table1-only] [--stress] [--circuits] [--only <substring>]
 //!       [--dump-fingerprint <path>] [--json <path>]
 //!       [--learner history|ktails|satdfa|lstar]
 //!       [--engine kinduction|explicit|portfolio] [--no-cache]
@@ -27,6 +27,12 @@
 //! * `--stress` — extend the suite with the non-converging splicing-stress
 //!   family (`SynthSpliceStorm…`), which exercises the interned trace store
 //!   and the incremental word pipeline hardest.
+//! * `--circuits` — extend the suite with the gate-level circuit family
+//!   (`Circuit…`): the embedded AIGER/`.bench` fixtures of `amle-circuit`,
+//!   compiled to systems after cone-of-influence reduction. The report
+//!   gains a netlist-statistics table (inputs, latches and gates in/out of
+//!   the COI), and `--json` records gain a per-benchmark `circuit` object.
+//!   Combine with `--only Circuit` to run the circuit family alone.
 //! * `--only <substring>` — restrict the suite to benchmarks whose name
 //!   contains the substring (e.g. `--only Synth`).
 //! * `--dump-fingerprint <path>` — write the concatenated semantic
@@ -57,8 +63,8 @@
 //! curve.
 
 use amle_bench::{
-    format_active_table, format_oracle_table, format_store_stats_table, paper_config, run_suite,
-    suite_fingerprint, suite_json, ActiveRow, SuiteRunMeta,
+    format_active_table, format_circuit_table, format_oracle_table, format_store_stats_table,
+    paper_config, run_suite, suite_fingerprint, suite_json, ActiveRow, SuiteRunMeta,
 };
 use amle_benchmarks::{all_benchmarks, full_suite, Benchmark};
 use amle_core::{ActiveLearnerConfig, OracleConfig, OracleKind, ParallelConfig};
@@ -73,6 +79,7 @@ struct Options {
     compare: bool,
     table1_only: bool,
     stress: bool,
+    circuits: bool,
     only: Option<String>,
     dump_fingerprint: Option<String>,
     json: Option<String>,
@@ -96,7 +103,7 @@ fn make_learner(name: &str) -> Option<LearnerKind> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: suite [--workers N] [--condition-workers N] [--quick] [--compare]\n\
-         \x20            [--table1-only] [--stress] [--only <substring>]\n\
+         \x20            [--table1-only] [--stress] [--circuits] [--only <substring>]\n\
          \x20            [--dump-fingerprint <path>] [--json <path>]\n\
          \x20            [--learner history|ktails|satdfa|lstar]\n\
          \x20            [--engine kinduction|explicit|portfolio] [--no-cache]\n\
@@ -116,6 +123,7 @@ fn parse_options() -> Result<Options, ExitCode> {
         compare: false,
         table1_only: false,
         stress: false,
+        circuits: false,
         only: None,
         dump_fingerprint: None,
         json: std::env::var("AMLE_BENCH_JSON")
@@ -146,6 +154,7 @@ fn parse_options() -> Result<Options, ExitCode> {
             "--compare" => options.compare = true,
             "--table1-only" => options.table1_only = true,
             "--stress" => options.stress = true,
+            "--circuits" => options.circuits = true,
             "--only" => options.only = Some(value("--only")?),
             "--dump-fingerprint" => {
                 options.dump_fingerprint = Some(value("--dump-fingerprint")?);
@@ -228,6 +237,9 @@ fn main() -> ExitCode {
             amle_benchmarks::DEFAULT_SEED,
         ));
     }
+    if options.circuits {
+        suite.extend(amle_benchmarks::circuit_benchmarks());
+    }
     if let Some(only) = &options.only {
         suite.retain(|b| b.name.contains(only.as_str()));
         if suite.is_empty() {
@@ -298,6 +310,11 @@ fn main() -> ExitCode {
         options.oracle.engine.name()
     );
     println!("{}", format_oracle_table(&rows));
+    let circuit_table = format_circuit_table(&rows);
+    if !circuit_table.is_empty() {
+        println!("Circuit netlists (cone-of-influence reduction)");
+        println!("{circuit_table}");
+    }
     let converged = rows.iter().filter(|r| (r.alpha - 1.0).abs() < 1e-9).count();
     println!(
         "summary: {}/{} benchmarks reached alpha = 1; wall-clock {:.2}s with {} worker(s)",

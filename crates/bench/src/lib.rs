@@ -131,6 +131,9 @@ pub struct ActiveRow {
     /// (`Expr::dag_size` of the invariants' conjunction) — the honest size
     /// measure; the tree-shaped node count overstates shared predicates.
     pub invariant_dag_nodes: u64,
+    /// Netlist statistics for circuit benchmarks (gates/latches in and out
+    /// of the cone of influence); `None` for every other benchmark family.
+    pub circuit: Option<amle_circuit::NetlistStats>,
 }
 
 /// Runs the active-learning algorithm on one benchmark and produces its
@@ -179,6 +182,7 @@ pub fn run_active<L: ModelLearner>(
         explicit_fallbacks: report.checker_stats.explicit_fallbacks,
         interner: report.interner,
         invariant_dag_nodes: invariant_dag_nodes(&report),
+        circuit: amle_benchmarks::circuit_stats_for(&benchmark.name),
     };
     (row, report)
 }
@@ -354,9 +358,12 @@ fn json_escape(s: &str) -> String {
 /// trajectory (`BENCH_*.json`) can accumulate across versions, and what
 /// the `perf-diff` binary consumes to compare two runs.
 ///
-/// Schema history: **2** added the CDCL work counters (`decisions`,
-/// `propagations`, `conflicts`, `minimized_lits`, `mean_lbd`); schema 1
-/// records lack them. `perf-diff` accepts both.
+/// Schema history: **3** added the optional per-record `circuit` object
+/// (netlist statistics — input/latch/gate counts and cone-of-influence
+/// survivors — present only on circuit benchmarks); **2** added the CDCL
+/// work counters (`decisions`, `propagations`, `conflicts`,
+/// `minimized_lits`, `mean_lbd`); schema 1 records lack them. `perf-diff`
+/// accepts all three.
 pub fn suite_json(
     meta: &SuiteRunMeta,
     benchmarks: &[Benchmark],
@@ -365,7 +372,7 @@ pub fn suite_json(
     use std::fmt::Write as _;
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": 2,");
+    let _ = writeln!(out, "  \"schema\": 3,");
     let _ = writeln!(out, "  \"engine\": \"{}\",", json_escape(&meta.engine));
     let _ = writeln!(out, "  \"learner\": \"{}\",", json_escape(&meta.learner));
     let _ = writeln!(out, "  \"quick\": {},", meta.quick);
@@ -424,6 +431,20 @@ pub fn suite_json(
             row.invariant_dag_nodes,
             digest
         );
+        if let Some(c) = &row.circuit {
+            let _ = write!(
+                out,
+                ", \"circuit\": {{\"inputs\": {}, \"latches_total\": {}, \
+                 \"latches_in_coi\": {}, \"gates_total\": {}, \"gates_in_coi\": {}, \
+                 \"outputs\": {}}}",
+                c.inputs,
+                c.latches_total,
+                c.latches_in_coi,
+                c.gates_total,
+                c.gates_in_coi,
+                c.outputs
+            );
+        }
         out.push('}');
         if index + 1 < results.len() {
             out.push(',');
@@ -563,6 +584,41 @@ pub fn format_store_stats_table(rows: &[ActiveRow]) -> String {
             "words encoded/iteration {:<23} [{}]\n",
             r.name,
             curve.join(", ")
+        ));
+    }
+    out
+}
+
+/// Formats the circuit netlist-statistics table: one row per circuit
+/// benchmark (rows without circuit stats are skipped) with the primary
+/// input, latch and gate counts, how much of each survived the
+/// cone-of-influence pass, and the observed-output count. Returns an empty
+/// string when no row carries circuit stats, so callers can print it
+/// unconditionally.
+pub fn format_circuit_table(rows: &[ActiveRow]) -> String {
+    let circuit_rows: Vec<_> = rows
+        .iter()
+        .filter_map(|r| r.circuit.as_ref().map(|c| (r, c)))
+        .collect();
+    if circuit_rows.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<34} {:>4} {:>8} {:>8} {:>9} {:>9} {:>8} {:>4}\n",
+        "Benchmark", "ins", "latches", "inCOI", "gates", "inCOI", "dropped", "outs"
+    ));
+    for (r, c) in circuit_rows {
+        out.push_str(&format!(
+            "{:<34} {:>4} {:>8} {:>8} {:>9} {:>9} {:>8} {:>4}\n",
+            r.name,
+            c.inputs,
+            c.latches_total,
+            c.latches_in_coi,
+            c.gates_total,
+            c.gates_in_coi,
+            c.gates_dropped() + c.latches_dropped(),
+            c.outputs
         ));
     }
     out
@@ -727,6 +783,51 @@ mod tests {
         assert!(table.contains("RedundantSensorPair"));
     }
 
+    /// Circuit benchmarks carry netlist stats into their rows, the circuit
+    /// table and the JSON record; other benchmarks don't.
+    #[test]
+    fn circuit_stats_flow_into_rows_tables_and_json() {
+        let b = benchmark_by_name("CircuitCoiDemo").unwrap();
+        let config = ActiveLearnerConfig {
+            observables: Some(b.observables.clone()),
+            initial_traces: 5,
+            trace_length: 6,
+            k: b.k.min(4),
+            max_iterations: 2,
+            parallel: amle_core::ParallelConfig::with_workers(1),
+            ..Default::default()
+        };
+        let (row, report) = run_active(&b, HistoryLearner::default(), config);
+        let stats = row.circuit.expect("circuit benchmarks carry netlist stats");
+        assert_eq!(stats.gates_dropped(), 2);
+        assert_eq!(stats.latches_dropped(), 3);
+        let table = format_circuit_table(std::slice::from_ref(&row));
+        assert!(table.contains("CircuitCoiDemo"));
+        assert!(table.contains("inCOI"));
+        let meta = SuiteRunMeta {
+            engine: "kinduction".to_string(),
+            learner: "history".to_string(),
+            quick: true,
+            workers: 1,
+            condition_workers: 1,
+            wall_time_s: 0.1,
+        };
+        let suite = vec![b];
+        let results = vec![(row, report)];
+        let json = suite_json(&meta, &suite, &results);
+        assert!(json.contains("\"circuit\": {\"inputs\": 2, \"latches_total\": 4"));
+        assert!(json.contains("\"gates_in_coi\": 1"));
+        // And the document still parses through the perf-diff consumer.
+        let run = perf::parse_suite_run(&json).unwrap();
+        assert_eq!(run.schema, 3);
+        assert_eq!(run.benchmarks.len(), 1);
+        // A non-circuit row renders an empty circuit table.
+        let plain = benchmark_by_name("HomeClimateControlCooler").unwrap();
+        let (plain_row, _) = run_active(&plain, HistoryLearner::default(), quick_config(&plain));
+        assert!(plain_row.circuit.is_none());
+        assert_eq!(format_circuit_table(std::slice::from_ref(&plain_row)), "");
+    }
+
     #[test]
     fn fingerprint_digest_is_stable_and_content_sensitive() {
         let a = fingerprint_digest("alpha=1 iterations=3");
@@ -774,7 +875,7 @@ mod tests {
         };
         let json = suite_json(&meta, &suite, &results);
         for needle in [
-            "\"schema\": 2",
+            "\"schema\": 3",
             "\"engine\": \"kinduction\"",
             "\"learner\": \"history\"",
             "\"fingerprint_digest\"",
@@ -795,6 +896,8 @@ mod tests {
         }
         let expected_digest = fingerprint_digest(&suite_fingerprint(&suite, &results));
         assert!(json.contains(&expected_digest));
+        // Synthetic benchmarks carry no circuit stats object.
+        assert!(!json.contains("\"circuit\""));
         // Balanced-structure scan.
         let (mut depth, mut brackets, mut in_string, mut escaped) = (0i32, 0i32, false, false);
         for c in json.chars() {

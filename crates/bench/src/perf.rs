@@ -5,7 +5,8 @@
 //! `perf-diff` binary, reading documents with the shared JSON parser from
 //! [`amle_serve::json`] (one parser for the daemon wire protocol and the
 //! suite artefacts, not two drifting copies). It accepts schema 1
-//! (pre-CDCL-counters) and schema 2 documents, so a fresh run can be
+//! (pre-CDCL-counters), schema 2 and schema 3 (optional per-record
+//! circuit netlist stats) documents, so a fresh run can be
 //! compared against an older CI artifact.
 //!
 //! A *regression* is flagged per benchmark:
@@ -47,7 +48,7 @@ pub struct BenchPerf {
 /// A parsed `suite --json` document, reduced to what `perf-diff` needs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SuiteRun {
-    /// Document schema version (1 or 2).
+    /// Document schema version (1, 2 or 3).
     pub schema: u64,
     /// Oracle engine the suite ran with.
     pub engine: String,
@@ -78,7 +79,7 @@ fn field_str(obj: &Json, key: &str) -> String {
 pub fn parse_suite_run(text: &str) -> Result<SuiteRun, String> {
     let doc = parse_json(text)?;
     let schema = field_u64(&doc, "schema");
-    if !(1..=2).contains(&schema) {
+    if !(1..=3).contains(&schema) {
         return Err(format!("unsupported suite schema {schema}"));
     }
     let benchmarks = match doc.get("benchmarks") {
@@ -329,7 +330,7 @@ mod tests {
     }
 
     #[test]
-    fn parses_both_schemas() {
+    fn parses_all_supported_schemas() {
         let v1 = parse_suite_run(&sample(1, 1.0, 100, 7, "abc")).unwrap();
         assert_eq!(v1.schema, 1);
         assert_eq!(v1.benchmarks[0].conflicts, 0, "schema 1 has no counters");
@@ -337,7 +338,11 @@ mod tests {
         assert_eq!(v2.schema, 2);
         assert_eq!(v2.benchmarks[0].conflicts, 20);
         assert_eq!(v2.benchmarks[0].propagations, 600);
-        assert!(parse_suite_run("{\"schema\": 3, \"benchmarks\": []}").is_err());
+        // Schema 3 adds only the optional per-record circuit stats object,
+        // so a schema-2-shaped document under the new number still parses.
+        let v3 = parse_suite_run(&sample(3, 1.0, 100, 7, "abc")).unwrap();
+        assert_eq!(v3.schema, 3);
+        assert!(parse_suite_run("{\"schema\": 4, \"benchmarks\": []}").is_err());
     }
 
     #[test]

@@ -25,12 +25,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod circuits;
 mod controllers;
 mod protocols;
 mod schedulers;
 mod suite;
 mod synth;
 
+pub use circuits::{circuit_benchmark_name, circuit_benchmarks, circuit_stats_for};
 pub use controllers::home_climate_control_system;
 pub use suite::{
     all_benchmarks, benchmark_by_name, full_suite, stress_suite, trace_from_schedule, Benchmark,

@@ -161,7 +161,10 @@ pub fn stress_suite() -> Vec<Benchmark> {
 }
 
 /// Looks a benchmark up by name, across Table I, the default synthetic
-/// families and the splicing-stress family.
+/// families, the splicing-stress family and the circuit family.
 pub fn benchmark_by_name(name: &str) -> Option<Benchmark> {
-    stress_suite().into_iter().find(|b| b.name == name)
+    stress_suite()
+        .into_iter()
+        .chain(crate::circuits::circuit_benchmarks())
+        .find(|b| b.name == name)
 }

@@ -1,0 +1,473 @@
+//! ASCII AIGER (`.aag`) reader and writer.
+//!
+//! The format (Biere, *The AIGER And-Inverter Graph Format*): a header
+//! `aag M I L O A`, then `I` input lines, `L` latch lines (`current next
+//! [init]`), `O` output lines, `A` and-gate lines (`lhs rhs0 rhs1`), an
+//! optional symbol table (`i0 name`, `l2 name`, `o1 name`) and an optional
+//! comment section starting at a single `c` line. Literals encode variable
+//! `v` as `2v` and its negation as `2v + 1`; literals `0`/`1` are the
+//! constants.
+//!
+//! The reader accepts any definition order (a latch's next-state literal may
+//! reference an and-gate defined later), supports the AIGER 1.9 explicit
+//! latch reset values `0`/`1`, and returns a typed [`ParseError`] — never a
+//! panic — on malformed input, including non-UTF-8 bytes. The binary `aig`
+//! format is out of scope (its header is recognised and rejected with a
+//! pointed message).
+
+use crate::netlist::{Gate, GateOp, Latch, Lit, Netlist, NodeRef, Output, ParseError};
+use std::collections::HashMap;
+
+/// Splits a line into whitespace-separated tokens.
+fn tokens(line: &str) -> Vec<&str> {
+    line.split_whitespace().collect()
+}
+
+/// Parses one unsigned literal token.
+fn literal(token: &str, line: usize, max: u64) -> Result<u64, ParseError> {
+    let value: u64 = token.parse().map_err(|_| ParseError::BadToken {
+        line,
+        token: token.to_string(),
+    })?;
+    if value > max {
+        return Err(ParseError::OutOfRangeLiteral {
+            line,
+            literal: value,
+            max,
+        });
+    }
+    Ok(value)
+}
+
+/// Parses an ASCII AIGER document into the shared [`Netlist`] IR.
+///
+/// `name` becomes [`Netlist::name`] (the format itself stores no circuit
+/// name). Signal names come from the symbol table; unnamed positions get
+/// deterministic defaults (`i0`, `l1`, `o0`, …) and and-gates — anonymous in
+/// AIGER — are always named `a{index}`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first problem found: truncation,
+/// a malformed header (including the binary `aig` format), out-of-range or
+/// odd definition literals, duplicate or undefined variables, unsupported
+/// latch resets, or a malformed symbol entry. The returned netlist has
+/// passed [`Netlist::validate`].
+pub fn parse_aag(bytes: &[u8], name: impl Into<String>) -> Result<Netlist, ParseError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| ParseError::NotUtf8 {
+        offset: e.valid_up_to(),
+    })?;
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+
+    let (header_line, header) = lines.next().ok_or_else(|| ParseError::Truncated {
+        expected: "the `aag M I L O A` header".to_string(),
+    })?;
+    let head = tokens(header);
+    if head.first() == Some(&"aig") {
+        return Err(ParseError::BadHeader {
+            line: header_line,
+            reason: "binary AIGER (`aig`) is not supported; convert to ASCII (`aag`)".to_string(),
+        });
+    }
+    if head.first() != Some(&"aag") {
+        return Err(ParseError::BadHeader {
+            line: header_line,
+            reason: format!("expected `aag M I L O A`, got `{header}`"),
+        });
+    }
+    if head.len() != 6 {
+        return Err(ParseError::BadHeader {
+            line: header_line,
+            reason: format!(
+                "expected exactly 5 counts (M I L O A), got {} (the 1.9 B/C/J/F sections are not supported)",
+                head.len() - 1
+            ),
+        });
+    }
+    let mut counts = [0u64; 5];
+    for (slot, token) in counts.iter_mut().zip(&head[1..]) {
+        *slot = token.parse().map_err(|_| ParseError::BadToken {
+            line: header_line,
+            token: token.to_string(),
+        })?;
+    }
+    let [max_var, num_inputs, num_latches, num_outputs, num_ands] = counts;
+    if num_inputs + num_latches + num_ands > max_var {
+        return Err(ParseError::BadHeader {
+            line: header_line,
+            reason: format!(
+                "M = {max_var} is smaller than I + L + A = {}",
+                num_inputs + num_latches + num_ands
+            ),
+        });
+    }
+    let max_literal = 2 * max_var + 1;
+
+    // Pass 1: read the definitions, building the variable -> node map.
+    let mut var_to_node: HashMap<u64, NodeRef> = HashMap::new();
+    let mut define = |literal: u64, node: NodeRef, line: usize| -> Result<u64, ParseError> {
+        if literal < 2 || !literal.is_multiple_of(2) {
+            return Err(ParseError::ExpectedDefinableLiteral { line, literal });
+        }
+        let variable = literal / 2;
+        if var_to_node.insert(variable, node).is_some() {
+            return Err(ParseError::DuplicateDefinition {
+                line,
+                signal: format!("variable {variable}"),
+            });
+        }
+        Ok(variable)
+    };
+
+    let mut next_line = |expected: &str| -> Result<(usize, &str), ParseError> {
+        lines.next().ok_or_else(|| ParseError::Truncated {
+            expected: expected.to_string(),
+        })
+    };
+
+    for index in 0..num_inputs {
+        let (line, text) = next_line(&format!("input line {index}"))?;
+        let toks = tokens(text);
+        if toks.len() != 1 {
+            return Err(ParseError::BadSyntax {
+                line,
+                reason: format!("an input line is a single literal, got `{text}`"),
+            });
+        }
+        let lit = literal(toks[0], line, max_literal)?;
+        define(lit, NodeRef::Input(index as usize), line)?;
+    }
+
+    // Latch and output literals may reference later definitions; resolve
+    // after pass 1.
+    let mut raw_latches: Vec<(usize, u64, bool)> = Vec::new(); // (line, next literal, init)
+    for index in 0..num_latches {
+        let (line, text) = next_line(&format!("latch line {index}"))?;
+        let toks = tokens(text);
+        if toks.len() != 2 && toks.len() != 3 {
+            return Err(ParseError::BadSyntax {
+                line,
+                reason: format!("a latch line is `current next [init]`, got `{text}`"),
+            });
+        }
+        let current = literal(toks[0], line, max_literal)?;
+        let next = literal(toks[1], line, max_literal)?;
+        let init = match toks.get(2) {
+            None | Some(&"0") => false,
+            Some(&"1") => true,
+            Some(other) => {
+                return Err(ParseError::BadLatchInit {
+                    line,
+                    token: other.to_string(),
+                })
+            }
+        };
+        define(current, NodeRef::Latch(index as usize), line)?;
+        raw_latches.push((line, next, init));
+    }
+
+    let mut raw_outputs: Vec<(usize, u64)> = Vec::new();
+    for index in 0..num_outputs {
+        let (line, text) = next_line(&format!("output line {index}"))?;
+        let toks = tokens(text);
+        if toks.len() != 1 {
+            return Err(ParseError::BadSyntax {
+                line,
+                reason: format!("an output line is a single literal, got `{text}`"),
+            });
+        }
+        raw_outputs.push((line, literal(toks[0], line, max_literal)?));
+    }
+
+    let mut raw_gates: Vec<(usize, u64, u64)> = Vec::new(); // (line, rhs0, rhs1)
+    for index in 0..num_ands {
+        let (line, text) = next_line(&format!("and-gate line {index}"))?;
+        let toks = tokens(text);
+        if toks.len() != 3 {
+            return Err(ParseError::BadSyntax {
+                line,
+                reason: format!("an and-gate line is `lhs rhs0 rhs1`, got `{text}`"),
+            });
+        }
+        let lhs = literal(toks[0], line, max_literal)?;
+        let rhs0 = literal(toks[1], line, max_literal)?;
+        let rhs1 = literal(toks[2], line, max_literal)?;
+        define(lhs, NodeRef::Gate(index as usize), line)?;
+        raw_gates.push((line, rhs0, rhs1));
+    }
+
+    // Symbol table and comment section.
+    let mut input_names: Vec<String> = (0..num_inputs).map(|i| format!("i{i}")).collect();
+    let mut latch_names: Vec<String> = (0..num_latches).map(|i| format!("l{i}")).collect();
+    let mut output_names: Vec<String> = (0..num_outputs).map(|i| format!("o{i}")).collect();
+    for (line, text) in lines {
+        if text.trim() == "c" {
+            break; // Comment section: everything after is free-form.
+        }
+        if text.trim().is_empty() {
+            continue;
+        }
+        let Some((position_token, symbol)) = text.split_once(char::is_whitespace) else {
+            return Err(ParseError::BadSymbol {
+                line,
+                reason: format!("expected `i|l|o<position> <name>`, got `{text}`"),
+            });
+        };
+        let symbol = symbol.trim();
+        let (kind, digits) = position_token.split_at(1);
+        let position: usize = digits.parse().map_err(|_| ParseError::BadSymbol {
+            line,
+            reason: format!("`{position_token}` has no numeric position"),
+        })?;
+        let slot = match kind {
+            "i" => input_names.get_mut(position),
+            "l" => latch_names.get_mut(position),
+            "o" => output_names.get_mut(position),
+            other => {
+                return Err(ParseError::BadSymbol {
+                    line,
+                    reason: format!("unknown symbol kind `{other}`"),
+                })
+            }
+        };
+        match slot {
+            Some(slot) if !symbol.is_empty() => *slot = symbol.to_string(),
+            Some(_) => {
+                return Err(ParseError::BadSymbol {
+                    line,
+                    reason: "empty symbol name".to_string(),
+                })
+            }
+            None => {
+                return Err(ParseError::BadSymbol {
+                    line,
+                    reason: format!("position {position_token} does not exist"),
+                })
+            }
+        }
+    }
+
+    // Pass 2: resolve literals through the variable map.
+    let resolve =
+        |raw: u64, line: usize| -> Result<Lit, ParseError> {
+            if raw <= 1 {
+                return Ok(if raw == 0 { Lit::FALSE } else { Lit::TRUE });
+            }
+            let node = var_to_node.get(&(raw / 2)).copied().ok_or_else(|| {
+                ParseError::UndefinedSignal {
+                    line,
+                    signal: format!("literal {raw}"),
+                }
+            })?;
+            Ok(Lit {
+                node,
+                negated: raw % 2 == 1,
+            })
+        };
+
+    let netlist = Netlist {
+        name: name.into(),
+        inputs: input_names,
+        latches: raw_latches
+            .into_iter()
+            .zip(latch_names)
+            .map(|((line, next, init), name)| {
+                Ok(Latch {
+                    name,
+                    init,
+                    next: resolve(next, line)?,
+                })
+            })
+            .collect::<Result<_, ParseError>>()?,
+        gates: raw_gates
+            .into_iter()
+            .enumerate()
+            .map(|(index, (line, rhs0, rhs1))| {
+                Ok(Gate {
+                    name: format!("a{index}"),
+                    op: GateOp::And,
+                    fanins: vec![resolve(rhs0, line)?, resolve(rhs1, line)?],
+                })
+            })
+            .collect::<Result<_, ParseError>>()?,
+        outputs: raw_outputs
+            .into_iter()
+            .zip(output_names)
+            .map(|((line, raw), name)| {
+                Ok(Output {
+                    name,
+                    driver: resolve(raw, line)?,
+                })
+            })
+            .collect::<Result<_, ParseError>>()?,
+    };
+    netlist.validate()?;
+    Ok(netlist)
+}
+
+/// Errors raised when a netlist cannot be expressed in a target format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmitError {
+    /// AIGER can only express two-input AND gates (negation lives on the
+    /// edges); this netlist has a named-operator gate.
+    NotAnAig {
+        /// The offending gate.
+        gate: String,
+    },
+    /// `.bench` has no negated edges or constants; this signal uses one.
+    NotBenchRepresentable {
+        /// Where the inexpressible edge sits.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for EmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmitError::NotAnAig { gate } => write!(
+                f,
+                "gate `{gate}` is not a two-input AND; lower the netlist before emitting AIGER"
+            ),
+            EmitError::NotBenchRepresentable { context } => write!(
+                f,
+                "{context} uses a negated edge or a constant, which `.bench` cannot express"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EmitError {}
+
+/// Renders a netlist as an ASCII AIGER document with the canonical variable
+/// layout (inputs, then latches, then and-gates) and a full symbol table.
+///
+/// Inverse of [`parse_aag`] up to gate names: `parse_aag(emit_aag(n)?)`
+/// equals `n` whenever `n`'s gates carry the synthesized `a{index}` names
+/// (AIGER has no place to store gate names).
+///
+/// # Errors
+///
+/// [`EmitError::NotAnAig`] if any gate is not a two-input [`GateOp::And`];
+/// named-operator netlists must be lowered first.
+pub fn emit_aag(netlist: &Netlist) -> Result<String, EmitError> {
+    use std::fmt::Write as _;
+    let num_inputs = netlist.inputs.len();
+    let num_latches = netlist.latches.len();
+    for gate in &netlist.gates {
+        if gate.op != GateOp::And || gate.fanins.len() != 2 {
+            return Err(EmitError::NotAnAig {
+                gate: gate.name.clone(),
+            });
+        }
+    }
+    let lit_of = |lit: Lit| -> u64 {
+        let base = match lit.node {
+            NodeRef::Const => 0,
+            NodeRef::Input(i) => 2 * (1 + i as u64),
+            NodeRef::Latch(i) => 2 * (1 + num_inputs as u64 + i as u64),
+            NodeRef::Gate(i) => 2 * (1 + num_inputs as u64 + num_latches as u64 + i as u64),
+        };
+        base + u64::from(lit.negated)
+    };
+    let max_var = (num_inputs + num_latches + netlist.gates.len()) as u64;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "aag {max_var} {num_inputs} {num_latches} {} {}",
+        netlist.outputs.len(),
+        netlist.gates.len()
+    );
+    for index in 0..num_inputs {
+        let _ = writeln!(out, "{}", 2 * (1 + index as u64));
+    }
+    for (index, latch) in netlist.latches.iter().enumerate() {
+        let current = 2 * (1 + num_inputs as u64 + index as u64);
+        let _ = write!(out, "{current} {}", lit_of(latch.next));
+        if latch.init {
+            let _ = write!(out, " 1");
+        }
+        out.push('\n');
+    }
+    for output in &netlist.outputs {
+        let _ = writeln!(out, "{}", lit_of(output.driver));
+    }
+    for (index, gate) in netlist.gates.iter().enumerate() {
+        let lhs = 2 * (1 + num_inputs as u64 + num_latches as u64 + index as u64);
+        let _ = writeln!(
+            out,
+            "{lhs} {} {}",
+            lit_of(gate.fanins[0]),
+            lit_of(gate.fanins[1])
+        );
+    }
+    for (index, name) in netlist.inputs.iter().enumerate() {
+        let _ = writeln!(out, "i{index} {name}");
+    }
+    for (index, latch) in netlist.latches.iter().enumerate() {
+        let _ = writeln!(out, "l{index} {}", latch.name);
+    }
+    for (index, output) in netlist.outputs.iter().enumerate() {
+        let _ = writeln!(out, "o{index} {}", output.name);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOGGLE: &str = "aag 2 1 1 1 0\n2\n4 5\n4\ni0 en\nl0 q\no0 out\n";
+
+    #[test]
+    fn parses_a_toggle_latch() {
+        let n = parse_aag(TOGGLE.as_bytes(), "toggle").unwrap();
+        assert_eq!(n.name, "toggle");
+        assert_eq!(n.inputs, vec!["en".to_string()]);
+        assert_eq!(n.latches.len(), 1);
+        assert_eq!(n.latches[0].name, "q");
+        assert!(!n.latches[0].init);
+        // next = !q
+        assert_eq!(n.latches[0].next, Lit::of(NodeRef::Latch(0)).inverted());
+        assert_eq!(n.outputs[0].driver, Lit::of(NodeRef::Latch(0)));
+    }
+
+    #[test]
+    fn default_names_fill_missing_symbols() {
+        let n = parse_aag(b"aag 1 1 0 1 0\n2\n3\n", "t").unwrap();
+        assert_eq!(n.inputs, vec!["i0".to_string()]);
+        assert_eq!(n.outputs[0].name, "o0");
+        assert_eq!(n.outputs[0].driver, Lit::of(NodeRef::Input(0)).inverted());
+    }
+
+    #[test]
+    fn constants_and_comments_parse() {
+        let n = parse_aag(b"aag 0 0 0 2 0\n0\n1\nc\nanything goes here\n", "c").unwrap();
+        assert_eq!(n.outputs[0].driver, Lit::FALSE);
+        assert_eq!(n.outputs[1].driver, Lit::TRUE);
+    }
+
+    #[test]
+    fn latch_init_one_is_supported() {
+        let n = parse_aag(b"aag 1 0 1 1 0\n2 2 1\n2\n", "t").unwrap();
+        assert!(n.latches[0].init);
+    }
+
+    #[test]
+    fn round_trips_through_emit() {
+        let n = parse_aag(TOGGLE.as_bytes(), "toggle").unwrap();
+        let emitted = emit_aag(&n).unwrap();
+        let back = parse_aag(emitted.as_bytes(), "toggle").unwrap();
+        assert_eq!(n, back);
+    }
+
+    #[test]
+    fn emit_rejects_named_operator_gates() {
+        let mut n = parse_aag(TOGGLE.as_bytes(), "toggle").unwrap();
+        n.gates.push(crate::netlist::Gate {
+            name: "x".to_string(),
+            op: GateOp::Xor,
+            fanins: vec![Lit::of(NodeRef::Input(0)), Lit::of(NodeRef::Latch(0))],
+        });
+        assert!(matches!(emit_aag(&n), Err(EmitError::NotAnAig { .. })));
+    }
+}

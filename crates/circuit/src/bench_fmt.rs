@@ -1,0 +1,381 @@
+//! ISCAS-85/89 `.bench` reader and writer.
+//!
+//! The format: `#` starts a comment, `INPUT(x)` declares a primary input,
+//! `OUTPUT(x)` observes signal `x`, and `g = OP(a, b, ...)` defines a gate.
+//! `DFF` defines a latch (ISCAS-89 sequential netlists); the supported
+//! combinational operators are `AND`, `OR`, `NAND`, `NOR`, `XOR`, `XNOR`,
+//! `NOT` and `BUFF` (the spelling `BUF` is also accepted).
+//!
+//! Signals may be referenced before they are defined — the reader resolves
+//! names in a second pass — and every malformed input produces a typed
+//! [`ParseError`], never a panic: undefined or doubly-defined signals, bad
+//! operator keywords, wrong arities and combinational cycles (which `.bench`
+//! can express, unlike AIGER's numbered and-gates) are all reported with
+//! their source line where one exists.
+
+use crate::aiger::EmitError;
+use crate::netlist::{Gate, GateOp, Latch, Lit, Netlist, NodeRef, Output, ParseError};
+use std::collections::HashMap;
+
+fn gate_op(keyword: &str) -> Option<GateOp> {
+    match keyword.to_ascii_uppercase().as_str() {
+        "AND" => Some(GateOp::And),
+        "OR" => Some(GateOp::Or),
+        "NAND" => Some(GateOp::Nand),
+        "NOR" => Some(GateOp::Nor),
+        "XOR" => Some(GateOp::Xor),
+        "XNOR" => Some(GateOp::Xnor),
+        "NOT" => Some(GateOp::Not),
+        "BUFF" | "BUF" => Some(GateOp::Buf),
+        _ => None,
+    }
+}
+
+/// `OP(a, b, c)` → `("OP", ["a", "b", "c"])`.
+fn call_form(text: &str, line: usize) -> Result<(&str, Vec<&str>), ParseError> {
+    let open = text.find('(').ok_or_else(|| ParseError::BadSyntax {
+        line,
+        reason: format!("expected `OP(...)`, got `{text}`"),
+    })?;
+    let close = text.rfind(')').ok_or_else(|| ParseError::BadSyntax {
+        line,
+        reason: format!("unclosed parenthesis in `{text}`"),
+    })?;
+    if close < open || !text[close + 1..].trim().is_empty() {
+        return Err(ParseError::BadSyntax {
+            line,
+            reason: format!("trailing junk after `)` in `{text}`"),
+        });
+    }
+    let keyword = text[..open].trim();
+    let inner = text[open + 1..close].trim();
+    let args = if inner.is_empty() {
+        Vec::new()
+    } else {
+        inner.split(',').map(str::trim).collect()
+    };
+    if args.iter().any(|a| a.is_empty()) {
+        return Err(ParseError::BadSyntax {
+            line,
+            reason: format!("empty argument in `{text}`"),
+        });
+    }
+    Ok((keyword, args))
+}
+
+/// Parses an ISCAS `.bench` document into the shared [`Netlist`] IR.
+///
+/// `name` becomes [`Netlist::name`]. Inputs, latches (`DFF`), gates and
+/// outputs keep their file order; signal names are the `.bench` names
+/// verbatim.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on non-UTF-8 bytes, grammar violations,
+/// unsupported operators, duplicate or undefined signals, wrong arities, or
+/// a combinational cycle. The returned netlist has passed
+/// [`Netlist::validate`].
+pub fn parse_bench(bytes: &[u8], name: impl Into<String>) -> Result<Netlist, ParseError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| ParseError::NotUtf8 {
+        offset: e.valid_up_to(),
+    })?;
+
+    enum RawDef<'a> {
+        Latch {
+            line: usize,
+            data: &'a str,
+        },
+        Gate {
+            line: usize,
+            op: GateOp,
+            args: Vec<&'a str>,
+        },
+    }
+
+    // Pass 1: collect definitions and build the name -> node map.
+    let mut node_of: HashMap<&str, NodeRef> = HashMap::new();
+    let mut inputs: Vec<&str> = Vec::new();
+    let mut latch_defs: Vec<(&str, RawDef)> = Vec::new();
+    let mut gate_defs: Vec<(&str, RawDef)> = Vec::new();
+    let mut output_refs: Vec<(usize, &str)> = Vec::new();
+    for (line, raw) in text.lines().enumerate() {
+        let line = line + 1;
+        let stmt = raw.split('#').next().unwrap_or("").trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        if let Some((lhs, rhs)) = stmt.split_once('=') {
+            let lhs = lhs.trim();
+            let rhs = rhs.trim();
+            if lhs.is_empty() {
+                return Err(ParseError::BadSyntax {
+                    line,
+                    reason: format!("missing assignment target in `{stmt}`"),
+                });
+            }
+            let (keyword, args) = call_form(rhs, line)?;
+            let def = if keyword.eq_ignore_ascii_case("DFF") {
+                if args.len() != 1 {
+                    return Err(ParseError::BadArity {
+                        signal: lhs.to_string(),
+                        op: "DFF".to_string(),
+                        got: args.len(),
+                    });
+                }
+                let node = NodeRef::Latch(latch_defs.len());
+                if node_of.insert(lhs, node).is_some() {
+                    return Err(ParseError::DuplicateDefinition {
+                        line,
+                        signal: lhs.to_string(),
+                    });
+                }
+                latch_defs.push((
+                    lhs,
+                    RawDef::Latch {
+                        line,
+                        data: args[0],
+                    },
+                ));
+                continue;
+            } else if let Some(op) = gate_op(keyword) {
+                RawDef::Gate { line, op, args }
+            } else {
+                return Err(ParseError::UnsupportedGate {
+                    line,
+                    op: keyword.to_string(),
+                });
+            };
+            let node = NodeRef::Gate(gate_defs.len());
+            if node_of.insert(lhs, node).is_some() {
+                return Err(ParseError::DuplicateDefinition {
+                    line,
+                    signal: lhs.to_string(),
+                });
+            }
+            gate_defs.push((lhs, def));
+        } else {
+            let (keyword, args) = call_form(stmt, line)?;
+            let arg = match args.as_slice() {
+                [one] => *one,
+                _ => {
+                    return Err(ParseError::BadSyntax {
+                        line,
+                        reason: format!("`{keyword}` takes exactly one signal, got {}", args.len()),
+                    })
+                }
+            };
+            if keyword.eq_ignore_ascii_case("INPUT") {
+                if node_of.insert(arg, NodeRef::Input(inputs.len())).is_some() {
+                    return Err(ParseError::DuplicateDefinition {
+                        line,
+                        signal: arg.to_string(),
+                    });
+                }
+                inputs.push(arg);
+            } else if keyword.eq_ignore_ascii_case("OUTPUT") {
+                output_refs.push((line, arg));
+            } else {
+                return Err(ParseError::BadSyntax {
+                    line,
+                    reason: format!("expected `INPUT`, `OUTPUT` or an assignment, got `{keyword}`"),
+                });
+            }
+        }
+    }
+
+    // Pass 2: resolve names.
+    let resolve = |signal: &str, line: usize| -> Result<Lit, ParseError> {
+        node_of
+            .get(signal)
+            .map(|node| Lit::of(*node))
+            .ok_or_else(|| ParseError::UndefinedSignal {
+                line,
+                signal: signal.to_string(),
+            })
+    };
+
+    let netlist = Netlist {
+        name: name.into(),
+        inputs: inputs.iter().map(|s| s.to_string()).collect(),
+        latches: latch_defs
+            .into_iter()
+            .map(|(name, def)| {
+                let RawDef::Latch { line, data } = def else {
+                    unreachable!("latch_defs holds only latches")
+                };
+                Ok(Latch {
+                    name: name.to_string(),
+                    init: false, // `.bench` has no reset-value syntax; DFFs reset to 0.
+                    next: resolve(data, line)?,
+                })
+            })
+            .collect::<Result<_, ParseError>>()?,
+        gates: gate_defs
+            .into_iter()
+            .map(|(name, def)| {
+                let RawDef::Gate { line, op, args } = def else {
+                    unreachable!("gate_defs holds only gates")
+                };
+                Ok(Gate {
+                    name: name.to_string(),
+                    op,
+                    fanins: args
+                        .iter()
+                        .map(|a| resolve(a, line))
+                        .collect::<Result<_, ParseError>>()?,
+                })
+            })
+            .collect::<Result<_, ParseError>>()?,
+        outputs: output_refs
+            .into_iter()
+            .map(|(line, signal)| {
+                Ok(Output {
+                    name: signal.to_string(),
+                    driver: resolve(signal, line)?,
+                })
+            })
+            .collect::<Result<_, ParseError>>()?,
+    };
+    netlist.validate()?;
+    Ok(netlist)
+}
+
+/// Renders a netlist as an ISCAS `.bench` document: `INPUT` lines, `OUTPUT`
+/// lines, `DFF` definitions, then gates, all in IR order.
+///
+/// Inverse of [`parse_bench`] for bench-representable netlists:
+/// `parse_bench(emit_bench(n)?)` equals `n` whenever `n` stays inside the
+/// format — no negated edges or constants (negation is a `NOT` gate in
+/// `.bench`), latches reset to 0, and each output named after its (plain)
+/// driving signal.
+///
+/// # Errors
+///
+/// [`EmitError::NotBenchRepresentable`] when the netlist leaves that
+/// fragment, naming the offending edge.
+pub fn emit_bench(netlist: &Netlist) -> Result<String, EmitError> {
+    use std::fmt::Write as _;
+    let plain_name = |lit: Lit, context: &dyn Fn() -> String| -> Result<&str, EmitError> {
+        if lit.negated || lit.node == NodeRef::Const {
+            return Err(EmitError::NotBenchRepresentable { context: context() });
+        }
+        Ok(netlist.node_name(lit.node))
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", netlist.name);
+    for input in &netlist.inputs {
+        let _ = writeln!(out, "INPUT({input})");
+    }
+    for output in &netlist.outputs {
+        let driver = plain_name(output.driver, &|| format!("output `{}`", output.name))?;
+        if driver != output.name {
+            return Err(EmitError::NotBenchRepresentable {
+                context: format!("output `{}` (renames signal `{driver}`)", output.name),
+            });
+        }
+        let _ = writeln!(out, "OUTPUT({})", output.name);
+    }
+    for latch in &netlist.latches {
+        if latch.init {
+            return Err(EmitError::NotBenchRepresentable {
+                context: format!("latch `{}` (resets to 1)", latch.name),
+            });
+        }
+        let next = plain_name(latch.next, &|| format!("latch `{}`", latch.name))?;
+        let _ = writeln!(out, "{} = DFF({next})", latch.name);
+    }
+    for gate in &netlist.gates {
+        let fanins = gate
+            .fanins
+            .iter()
+            .map(|f| plain_name(*f, &|| format!("gate `{}`", gate.name)))
+            .collect::<Result<Vec<_>, EmitError>>()?;
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            gate.name,
+            gate.op.bench_name(),
+            fanins.join(", ")
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOGGLE: &str = "\
+# toggle
+INPUT(en)
+OUTPUT(q)
+nq = NOT(q)
+d = XOR(en, q)   # q toggles whenever en is high
+q = DFF(d)
+";
+
+    #[test]
+    fn parses_forward_references_and_comments() {
+        let n = parse_bench(TOGGLE.as_bytes(), "toggle").unwrap();
+        assert_eq!(n.inputs, vec!["en".to_string()]);
+        assert_eq!(n.latches.len(), 1);
+        assert_eq!(n.latches[0].name, "q");
+        assert_eq!(n.latches[0].next, Lit::of(NodeRef::Gate(1)));
+        assert_eq!(n.gates[0].op, GateOp::Not);
+        assert_eq!(n.gates[1].op, GateOp::Xor);
+        assert_eq!(n.outputs[0].name, "q");
+        assert_eq!(n.outputs[0].driver, Lit::of(NodeRef::Latch(0)));
+    }
+
+    #[test]
+    fn rejects_undefined_signals() {
+        let err = parse_bench(b"g = AND(a, b)\n", "t").unwrap_err();
+        assert!(matches!(err, ParseError::UndefinedSignal { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_definitions() {
+        let err = parse_bench(b"INPUT(a)\na = NOT(a)\n", "t").unwrap_err();
+        assert!(matches!(
+            err,
+            ParseError::DuplicateDefinition { line: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_combinational_cycles() {
+        let err =
+            parse_bench(b"INPUT(a)\nx = AND(a, y)\ny = BUFF(x)\nOUTPUT(y)\n", "t").unwrap_err();
+        assert!(matches!(err, ParseError::CombinationalCycle { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_operators() {
+        let err = parse_bench(b"INPUT(a)\ng = MAJ(a, a, a)\n", "t").unwrap_err();
+        assert!(matches!(err, ParseError::UnsupportedGate { line: 2, .. }));
+    }
+
+    #[test]
+    fn dff_arity_is_checked() {
+        let err = parse_bench(b"INPUT(a)\nINPUT(b)\nq = DFF(a, b)\n", "t").unwrap_err();
+        assert!(matches!(err, ParseError::BadArity { got: 2, .. }));
+    }
+
+    #[test]
+    fn round_trips_through_emit() {
+        let n = parse_bench(TOGGLE.as_bytes(), "toggle").unwrap();
+        let emitted = emit_bench(&n).unwrap();
+        let back = parse_bench(emitted.as_bytes(), "toggle").unwrap();
+        assert_eq!(n, back);
+    }
+
+    #[test]
+    fn emit_rejects_negated_edges() {
+        let mut n = parse_bench(TOGGLE.as_bytes(), "toggle").unwrap();
+        n.latches[0].next = n.latches[0].next.inverted();
+        assert!(matches!(
+            emit_bench(&n),
+            Err(EmitError::NotBenchRepresentable { .. })
+        ));
+    }
+}

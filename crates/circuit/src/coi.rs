@@ -1,0 +1,239 @@
+//! Cone-of-influence reduction.
+//!
+//! Logic that never feeds an observed output cannot affect the learned
+//! model: the active learner's spurious checks and the semantic fingerprint
+//! are both phrased over the observables. This pass marks every node
+//! transitively reachable from the output drivers — a marked latch pulls in
+//! its whole next-state cone, across latch boundaries — and rebuilds the
+//! netlist with only the marked gates and latches, preserving their relative
+//! order.
+//!
+//! Primary inputs are **always kept**, even unreferenced ones. Dropping an
+//! input would change how many input values the simulator draws per step and
+//! thereby shift the deterministic RNG stream, perturbing generated traces;
+//! keeping them makes the reduced system's learned `semantic_fingerprint`
+//! byte-identical to the full one (asserted by this crate's differential
+//! tests).
+
+use crate::netlist::{Netlist, NodeRef};
+
+/// Structural statistics of a netlist relative to its cone of influence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Primary input count (COI never drops inputs).
+    pub inputs: usize,
+    /// Latches in the original netlist.
+    pub latches_total: usize,
+    /// Latches inside the cone of influence of the outputs.
+    pub latches_in_coi: usize,
+    /// Gates in the original netlist.
+    pub gates_total: usize,
+    /// Gates inside the cone of influence of the outputs.
+    pub gates_in_coi: usize,
+    /// Observed outputs.
+    pub outputs: usize,
+}
+
+impl NetlistStats {
+    /// Gates outside the cone (dropped by [`reduce_to_coi`]).
+    pub fn gates_dropped(&self) -> usize {
+        self.gates_total - self.gates_in_coi
+    }
+
+    /// Latches outside the cone (dropped by [`reduce_to_coi`]).
+    pub fn latches_dropped(&self) -> usize {
+        self.latches_total - self.latches_in_coi
+    }
+}
+
+/// Marks the cone of influence: `(latch_marks, gate_marks)`.
+fn mark(netlist: &Netlist) -> (Vec<bool>, Vec<bool>) {
+    let mut latch_marked = vec![false; netlist.latches.len()];
+    let mut gate_marked = vec![false; netlist.gates.len()];
+    let mut worklist: Vec<NodeRef> = netlist.outputs.iter().map(|o| o.driver.node).collect();
+    while let Some(node) = worklist.pop() {
+        match node {
+            NodeRef::Const | NodeRef::Input(_) => {}
+            NodeRef::Latch(i) => {
+                if !latch_marked[i] {
+                    latch_marked[i] = true;
+                    worklist.push(netlist.latches[i].next.node);
+                }
+            }
+            NodeRef::Gate(i) => {
+                if !gate_marked[i] {
+                    gate_marked[i] = true;
+                    worklist.extend(netlist.gates[i].fanins.iter().map(|f| f.node));
+                }
+            }
+        }
+    }
+    (latch_marked, gate_marked)
+}
+
+/// Computes [`NetlistStats`] without rebuilding the netlist.
+pub fn coi_stats(netlist: &Netlist) -> NetlistStats {
+    let (latch_marked, gate_marked) = mark(netlist);
+    NetlistStats {
+        inputs: netlist.inputs.len(),
+        latches_total: netlist.latches.len(),
+        latches_in_coi: latch_marked.iter().filter(|m| **m).count(),
+        gates_total: netlist.gates.len(),
+        gates_in_coi: gate_marked.iter().filter(|m| **m).count(),
+        outputs: netlist.outputs.len(),
+    }
+}
+
+/// Drops every gate and latch outside the cone of influence of the outputs,
+/// returning the reduced netlist and the stats of the original.
+///
+/// The reduced netlist keeps all primary inputs (see the module docs for
+/// why), preserves the relative order of surviving latches and gates, and is
+/// idempotent: reducing an already-reduced netlist changes nothing.
+pub fn reduce_to_coi(netlist: &Netlist) -> (Netlist, NetlistStats) {
+    let (latch_marked, gate_marked) = mark(netlist);
+    let stats = NetlistStats {
+        inputs: netlist.inputs.len(),
+        latches_total: netlist.latches.len(),
+        latches_in_coi: latch_marked.iter().filter(|m| **m).count(),
+        gates_total: netlist.gates.len(),
+        gates_in_coi: gate_marked.iter().filter(|m| **m).count(),
+        outputs: netlist.outputs.len(),
+    };
+
+    // Survivor index maps, preserving relative order.
+    let compact = |marks: &[bool]| -> Vec<Option<usize>> {
+        let mut next = 0usize;
+        marks
+            .iter()
+            .map(|m| {
+                if *m {
+                    next += 1;
+                    Some(next - 1)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    };
+    let latch_map = compact(&latch_marked);
+    let gate_map = compact(&gate_marked);
+    let remap = |node: NodeRef| -> NodeRef {
+        match node {
+            NodeRef::Const | NodeRef::Input(_) => node,
+            // Marked nodes only ever reference marked nodes, so the maps
+            // are total on everything we rebuild.
+            NodeRef::Latch(i) => NodeRef::Latch(latch_map[i].expect("latch in cone")),
+            NodeRef::Gate(i) => NodeRef::Gate(gate_map[i].expect("gate in cone")),
+        }
+    };
+
+    let reduced = Netlist {
+        name: netlist.name.clone(),
+        inputs: netlist.inputs.clone(),
+        latches: netlist
+            .latches
+            .iter()
+            .zip(&latch_marked)
+            .filter(|(_, m)| **m)
+            .map(|(latch, _)| {
+                let mut latch = latch.clone();
+                latch.next.node = remap(latch.next.node);
+                latch
+            })
+            .collect(),
+        gates: netlist
+            .gates
+            .iter()
+            .zip(&gate_marked)
+            .filter(|(_, m)| **m)
+            .map(|(gate, _)| {
+                let mut gate = gate.clone();
+                for fanin in &mut gate.fanins {
+                    fanin.node = remap(fanin.node);
+                }
+                gate
+            })
+            .collect(),
+        outputs: netlist
+            .outputs
+            .iter()
+            .map(|output| {
+                let mut output = output.clone();
+                output.driver.node = remap(output.driver.node);
+                output
+            })
+            .collect(),
+    };
+    debug_assert_eq!(reduced.validate(), Ok(()));
+    (reduced, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_fmt::parse_bench;
+
+    const REDUCIBLE: &str = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(q)
+q = DFF(useful)
+useful = AND(a, q)
+junk = OR(a, b)
+dead = DFF(junk)
+junk2 = NOT(dead)
+";
+
+    #[test]
+    fn drops_logic_outside_the_cone() {
+        let full = parse_bench(REDUCIBLE.as_bytes(), "reducible").unwrap();
+        let (reduced, stats) = reduce_to_coi(&full);
+        assert_eq!(stats.gates_total, 3);
+        assert_eq!(stats.gates_in_coi, 1);
+        assert_eq!(stats.gates_dropped(), 2);
+        assert_eq!(stats.latches_total, 2);
+        assert_eq!(stats.latches_in_coi, 1);
+        assert_eq!(reduced.gates.len(), 1);
+        assert_eq!(reduced.gates[0].name, "useful");
+        assert_eq!(reduced.latches.len(), 1);
+        assert_eq!(reduced.latches[0].name, "q");
+        // Inputs are always kept, referenced or not.
+        assert_eq!(reduced.inputs, full.inputs);
+        assert_eq!(reduced.validate(), Ok(()));
+    }
+
+    #[test]
+    fn reduction_is_idempotent() {
+        let full = parse_bench(REDUCIBLE.as_bytes(), "reducible").unwrap();
+        let (reduced, _) = reduce_to_coi(&full);
+        let (again, stats) = reduce_to_coi(&reduced);
+        assert_eq!(again, reduced);
+        assert_eq!(stats.gates_dropped(), 0);
+        assert_eq!(stats.latches_dropped(), 0);
+    }
+
+    #[test]
+    fn latches_pull_their_next_state_cone() {
+        // out observes q1; q1.next = q0; q0.next reads the input through g.
+        let text = "\
+INPUT(a)
+OUTPUT(q1)
+q1 = DFF(q0)
+q0 = DFF(g)
+g = BUFF(a)
+";
+        let full = parse_bench(text.as_bytes(), "chain").unwrap();
+        let (reduced, stats) = reduce_to_coi(&full);
+        assert_eq!(stats.latches_in_coi, 2);
+        assert_eq!(stats.gates_in_coi, 1);
+        assert_eq!(reduced, full);
+    }
+
+    #[test]
+    fn stats_match_reduce() {
+        let full = parse_bench(REDUCIBLE.as_bytes(), "reducible").unwrap();
+        let (_, from_reduce) = reduce_to_coi(&full);
+        assert_eq!(coi_stats(&full), from_reduce);
+    }
+}

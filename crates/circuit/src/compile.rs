@@ -1,0 +1,304 @@
+//! Compiling a [`Netlist`] into an [`amle_system::System`].
+//!
+//! The mapping is the one the ROADMAP names: latches become boolean state
+//! variables (reset value → initial value), primary inputs become boolean
+//! input variables, and each latch's next-state cone becomes its update
+//! expression, built bottom-up in topological order and passed through
+//! [`Expr::canonical`] so structurally shared cones intern to a single
+//! arena node.
+//!
+//! Outputs need one extra step: the learner observes *variables*, but a
+//! `.bench`/AIGER output may be driven by an arbitrary combinational signal.
+//! An output driven directly by a plain (non-negated) input or latch simply
+//! observes that variable. Any other driver — a gate, a negated edge, a
+//! constant — is *registered*: the compiler adds a fresh boolean state
+//! variable named after the output whose update is the driver expression,
+//! i.e. the observed value is the driver delayed by one clock, with the
+//! reset value obtained by evaluating the driver at the latch reset values
+//! and all inputs low.
+
+use crate::coi::{coi_stats, NetlistStats};
+use crate::netlist::{GateOp, Lit, Netlist, NodeRef, ParseError};
+use amle_expr::{Expr, Sort, Value, VarId};
+use amle_system::{BuildSystemError, System, SystemBuilder};
+
+/// Errors raised while compiling a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The netlist failed [`Netlist::validate`].
+    Invalid(ParseError),
+    /// The system builder rejected the compiled system.
+    Build(BuildSystemError),
+    /// The netlist has no latches and no registered outputs, so the compiled
+    /// system would have no state variables at all.
+    NoState,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Invalid(e) => write!(f, "invalid netlist: {e}"),
+            CompileError::Build(e) => write!(f, "system construction failed: {e}"),
+            CompileError::NoState => {
+                write!(
+                    f,
+                    "netlist has no latches or registered outputs (stateless)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Invalid(e) => Some(e),
+            CompileError::Build(e) => Some(e),
+            CompileError::NoState => None,
+        }
+    }
+}
+
+impl From<BuildSystemError> for CompileError {
+    fn from(e: BuildSystemError) -> Self {
+        CompileError::Build(e)
+    }
+}
+
+/// A netlist compiled into a transition system.
+#[derive(Debug)]
+pub struct CompiledCircuit {
+    /// The transition system.
+    pub system: System,
+    /// One variable per primary input, in netlist order.
+    pub input_vars: Vec<VarId>,
+    /// One state variable per latch, in netlist order.
+    pub latch_vars: Vec<VarId>,
+    /// One `(output name, observed variable)` per netlist output, in order.
+    /// The variable is an input/latch variable (direct observation) or a
+    /// registered-output state variable.
+    pub output_vars: Vec<(String, VarId)>,
+    /// COI statistics of the compiled netlist (computed before compilation;
+    /// compile after [`crate::reduce_to_coi`] to see reduced counts).
+    pub stats: NetlistStats,
+}
+
+impl CompiledCircuit {
+    /// The observable variables for the learner: each output's variable,
+    /// deduplicated, preserving first-appearance order.
+    pub fn observables(&self) -> Vec<VarId> {
+        let mut seen = Vec::new();
+        for (_, var) in &self.output_vars {
+            if !seen.contains(var) {
+                seen.push(*var);
+            }
+        }
+        seen
+    }
+}
+
+/// Compiles a validated netlist into a [`System`].
+///
+/// # Errors
+///
+/// [`CompileError::Invalid`] if the netlist fails validation (so arbitrary
+/// generated or hand-built IR is safe to feed in), [`CompileError::NoState`]
+/// for purely combinational netlists whose outputs are all direct input
+/// observations, and [`CompileError::Build`] if the system builder objects
+/// (e.g. an AIGER output symbol colliding with a signal name — the compiler
+/// disambiguates registered-output names with an `_out` suffix first).
+pub fn compile(netlist: &Netlist) -> Result<CompiledCircuit, CompileError> {
+    netlist.validate().map_err(CompileError::Invalid)?;
+    let stats = coi_stats(netlist);
+    let mut builder = SystemBuilder::new();
+    builder.name(netlist.name.clone());
+
+    let input_vars: Vec<VarId> = netlist
+        .inputs
+        .iter()
+        .map(|name| builder.input(name.clone(), Sort::Bool))
+        .collect::<Result<_, _>>()?;
+    let latch_vars: Vec<VarId> = netlist
+        .latches
+        .iter()
+        .map(|latch| builder.state(latch.name.clone(), Sort::Bool, Value::Bool(latch.init)))
+        .collect::<Result<_, _>>()?;
+
+    // Gate expressions, bottom-up in topological order.
+    let mut gate_exprs: Vec<Option<Expr>> = vec![None; netlist.gates.len()];
+    let expr_of = |lit: Lit, gate_exprs: &[Option<Expr>], builder: &SystemBuilder| -> Expr {
+        let plain = match lit.node {
+            NodeRef::Const => Expr::false_(),
+            NodeRef::Input(i) => builder.var(input_vars[i]),
+            NodeRef::Latch(i) => builder.var(latch_vars[i]),
+            NodeRef::Gate(i) => gate_exprs[i]
+                .clone()
+                .expect("topological order visits fanins first"),
+        };
+        if lit.negated {
+            plain.not()
+        } else {
+            plain
+        }
+    };
+    let order = netlist.gate_topo_order().map_err(CompileError::Invalid)?;
+    for index in order {
+        let gate = &netlist.gates[index];
+        let fanins: Vec<Expr> = gate
+            .fanins
+            .iter()
+            .map(|f| expr_of(*f, &gate_exprs, &builder))
+            .collect();
+        let expr = match gate.op {
+            GateOp::And => Expr::and_all(fanins),
+            GateOp::Or => Expr::or_all(fanins),
+            GateOp::Nand => Expr::and_all(fanins).not(),
+            GateOp::Nor => Expr::or_all(fanins).not(),
+            GateOp::Xor => fanins[0].xor(&fanins[1]),
+            GateOp::Xnor => fanins[0].xor(&fanins[1]).not(),
+            GateOp::Not => fanins[0].not(),
+            GateOp::Buf => fanins[0].clone(),
+        };
+        gate_exprs[index] = Some(expr.canonical());
+    }
+
+    for (index, latch) in netlist.latches.iter().enumerate() {
+        let update = expr_of(latch.next, &gate_exprs, &builder).canonical();
+        builder.update(latch_vars[index], update)?;
+    }
+
+    // Outputs: observe plain input/latch drivers directly; register the rest.
+    let mut output_vars: Vec<(String, VarId)> = Vec::new();
+    let mut registered: Vec<(VarId, Expr)> = Vec::new();
+    let latch_inits: Vec<bool> = netlist.latches.iter().map(|l| l.init).collect();
+    for output in &netlist.outputs {
+        let direct = match (output.driver.node, output.driver.negated) {
+            (NodeRef::Input(i), false) => Some(input_vars[i]),
+            (NodeRef::Latch(i), false) => Some(latch_vars[i]),
+            _ => None,
+        };
+        let var = match direct {
+            Some(var) => var,
+            None => {
+                let init = netlist.eval_lit(output.driver, &latch_inits);
+                let update = expr_of(output.driver, &gate_exprs, &builder).canonical();
+                let var = [output.name.clone(), format!("{}_out", output.name)]
+                    .into_iter()
+                    .find_map(|name| builder.state(name, Sort::Bool, Value::Bool(init)).ok())
+                    .ok_or(CompileError::Build(BuildSystemError::DuplicateVariable {
+                        name: output.name.clone(),
+                    }))?;
+                registered.push((var, update));
+                var
+            }
+        };
+        output_vars.push((output.name.clone(), var));
+    }
+    for (var, update) in registered {
+        builder.update(var, update)?;
+    }
+
+    let system = builder.build().map_err(|e| match e {
+        BuildSystemError::NoStateVariables => CompileError::NoState,
+        other => CompileError::Build(other),
+    })?;
+    Ok(CompiledCircuit {
+        system,
+        input_vars,
+        latch_vars,
+        output_vars,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_fmt::parse_bench;
+    use amle_expr::Value;
+
+    const TOGGLE: &str = "\
+INPUT(en)
+OUTPUT(q)
+d = XOR(en, q)
+q = DFF(d)
+";
+
+    #[test]
+    fn toggle_simulates_like_the_netlist() {
+        let netlist = parse_bench(TOGGLE.as_bytes(), "toggle").unwrap();
+        let compiled = compile(&netlist).unwrap();
+        let system = &compiled.system;
+        let en = compiled.input_vars[0];
+        let q = compiled.latch_vars[0];
+        assert_eq!(compiled.output_vars, vec![("q".to_string(), q)]);
+        assert_eq!(compiled.observables(), vec![q]);
+
+        let mut v = system.initial_valuation();
+        assert_eq!(v.value(q), Value::Bool(false));
+        // Hold en high for two steps: q toggles 0 -> 1 -> 0.
+        v.set(en, Value::Bool(true));
+        let v1 = system.step(&v, &[(en, Value::Bool(true))]);
+        assert_eq!(v1.value(q), Value::Bool(true));
+        let v2 = system.step(&v1, &[(en, Value::Bool(false))]);
+        assert_eq!(v2.value(q), Value::Bool(false));
+        // en low: q holds.
+        let v3 = system.step(&v2, &[(en, Value::Bool(false))]);
+        assert_eq!(v3.value(q), Value::Bool(false));
+    }
+
+    #[test]
+    fn gate_driven_outputs_are_registered_one_cycle_late() {
+        let text = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(both)
+both = AND(a, b)
+q = DFF(a)
+";
+        let netlist = parse_bench(text.as_bytes(), "reg").unwrap();
+        let compiled = compile(&netlist).unwrap();
+        let system = &compiled.system;
+        let (a, b) = (compiled.input_vars[0], compiled.input_vars[1]);
+        let both = compiled.output_vars[0].1;
+        assert!(!compiled.latch_vars.contains(&both));
+        assert_eq!(system.vars().name(both), "both");
+
+        // Registered: reset value is the driver at inputs-low (false), and
+        // the observation lags the combinational value by one step.
+        let mut v = system.initial_valuation();
+        assert_eq!(v.value(both), Value::Bool(false));
+        v.set(a, Value::Bool(true));
+        v.set(b, Value::Bool(true));
+        let v1 = system.step(&v, &[(a, Value::Bool(false)), (b, Value::Bool(false))]);
+        assert_eq!(v1.value(both), Value::Bool(true));
+        let v2 = system.step(&v1, &[(a, Value::Bool(false)), (b, Value::Bool(false))]);
+        assert_eq!(v2.value(both), Value::Bool(false));
+    }
+
+    #[test]
+    fn stateless_netlists_are_rejected() {
+        let netlist = parse_bench(b"INPUT(a)\nOUTPUT(a)\n", "wire").unwrap();
+        assert!(matches!(compile(&netlist), Err(CompileError::NoState)));
+    }
+
+    #[test]
+    fn invalid_ir_is_rejected_not_panicked_on() {
+        let mut netlist = parse_bench(TOGGLE.as_bytes(), "toggle").unwrap();
+        netlist.gates[0].fanins[0] = crate::netlist::Lit::of(NodeRef::Gate(9));
+        assert!(matches!(compile(&netlist), Err(CompileError::Invalid(_))));
+    }
+
+    #[test]
+    fn registered_output_name_collisions_get_a_suffix() {
+        // AIGER can name an output after a latch while driving it with the
+        // latch's *negation*, which forces a registered output whose natural
+        // name is taken.
+        let aag = b"aag 1 0 1 1 0\n2 3\n3\nl0 q\no0 q\n";
+        let netlist = crate::aiger::parse_aag(aag, "clash").unwrap();
+        let compiled = compile(&netlist).unwrap();
+        let (name, var) = &compiled.output_vars[0];
+        assert_eq!(name, "q");
+        assert_eq!(compiled.system.vars().name(*var), "q_out");
+    }
+}

@@ -1,0 +1,135 @@
+//! The embedded circuit fixtures.
+//!
+//! Five small, hand-written circuits — committed under `fixtures/` and
+//! compiled into the binary — that the suite registers as the `--circuits`
+//! benchmark family and the golden tests snapshot:
+//!
+//! | name       | format   | what it is                                        |
+//! |------------|----------|---------------------------------------------------|
+//! | `counter3` | `.aag`   | 3-bit enabled counter (xor/carry AND clusters)    |
+//! | `shift4`   | `.bench` | 4-bit shift register with a parity tap            |
+//! | `traffic`  | `.bench` | green → yellow → red controller, advancing on adv |
+//! | `lfsr3`    | `.aag`   | 3-bit Fibonacci LFSR with enable, seeded at 001   |
+//! | `coi_demo` | `.bench` | observed toggle + dead debug pipeline (COI bait)  |
+//!
+//! `coi_demo` exists to prove the cone-of-influence pass earns its keep: its
+//! three `dbg*` latches and two junk gates feed no output and must show up
+//! as dropped in the reported [`crate::NetlistStats`].
+
+use crate::aiger::parse_aag;
+use crate::bench_fmt::parse_bench;
+use crate::netlist::{Netlist, ParseError};
+
+/// The on-disk format of a fixture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixtureFormat {
+    /// ASCII AIGER.
+    Aag,
+    /// ISCAS `.bench`.
+    Bench,
+}
+
+/// One embedded circuit fixture.
+#[derive(Debug, Clone, Copy)]
+pub struct Fixture {
+    /// Fixture (and benchmark) name.
+    pub name: &'static str,
+    /// Source format.
+    pub format: FixtureFormat,
+    /// The committed file contents.
+    pub text: &'static str,
+}
+
+impl Fixture {
+    /// Parses the fixture with the format's parser.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the parser's [`ParseError`]; the committed fixtures never
+    /// fail (pinned by the golden tests).
+    pub fn parse(&self) -> Result<Netlist, ParseError> {
+        match self.format {
+            FixtureFormat::Aag => parse_aag(self.text.as_bytes(), self.name),
+            FixtureFormat::Bench => parse_bench(self.text.as_bytes(), self.name),
+        }
+    }
+}
+
+/// All embedded fixtures, in registration order.
+pub const FIXTURES: &[Fixture] = &[
+    Fixture {
+        name: "counter3",
+        format: FixtureFormat::Aag,
+        text: include_str!("../fixtures/counter3.aag"),
+    },
+    Fixture {
+        name: "shift4",
+        format: FixtureFormat::Bench,
+        text: include_str!("../fixtures/shift4.bench"),
+    },
+    Fixture {
+        name: "traffic",
+        format: FixtureFormat::Bench,
+        text: include_str!("../fixtures/traffic.bench"),
+    },
+    Fixture {
+        name: "lfsr3",
+        format: FixtureFormat::Aag,
+        text: include_str!("../fixtures/lfsr3.aag"),
+    },
+    Fixture {
+        name: "coi_demo",
+        format: FixtureFormat::Bench,
+        text: include_str!("../fixtures/coi_demo.bench"),
+    },
+];
+
+/// Looks a fixture up by name.
+pub fn fixture(name: &str) -> Option<&'static Fixture> {
+    FIXTURES.iter().find(|f| f.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coi::coi_stats;
+    use crate::compile::compile;
+
+    #[test]
+    fn every_fixture_parses_and_compiles() {
+        for fixture in FIXTURES {
+            let netlist = fixture.parse().unwrap_or_else(|e| {
+                panic!("fixture {} does not parse: {e}", fixture.name);
+            });
+            compile(&netlist).unwrap_or_else(|e| {
+                panic!("fixture {} does not compile: {e}", fixture.name);
+            });
+        }
+    }
+
+    #[test]
+    fn coi_demo_is_actually_reducible() {
+        let netlist = fixture("coi_demo").unwrap().parse().unwrap();
+        let stats = coi_stats(&netlist);
+        assert_eq!(stats.latches_total, 4);
+        assert_eq!(stats.latches_in_coi, 1);
+        assert_eq!(stats.gates_total, 3);
+        assert_eq!(stats.gates_in_coi, 1);
+    }
+
+    #[test]
+    fn the_other_fixtures_are_fully_in_cone() {
+        for name in ["counter3", "shift4", "traffic", "lfsr3"] {
+            let netlist = fixture(name).unwrap().parse().unwrap();
+            let stats = coi_stats(&netlist);
+            assert_eq!(stats.gates_dropped(), 0, "{name}");
+            assert_eq!(stats.latches_dropped(), 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(fixture("traffic").map(|f| f.name), Some("traffic"));
+        assert!(fixture("nope").is_none());
+    }
+}

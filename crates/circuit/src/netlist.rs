@@ -1,0 +1,662 @@
+//! The shared gate-level intermediate representation.
+//!
+//! Both frontends — ASCII AIGER ([`crate::parse_aag`]) and ISCAS `.bench`
+//! ([`crate::parse_bench`]) — parse into the same [`Netlist`]: primary
+//! inputs, latches with initial values, named gates over a small boolean
+//! operator set, and observed outputs. Downstream passes (cone-of-influence
+//! reduction, compilation into an [`amle_system::System`]) operate on this
+//! IR only, so they are format-agnostic.
+//!
+//! Nodes are referenced positionally ([`NodeRef`]) and signals are edges
+//! ([`Lit`]): a node reference plus an optional negation, which is how AIGER
+//! encodes inverters for free. `.bench` netlists never produce negated edges
+//! (negation is a `NOT` gate there), but every pass handles both.
+
+use std::error::Error;
+use std::fmt;
+
+/// A reference to one node of a [`Netlist`].
+///
+/// The three index spaces are independent: `Input(0)` is the first primary
+/// input, `Latch(0)` the first latch, `Gate(0)` the first gate, each in file
+/// order. `Const` is the constant-*false* node (AIGER literal 0); the
+/// constant *true* is its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeRef {
+    /// The constant-false node.
+    Const,
+    /// A primary input, by position in [`Netlist::inputs`].
+    Input(usize),
+    /// A latch (current-state value), by position in [`Netlist::latches`].
+    Latch(usize),
+    /// A gate output, by position in [`Netlist::gates`].
+    Gate(usize),
+}
+
+/// A signal edge: a node reference with an optional negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit {
+    /// The driving node.
+    pub node: NodeRef,
+    /// Whether the edge inverts the node's value.
+    pub negated: bool,
+}
+
+impl Lit {
+    /// The constant-false signal.
+    pub const FALSE: Lit = Lit {
+        node: NodeRef::Const,
+        negated: false,
+    };
+    /// The constant-true signal.
+    pub const TRUE: Lit = Lit {
+        node: NodeRef::Const,
+        negated: true,
+    };
+
+    /// A plain (non-negated) edge to `node`.
+    pub fn of(node: NodeRef) -> Lit {
+        Lit {
+            node,
+            negated: false,
+        }
+    }
+
+    /// The negation of this signal.
+    pub fn inverted(self) -> Lit {
+        Lit {
+            node: self.node,
+            negated: !self.negated,
+        }
+    }
+}
+
+/// The boolean gate operators of the IR.
+///
+/// AIGER only produces [`GateOp::And`] (with negated edges standing in for
+/// inverters); `.bench` netlists use the whole set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateOp {
+    /// Conjunction of all fanins.
+    And,
+    /// Disjunction of all fanins.
+    Or,
+    /// Negated conjunction.
+    Nand,
+    /// Negated disjunction.
+    Nor,
+    /// Exclusive or (exactly two fanins).
+    Xor,
+    /// Negated exclusive or (exactly two fanins).
+    Xnor,
+    /// Inverter (exactly one fanin).
+    Not,
+    /// Buffer (exactly one fanin).
+    Buf,
+}
+
+impl GateOp {
+    /// The `.bench` keyword of the operator.
+    pub fn bench_name(self) -> &'static str {
+        match self {
+            GateOp::And => "AND",
+            GateOp::Or => "OR",
+            GateOp::Nand => "NAND",
+            GateOp::Nor => "NOR",
+            GateOp::Xor => "XOR",
+            GateOp::Xnor => "XNOR",
+            GateOp::Not => "NOT",
+            GateOp::Buf => "BUFF",
+        }
+    }
+
+    /// The fanin arity the operator requires: `(min, max)` inclusive.
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            GateOp::And | GateOp::Or | GateOp::Nand | GateOp::Nor => (1, usize::MAX),
+            GateOp::Xor | GateOp::Xnor => (2, 2),
+            GateOp::Not | GateOp::Buf => (1, 1),
+        }
+    }
+
+    /// Evaluates the operator on concrete fanin values.
+    pub fn eval(self, fanins: &[bool]) -> bool {
+        match self {
+            GateOp::And => fanins.iter().all(|b| *b),
+            GateOp::Or => fanins.iter().any(|b| *b),
+            GateOp::Nand => !fanins.iter().all(|b| *b),
+            GateOp::Nor => !fanins.iter().any(|b| *b),
+            GateOp::Xor => fanins[0] != fanins[1],
+            GateOp::Xnor => fanins[0] == fanins[1],
+            GateOp::Not => !fanins[0],
+            GateOp::Buf => fanins[0],
+        }
+    }
+}
+
+/// A latch: one bit of sequential state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Latch {
+    /// Signal name (from the symbol table or the `.bench` assignment).
+    pub name: String,
+    /// Reset value.
+    pub init: bool,
+    /// The next-state function input.
+    pub next: Lit,
+}
+
+/// A combinational gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// Signal name (`.bench` assignment target; synthesized `a{index}` for
+    /// AIGER and-gates, which are anonymous in the format).
+    pub name: String,
+    /// The operator.
+    pub op: GateOp,
+    /// Fanin edges, in file order.
+    pub fanins: Vec<Lit>,
+}
+
+/// An observed output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Output {
+    /// Output name. For `.bench` this is the observed signal's own name;
+    /// for AIGER it comes from the symbol table (default `o{index}`).
+    pub name: String,
+    /// The driving signal.
+    pub driver: Lit,
+}
+
+/// A gate-level netlist: the shared IR of both circuit frontends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    /// Circuit name (supplied by the caller; neither format stores one).
+    pub name: String,
+    /// Primary input names, in file order.
+    pub inputs: Vec<String>,
+    /// Latches, in file order.
+    pub latches: Vec<Latch>,
+    /// Combinational gates, in file order.
+    pub gates: Vec<Gate>,
+    /// Observed outputs, in file order.
+    pub outputs: Vec<Output>,
+}
+
+/// Typed errors of the circuit frontend: everything a parser, the IR
+/// validator or the emitters can object to. Parsers must return these —
+/// never panic — on arbitrary input bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input is not valid UTF-8.
+    NotUtf8 {
+        /// Byte offset of the first invalid byte.
+        offset: usize,
+    },
+    /// The file ended before a required section was complete.
+    Truncated {
+        /// What was expected next.
+        expected: String,
+    },
+    /// The AIGER header line is malformed or names an unsupported format.
+    BadHeader {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// A token that should be a literal/number does not parse.
+    BadToken {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// An AIGER literal exceeds the header's maximum variable index.
+    OutOfRangeLiteral {
+        /// 1-based line number.
+        line: usize,
+        /// The offending literal.
+        literal: u64,
+        /// The largest admissible literal (`2 * max_var + 1`).
+        max: u64,
+    },
+    /// A definition position (input or and-gate left-hand side) must be an
+    /// even, non-constant literal.
+    ExpectedDefinableLiteral {
+        /// 1-based line number.
+        line: usize,
+        /// The offending literal.
+        literal: u64,
+    },
+    /// A signal was defined twice.
+    DuplicateDefinition {
+        /// 1-based line number of the second definition.
+        line: usize,
+        /// The signal (a name, or `variable N` for AIGER).
+        signal: String,
+    },
+    /// A referenced signal was never defined.
+    UndefinedSignal {
+        /// 1-based line number of the reference.
+        line: usize,
+        /// The signal (a name, or `literal N` for AIGER).
+        signal: String,
+    },
+    /// An AIGER latch initial value is neither `0` nor `1` (the 1.9
+    /// "uninitialized" form is not supported — the compiler needs a concrete
+    /// reset value).
+    BadLatchInit {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A symbol-table entry is malformed or references a nonexistent
+    /// position.
+    BadSymbol {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// A line does not match the format's grammar.
+    BadSyntax {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// A `.bench` gate uses an operator outside the supported set.
+    UnsupportedGate {
+        /// 1-based line number.
+        line: usize,
+        /// The operator keyword.
+        op: String,
+    },
+    /// A gate has the wrong number of fanins for its operator.
+    BadArity {
+        /// The gate name.
+        signal: String,
+        /// The operator keyword.
+        op: String,
+        /// The fanin count found.
+        got: usize,
+    },
+    /// The combinational logic contains a cycle not broken by a latch.
+    CombinationalCycle {
+        /// Name of a gate on the cycle.
+        signal: String,
+    },
+    /// A node reference points outside the netlist (only possible for
+    /// hand-built IR; parsers never produce it).
+    DanglingReference {
+        /// Where the bad reference sits.
+        context: String,
+    },
+    /// Two distinct signals (inputs, latches or gates) share a name.
+    DuplicateName {
+        /// The shared name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::NotUtf8 { offset } => {
+                write!(
+                    f,
+                    "input is not UTF-8 (first invalid byte at offset {offset})"
+                )
+            }
+            ParseError::Truncated { expected } => {
+                write!(f, "file ends early: expected {expected}")
+            }
+            ParseError::BadHeader { line, reason } => {
+                write!(f, "line {line}: bad header: {reason}")
+            }
+            ParseError::BadToken { line, token } => {
+                write!(f, "line {line}: `{token}` is not a number")
+            }
+            ParseError::OutOfRangeLiteral { line, literal, max } => {
+                write!(
+                    f,
+                    "line {line}: literal {literal} exceeds the header maximum {max}"
+                )
+            }
+            ParseError::ExpectedDefinableLiteral { line, literal } => write!(
+                f,
+                "line {line}: literal {literal} cannot be defined (must be even and non-constant)"
+            ),
+            ParseError::DuplicateDefinition { line, signal } => {
+                write!(f, "line {line}: `{signal}` is defined twice")
+            }
+            ParseError::UndefinedSignal { line, signal } => {
+                write!(f, "line {line}: `{signal}` is never defined")
+            }
+            ParseError::BadLatchInit { line, token } => {
+                write!(f, "line {line}: latch init `{token}` is not 0 or 1")
+            }
+            ParseError::BadSymbol { line, reason } => {
+                write!(f, "line {line}: bad symbol entry: {reason}")
+            }
+            ParseError::BadSyntax { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            ParseError::UnsupportedGate { line, op } => {
+                write!(f, "line {line}: unsupported gate operator `{op}`")
+            }
+            ParseError::BadArity { signal, op, got } => {
+                write!(
+                    f,
+                    "gate `{signal}`: operator {op} cannot take {got} fanin(s)"
+                )
+            }
+            ParseError::CombinationalCycle { signal } => {
+                write!(f, "combinational cycle through gate `{signal}`")
+            }
+            ParseError::DanglingReference { context } => {
+                write!(f, "dangling node reference in {context}")
+            }
+            ParseError::DuplicateName { name } => {
+                write!(f, "two signals share the name `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+impl Netlist {
+    /// The display name of a node (`const` for the constant node).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range reference; call [`Netlist::validate`]
+    /// first for untrusted IR.
+    pub fn node_name(&self, node: NodeRef) -> &str {
+        match node {
+            NodeRef::Const => "const",
+            NodeRef::Input(i) => &self.inputs[i],
+            NodeRef::Latch(i) => &self.latches[i].name,
+            NodeRef::Gate(i) => &self.gates[i].name,
+        }
+    }
+
+    /// Checks a node reference against the netlist's index spaces.
+    fn in_range(&self, node: NodeRef) -> bool {
+        match node {
+            NodeRef::Const => true,
+            NodeRef::Input(i) => i < self.inputs.len(),
+            NodeRef::Latch(i) => i < self.latches.len(),
+            NodeRef::Gate(i) => i < self.gates.len(),
+        }
+    }
+
+    /// Structural validation: every reference in range, gate arities legal,
+    /// signal names unique, and the combinational logic acyclic (latches
+    /// break cycles; a gate loop is a [`ParseError::CombinationalCycle`]).
+    ///
+    /// Both parsers validate before returning, so a parsed netlist is always
+    /// well-formed; hand-built or generated IR should be validated before
+    /// use.
+    pub fn validate(&self) -> Result<(), ParseError> {
+        for (index, latch) in self.latches.iter().enumerate() {
+            if !self.in_range(latch.next.node) {
+                return Err(ParseError::DanglingReference {
+                    context: format!("latch {index} (`{}`) next-state input", latch.name),
+                });
+            }
+        }
+        for (index, gate) in self.gates.iter().enumerate() {
+            let (min, max) = gate.op.arity();
+            if gate.fanins.len() < min || gate.fanins.len() > max {
+                return Err(ParseError::BadArity {
+                    signal: gate.name.clone(),
+                    op: gate.op.bench_name().to_string(),
+                    got: gate.fanins.len(),
+                });
+            }
+            for fanin in &gate.fanins {
+                if !self.in_range(fanin.node) {
+                    return Err(ParseError::DanglingReference {
+                        context: format!("gate {index} (`{}`) fanin", gate.name),
+                    });
+                }
+            }
+        }
+        for (index, output) in self.outputs.iter().enumerate() {
+            if !self.in_range(output.driver.node) {
+                return Err(ParseError::DanglingReference {
+                    context: format!("output {index} (`{}`) driver", output.name),
+                });
+            }
+        }
+        let mut names = std::collections::HashSet::new();
+        for name in self
+            .inputs
+            .iter()
+            .chain(self.latches.iter().map(|l| &l.name))
+            .chain(self.gates.iter().map(|g| &g.name))
+        {
+            if !names.insert(name.as_str()) {
+                return Err(ParseError::DuplicateName { name: name.clone() });
+            }
+        }
+        let mut output_names = std::collections::HashSet::new();
+        for output in &self.outputs {
+            if !output_names.insert(output.name.as_str()) {
+                return Err(ParseError::DuplicateName {
+                    name: output.name.clone(),
+                });
+            }
+        }
+        self.gate_topo_order().map(|_| ())
+    }
+
+    /// A topological order of the gate indices (fanins before users), or the
+    /// offending gate when the combinational logic is cyclic. Latch
+    /// boundaries cut the graph: a latch's next-state input is *not* an edge
+    /// here, because the latch delays it by one step.
+    ///
+    /// Iterative (explicit stack), so arbitrarily deep cones cannot overflow
+    /// the call stack.
+    pub fn gate_topo_order(&self) -> Result<Vec<usize>, ParseError> {
+        const WHITE: u8 = 0; // unvisited
+        const GREY: u8 = 1; // on the DFS stack
+        const BLACK: u8 = 2; // finished
+        let mut color = vec![WHITE; self.gates.len()];
+        let mut order = Vec::with_capacity(self.gates.len());
+        for root in 0..self.gates.len() {
+            if color[root] != WHITE {
+                continue;
+            }
+            // Each stack frame is (gate, next fanin position to visit).
+            let mut stack = vec![(root, 0usize)];
+            color[root] = GREY;
+            while let Some((gate, position)) = stack.pop() {
+                let fanins = &self.gates[gate].fanins;
+                let mut advanced = false;
+                for (offset, fanin) in fanins.iter().enumerate().skip(position) {
+                    if let NodeRef::Gate(child) = fanin.node {
+                        match color[child] {
+                            WHITE => {
+                                color[child] = GREY;
+                                stack.push((gate, offset + 1));
+                                stack.push((child, 0));
+                                advanced = true;
+                                break;
+                            }
+                            GREY => {
+                                return Err(ParseError::CombinationalCycle {
+                                    signal: self.gates[child].name.clone(),
+                                });
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                if !advanced {
+                    color[gate] = BLACK;
+                    order.push(gate);
+                }
+            }
+        }
+        Ok(order)
+    }
+
+    /// Concretely evaluates a signal with latches at the given values and
+    /// all primary inputs at `false` — used to derive reset values for
+    /// registered outputs.
+    ///
+    /// `latch_values` must have one entry per latch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid IR; validate first.
+    pub fn eval_lit(&self, lit: Lit, latch_values: &[bool]) -> bool {
+        assert_eq!(latch_values.len(), self.latches.len());
+        let order = self
+            .gate_topo_order()
+            .expect("eval_lit requires an acyclic netlist");
+        let mut gate_values = vec![false; self.gates.len()];
+        let value_of = |l: Lit, gate_values: &[bool]| -> bool {
+            let raw = match l.node {
+                NodeRef::Const => false,
+                NodeRef::Input(_) => false,
+                NodeRef::Latch(i) => latch_values[i],
+                NodeRef::Gate(i) => gate_values[i],
+            };
+            raw != l.negated
+        };
+        for gate in order {
+            let fanins: Vec<bool> = self.gates[gate]
+                .fanins
+                .iter()
+                .map(|f| value_of(*f, &gate_values))
+                .collect();
+            gate_values[gate] = self.gates[gate].op.eval(&fanins);
+        }
+        value_of(lit, &gate_values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Netlist {
+        Netlist {
+            name: "tiny".to_string(),
+            inputs: vec!["a".to_string()],
+            latches: vec![Latch {
+                name: "q".to_string(),
+                init: false,
+                next: Lit::of(NodeRef::Gate(0)),
+            }],
+            gates: vec![Gate {
+                name: "g".to_string(),
+                op: GateOp::And,
+                fanins: vec![
+                    Lit::of(NodeRef::Input(0)),
+                    Lit::of(NodeRef::Latch(0)).inverted(),
+                ],
+            }],
+            outputs: vec![Output {
+                name: "g".to_string(),
+                driver: Lit::of(NodeRef::Gate(0)),
+            }],
+        }
+    }
+
+    #[test]
+    fn valid_netlist_passes() {
+        assert_eq!(tiny().validate(), Ok(()));
+    }
+
+    #[test]
+    fn dangling_reference_is_rejected() {
+        let mut n = tiny();
+        n.gates[0].fanins[0] = Lit::of(NodeRef::Input(7));
+        assert!(matches!(
+            n.validate(),
+            Err(ParseError::DanglingReference { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut n = tiny();
+        n.inputs.push("q".to_string());
+        // Note the dangling check passes: the new input is never referenced.
+        assert!(matches!(
+            n.validate(),
+            Err(ParseError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_is_enforced() {
+        let mut n = tiny();
+        n.gates[0].op = GateOp::Not;
+        assert!(matches!(n.validate(), Err(ParseError::BadArity { .. })));
+    }
+
+    #[test]
+    fn gate_cycles_are_detected_and_latch_cuts_are_respected() {
+        let mut n = tiny();
+        // g -> g is a combinational cycle.
+        n.gates[0].fanins[0] = Lit::of(NodeRef::Gate(0));
+        assert!(matches!(
+            n.validate(),
+            Err(ParseError::CombinationalCycle { .. })
+        ));
+        // A latch in the loop (q.next = g, g reads q) is fine — that is the
+        // `tiny` netlist itself.
+        assert_eq!(tiny().validate(), Ok(()));
+    }
+
+    #[test]
+    fn eval_lit_computes_reset_values() {
+        let n = tiny();
+        // Inputs are false in eval, so the AND gate is false either way.
+        assert!(!n.eval_lit(Lit::of(NodeRef::Gate(0)), &[false]));
+        assert!(!n.eval_lit(Lit::of(NodeRef::Gate(0)), &[true]));
+        assert!(n.eval_lit(Lit::of(NodeRef::Latch(0)), &[true]));
+        assert!(n.eval_lit(Lit::TRUE, &[false]));
+        assert!(!n.eval_lit(Lit::FALSE, &[false]));
+    }
+
+    #[test]
+    fn deep_chains_do_not_overflow_the_stack() {
+        // 50k chained buffers: a recursive topo sort would blow the stack.
+        let mut gates = vec![Gate {
+            name: "g0".to_string(),
+            op: GateOp::Buf,
+            fanins: vec![Lit::of(NodeRef::Input(0))],
+        }];
+        for i in 1..50_000 {
+            gates.push(Gate {
+                name: format!("g{i}"),
+                op: GateOp::Buf,
+                fanins: vec![Lit::of(NodeRef::Gate(i - 1))],
+            });
+        }
+        let n = Netlist {
+            name: "chain".to_string(),
+            inputs: vec!["a".to_string()],
+            latches: vec![Latch {
+                name: "q".to_string(),
+                init: false,
+                next: Lit::of(NodeRef::Gate(49_999)),
+            }],
+            gates,
+            outputs: vec![Output {
+                name: "o".to_string(),
+                driver: Lit::of(NodeRef::Latch(0)),
+            }],
+        };
+        assert_eq!(n.validate(), Ok(()));
+        assert_eq!(n.gate_topo_order().unwrap().len(), 50_000);
+    }
+}

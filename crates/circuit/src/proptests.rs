@@ -1,0 +1,151 @@
+//! Property tests over the seeded random netlist generator.
+//!
+//! Three families of invariants:
+//!
+//! * **Round trips**: `parse ∘ emit` is the identity on the IR for both the
+//!   AIGER and the `.bench` printer (each over its representable flavor).
+//! * **Cone-of-influence**: the reduction is idempotent, never drops a
+//!   primary input, and the reduced system is observationally equivalent to
+//!   the full one under lock-step simulation.
+//! * **Learning**: the COI-reduced system produces a byte-identical learned
+//!   [`amle_core::RunReport::semantic_fingerprint`], which is the invariant
+//!   the benchmark harness relies on when it learns from reduced circuits.
+
+use crate::*;
+use amle_core::{ActiveLearner, ActiveLearnerConfig, ParallelConfig};
+use amle_expr::Value;
+use amle_learner::HistoryLearner;
+use proptest::prelude::*;
+
+fn flavor_strategy() -> impl Strategy<Value = GenFlavor> {
+    prop_oneof![Just(GenFlavor::Aig), Just(GenFlavor::Bench)]
+}
+
+/// Drives `compiled` from its initial valuation with a deterministic input
+/// pattern derived from `seed` and returns, per step, the values of the
+/// observable output variables (in `output_vars` order).
+fn output_log(compiled: &CompiledCircuit, seed: u64, steps: usize) -> Vec<Vec<Value>> {
+    let mut rng = SplitMix64::new(seed ^ 0x005E_ED0F_1A7C_BEEF);
+    let inputs = compiled.system.input_vars().to_vec();
+    let mut current = compiled.system.initial_valuation();
+    let mut log = Vec::with_capacity(steps);
+    let snapshot = |valuation: &amle_expr::Valuation| -> Vec<Value> {
+        compiled
+            .output_vars
+            .iter()
+            .map(|(_, id)| valuation.value(*id))
+            .collect()
+    };
+    log.push(snapshot(&current));
+    for _ in 0..steps {
+        let assignment: Vec<_> = inputs
+            .iter()
+            .map(|id| (*id, Value::Bool(rng.flag())))
+            .collect();
+        current = compiled.system.step(&current, &assignment);
+        log.push(snapshot(&current));
+    }
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn aag_parse_emit_is_identity_on_the_ir(seed in 0u64..100_000) {
+        let netlist = random_netlist(seed, GenFlavor::Aig);
+        let text = emit_aag(&netlist).expect("Aig-flavored netlists are AIGER-representable");
+        let reparsed = parse_aag(text.as_bytes(), &netlist.name)
+            .expect("emitted AIGER must parse");
+        prop_assert_eq!(&reparsed, &netlist);
+        // The printer is a fixed point: emitting the reparse reproduces the text.
+        prop_assert_eq!(emit_aag(&reparsed).unwrap(), text);
+    }
+
+    #[test]
+    fn bench_parse_emit_is_identity_on_the_ir(seed in 0u64..100_000) {
+        let netlist = random_netlist(seed, GenFlavor::Bench);
+        let text = emit_bench(&netlist).expect("Bench-flavored netlists are .bench-representable");
+        let reparsed = parse_bench(text.as_bytes(), &netlist.name)
+            .expect("emitted .bench must parse");
+        prop_assert_eq!(&reparsed, &netlist);
+        prop_assert_eq!(emit_bench(&reparsed).unwrap(), text);
+    }
+
+    #[test]
+    fn coi_reduction_is_idempotent_and_keeps_inputs(
+        seed in 0u64..100_000,
+        flavor in flavor_strategy(),
+    ) {
+        let netlist = random_netlist(seed, flavor);
+        let (reduced, stats) = reduce_to_coi(&netlist);
+        prop_assert_eq!(&reduced.inputs, &netlist.inputs);
+        prop_assert_eq!(reduced.latches.len(), stats.latches_in_coi);
+        prop_assert_eq!(reduced.gates.len(), stats.gates_in_coi);
+        let (again, again_stats) = reduce_to_coi(&reduced);
+        prop_assert_eq!(&again, &reduced);
+        prop_assert_eq!(again_stats.gates_dropped(), 0);
+        prop_assert_eq!(again_stats.latches_dropped(), 0);
+    }
+
+    #[test]
+    fn coi_reduction_is_observationally_equivalent(
+        seed in 0u64..100_000,
+        flavor in flavor_strategy(),
+    ) {
+        let netlist = random_netlist(seed, flavor);
+        let full = compile(&netlist).expect("generated netlists compile");
+        let (reduced_netlist, _) = reduce_to_coi(&netlist);
+        let reduced = compile(&reduced_netlist).expect("reduced netlists compile");
+        let names = |c: &CompiledCircuit| -> Vec<String> {
+            c.output_vars.iter().map(|(n, _)| n.clone()).collect()
+        };
+        prop_assert_eq!(names(&full), names(&reduced));
+        prop_assert_eq!(output_log(&full, seed, 24), output_log(&reduced, seed, 24));
+    }
+}
+
+proptest! {
+    // Each case runs two full (if tiny) active-learning loops, so keep the
+    // case count low; the lock-step simulation property above carries the
+    // broad-coverage load.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn coi_reduction_preserves_the_learned_fingerprint(
+        seed in 0u64..1_000,
+        flavor in flavor_strategy(),
+    ) {
+        let netlist = random_netlist(seed, flavor);
+        let (reduced_netlist, _) = reduce_to_coi(&netlist);
+        let learn = |n: &Netlist| -> String {
+            let compiled = compile(n).expect("generated netlists compile");
+            let config = ActiveLearnerConfig {
+                observables: Some(compiled.observables()),
+                initial_traces: 5,
+                trace_length: 6,
+                k: 3,
+                max_iterations: 2,
+                parallel: ParallelConfig::with_workers(1),
+                ..Default::default()
+            };
+            let report = ActiveLearner::new(&compiled.system, HistoryLearner::default(), config)
+                .run()
+                .expect("active learning run failed");
+            let vars = compiled.system.vars();
+            // The initial condition's rendered assumption is the system's
+            // `Init(X)` formula, which enumerates *all* state variables —
+            // including latches outside the cone of influence. That is the
+            // one part of the fingerprint that legitimately differs between
+            // the full and the reduced system, so normalise exactly it: the
+            // abstraction, the invariants' conclusions and the verdict
+            // trajectory must still be byte-identical.
+            let init = amle_automaton::display_expr(&compiled.system.init_expr(), vars);
+            report.semantic_fingerprint(vars).replace(
+                &format!("invariant: {init} && R(X, X')"),
+                "invariant: Init(X) && R(X, X')",
+            )
+        };
+        prop_assert_eq!(learn(&netlist), learn(&reduced_netlist));
+    }
+}

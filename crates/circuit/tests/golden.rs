@@ -1,0 +1,90 @@
+//! Golden tests over the committed circuit fixtures.
+//!
+//! Every fixture's parsed [`amle_circuit::Netlist`] is pinned as a debug
+//! snapshot under `tests/snapshots/`, and the emitters are pinned through a
+//! printer round trip: parse → emit → parse must reproduce the IR exactly,
+//! and the emitted text itself is snapshotted so accidental printer drift
+//! shows up as a reviewable diff.
+//!
+//! To regenerate the snapshots after an intentional IR or printer change:
+//!
+//! ```text
+//! AMLE_BLESS=1 cargo test -p amle-circuit --test golden
+//! ```
+
+use amle_circuit::{emit_aag, emit_bench, parse_aag, parse_bench, FixtureFormat, FIXTURES};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+fn snapshot_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(file)
+}
+
+/// Compares `actual` against the committed snapshot, or rewrites the
+/// snapshot when `AMLE_BLESS` is set.
+fn check_snapshot(file: &str, actual: &str) {
+    let path = snapshot_path(file);
+    if std::env::var_os("AMLE_BLESS").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).expect("create snapshot dir");
+        fs::write(&path, actual).expect("write snapshot");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); run `AMLE_BLESS=1 cargo test -p amle-circuit --test golden`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "snapshot `{file}` drifted; if the change is intentional, re-bless with \
+         `AMLE_BLESS=1 cargo test -p amle-circuit --test golden`"
+    );
+}
+
+#[test]
+fn fixture_netlists_match_their_snapshots() {
+    for fixture in FIXTURES {
+        let netlist = fixture
+            .parse()
+            .unwrap_or_else(|e| panic!("{}: {e}", fixture.name));
+        let mut rendered = String::new();
+        writeln!(rendered, "{netlist:#?}").unwrap();
+        check_snapshot(&format!("{}.netlist.txt", fixture.name), &rendered);
+    }
+}
+
+#[test]
+fn fixture_emit_is_stable_and_round_trips() {
+    for fixture in FIXTURES {
+        let netlist = fixture
+            .parse()
+            .unwrap_or_else(|e| panic!("{}: {e}", fixture.name));
+        let (emitted, extension) = match fixture.format {
+            FixtureFormat::Aag => (
+                emit_aag(&netlist).unwrap_or_else(|e| panic!("{}: {e}", fixture.name)),
+                "aag",
+            ),
+            FixtureFormat::Bench => (
+                emit_bench(&netlist).unwrap_or_else(|e| panic!("{}: {e}", fixture.name)),
+                "bench",
+            ),
+        };
+        // The emitted text is itself pinned...
+        check_snapshot(&format!("{}.emitted.{extension}", fixture.name), &emitted);
+        // ...and parsing it back reproduces the IR exactly.
+        let reparsed = match fixture.format {
+            FixtureFormat::Aag => parse_aag(emitted.as_bytes(), fixture.name),
+            FixtureFormat::Bench => parse_bench(emitted.as_bytes(), fixture.name),
+        }
+        .unwrap_or_else(|e| panic!("{}: emitted text failed to re-parse: {e}", fixture.name));
+        assert_eq!(
+            reparsed, netlist,
+            "{}: parse ∘ emit is not the identity",
+            fixture.name
+        );
+    }
+}

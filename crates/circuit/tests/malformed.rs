@@ -1,0 +1,364 @@
+//! Malformed-input battery for both circuit parsers.
+//!
+//! Every case pins the *typed* [`ParseError`] variant (and, where it exists,
+//! the reported source line) so error reporting cannot silently regress into
+//! a different — or worse, a panicking — failure mode. The parsers' contract
+//! is that no byte sequence panics; the battery covers truncations, bad and
+//! out-of-range literals, duplicate and undefined definitions, unsupported
+//! constructs, grammar violations, combinational cycles and non-UTF-8 bytes.
+
+use amle_circuit::{parse_aag, parse_bench, ParseError};
+
+fn aag(bytes: &[u8]) -> ParseError {
+    match parse_aag(bytes, "malformed") {
+        Ok(n) => panic!("expected a parse error, got a netlist: {n:?}"),
+        Err(e) => {
+            // Every error must render through Display without panicking.
+            let _ = e.to_string();
+            e
+        }
+    }
+}
+
+fn bench(bytes: &[u8]) -> ParseError {
+    match parse_bench(bytes, "malformed") {
+        Ok(n) => panic!("expected a parse error, got a netlist: {n:?}"),
+        Err(e) => {
+            let _ = e.to_string();
+            e
+        }
+    }
+}
+
+// ---------------------------------------------------------------- AIGER ----
+
+#[test]
+fn aag_rejects_non_utf8_bytes() {
+    assert_eq!(
+        aag(b"aag 1 1 0 0 0\n\xff\xfe"),
+        ParseError::NotUtf8 { offset: 14 }
+    );
+    // Invalid bytes before the header are reported at offset 0.
+    assert_eq!(aag(b"\xc3\x28"), ParseError::NotUtf8 { offset: 0 });
+}
+
+#[test]
+fn aag_rejects_empty_input() {
+    assert!(matches!(aag(b""), ParseError::Truncated { .. }));
+}
+
+#[test]
+fn aag_rejects_the_binary_format() {
+    let err = aag(b"aig 1 1 0 0 0\n");
+    let ParseError::BadHeader { line: 1, reason } = err else {
+        panic!("expected BadHeader, got {err:?}");
+    };
+    assert!(reason.contains("binary"), "unpointed message: {reason}");
+}
+
+#[test]
+fn aag_rejects_malformed_headers() {
+    // Wrong magic word.
+    assert!(matches!(
+        aag(b"hello world\n"),
+        ParseError::BadHeader { line: 1, .. }
+    ));
+    // Too few counts.
+    assert!(matches!(
+        aag(b"aag 1 1\n"),
+        ParseError::BadHeader { line: 1, .. }
+    ));
+    // The 1.9 extended sections (B/C/J/F) are unsupported.
+    assert!(matches!(
+        aag(b"aag 1 1 0 0 0 0\n"),
+        ParseError::BadHeader { line: 1, .. }
+    ));
+    // Non-numeric count.
+    assert!(matches!(
+        aag(b"aag 1 x 0 0 0\n"),
+        ParseError::BadToken { line: 1, .. }
+    ));
+    // M must cover I + L + A.
+    assert!(matches!(
+        aag(b"aag 0 1 0 0 0\n2\n"),
+        ParseError::BadHeader { line: 1, .. }
+    ));
+}
+
+#[test]
+fn aag_reports_truncation_per_missing_section() {
+    // Header promises one input, one latch, one output, one gate; cut the
+    // file off at each point in turn.
+    for (text, expected_fragment) in [
+        ("aag 3 1 1 1 1\n", "input"),
+        ("aag 3 1 1 1 1\n2\n", "latch"),
+        ("aag 3 1 1 1 1\n2\n4 6\n", "output"),
+        ("aag 3 1 1 1 1\n2\n4 6\n4\n", "and-gate"),
+    ] {
+        let err = aag(text.as_bytes());
+        let ParseError::Truncated { expected } = err else {
+            panic!("`{text}`: expected Truncated, got {err:?}");
+        };
+        assert!(
+            expected.contains(expected_fragment),
+            "`{text}`: truncation names `{expected}`, expected `{expected_fragment}`"
+        );
+    }
+}
+
+#[test]
+fn aag_rejects_bad_literal_tokens() {
+    assert!(matches!(
+        aag(b"aag 1 1 0 0 0\nx\n"),
+        ParseError::BadToken { line: 2, .. }
+    ));
+    // Negative literals are not unsigned numbers.
+    assert!(matches!(
+        aag(b"aag 1 1 0 0 0\n-2\n"),
+        ParseError::BadToken { line: 2, .. }
+    ));
+}
+
+#[test]
+fn aag_rejects_out_of_range_literals() {
+    // M = 1 admits literals up to 3; literal 5 is variable 2.
+    assert_eq!(
+        aag(b"aag 1 1 0 1 0\n2\n5\n"),
+        ParseError::OutOfRangeLiteral {
+            line: 3,
+            literal: 5,
+            max: 3
+        }
+    );
+}
+
+#[test]
+fn aag_rejects_undefinable_literals() {
+    // An input definition must be an even, non-constant literal.
+    assert_eq!(
+        aag(b"aag 1 1 0 0 0\n3\n"),
+        ParseError::ExpectedDefinableLiteral {
+            line: 2,
+            literal: 3
+        }
+    );
+    assert_eq!(
+        aag(b"aag 1 1 0 0 0\n0\n"),
+        ParseError::ExpectedDefinableLiteral {
+            line: 2,
+            literal: 0
+        }
+    );
+}
+
+#[test]
+fn aag_rejects_duplicate_definitions() {
+    // Both inputs claim variable 1.
+    let err = aag(b"aag 2 2 0 0 0\n2\n2\n");
+    assert!(matches!(
+        err,
+        ParseError::DuplicateDefinition { line: 3, .. }
+    ));
+    // A latch claiming an input's variable is the same offence.
+    let err = aag(b"aag 2 1 1 0 0\n2\n2 4\n");
+    assert!(matches!(
+        err,
+        ParseError::DuplicateDefinition { line: 3, .. }
+    ));
+}
+
+#[test]
+fn aag_rejects_undefined_references() {
+    // Output references variable 2, which nothing defines.
+    let err = aag(b"aag 2 1 0 1 0\n2\n4\n");
+    assert!(matches!(err, ParseError::UndefinedSignal { line: 3, .. }));
+}
+
+#[test]
+fn aag_rejects_unsupported_latch_resets() {
+    // AIGER 1.9 allows `init = current` to mean "uninitialized"; the
+    // compiler needs a concrete reset, so anything but 0/1 is an error.
+    let err = aag(b"aag 1 0 1 1 0\n2 2 2\n2\n");
+    assert!(matches!(err, ParseError::BadLatchInit { line: 2, .. }));
+}
+
+#[test]
+fn aag_rejects_malformed_lines() {
+    // An input line is exactly one literal.
+    assert!(matches!(
+        aag(b"aag 2 1 0 0 0\n2 4\n"),
+        ParseError::BadSyntax { line: 2, .. }
+    ));
+    // A latch line is `current next [init]`.
+    assert!(matches!(
+        aag(b"aag 1 0 1 0 0\n2\n"),
+        ParseError::BadSyntax { line: 2, .. }
+    ));
+    // An and-gate line is `lhs rhs0 rhs1`.
+    assert!(matches!(
+        aag(b"aag 2 1 0 0 1\n2\n4 2\n"),
+        ParseError::BadSyntax { line: 3, .. }
+    ));
+}
+
+#[test]
+fn aag_rejects_malformed_symbol_entries() {
+    // Unknown position kind.
+    assert!(matches!(
+        aag(b"aag 1 1 0 0 0\n2\nz0 name\n"),
+        ParseError::BadSymbol { line: 3, .. }
+    ));
+    // Position out of range.
+    assert!(matches!(
+        aag(b"aag 1 1 0 0 0\n2\ni5 name\n"),
+        ParseError::BadSymbol { line: 3, .. }
+    ));
+    // No name at all.
+    assert!(matches!(
+        aag(b"aag 1 1 0 0 0\n2\ni0\n"),
+        ParseError::BadSymbol { line: 3, .. }
+    ));
+}
+
+#[test]
+fn aag_rejects_name_collisions_from_the_symbol_table() {
+    // Two positions renamed to the same signal name trip IR validation.
+    let err = aag(b"aag 2 2 0 0 0\n2\n4\ni0 x\ni1 x\n");
+    assert!(matches!(err, ParseError::DuplicateName { .. }));
+}
+
+// --------------------------------------------------------------- .bench ----
+
+#[test]
+fn bench_rejects_non_utf8_bytes() {
+    assert_eq!(bench(b"INPUT(a)\n\xff"), ParseError::NotUtf8 { offset: 9 });
+}
+
+#[test]
+fn bench_rejects_unknown_operators() {
+    assert!(matches!(
+        bench(b"INPUT(a)\ng = MUX(a, a, a)\n"),
+        ParseError::UnsupportedGate { line: 2, .. }
+    ));
+}
+
+#[test]
+fn bench_rejects_wrong_arities() {
+    // NOT takes one fanin.
+    assert!(matches!(
+        bench(b"INPUT(a)\nINPUT(b)\ng = NOT(a, b)\nOUTPUT(g)\n"),
+        ParseError::BadArity { got: 2, .. }
+    ));
+    // XOR takes exactly two.
+    assert!(matches!(
+        bench(b"INPUT(a)\ng = XOR(a)\nOUTPUT(g)\n"),
+        ParseError::BadArity { got: 1, .. }
+    ));
+    // AND needs at least one.
+    assert!(matches!(
+        bench(b"g = AND()\nOUTPUT(g)\n"),
+        ParseError::BadArity { got: 0, .. }
+    ));
+    // DFF takes exactly one.
+    assert!(matches!(
+        bench(b"INPUT(a)\nINPUT(b)\nq = DFF(a, b)\n"),
+        ParseError::BadArity { got: 2, .. }
+    ));
+}
+
+#[test]
+fn bench_rejects_duplicate_definitions() {
+    assert!(matches!(
+        bench(b"INPUT(a)\nINPUT(a)\n"),
+        ParseError::DuplicateDefinition { line: 2, .. }
+    ));
+    assert!(matches!(
+        bench(b"INPUT(a)\na = NOT(a)\n"),
+        ParseError::DuplicateDefinition { line: 2, .. }
+    ));
+    assert!(matches!(
+        bench(b"INPUT(a)\ng = NOT(a)\ng = BUFF(a)\n"),
+        ParseError::DuplicateDefinition { line: 3, .. }
+    ));
+}
+
+#[test]
+fn bench_rejects_undefined_references() {
+    assert!(matches!(
+        bench(b"g = AND(a, b)\n"),
+        ParseError::UndefinedSignal { line: 1, .. }
+    ));
+    assert!(matches!(
+        bench(b"OUTPUT(ghost)\n"),
+        ParseError::UndefinedSignal { line: 1, .. }
+    ));
+    assert!(matches!(
+        bench(b"q = DFF(nothing)\n"),
+        ParseError::UndefinedSignal { line: 1, .. }
+    ));
+}
+
+#[test]
+fn bench_rejects_combinational_cycles() {
+    // A two-gate loop with no latch on it.
+    let err = bench(b"INPUT(x)\na = AND(b, x)\nb = BUFF(a)\nOUTPUT(b)\n");
+    assert!(matches!(err, ParseError::CombinationalCycle { .. }));
+    // A self-loop is the degenerate case.
+    let err = bench(b"INPUT(x)\na = AND(a, x)\nOUTPUT(a)\n");
+    assert!(matches!(err, ParseError::CombinationalCycle { .. }));
+    // The same loop through a DFF is fine — latches break cycles.
+    assert!(parse_bench(b"INPUT(x)\na = AND(b, x)\nb = DFF(a)\nOUTPUT(b)\n", "ok").is_ok());
+}
+
+#[test]
+fn bench_rejects_grammar_violations() {
+    // Missing parentheses.
+    assert!(matches!(
+        bench(b"INPUT a\n"),
+        ParseError::BadSyntax { line: 1, .. }
+    ));
+    // Unclosed parenthesis.
+    assert!(matches!(
+        bench(b"INPUT(a)\ng = AND(a\n"),
+        ParseError::BadSyntax { line: 2, .. }
+    ));
+    // Trailing junk after the close.
+    assert!(matches!(
+        bench(b"INPUT(a)\ng = AND(a) extra\n"),
+        ParseError::BadSyntax { line: 2, .. }
+    ));
+    // Missing assignment target.
+    assert!(matches!(
+        bench(b"INPUT(a)\n= AND(a)\n"),
+        ParseError::BadSyntax { line: 2, .. }
+    ));
+    // Empty argument.
+    assert!(matches!(
+        bench(b"INPUT(a)\ng = AND(a,)\n"),
+        ParseError::BadSyntax { line: 2, .. }
+    ));
+    // INPUT takes exactly one signal.
+    assert!(matches!(
+        bench(b"INPUT(a, b)\n"),
+        ParseError::BadSyntax { line: 1, .. }
+    ));
+    // A bare unknown statement.
+    assert!(matches!(
+        bench(b"FLIP(a)\n"),
+        ParseError::BadSyntax { line: 1, .. }
+    ));
+}
+
+/// Neither parser panics on arbitrary prefixes of a valid file — a cheap
+/// deterministic fuzz over every truncation point, in both formats.
+#[test]
+fn truncation_sweep_never_panics() {
+    let aag_text = b"aag 3 1 1 1 1\n2\n4 6\n4\n6 2 4\ni0 en\nl0 q\no0 out\nc\nnote\n";
+    for cut in 0..aag_text.len() {
+        let _ = parse_aag(&aag_text[..cut], "sweep");
+    }
+    let bench_text = b"# t\nINPUT(en)\nOUTPUT(q)\nd = XOR(en, q)\nq = DFF(d)\n";
+    for cut in 0..bench_text.len() {
+        let _ = parse_bench(&bench_text[..cut], "sweep");
+    }
+}

@@ -12,7 +12,7 @@
 //! query-for-query (verdicts *and* canonical counterexamples), and the
 //! cache only skips work it would have recomputed identically.
 
-use amle_benchmarks::{full_suite, Benchmark};
+use amle_benchmarks::{circuit_benchmarks, full_suite, Benchmark};
 use amle_core::{
     ActiveLearner, ActiveLearnerConfig, OracleConfig, OracleKind, ParallelConfig, RunReport,
 };
@@ -55,56 +55,77 @@ fn without_cache(mut config: OracleConfig) -> OracleConfig {
     config
 }
 
+/// Runs the full engine × cache × worker matrix for one benchmark and
+/// asserts every variant reproduces the sequential k-induction reference
+/// fingerprint, plus that the reference's cache accounting is complete.
+fn assert_fingerprints_agree(benchmark: &Benchmark) {
+    let vars = benchmark.system.vars();
+    let reference_report = run(benchmark, 1, kinduction());
+    let reference = reference_report.semantic_fingerprint(vars);
+    let variants: [(&str, usize, OracleConfig); 4] = [
+        ("kinduction, cache, 4 workers", 4, kinduction()),
+        (
+            "kinduction, no cache, 1 worker",
+            1,
+            without_cache(kinduction()),
+        ),
+        ("portfolio, cache, 1 worker", 1, portfolio()),
+        (
+            "portfolio, no cache, 4 workers",
+            4,
+            without_cache(portfolio()),
+        ),
+    ];
+    for (label, workers, oracle) in variants {
+        let report = run(benchmark, workers, oracle);
+        assert_eq!(
+            reference,
+            report.semantic_fingerprint(vars),
+            "{}: `{}` diverged from the kinduction/cache/sequential reference",
+            benchmark.name,
+            label
+        );
+    }
+    // The cache-enabled reference accounts every condition as a hit or
+    // a miss, and the per-iteration hit counts add up to the total.
+    let conditions: u64 = reference_report
+        .iteration_stats
+        .iter()
+        .map(|s| s.conditions as u64)
+        .sum();
+    let cache = reference_report.verdict_cache;
+    assert_eq!(
+        cache.hits + cache.misses,
+        conditions,
+        "{}: cache accounting is incomplete",
+        benchmark.name
+    );
+    let per_iteration_hits: u64 = reference_report
+        .iteration_stats
+        .iter()
+        .map(|s| s.cache_hits as u64)
+        .sum();
+    assert_eq!(per_iteration_hits, cache.hits);
+}
+
 #[test]
 fn fingerprints_identical_across_engines_cache_and_workers() {
     for benchmark in full_suite() {
-        let vars = benchmark.system.vars();
-        let reference_report = run(&benchmark, 1, kinduction());
-        let reference = reference_report.semantic_fingerprint(vars);
-        let variants: [(&str, usize, OracleConfig); 4] = [
-            ("kinduction, cache, 4 workers", 4, kinduction()),
-            (
-                "kinduction, no cache, 1 worker",
-                1,
-                without_cache(kinduction()),
-            ),
-            ("portfolio, cache, 1 worker", 1, portfolio()),
-            (
-                "portfolio, no cache, 4 workers",
-                4,
-                without_cache(portfolio()),
-            ),
-        ];
-        for (label, workers, oracle) in variants {
-            let report = run(&benchmark, workers, oracle);
-            assert_eq!(
-                reference,
-                report.semantic_fingerprint(vars),
-                "{}: `{}` diverged from the kinduction/cache/sequential reference",
-                benchmark.name,
-                label
-            );
-        }
-        // The cache-enabled reference accounts every condition as a hit or
-        // a miss, and the per-iteration hit counts add up to the total.
-        let conditions: u64 = reference_report
-            .iteration_stats
-            .iter()
-            .map(|s| s.conditions as u64)
-            .sum();
-        let cache = reference_report.verdict_cache;
-        assert_eq!(
-            cache.hits + cache.misses,
-            conditions,
-            "{}: cache accounting is incomplete",
-            benchmark.name
-        );
-        let per_iteration_hits: u64 = reference_report
-            .iteration_stats
-            .iter()
-            .map(|s| s.cache_hits as u64)
-            .sum();
-        assert_eq!(per_iteration_hits, cache.hits);
+        assert_fingerprints_agree(&benchmark);
+    }
+}
+
+#[test]
+fn circuit_fingerprints_identical_across_engines_cache_and_workers() {
+    // The circuit family rides outside `full_suite()` (so the pinned quick-
+    // suite fingerprint stays comparable across releases) but the same
+    // determinism contract applies to systems compiled from netlists —
+    // including the COI-reduced one, whose registered outputs exercise the
+    // compiler's extra state variables.
+    let circuits = circuit_benchmarks();
+    assert!(!circuits.is_empty(), "the circuit family is empty");
+    for benchmark in circuits {
+        assert_fingerprints_agree(&benchmark);
     }
 }
 

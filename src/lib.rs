@@ -48,6 +48,7 @@ pub use amle_automaton as automaton;
 pub use amle_benchmarks as benchmarks;
 pub use amle_bitblast as bitblast;
 pub use amle_checker as checker;
+pub use amle_circuit as circuit;
 pub use amle_core as active;
 pub use amle_expr as expr;
 pub use amle_learner as learner;
