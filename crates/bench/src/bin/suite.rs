@@ -5,8 +5,8 @@
 //!
 //! ```text
 //! suite [--workers N] [--condition-workers N] [--quick] [--compare]
-//!       [--table1-only] [--stress] [--circuits] [--only <substring>]
-//!       [--dump-fingerprint <path>] [--json <path>]
+//!       [--table1-only] [--stress] [--circuits] [--circuit-file <path>]
+//!       [--only <substring>] [--dump-fingerprint <path>] [--json <path>]
 //!       [--learner history|ktails|satdfa|lstar]
 //!       [--engine kinduction|explicit|portfolio] [--no-cache]
 //!       [--cross-validate]
@@ -33,6 +33,12 @@
 //!   gains a netlist-statistics table (inputs, latches and gates in/out of
 //!   the COI), and `--json` records gain a per-benchmark `circuit` object.
 //!   Combine with `--only Circuit` to run the circuit family alone.
+//! * `--circuit-file <path>` — load a real `.aag` (ASCII AIGER) or `.bench`
+//!   (ISCAS) netlist from disk and append it to the suite as
+//!   `CircuitFile_<stem>`, through the same COI-reduce-and-compile pipeline
+//!   as the embedded fixtures but with generic witness schedules (see
+//!   `amle_benchmarks::circuit_benchmark_from_file`). Repeatable; files are
+//!   appended in argument order. Does not imply `--circuits`.
 //! * `--only <substring>` — restrict the suite to benchmarks whose name
 //!   contains the substring (e.g. `--only Synth`).
 //! * `--dump-fingerprint <path>` — write the concatenated semantic
@@ -80,6 +86,7 @@ struct Options {
     table1_only: bool,
     stress: bool,
     circuits: bool,
+    circuit_files: Vec<String>,
     only: Option<String>,
     dump_fingerprint: Option<String>,
     json: Option<String>,
@@ -103,8 +110,8 @@ fn make_learner(name: &str) -> Option<LearnerKind> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: suite [--workers N] [--condition-workers N] [--quick] [--compare]\n\
-         \x20            [--table1-only] [--stress] [--circuits] [--only <substring>]\n\
-         \x20            [--dump-fingerprint <path>] [--json <path>]\n\
+         \x20            [--table1-only] [--stress] [--circuits] [--circuit-file <path>]\n\
+         \x20            [--only <substring>] [--dump-fingerprint <path>] [--json <path>]\n\
          \x20            [--learner history|ktails|satdfa|lstar]\n\
          \x20            [--engine kinduction|explicit|portfolio] [--no-cache]\n\
          \x20            [--cross-validate]"
@@ -124,6 +131,7 @@ fn parse_options() -> Result<Options, ExitCode> {
         table1_only: false,
         stress: false,
         circuits: false,
+        circuit_files: Vec::new(),
         only: None,
         dump_fingerprint: None,
         json: std::env::var("AMLE_BENCH_JSON")
@@ -155,6 +163,7 @@ fn parse_options() -> Result<Options, ExitCode> {
             "--table1-only" => options.table1_only = true,
             "--stress" => options.stress = true,
             "--circuits" => options.circuits = true,
+            "--circuit-file" => options.circuit_files.push(value("--circuit-file")?),
             "--only" => options.only = Some(value("--only")?),
             "--dump-fingerprint" => {
                 options.dump_fingerprint = Some(value("--dump-fingerprint")?);
@@ -239,6 +248,15 @@ fn main() -> ExitCode {
     }
     if options.circuits {
         suite.extend(amle_benchmarks::circuit_benchmarks());
+    }
+    for path in &options.circuit_files {
+        match amle_benchmarks::circuit_benchmark_from_file(std::path::Path::new(path)) {
+            Ok(benchmark) => suite.push(benchmark),
+            Err(e) => {
+                eprintln!("--circuit-file: {e}");
+                return ExitCode::from(2);
+            }
+        }
     }
     if let Some(only) = &options.only {
         suite.retain(|b| b.name.contains(only.as_str()));

@@ -123,6 +123,12 @@ pub struct ActiveRow {
     /// Explicit queries whose budget ran out, re-run with k-induction
     /// (`fallb`).
     pub explicit_fallbacks: u64,
+    /// Conclusion disjuncts Tseitin-encoded for the first time in a
+    /// condition session (`disjE`).
+    pub disj_encoded: u64,
+    /// Conclusion disjuncts served from the session's persistent ledger
+    /// without re-encoding (`disjR`).
+    pub disj_reused: u64,
     /// Expression-interner traffic during the run: nodes created
     /// (`inodes`), intern hit rate (`ihit%`) and canonical rewrites applied
     /// (`rewr`).
@@ -180,6 +186,8 @@ pub fn run_active<L: ModelLearner>(
         explicit_queries: report.checker_stats.explicit_queries,
         explicit_work: report.checker_stats.explicit_work,
         explicit_fallbacks: report.checker_stats.explicit_fallbacks,
+        disj_encoded: report.checker_stats.disj_encoded,
+        disj_reused: report.checker_stats.disj_reused,
         interner: report.interner,
         invariant_dag_nodes: invariant_dag_nodes(&report),
         circuit: amle_benchmarks::circuit_stats_for(&benchmark.name),
@@ -358,12 +366,14 @@ fn json_escape(s: &str) -> String {
 /// trajectory (`BENCH_*.json`) can accumulate across versions, and what
 /// the `perf-diff` binary consumes to compare two runs.
 ///
-/// Schema history: **3** added the optional per-record `circuit` object
-/// (netlist statistics — input/latch/gate counts and cone-of-influence
-/// survivors — present only on circuit benchmarks); **2** added the CDCL
-/// work counters (`decisions`, `propagations`, `conflicts`,
-/// `minimized_lits`, `mean_lbd`); schema 1 records lack them. `perf-diff`
-/// accepts all three.
+/// Schema history: **4** added the conclusion-disjunct ledger counters
+/// (`disj_encoded`, `disj_reused` — first-time Tseitin encodes vs session
+/// reuses of conclusion disjuncts); **3** added the optional per-record
+/// `circuit` object (netlist statistics — input/latch/gate counts and
+/// cone-of-influence survivors — present only on circuit benchmarks);
+/// **2** added the CDCL work counters (`decisions`, `propagations`,
+/// `conflicts`, `minimized_lits`, `mean_lbd`); schema 1 records lack them.
+/// `perf-diff` accepts all four.
 pub fn suite_json(
     meta: &SuiteRunMeta,
     benchmarks: &[Benchmark],
@@ -372,7 +382,7 @@ pub fn suite_json(
     use std::fmt::Write as _;
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": 3,");
+    let _ = writeln!(out, "  \"schema\": 4,");
     let _ = writeln!(out, "  \"engine\": \"{}\",", json_escape(&meta.engine));
     let _ = writeln!(out, "  \"learner\": \"{}\",", json_escape(&meta.learner));
     let _ = writeln!(out, "  \"quick\": {},", meta.quick);
@@ -401,6 +411,7 @@ pub fn suite_json(
              \"decisions\": {}, \"propagations\": {}, \"conflicts\": {}, \
              \"minimized_lits\": {}, \"mean_lbd\": {:.4}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"disj_encoded\": {}, \"disj_reused\": {}, \
              \"words_encoded\": {}, \"words_reused\": {}, \
              \"interner\": {{\"nodes_interned\": {}, \"hits\": {}, \
              \"hit_rate\": {:.4}, \"canonical_rewrites\": {}}}, \
@@ -422,6 +433,8 @@ pub fn suite_json(
             row.mean_lbd,
             row.cache_hits,
             row.cache_misses,
+            row.disj_encoded,
+            row.disj_reused,
             row.words_encoded,
             row.words_reused,
             row.interner.nodes_interned,
@@ -499,15 +512,17 @@ pub fn format_active_table(rows: &[ActiveRow]) -> String {
 
 /// Formats the oracle-portfolio statistics table: verdict-cache hits and
 /// misses, the per-engine query attribution (k-induction vs explicit,
-/// explicit work units and budget fallbacks), the expression-interner
-/// traffic the canonical cache keys ride on (nodes interned, intern hit
-/// rate, canonical rewrites applied), and the CDCL search-quality columns
-/// (conflicts, propagations per conflict, literals removed by learnt-clause
-/// minimization, mean learnt-clause LBD).
+/// explicit work units and budget fallbacks), the conclusion-disjunct
+/// ledger traffic (`disjE` first-time encodes vs `disjR` session reuses —
+/// the quantity delta-encoded condition sessions minimise), the
+/// expression-interner traffic the canonical cache keys ride on (nodes
+/// interned, intern hit rate, canonical rewrites applied), and the CDCL
+/// search-quality columns (conflicts, propagations per conflict, literals
+/// removed by learnt-clause minimization, mean learnt-clause LBD).
 pub fn format_oracle_table(rows: &[ActiveRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<34} {:>6} {:>6} {:>7} {:>7} {:>10} {:>6} {:>7} {:>6} {:>7} {:>8} {:>8} {:>7} {:>5}\n",
+        "{:<34} {:>6} {:>6} {:>7} {:>7} {:>10} {:>6} {:>6} {:>7} {:>7} {:>6} {:>7} {:>8} {:>8} {:>7} {:>5}\n",
         "Benchmark",
         "hits",
         "miss",
@@ -515,6 +530,8 @@ pub fn format_oracle_table(rows: &[ActiveRow]) -> String {
         "exQ",
         "exWork",
         "fallb",
+        "disjE",
+        "disjR",
         "inodes",
         "ihit%",
         "rewr",
@@ -530,7 +547,7 @@ pub fn format_oracle_table(rows: &[ActiveRow]) -> String {
             r.propagations as f64 / r.conflicts as f64
         };
         out.push_str(&format!(
-            "{:<34} {:>6} {:>6} {:>7} {:>7} {:>10} {:>6} {:>7} {:>6.1} {:>7} {:>8} {:>8.1} {:>7} {:>5.1}\n",
+            "{:<34} {:>6} {:>6} {:>7} {:>7} {:>10} {:>6} {:>6} {:>7} {:>7} {:>6.1} {:>7} {:>8} {:>8.1} {:>7} {:>5.1}\n",
             r.name,
             r.cache_hits,
             r.cache_misses,
@@ -538,6 +555,8 @@ pub fn format_oracle_table(rows: &[ActiveRow]) -> String {
             r.explicit_queries,
             r.explicit_work,
             r.explicit_fallbacks,
+            r.disj_encoded,
+            r.disj_reused,
             r.interner.nodes_interned,
             100.0 * r.interner.hit_rate(),
             r.interner.canonical_rewrites,
@@ -777,9 +796,14 @@ mod tests {
         assert_eq!(row.interner, report.interner);
         assert!((0.0..=1.0).contains(&row.interner.hit_rate()));
         assert!(row.invariant_dag_nodes > 0);
+        assert!(
+            row.disj_encoded > 0,
+            "a real run must encode conclusion disjuncts"
+        );
         let table = format_oracle_table(std::slice::from_ref(&row));
         assert!(table.contains("inodes"));
         assert!(table.contains("rewr"));
+        assert!(table.contains("disjE"));
         assert!(table.contains("RedundantSensorPair"));
     }
 
@@ -819,7 +843,7 @@ mod tests {
         assert!(json.contains("\"gates_in_coi\": 1"));
         // And the document still parses through the perf-diff consumer.
         let run = perf::parse_suite_run(&json).unwrap();
-        assert_eq!(run.schema, 3);
+        assert_eq!(run.schema, 4);
         assert_eq!(run.benchmarks.len(), 1);
         // A non-circuit row renders an empty circuit table.
         let plain = benchmark_by_name("HomeClimateControlCooler").unwrap();
@@ -875,7 +899,7 @@ mod tests {
         };
         let json = suite_json(&meta, &suite, &results);
         for needle in [
-            "\"schema\": 3",
+            "\"schema\": 4",
             "\"engine\": \"kinduction\"",
             "\"learner\": \"history\"",
             "\"fingerprint_digest\"",
@@ -888,6 +912,9 @@ mod tests {
             "\"conflicts\"",
             "\"minimized_lits\"",
             "\"mean_lbd\"",
+            // Schema-4 conclusion-disjunct ledger counters.
+            "\"disj_encoded\"",
+            "\"disj_reused\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

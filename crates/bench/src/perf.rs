@@ -5,9 +5,9 @@
 //! `perf-diff` binary, reading documents with the shared JSON parser from
 //! [`amle_serve::json`] (one parser for the daemon wire protocol and the
 //! suite artefacts, not two drifting copies). It accepts schema 1
-//! (pre-CDCL-counters), schema 2 and schema 3 (optional per-record
-//! circuit netlist stats) documents, so a fresh run can be
-//! compared against an older CI artifact.
+//! (pre-CDCL-counters), schema 2, schema 3 (optional per-record circuit
+//! netlist stats) and schema 4 (conclusion-disjunct ledger counters)
+//! documents, so a fresh run can be compared against an older CI artifact.
 //!
 //! A *regression* is flagged per benchmark:
 //!
@@ -48,7 +48,7 @@ pub struct BenchPerf {
 /// A parsed `suite --json` document, reduced to what `perf-diff` needs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SuiteRun {
-    /// Document schema version (1, 2 or 3).
+    /// Document schema version (1 through 4).
     pub schema: u64,
     /// Oracle engine the suite ran with.
     pub engine: String,
@@ -79,7 +79,7 @@ fn field_str(obj: &Json, key: &str) -> String {
 pub fn parse_suite_run(text: &str) -> Result<SuiteRun, String> {
     let doc = parse_json(text)?;
     let schema = field_u64(&doc, "schema");
-    if !(1..=3).contains(&schema) {
+    if !(1..=4).contains(&schema) {
         return Err(format!("unsupported suite schema {schema}"));
     }
     let benchmarks = match doc.get("benchmarks") {
@@ -309,6 +309,66 @@ pub fn format_diff(base: &SuiteRun, new: &SuiteRun, diff: &PerfDiff) -> String {
     out
 }
 
+/// Renders a sequence of suite runs as a per-benchmark CSV trajectory —
+/// the `perf-diff --trend` output. One row per `(benchmark, run)` pair in
+/// long format (`benchmark,run,time_s,solver_time_s,solve_calls,cache_hits,
+/// fingerprint_digest`), run indices 1-based in argument order, so the
+/// series pivots trivially in any plotting tool. Benchmarks absent from a
+/// run simply have no row for that index; a final `__suite__` series
+/// carries the suite-level wall time and fingerprint digest so semantic
+/// divergence mid-trajectory is visible in the same document.
+pub fn format_trend(runs: &[SuiteRun]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("benchmark,run,time_s,solver_time_s,solve_calls,cache_hits,fingerprint_digest\n");
+    // Benchmark order of first appearance across the runs, so the series
+    // groups by benchmark rather than by file.
+    let mut order: Vec<&str> = Vec::new();
+    for run in runs {
+        for b in &run.benchmarks {
+            if !order.contains(&b.name.as_str()) {
+                order.push(&b.name);
+            }
+        }
+    }
+    for name in order {
+        for (index, run) in runs.iter().enumerate() {
+            if let Some(b) = run.benchmarks.iter().find(|b| b.name == name) {
+                let _ = writeln!(
+                    out,
+                    "{},{},{:.6},{:.6},{},{},{}",
+                    csv_escape(name),
+                    index + 1,
+                    b.time_s,
+                    b.solver_time_s,
+                    b.solve_calls,
+                    b.cache_hits,
+                    b.fingerprint_digest
+                );
+            }
+        }
+    }
+    for (index, run) in runs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "__suite__,{},{:.6},,,,{}",
+            index + 1,
+            run.wall_time_s,
+            run.fingerprint_digest
+        );
+    }
+    out
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote or newline.
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,7 +402,55 @@ mod tests {
         // so a schema-2-shaped document under the new number still parses.
         let v3 = parse_suite_run(&sample(3, 1.0, 100, 7, "abc")).unwrap();
         assert_eq!(v3.schema, 3);
-        assert!(parse_suite_run("{\"schema\": 4, \"benchmarks\": []}").is_err());
+        // Schema 4 adds only the disjunct-ledger counters, which older
+        // documents simply lack.
+        let v4 = parse_suite_run(&sample(4, 1.0, 100, 7, "abc")).unwrap();
+        assert_eq!(v4.schema, 4);
+        assert!(parse_suite_run("{\"schema\": 5, \"benchmarks\": []}").is_err());
+    }
+
+    #[test]
+    fn trend_emits_one_row_per_benchmark_per_run() {
+        let a = parse_suite_run(&sample(3, 1.0, 100, 7, "abc")).unwrap();
+        let b = parse_suite_run(&sample(4, 0.8, 90, 12, "abc")).unwrap();
+        let c = parse_suite_run(&sample(4, 0.7, 90, 12, "abc")).unwrap();
+        let csv = format_trend(&[a, b, c]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "benchmark,run,time_s,solver_time_s,solve_calls,cache_hits,fingerprint_digest"
+        );
+        // One row per (benchmark, run) plus the __suite__ series.
+        assert_eq!(lines.len(), 1 + 3 + 3);
+        assert!(lines[1].starts_with("A,1,1.000000,"));
+        assert!(lines[2].starts_with("A,2,0.800000,"));
+        assert!(lines[3].starts_with("A,3,0.700000,"));
+        assert!(lines[1].ends_with(",100,7,abc-a"));
+        assert!(lines[2].ends_with(",90,12,abc-a"));
+        assert!(lines[4].starts_with("__suite__,1,1.000000,,,,abc"));
+        assert!(lines[6].starts_with("__suite__,3,0.700000,,,,abc"));
+    }
+
+    #[test]
+    fn trend_tolerates_benchmarks_missing_from_some_runs() {
+        let a = parse_suite_run(&sample(4, 1.0, 100, 7, "abc")).unwrap();
+        let mut b = parse_suite_run(&sample(4, 0.9, 95, 8, "def")).unwrap();
+        b.benchmarks[0].name = "B".to_string();
+        let csv = format_trend(&[a, b]);
+        // "A" only appears in run 1, "B" only in run 2; no empty rows are
+        // fabricated for the gaps.
+        assert!(csv.contains("A,1,"));
+        assert!(!csv.contains("A,2,"));
+        assert!(csv.contains("B,2,"));
+        assert!(!csv.contains("B,1,"));
+    }
+
+    #[test]
+    fn trend_escapes_awkward_benchmark_names() {
+        let mut run = parse_suite_run(&sample(4, 1.0, 100, 7, "abc")).unwrap();
+        run.benchmarks[0].name = "two,words \"q\"".to_string();
+        let csv = format_trend(&[run.clone(), run]);
+        assert!(csv.contains("\"two,words \"\"q\"\"\",1,"));
     }
 
     #[test]

@@ -114,6 +114,78 @@ pub fn circuit_benchmarks() -> Vec<Benchmark> {
     FIXTURES.iter().map(build).collect()
 }
 
+/// Loads a gate-level circuit from a real `.aag` (ASCII AIGER) or `.bench`
+/// (ISCAS) file on disk and builds a suite benchmark from it, through the
+/// same pipeline as the embedded fixtures: parse → cone-of-influence
+/// reduction → compile. Registered behind `suite --circuit-file <path>`.
+///
+/// Unlike the embedded fixtures, nothing is known about a file circuit's
+/// input protocol, so the witness schedules are generic: a sustained
+/// all-ones drive, an idle all-zeros hold, and a per-input alternating mix
+/// — enough to seed the learner with representative runs without claiming
+/// protocol coverage. The benchmark is named `CircuitFile_<stem>` (stem
+/// sanitised to `[A-Za-z0-9_]`), and the k-induction bound follows the
+/// fixture convention of tracking the latch count (clamped to 2..=5).
+///
+/// All failure modes — unreadable file, unrecognised extension, parse or
+/// compile error — come back as display-ready strings for the CLI.
+pub fn circuit_benchmark_from_file(path: &std::path::Path) -> Result<Benchmark, String> {
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit");
+    let parser: fn(&[u8], String) -> Result<amle_circuit::Netlist, amle_circuit::ParseError> =
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("aag") => amle_circuit::parse_aag,
+            Some("bench") => amle_circuit::parse_bench,
+            other => {
+                return Err(format!(
+                    "{}: unsupported extension {} (expected .aag or .bench)",
+                    path.display(),
+                    other.map_or("<none>".to_string(), |e| format!("`.{e}`"))
+                ))
+            }
+        };
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let netlist =
+        parser(&bytes, stem.to_string()).map_err(|e| format!("{}: {e}", path.display()))?;
+    let (reduced, _) = reduce_to_coi(&netlist);
+    let compiled = compile(&reduced).map_err(|e| format!("{}: {e}", path.display()))?;
+    let observables = compiled.observables();
+    if observables.is_empty() {
+        return Err(format!(
+            "{}: circuit has no observable outputs after COI reduction",
+            path.display()
+        ));
+    }
+    let system = compiled.system;
+    let clean: String = stem
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let inputs = system.input_vars().len();
+    let schedules: Vec<Vec<Vec<i64>>> = vec![
+        vec![vec![1; inputs]; 8],
+        vec![vec![0; inputs]; 4],
+        (0..8usize)
+            .map(|t| (0..inputs).map(|i| ((t + i) % 2) as i64).collect())
+            .collect(),
+    ];
+    let witnesses = schedules
+        .iter()
+        .map(|s| witness(&system, s))
+        .collect::<Vec<_>>();
+    let k = system.state_vars().len().clamp(2, 5);
+    Ok(Benchmark {
+        name: format!("CircuitFile_{clean}"),
+        system,
+        observables,
+        k,
+        reference_transitions: witnesses.len(),
+        witnesses,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,5 +300,51 @@ mod tests {
     fn stats_are_none_for_non_circuit_benchmarks() {
         assert!(circuit_stats_for("SynthCounter_b3_i1").is_none());
         assert!(circuit_stats_for("nope").is_none());
+    }
+
+    #[test]
+    fn file_loaded_circuit_becomes_a_benchmark_with_valid_witnesses() {
+        // Round-trip an embedded fixture through a real on-disk file, as
+        // `suite --circuit-file` would see it.
+        let fixture = amle_circuit::fixture("counter3").unwrap();
+        let dir = std::env::temp_dir().join("amle-circuit-file-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("my-counter.aag");
+        std::fs::write(&path, fixture.text).unwrap();
+
+        let b = circuit_benchmark_from_file(&path).unwrap();
+        assert_eq!(b.name, "CircuitFile_my_counter");
+        assert!(!b.observables.is_empty());
+        assert_eq!(b.reference_transitions, b.witnesses.len());
+        for (i, w) in b.witnesses.iter().enumerate() {
+            assert!(
+                b.system.is_execution_trace(w),
+                "witness {i} is not an execution trace"
+            );
+        }
+        // Same netlist as the embedded benchmark, so the compiled shapes
+        // must agree even though witnesses and k are generic.
+        let embedded = circuit_benchmarks()
+            .into_iter()
+            .find(|b| b.name == "CircuitCounter3")
+            .unwrap();
+        assert_eq!(
+            b.system.state_vars().len(),
+            embedded.system.state_vars().len()
+        );
+        assert_eq!(
+            b.system.input_vars().len(),
+            embedded.system.input_vars().len()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_loader_rejects_unknown_extensions_and_missing_files() {
+        let err = circuit_benchmark_from_file(std::path::Path::new("nope.v")).unwrap_err();
+        assert!(err.contains("unsupported extension"), "{err}");
+        let err = circuit_benchmark_from_file(std::path::Path::new("/definitely/missing.aag"))
+            .unwrap_err();
+        assert!(err.contains("missing.aag"), "{err}");
     }
 }

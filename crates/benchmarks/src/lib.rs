@@ -32,7 +32,9 @@ mod schedulers;
 mod suite;
 mod synth;
 
-pub use circuits::{circuit_benchmark_name, circuit_benchmarks, circuit_stats_for};
+pub use circuits::{
+    circuit_benchmark_from_file, circuit_benchmark_name, circuit_benchmarks, circuit_stats_for,
+};
 pub use controllers::home_climate_control_system;
 pub use suite::{
     all_benchmarks, benchmark_by_name, full_suite, stress_suite, trace_from_schedule, Benchmark,

@@ -378,18 +378,20 @@ impl<'a> ExplicitChecker<'a> {
         &mut self,
         assumption: &Expr,
         blocked: &[Expr],
-        conclusion: &Expr,
+        outgoing: &[Expr],
         budget: &mut u64,
     ) -> Option<CheckResult> {
         // The emulated k-induction cases evaluate the query predicates once
         // per enumerated valuation; canonical forms (memoised in the
         // interner) shrink the evaluated DAG — constant subtrees folded,
         // duplicate conjuncts deduplicated — without touching verdicts or
-        // the canonical counterexample order.
+        // the canonical counterexample order. The conclusion stays in
+        // disjunct form: `⋁ dᵢ` evaluates as "some disjunct holds", which
+        // short-circuits exactly like the folded or-chain would.
         let assumption = assumption.canonical();
         let blocked: Vec<Expr> = blocked.iter().map(Expr::canonical).collect();
-        let conclusion = conclusion.canonical();
-        let (assumption, blocked, conclusion) = (&assumption, &blocked, &conclusion);
+        let outgoing: Vec<Expr> = outgoing.iter().map(Expr::canonical).collect();
+        let (assumption, blocked, outgoing) = (&assumption, &blocked, &outgoing);
         let system = self.system;
         let mut frame0 = self.frame0_assignments();
         let mut inputs = self.input_assignments();
@@ -419,7 +421,7 @@ impl<'a> ExplicitChecker<'a> {
                     return None;
                 }
                 inputs.write_valuation(&mut to);
-                if !conclusion.eval_bool(&to) {
+                if !outgoing.iter().any(|d| d.eval_bool(&to)) {
                     stats.condition_checks += 1;
                     stats.explicit_queries += 1;
                     return Some(CheckResult::Violated {
@@ -468,10 +470,10 @@ impl<'a> ExplicitChecker<'a> {
         &mut self,
         assumption: &Expr,
         blocked: &[Expr],
-        conclusion: &Expr,
+        outgoing: &[Expr],
     ) -> CheckResult {
         let mut budget = u64::MAX;
-        self.check_condition_budgeted(assumption, blocked, conclusion, &mut budget)
+        self.check_condition_budgeted(assumption, blocked, outgoing, &mut budget)
             .expect("unbounded budget cannot be exhausted")
     }
 
@@ -842,7 +844,12 @@ mod tests {
             let conclusion = ce.ne(&Expr::int_val(bound, 3));
             let mut budget = u64::MAX;
             let explicit_result = explicit
-                .check_condition_budgeted(&Expr::true_(), &[], &conclusion, &mut budget)
+                .check_condition_budgeted(
+                    &Expr::true_(),
+                    &[],
+                    std::slice::from_ref(&conclusion),
+                    &mut budget,
+                )
                 .unwrap();
             let sat_result = sat.check_condition(&Expr::true_(), &[], &conclusion);
             assert_eq!(
@@ -885,7 +892,12 @@ mod tests {
         let mut checker = ExplicitChecker::new(&sys, 10_000);
         let mut tiny = 3;
         assert_eq!(
-            checker.check_condition_budgeted(&Expr::true_(), &[], &conclusion, &mut tiny),
+            checker.check_condition_budgeted(
+                &Expr::true_(),
+                &[],
+                std::slice::from_ref(&conclusion),
+                &mut tiny
+            ),
             None
         );
         // A warmed-up checker must make the same budget decision: charging
@@ -894,13 +906,23 @@ mod tests {
         let _ = checker.check_spurious_budgeted(&ce.eq(&Expr::int_val(4, 3)), 3, &mut budget);
         let mut tiny = 3;
         assert_eq!(
-            checker.check_condition_budgeted(&Expr::true_(), &[], &conclusion, &mut tiny),
+            checker.check_condition_budgeted(
+                &Expr::true_(),
+                &[],
+                std::slice::from_ref(&conclusion),
+                &mut tiny
+            ),
             None
         );
         // And with enough budget the answer appears.
         let mut enough = u64::MAX;
         assert!(checker
-            .check_condition_budgeted(&Expr::true_(), &[], &conclusion, &mut enough)
+            .check_condition_budgeted(
+                &Expr::true_(),
+                &[],
+                std::slice::from_ref(&conclusion),
+                &mut enough
+            )
             .is_some());
     }
 

@@ -7,7 +7,14 @@
 //!   (frames 0 → 1); per-query assumption/blocked/conclusion constraints are
 //!   selected with assumption literals, so repeated condition checks share
 //!   the transition clauses, Tseitin definitions and everything the solver
-//!   learnt about them;
+//!   learnt about them. The conclusion disjunction `⋁ outgoing'` is
+//!   **delta-encoded**: each disjunct is Tseitin-encoded once, keyed by its
+//!   canonical [`ExprId`] in a persistent ledger, and a query assumes the
+//!   negation of exactly its disjuncts (`¬(⋁ dᵢ) = ⋀ ¬dᵢ`). An iteration
+//!   that adds 3 outgoing transitions to a state with 80 existing ones
+//!   therefore encodes 3 disjuncts, not 83 — and no or-chain spine at all.
+//!   Disjuncts dropped from a later query are retracted by simply not
+//!   assuming them; their definitional clauses stay but never bite;
 //! * the *base session* holds `Init(X₀)` plus a growing unrolling of the
 //!   transition relation; "the target state is hit within `k` steps" is a
 //!   single activation-literal clause enabled by assumption;
@@ -25,9 +32,10 @@
 
 use amle_bitblast::Encoder;
 use amle_expr::{Expr, ExprId, Valuation, Value, VarId};
-use amle_sat::{cdcl_backend, ClauseSink, IncrementalSolver, Lit, SolveResult, SolverStats};
+use amle_sat::{
+    cdcl_backend, ActivationLedger, ClauseSink, IncrementalSolver, Lit, SolveResult, SolverStats,
+};
 use amle_system::System;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Outcome of a single condition check (Fig. 3a of the paper).
@@ -93,6 +101,13 @@ pub struct CheckerStats {
     /// Queries the portfolio routed to the explicit engine whose work budget
     /// ran out, forcing a k-induction re-run.
     pub explicit_fallbacks: u64,
+    /// Conclusion disjuncts Tseitin-encoded for the first time in a
+    /// condition session (delta mode: per distinct canonical disjunct; full
+    /// mode: every disjunct of a first-seen conclusion).
+    pub disj_encoded: u64,
+    /// Conclusion disjuncts answered from the session's persistent ledger
+    /// without re-encoding.
+    pub disj_reused: u64,
     /// Aggregated backend solver statistics across all sessions, including
     /// sessions already retired.
     pub solver: SolverStats,
@@ -108,6 +123,8 @@ impl std::ops::AddAssign for CheckerStats {
         self.explicit_queries += rhs.explicit_queries;
         self.explicit_work += rhs.explicit_work;
         self.explicit_fallbacks += rhs.explicit_fallbacks;
+        self.disj_encoded += rhs.disj_encoded;
+        self.disj_reused += rhs.disj_reused;
         self.solver += rhs.solver;
     }
 }
@@ -145,6 +162,8 @@ impl CheckerStats {
             explicit_fallbacks: self
                 .explicit_fallbacks
                 .saturating_sub(earlier.explicit_fallbacks),
+            disj_encoded: self.disj_encoded.saturating_sub(earlier.disj_encoded),
+            disj_reused: self.disj_reused.saturating_sub(earlier.disj_reused),
             solver: self.solver.since(&earlier.solver),
         }
     }
@@ -179,7 +198,12 @@ struct Session {
     /// `0..=k`" disjunctions, keyed by `(interned formula id, k)` — an O(1)
     /// probe — so repeated base-case queries re-assume instead of re-adding
     /// the clause.
-    activations: HashMap<(ExprId, usize), Lit>,
+    activations: ActivationLedger<(ExprId, usize)>,
+    /// Conclusion-disjunct ledger of the condition session: the frame-1
+    /// Tseitin literal of each canonical disjunct already encoded (in full
+    /// mode, of each whole conclusion). A query assumes the negations of
+    /// exactly its disjuncts' literals; everything else stays retracted.
+    disjuncts: ActivationLedger<ExprId>,
 }
 
 impl Session {
@@ -187,7 +211,8 @@ impl Session {
         Session {
             enc: Encoder::with_sink(system.vars(), backend()),
             unrolled: 0,
-            activations: HashMap::new(),
+            activations: ActivationLedger::new(),
+            disjuncts: ActivationLedger::new(),
         }
     }
 
@@ -240,6 +265,9 @@ pub struct KInductionChecker<'a> {
     step: Option<Session>,
     /// Solver statistics of sessions that have been dropped (fresh mode).
     retired: SolverStats,
+    /// Delta-encode conclusion disjunctions (the default). `false` restores
+    /// the full per-query or-chain encoding as a differential oracle.
+    conclusion_delta: bool,
 }
 
 impl fmt::Debug for KInductionChecker<'_> {
@@ -275,7 +303,26 @@ impl<'a> KInductionChecker<'a> {
             base: None,
             step: None,
             retired: SolverStats::default(),
+            conclusion_delta: true,
         }
+    }
+
+    /// Sets whether conclusion disjunctions are delta-encoded (default) or
+    /// re-encoded as one or-chain per query. Both modes return byte-identical
+    /// results; the switch exists so the differential harness can pin that.
+    pub fn with_conclusion_delta(mut self, on: bool) -> Self {
+        self.set_conclusion_delta(on);
+        self
+    }
+
+    /// In-place variant of [`KInductionChecker::with_conclusion_delta`].
+    pub fn set_conclusion_delta(&mut self, on: bool) {
+        self.conclusion_delta = on;
+    }
+
+    /// Whether conclusion disjunctions are delta-encoded.
+    pub fn conclusion_delta(&self) -> bool {
+        self.conclusion_delta
     }
 
     /// The system under check.
@@ -294,6 +341,7 @@ impl<'a> KInductionChecker<'a> {
     /// byte-identical results to the original for any query sequence.
     pub fn fork(&self) -> KInductionChecker<'a> {
         Self::with_backend(self.system, self.mode, self.backend)
+            .with_conclusion_delta(self.conclusion_delta)
     }
 
     /// The session mode of this checker.
@@ -367,21 +415,55 @@ impl<'a> KInductionChecker<'a> {
 
     /// Runs a condition query against a session. The session must contain
     /// the one-step transition unrolling; everything query-specific travels
-    /// through assumptions.
+    /// through assumptions. `outgoing` holds the *canonical* conclusion
+    /// disjuncts.
+    ///
+    /// In delta mode the query assumes `¬dᵢ` per disjunct — semantically
+    /// `¬(⋁ dᵢ)` — with each `dᵢ` encoded at most once per session via the
+    /// disjunct ledger and no or-chain spine ever built. In full mode the
+    /// canonical or-chain is encoded as one formula, as the original
+    /// implementation did; verdicts, counterexamples and solve counts are
+    /// byte-identical either way, only the encoding work differs.
     fn condition_query(
         stats: &mut CheckerStats,
         session: &mut Session,
         system: &System,
         assumption: &Expr,
         blocked: &[Expr],
-        conclusion: &Expr,
+        outgoing: &[Expr],
+        delta: bool,
     ) -> CheckResult {
-        let mut assumptions = Vec::with_capacity(blocked.len() + 2);
+        let mut assumptions = Vec::with_capacity(blocked.len() + outgoing.len() + 1);
         assumptions.push(session.enc.encode_bool(0, assumption));
         for blocked_state in blocked {
             assumptions.push(!session.enc.encode_bool(0, blocked_state));
         }
-        assumptions.push(!session.enc.encode_bool(1, conclusion));
+        if delta {
+            let (fresh, reused) = (session.disjuncts.fresh(), session.disjuncts.reused());
+            for disjunct in outgoing {
+                let lit = session
+                    .disjuncts
+                    .get_or_insert_with(disjunct.id(), || session.enc.encode_bool(1, disjunct));
+                assumptions.push(!lit);
+            }
+            stats.disj_encoded += session.disjuncts.fresh() - fresh;
+            stats.disj_reused += session.disjuncts.reused() - reused;
+        } else {
+            let conclusion = Expr::or_all(outgoing.iter().cloned()).canonical();
+            let fresh = session.disjuncts.fresh();
+            let lit = session
+                .disjuncts
+                .get_or_insert_with(conclusion.id(), || session.enc.encode_bool(1, &conclusion));
+            // Attribute the whole disjunct batch to whichever bucket the
+            // conclusion landed in, so delta and full runs report comparable
+            // totals.
+            if session.disjuncts.fresh() > fresh {
+                stats.disj_encoded += outgoing.len() as u64;
+            } else {
+                stats.disj_reused += outgoing.len() as u64;
+            }
+            assumptions.push(!lit);
+        }
         Self::count_query(stats, session);
         match session.solve(&assumptions) {
             SolveResult::Unsat => CheckResult::Valid,
@@ -464,21 +546,18 @@ impl<'a> KInductionChecker<'a> {
     ) -> SolveResult {
         session.ensure_unrolled(system, k);
         let key = (state_formula.id(), k);
-        let act = match session.activations.get(&key) {
-            Some(&act) => act,
-            None => {
-                let frame_lits: Vec<Lit> = (0..=k)
-                    .map(|frame| session.enc.encode_bool(frame, state_formula))
-                    .collect();
-                let act = Lit::positive(session.enc.sink_mut().new_var());
-                let mut clause = Vec::with_capacity(frame_lits.len() + 1);
-                clause.push(!act);
-                clause.extend(frame_lits);
-                session.enc.sink_mut().add_clause(&clause);
-                session.activations.insert(key, act);
-                act
-            }
-        };
+        let enc = &mut session.enc;
+        let act = session.activations.get_or_insert_with(key, || {
+            let frame_lits: Vec<Lit> = (0..=k)
+                .map(|frame| enc.encode_bool(frame, state_formula))
+                .collect();
+            let act = Lit::positive(enc.sink_mut().new_var());
+            let mut clause = Vec::with_capacity(frame_lits.len() + 1);
+            clause.push(!act);
+            clause.extend(frame_lits);
+            enc.sink_mut().add_clause(&clause);
+            act
+        });
         Self::count_query(stats, session);
         session.solve(&[act])
     }
@@ -545,6 +624,21 @@ impl<'a> KInductionChecker<'a> {
         blocked: &[Expr],
         conclusion: &Expr,
     ) -> CheckResult {
+        self.check_condition_disjuncts(assumption, blocked, std::slice::from_ref(conclusion))
+    }
+
+    /// [`KInductionChecker::check_condition`] with the conclusion handed
+    /// over as its disjuncts `⋁ outgoing'`, the structured form the
+    /// learning loop produces. This is what makes the conclusion
+    /// incremental: each canonical disjunct is encoded into the condition
+    /// session at most once (see the module documentation), so a growing
+    /// outgoing set costs only its delta.
+    pub fn check_condition_disjuncts(
+        &mut self,
+        assumption: &Expr,
+        blocked: &[Expr],
+        outgoing: &[Expr],
+    ) -> CheckResult {
         self.stats.condition_checks += 1;
         self.stats.kinduction_queries += 1;
         // Session reuse works on canonical query forms: semantically
@@ -554,7 +648,8 @@ impl<'a> KInductionChecker<'a> {
         // are untouched — the rewrites are semantics-preserving.
         let assumption = assumption.canonical();
         let blocked: Vec<Expr> = blocked.iter().map(Expr::canonical).collect();
-        let conclusion = conclusion.canonical();
+        let outgoing: Vec<Expr> = outgoing.iter().map(Expr::canonical).collect();
+        let delta = self.conclusion_delta;
         let (system, backend) = (self.system, self.backend);
         Self::run_query(
             self.mode,
@@ -563,7 +658,15 @@ impl<'a> KInductionChecker<'a> {
             &mut self.condition,
             || Self::condition_session(system, backend),
             |stats, session| {
-                Self::condition_query(stats, session, system, &assumption, &blocked, &conclusion)
+                Self::condition_query(
+                    stats,
+                    session,
+                    system,
+                    &assumption,
+                    &blocked,
+                    &outgoing,
+                    delta,
+                )
             },
         )
     }
@@ -571,9 +674,8 @@ impl<'a> KInductionChecker<'a> {
     /// Checks the initial-state condition (1) of the paper:
     /// `v ⊨ Init ∧ (v, v') ⊨ R ⟹ v' ⊨ ⋁ outgoing`.
     pub fn check_initial_condition(&mut self, outgoing: &[Expr]) -> CheckResult {
-        let conclusion = Expr::or_all(outgoing.iter().cloned());
         let init = self.system.init_expr();
-        self.check_condition(&init, &[], &conclusion)
+        self.check_condition_disjuncts(&init, &[], outgoing)
     }
 
     /// Checks a per-state condition (2) of the paper for one incoming
@@ -585,8 +687,7 @@ impl<'a> KInductionChecker<'a> {
         blocked: &[Expr],
         outgoing: &[Expr],
     ) -> CheckResult {
-        let conclusion = Expr::or_all(outgoing.iter().cloned());
-        self.check_condition(incoming, blocked, &conclusion)
+        self.check_condition_disjuncts(incoming, blocked, outgoing)
     }
 
     /// The state formula `s' := ⋀ (x_i = v(x_i))` over the given variables,
@@ -819,6 +920,84 @@ mod tests {
         assert_send::<KInductionChecker<'static>>();
         assert_send::<CheckResult>();
         assert_send::<SpuriousResult>();
+    }
+
+    #[test]
+    fn retracted_disjuncts_never_poison_the_session() {
+        // The delta-encoded conclusion ledger keeps Tseitin clauses of every
+        // disjunct ever encoded; a later query that *drops* a disjunct must
+        // not be influenced by the stale encoding. Sequence: prove the
+        // initial condition with {c=0, c=1}, retract c=1, and require the
+        // weakened condition to be Violated with exactly the counterexample
+        // a cold checker produces.
+        let sys = saturating_counter();
+        let c = var_expr(&sys, "c");
+        let d0 = c.eq(&Expr::int_val(0, 4));
+        let d1 = c.eq(&Expr::int_val(1, 4));
+
+        let mut warm = KInductionChecker::new(&sys);
+        assert!(warm
+            .check_initial_condition(&[d0.clone(), d1.clone()])
+            .is_valid());
+        let stats = warm.stats();
+        assert_eq!(stats.disj_encoded, 2);
+        assert_eq!(stats.disj_reused, 0);
+
+        // Retracted d1: its clauses stay in the solver but are not assumed.
+        let weakened = warm.check_initial_condition(std::slice::from_ref(&d0));
+        let mut cold = KInductionChecker::new(&sys);
+        let reference = cold.check_initial_condition(std::slice::from_ref(&d0));
+        assert!(!reference.is_valid(), "weakened condition must be violated");
+        assert_eq!(weakened, reference, "stale disjunct influenced a verdict");
+        let stats = warm.stats();
+        assert_eq!(stats.disj_encoded, 2, "retraction must not re-encode");
+        assert_eq!(stats.disj_reused, 1);
+
+        // Re-adding the retracted disjunct reuses both ledger entries and
+        // restores the original verdict.
+        assert!(warm.check_initial_condition(&[d0, d1]).is_valid());
+        let stats = warm.stats();
+        assert_eq!(stats.disj_encoded, 2);
+        assert_eq!(stats.disj_reused, 3);
+    }
+
+    #[test]
+    fn delta_and_full_conclusion_encodings_agree() {
+        // AMLE_CONCLUSION_DELTA=0's checker-level switch: the same query
+        // sequence (growing, shrinking and permuted conclusions) must give
+        // byte-identical verdicts and counterexamples in both modes.
+        let sys = saturating_counter();
+        let c = var_expr(&sys, "c");
+        let disjuncts = [
+            c.eq(&Expr::int_val(0, 4)),
+            c.eq(&Expr::int_val(1, 4)),
+            c.eq(&Expr::int_val(2, 4)),
+        ];
+        let mut delta = KInductionChecker::new(&sys);
+        let mut full = KInductionChecker::new(&sys).with_conclusion_delta(false);
+        assert!(delta.conclusion_delta());
+        assert!(!full.conclusion_delta());
+        assert!(!full.fork().conclusion_delta(), "fork must keep the mode");
+        let queries: [&[Expr]; 5] = [
+            &disjuncts[0..2],
+            &disjuncts[0..3],
+            &disjuncts[0..1],
+            &[disjuncts[2].clone(), disjuncts[0].clone()],
+            &[],
+        ];
+        for outgoing in queries {
+            assert_eq!(
+                delta.check_initial_condition(outgoing),
+                full.check_initial_condition(outgoing),
+                "modes disagree on {outgoing:?}"
+            );
+        }
+        // Same number of solver queries either way — only encoding differs.
+        assert_eq!(
+            delta.stats().sat_queries,
+            full.stats().sat_queries,
+            "delta encoding changed the query count"
+        );
     }
 
     #[test]

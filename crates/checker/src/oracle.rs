@@ -36,12 +36,18 @@ use amle_system::System;
 pub trait ConditionOracle: Send {
     /// Checks a completeness condition (Fig. 3a): is there a transition from
     /// a state satisfying `assumption` (and none of the `blocked` state
-    /// formulas) whose successor violates `conclusion`?
+    /// formulas) whose successor violates the conclusion `⋁ outgoing'`?
+    ///
+    /// The conclusion travels as its structured disjunct list rather than a
+    /// pre-built or-chain so that incremental engines can encode only the
+    /// disjuncts a session has not seen yet (the learning loop's conclusion
+    /// sets grow monotonically per state). Engines that need the folded
+    /// formula build it themselves; verdicts never depend on the packaging.
     fn check_condition(
         &mut self,
         assumption: &Expr,
         blocked: &[Expr],
-        conclusion: &Expr,
+        outgoing: &[Expr],
     ) -> CheckResult;
 
     /// Spurious-counterexample check (Fig. 3b): decides with bound `k`
@@ -134,6 +140,10 @@ pub struct OracleSettings {
     /// answered by k-induction and the two results are asserted equal — the
     /// cross-validation mode used by the differential tests.
     pub cross_validate: bool,
+    /// Delta-encode conclusion disjunctions in the k-induction condition
+    /// session (default). `false` restores the full per-query or-chain
+    /// encode; results are byte-identical either way.
+    pub conclusion_delta: bool,
 }
 
 impl Default for OracleSettings {
@@ -143,6 +153,7 @@ impl Default for OracleSettings {
             explicit_budget: DEFAULT_EXPLICIT_BUDGET,
             route_threshold: DEFAULT_ROUTE_THRESHOLD,
             cross_validate: false,
+            conclusion_delta: true,
         }
     }
 }
@@ -169,7 +180,9 @@ pub fn build_oracle<'a>(
     settings: &OracleSettings,
 ) -> Box<dyn ConditionOracle + 'a> {
     match settings.kind {
-        OracleKind::KInduction => Box::new(KInductionChecker::new(system)),
+        OracleKind::KInduction => Box::new(
+            KInductionChecker::new(system).with_conclusion_delta(settings.conclusion_delta),
+        ),
         OracleKind::Explicit => Box::new(
             PortfolioOracle::new(
                 system,
@@ -177,14 +190,18 @@ pub fn build_oracle<'a>(
                 u64::MAX,
                 settings.cross_validate,
             )
+            .conclusion_delta(settings.conclusion_delta)
             .named("explicit"),
         ),
-        OracleKind::Portfolio => Box::new(PortfolioOracle::new(
-            system,
-            settings.explicit_budget,
-            settings.route_threshold,
-            settings.cross_validate,
-        )),
+        OracleKind::Portfolio => Box::new(
+            PortfolioOracle::new(
+                system,
+                settings.explicit_budget,
+                settings.route_threshold,
+                settings.cross_validate,
+            )
+            .conclusion_delta(settings.conclusion_delta),
+        ),
     }
 }
 
@@ -193,9 +210,9 @@ impl ConditionOracle for KInductionChecker<'_> {
         &mut self,
         assumption: &Expr,
         blocked: &[Expr],
-        conclusion: &Expr,
+        outgoing: &[Expr],
     ) -> CheckResult {
-        KInductionChecker::check_condition(self, assumption, blocked, conclusion)
+        KInductionChecker::check_condition_disjuncts(self, assumption, blocked, outgoing)
     }
 
     fn check_spurious(&mut self, state_formula: &Expr, k: usize) -> SpuriousResult {
@@ -221,9 +238,9 @@ impl ConditionOracle for ExplicitChecker<'_> {
         &mut self,
         assumption: &Expr,
         blocked: &[Expr],
-        conclusion: &Expr,
+        outgoing: &[Expr],
     ) -> CheckResult {
-        self.check_condition_unbudgeted(assumption, blocked, conclusion)
+        self.check_condition_unbudgeted(assumption, blocked, outgoing)
     }
 
     fn check_spurious(&mut self, state_formula: &Expr, k: usize) -> SpuriousResult {
@@ -277,7 +294,7 @@ mod tests {
         let mut sat: Box<dyn ConditionOracle + '_> = Box::new(KInductionChecker::new(&sys));
         assert_eq!(explicit.engine_name(), "explicit");
         for bound in 0..8 {
-            let conclusion = ce.ne(&Expr::int_val(bound, 3));
+            let conclusion = [ce.ne(&Expr::int_val(bound, 3))];
             assert_eq!(
                 explicit.check_condition(&Expr::true_(), &[], &conclusion),
                 sat.check_condition(&Expr::true_(), &[], &conclusion),

@@ -71,6 +71,13 @@ impl<'a> PortfolioOracle<'a> {
         self
     }
 
+    /// Sets whether the inner k-induction checker delta-encodes conclusion
+    /// disjunctions (see [`KInductionChecker::with_conclusion_delta`]).
+    pub fn conclusion_delta(mut self, on: bool) -> Self {
+        self.kinduction.set_conclusion_delta(on);
+        self
+    }
+
     /// The system under check.
     pub fn system(&self) -> &System {
         self.kinduction.system()
@@ -88,18 +95,18 @@ impl ConditionOracle for PortfolioOracle<'_> {
         &mut self,
         assumption: &Expr,
         blocked: &[Expr],
-        conclusion: &Expr,
+        outgoing: &[Expr],
     ) -> CheckResult {
         if self.explicit.estimate_condition_cost() <= self.route_threshold {
             let mut budget = self.explicit_budget;
             if let Some(result) =
                 self.explicit
-                    .check_condition_budgeted(assumption, blocked, conclusion, &mut budget)
+                    .check_condition_budgeted(assumption, blocked, outgoing, &mut budget)
             {
                 if self.cross_validate {
                     let reference = self
                         .kinduction
-                        .check_condition(assumption, blocked, conclusion);
+                        .check_condition_disjuncts(assumption, blocked, outgoing);
                     assert_eq!(
                         result, reference,
                         "explicit and k-induction engines disagree on a condition check"
@@ -110,7 +117,7 @@ impl ConditionOracle for PortfolioOracle<'_> {
             self.fallbacks += 1;
         }
         self.kinduction
-            .check_condition(assumption, blocked, conclusion)
+            .check_condition_disjuncts(assumption, blocked, outgoing)
     }
 
     fn check_spurious(&mut self, state_formula: &Expr, k: usize) -> SpuriousResult {
@@ -178,7 +185,7 @@ mod tests {
         // double-checked against k-induction.
         let mut oracle = PortfolioOracle::new(&sys, u64::MAX, u64::MAX, true);
         for bound in 0..8 {
-            let _ = oracle.check_condition(&Expr::true_(), &[], &ce.ne(&Expr::int_val(bound, 4)));
+            let _ = oracle.check_condition(&Expr::true_(), &[], &[ce.ne(&Expr::int_val(bound, 4))]);
         }
         let mut state = sys.initial_valuation();
         state.set(c, Value::Int(3));
@@ -203,7 +210,7 @@ mod tests {
         let mut oracle = PortfolioOracle::new(&sys, 2, u64::MAX, false);
         let conclusion = ce.le(&Expr::int_val(5, 4));
         assert!(oracle
-            .check_condition(&conclusion, &[], &conclusion)
+            .check_condition(&conclusion, &[], std::slice::from_ref(&conclusion))
             .is_valid());
         assert_eq!(oracle.fallbacks(), 1);
         let stats = oracle.stats();
@@ -224,7 +231,7 @@ mod tests {
         let mut oracle = PortfolioOracle::new(&sys, u64::MAX, 0, false);
         let conclusion = ce.le(&Expr::int_val(5, 4));
         assert!(oracle
-            .check_condition(&conclusion, &[], &conclusion)
+            .check_condition(&conclusion, &[], std::slice::from_ref(&conclusion))
             .is_valid());
         let stats = oracle.stats();
         assert_eq!(stats.explicit_queries, 0);
@@ -243,7 +250,7 @@ mod tests {
         for bound in 0..8 {
             let conclusion = ce.ne(&Expr::int_val(bound, 4));
             assert_eq!(
-                portfolio.check_condition(&Expr::true_(), &[], &conclusion),
+                portfolio.check_condition(&Expr::true_(), &[], std::slice::from_ref(&conclusion)),
                 sat.check_condition(&Expr::true_(), &[], &conclusion),
                 "bound {bound}"
             );

@@ -108,7 +108,7 @@ proptest! {
         let mut budget = u64::MAX;
         prop_assert_eq!(
             explicit
-                .check_condition_budgeted(&Expr::true_(), &[], &conclusion, &mut budget)
+                .check_condition_budgeted(&Expr::true_(), &[], std::slice::from_ref(&conclusion), &mut budget)
                 .unwrap(),
             sat_checker.check_condition(&Expr::true_(), &[], &conclusion)
         );

@@ -136,6 +136,10 @@ pub struct OracleConfig {
     /// Cross-validation mode: explicitly-routed queries are also answered
     /// by k-induction and the results asserted equal.
     pub cross_validate: bool,
+    /// Delta-encode conclusion disjunctions in the k-induction condition
+    /// sessions (the default). Reports are byte-identical either way; the
+    /// switch exists so the differential harness can pin that.
+    pub conclusion_delta: bool,
 }
 
 impl Default for OracleConfig {
@@ -146,15 +150,17 @@ impl Default for OracleConfig {
             explicit_budget: amle_checker::DEFAULT_EXPLICIT_BUDGET,
             route_threshold: amle_checker::DEFAULT_ROUTE_THRESHOLD,
             cross_validate: false,
+            conclusion_delta: true,
         }
     }
 }
 
 impl OracleConfig {
     /// Reads the engine from `AMLE_ENGINE` (`kinduction`, `explicit` or
-    /// `portfolio`) and the cache switch from `AMLE_VERDICT_CACHE`
-    /// (`0`/`off`/`false` disable it), defaulting to k-induction with the
-    /// cache on.
+    /// `portfolio`), the cache switch from `AMLE_VERDICT_CACHE` and the
+    /// conclusion delta-encoding switch from `AMLE_CONCLUSION_DELTA`
+    /// (`0`/`off`/`false` disable either), defaulting to k-induction with
+    /// the cache and delta-encoding on.
     pub fn from_env() -> Self {
         let mut config = OracleConfig::default();
         if let Ok(name) = std::env::var("AMLE_ENGINE") {
@@ -176,6 +182,12 @@ impl OracleConfig {
                 || flag.eq_ignore_ascii_case("off")
                 || flag.eq_ignore_ascii_case("false"));
         }
+        if let Ok(flag) = std::env::var("AMLE_CONCLUSION_DELTA") {
+            let flag = flag.trim();
+            config.conclusion_delta = !(flag == "0"
+                || flag.eq_ignore_ascii_case("off")
+                || flag.eq_ignore_ascii_case("false"));
+        }
         config
     }
 
@@ -186,6 +198,7 @@ impl OracleConfig {
             explicit_budget: self.explicit_budget,
             route_threshold: self.route_threshold,
             cross_validate: self.cross_validate,
+            conclusion_delta: self.conclusion_delta,
         }
     }
 }
@@ -262,8 +275,7 @@ pub(crate) fn evaluate_one_condition(
     let mut blocked = Vec::new();
     let mut spurious = 0;
     loop {
-        let result =
-            oracle.check_condition(&condition.assumption, &blocked, &condition.conclusion());
+        let result = oracle.check_condition(&condition.assumption, &blocked, &condition.outgoing);
         match result {
             CheckResult::Valid => return ConditionOutcome::Held,
             CheckResult::Violated { from, to } => {
@@ -898,6 +910,15 @@ mod tests {
         }
         if std::env::var("AMLE_VERDICT_CACHE").is_err() {
             assert!(parsed.verdict_cache);
+        }
+        match std::env::var("AMLE_CONCLUSION_DELTA") {
+            Ok(v) => {
+                let v = v.trim();
+                let expect =
+                    !(v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false"));
+                assert_eq!(parsed.conclusion_delta, expect);
+            }
+            Err(_) => assert!(parsed.conclusion_delta),
         }
     }
 

@@ -13,7 +13,24 @@
 //!   `x <= x → true`, `x < x → false`, `x - x → 0`, `x => x → true`);
 //! * commutative `&&`/`||` chains are flattened, deduplicated and sorted by
 //!   the deterministic [`Expr::structural_cmp`] order (commutative binary
-//!   pairs — `+`, `*`, `^`, `==`, `!=` — are sorted likewise).
+//!   pairs — `+`, `*`, `^`, `==`, `!=` — are sorted likewise);
+//! * complementary literals collapse whole chains (`x && !x && … → false`,
+//!   `x || !x || … → true`), with negated comparisons recognised through the
+//!   operator flips below;
+//! * negated comparisons flip their operator (`!(a < b) → b <= a`,
+//!   `!(a == b) → a != b`), and `>`/`>=` swap operands into `<`/`<=`, so
+//!   canonical forms use only the `<`, `<=`, `==`, `!=` comparison shapes;
+//! * additive/multiplicative chains flatten, sort, and fold their constants
+//!   into one trailing constant (`(x + 1) + (y + 2) → (x + y) + 3`),
+//!   `a - const` joins the additive chain and `0 - b → -b`, and an `==`/`!=`
+//!   against a constant pulls a trailing chain constant (or a negation)
+//!   across (`x + 3 == 5 → x == 2`) — all applied only where the expression
+//!   DAG does not grow;
+//! * ite-lifting: `ite` over a negated condition swaps its branches,
+//!   boolean-branch `ite`s collapse into `&&`/`||` chains
+//!   (`ite(c, t, false) → c && t`), and a binary operator applied to an
+//!   `ite` with constant branches and a constant folds into the branches
+//!   (`ite(c, 1, 0) == 1 → c`).
 //!
 //! **Why a seam and not smart constructors?** Rendered output — learned edge
 //! predicates, extracted invariants, semantic fingerprints — must stay
@@ -89,18 +106,7 @@ fn rewrite(e: &Expr) -> (Expr, bool) {
             let cc = c.canonical();
             let ct = t.canonical();
             let ce = els.canonical();
-            let result = if cc.is_true() {
-                ct.clone()
-            } else if cc.is_false() {
-                ce.clone()
-            } else if ct == ce {
-                ct.clone()
-            } else {
-                Expr::new(
-                    ExprKind::Ite(cc.clone(), ct.clone(), ce.clone()),
-                    e.sort().clone(),
-                )
-            };
+            let result = canonical_ite(&cc, &ct, &ce, e.sort());
             let plain = matches!(
                 result.kind(),
                 ExprKind::Ite(x, y, z) if *x == cc && *y == ct && *z == ce
@@ -110,10 +116,68 @@ fn rewrite(e: &Expr) -> (Expr, bool) {
     }
 }
 
+/// Canonicalises an `ite` over canonical children: constant/equal-branch
+/// collapse, branch swap under a negated condition, and boolean-branch
+/// lifting into `&&`/`||` chains.
+fn canonical_ite(c: &Expr, t: &Expr, e: &Expr, sort: &Sort) -> Expr {
+    if c.is_true() {
+        return t.clone();
+    }
+    if c.is_false() {
+        return e.clone();
+    }
+    if t == e {
+        return t.clone();
+    }
+    if let ExprKind::Unary(UnOp::Not, inner) = c.kind() {
+        return canonical_ite(inner, e, t, sort);
+    }
+    if sort.is_bool() {
+        match (t.as_const(), e.as_const()) {
+            (Some(Value::Bool(true)), Some(Value::Bool(false))) => return c.clone(),
+            (Some(Value::Bool(false)), Some(Value::Bool(true))) => return canonical_not(c),
+            (Some(Value::Bool(true)), None) => return bool_chain(BinOp::Or, c, e, false),
+            (Some(Value::Bool(false)), None) => {
+                let nc = canonical_not(c);
+                return bool_chain(BinOp::And, &nc, e, true);
+            }
+            (None, Some(Value::Bool(true))) => {
+                let nc = canonical_not(c);
+                return bool_chain(BinOp::Or, &nc, t, false);
+            }
+            (None, Some(Value::Bool(false))) => return bool_chain(BinOp::And, c, t, true),
+            _ => {}
+        }
+    }
+    Expr::new(ExprKind::Ite(c.clone(), t.clone(), e.clone()), sort.clone())
+}
+
 fn canonical_not(a: &Expr) -> Expr {
     match a.kind() {
         ExprKind::Const(Value::Bool(b)) => Expr::bool_const(!b),
         ExprKind::Unary(UnOp::Not, inner) => inner.clone(),
+        // Negated comparisons flip to the complementary operator of the
+        // total order, so canonical forms never nest a comparison under a
+        // negation — complementary-literal detection in chains is then a
+        // plain node-identity check.
+        ExprKind::Binary(BinOp::Eq, x, y) => {
+            raw_binary(BinOp::Ne, x.clone(), y.clone(), &Sort::Bool)
+        }
+        ExprKind::Binary(BinOp::Ne, x, y) => {
+            raw_binary(BinOp::Eq, x.clone(), y.clone(), &Sort::Bool)
+        }
+        ExprKind::Binary(BinOp::Lt, x, y) => {
+            raw_binary(BinOp::Le, y.clone(), x.clone(), &Sort::Bool)
+        }
+        ExprKind::Binary(BinOp::Le, x, y) => {
+            raw_binary(BinOp::Lt, y.clone(), x.clone(), &Sort::Bool)
+        }
+        ExprKind::Binary(BinOp::Gt, x, y) => {
+            raw_binary(BinOp::Le, x.clone(), y.clone(), &Sort::Bool)
+        }
+        ExprKind::Binary(BinOp::Ge, x, y) => {
+            raw_binary(BinOp::Lt, x.clone(), y.clone(), &Sort::Bool)
+        }
         _ => Expr::new(ExprKind::Unary(UnOp::Not, a.clone()), Sort::Bool),
     }
 }
@@ -159,6 +223,9 @@ fn canonical_binary(op: BinOp, a: &Expr, b: &Expr, sort: &Sort) -> Expr {
     if a.as_const().is_some() && b.as_const().is_some() {
         return fold_binary(op, a, b, sort);
     }
+    if let Some(lifted) = lift_const_ite(op, a, b, sort) {
+        return lifted;
+    }
     match op {
         BinOp::And => bool_chain(BinOp::And, a, b, true),
         BinOp::Or => bool_chain(BinOp::Or, a, b, false),
@@ -196,35 +263,46 @@ fn canonical_binary(op: BinOp, a: &Expr, b: &Expr, sort: &Sort) -> Expr {
             if a == b {
                 return Expr::true_();
             }
+            if let Some(isolated) = isolate_constant(op, a, b) {
+                return isolated;
+            }
             sorted_binary(op, a, b, sort)
         }
         BinOp::Ne => {
             if a == b {
                 return Expr::false_();
             }
+            if let Some(isolated) = isolate_constant(op, a, b) {
+                return isolated;
+            }
             sorted_binary(op, a, b, sort)
         }
-        BinOp::Le | BinOp::Ge => {
+        BinOp::Le => {
             if a == b {
                 return Expr::true_();
             }
             raw_binary(op, a.clone(), b.clone(), sort)
         }
-        BinOp::Lt | BinOp::Gt => {
+        // `a >= b` is `b <= a`: canonical forms use only `<`/`<=`.
+        BinOp::Ge => {
+            if a == b {
+                return Expr::true_();
+            }
+            raw_binary(BinOp::Le, b.clone(), a.clone(), sort)
+        }
+        BinOp::Lt => {
             if a == b {
                 return Expr::false_();
             }
             raw_binary(op, a.clone(), b.clone(), sort)
         }
-        BinOp::Add => {
-            if is_int_const(a, 0) {
-                return b.clone();
+        BinOp::Gt => {
+            if a == b {
+                return Expr::false_();
             }
-            if is_int_const(b, 0) {
-                return a.clone();
-            }
-            sorted_binary(op, a, b, sort)
+            raw_binary(BinOp::Lt, b.clone(), a.clone(), sort)
         }
+        BinOp::Add | BinOp::Mul => arith_chain(op, a, b, sort),
         BinOp::Sub => {
             if a == b {
                 return Expr::constant(sort, Value::Int(0)).expect("zero fits int sorts");
@@ -232,20 +310,154 @@ fn canonical_binary(op: BinOp, a: &Expr, b: &Expr, sort: &Sort) -> Expr {
             if is_int_const(b, 0) {
                 return a.clone();
             }
+            if is_int_const(a, 0) {
+                return canonical_neg(b, sort);
+            }
+            if let Some(Value::Int(c)) = b.as_const() {
+                // `a - c` joins `a`'s additive chain as `a + (-c)` so
+                // constants spread across `+`/`-` nestings fold together.
+                let neg_c = Expr::constant(sort, Value::Int(sort.wrap(c.wrapping_neg())))
+                    .expect("wrapped constant fits");
+                return canonical_binary(BinOp::Add, a, &neg_c, sort);
+            }
             raw_binary(op, a.clone(), b.clone(), sort)
         }
-        BinOp::Mul => {
-            if is_int_const(a, 0) || is_int_const(b, 0) {
-                return Expr::constant(sort, Value::Int(0)).expect("zero fits int sorts");
+    }
+}
+
+/// Lifts a binary operator over an `ite` with constant branches and a
+/// constant operand into the branches: `op(ite(c, k1, k2), k3)` becomes
+/// `ite(c, op(k1, k3), op(k2, k3))`, whose branches fold — so e.g. a
+/// circuit-style `ite(c, 1, 0) == 1` collapses to `c`.
+fn lift_const_ite(op: BinOp, a: &Expr, b: &Expr, sort: &Sort) -> Option<Expr> {
+    fn const_ite_parts(e: &Expr) -> Option<(&Expr, &Expr, &Expr)> {
+        if let ExprKind::Ite(c, t, els) = e.kind() {
+            if t.as_const().is_some() && els.as_const().is_some() {
+                return Some((c, t, els));
             }
-            if is_int_const(a, 1) {
-                return b.clone();
-            }
-            if is_int_const(b, 1) {
-                return a.clone();
-            }
-            sorted_binary(op, a, b, sort)
         }
+        None
+    }
+    if b.as_const().is_some() {
+        if let Some((c, t, els)) = const_ite_parts(a) {
+            let lt = fold_binary(op, t, b, sort);
+            let le = fold_binary(op, els, b, sort);
+            return Some(canonical_ite(c, &lt, &le, sort));
+        }
+    }
+    if a.as_const().is_some() {
+        if let Some((c, t, els)) = const_ite_parts(b) {
+            let lt = fold_binary(op, a, t, sort);
+            let le = fold_binary(op, a, els, sort);
+            return Some(canonical_ite(c, &lt, &le, sort));
+        }
+    }
+    None
+}
+
+/// Moves a trailing chain constant (or a negation) across an `==`/`!=`
+/// against a constant: `x + c1 == c2 → x == c2 - c1` and `-x == c → x == -c`
+/// — both bijections modulo `2^width`, so sound under wrap-around.
+fn isolate_constant(op: BinOp, a: &Expr, b: &Expr) -> Option<Expr> {
+    let (k, other) = if let Some(Value::Int(k)) = a.as_const() {
+        (k, b)
+    } else if let Some(Value::Int(k)) = b.as_const() {
+        (k, a)
+    } else {
+        return None;
+    };
+    let operand_sort = other.sort().clone();
+    match other.kind() {
+        ExprKind::Binary(BinOp::Add, u, v) => {
+            let (c, spine) = if let Some(Value::Int(c)) = v.as_const() {
+                (c, u)
+            } else if let Some(Value::Int(c)) = u.as_const() {
+                (c, v)
+            } else {
+                return None;
+            };
+            let k2 = Expr::constant(
+                &operand_sort,
+                Value::Int(operand_sort.wrap(k.wrapping_sub(c))),
+            )
+            .expect("wrapped constant fits");
+            Some(canonical_binary(op, spine, &k2, &Sort::Bool))
+        }
+        ExprKind::Unary(UnOp::Neg, inner) => {
+            let k2 = Expr::constant(
+                &operand_sort,
+                Value::Int(operand_sort.wrap(k.wrapping_neg())),
+            )
+            .expect("wrapped constant fits");
+            Some(canonical_binary(op, inner, &k2, &Sort::Bool))
+        }
+        _ => None,
+    }
+}
+
+/// The flattened `+`/`*` chain normal form: operands flattened across the
+/// operator, sorted by [`Expr::structural_cmp`] (duplicates kept — `x + x`
+/// is not `x`), and all constants folded into one trailing constant.
+///
+/// Re-grouping a chain can destroy sharing with subterms referenced
+/// elsewhere in a DAG, so the rewritten chain is only used when it is the
+/// input itself, or when it is strictly smaller than the pair-sorted
+/// baseline — which keeps the "canonical never grows the DAG" property-test
+/// invariant intact while still folding constants spread across nesting
+/// levels.
+fn arith_chain(op: BinOp, a: &Expr, b: &Expr, sort: &Sort) -> Expr {
+    fn flatten(op: BinOp, e: &Expr, out: &mut Vec<Expr>) {
+        match e.kind() {
+            ExprKind::Binary(o, x, y) if *o == op => {
+                flatten(op, x, out);
+                flatten(op, y, out);
+            }
+            _ => out.push(e.clone()),
+        }
+    }
+    let mut operands = Vec::new();
+    flatten(op, a, &mut operands);
+    flatten(op, b, &mut operands);
+    let neutral: i64 = match op {
+        BinOp::Add => 0,
+        _ => 1,
+    };
+    let mut k = neutral;
+    let mut elems: Vec<Expr> = Vec::with_capacity(operands.len());
+    for e in operands {
+        match e.as_const() {
+            Some(Value::Int(c)) => {
+                k = sort.wrap(match op {
+                    BinOp::Add => k.wrapping_add(c),
+                    _ => k.wrapping_mul(c),
+                });
+            }
+            _ => elems.push(e),
+        }
+    }
+    if op == BinOp::Mul && k == 0 {
+        return Expr::constant(sort, Value::Int(0)).expect("zero fits int sorts");
+    }
+    elems.sort_by(Expr::structural_cmp);
+    if k != neutral {
+        elems.push(Expr::constant(sort, Value::Int(k)).expect("folded constant fits"));
+    }
+    let mut it = elems.into_iter();
+    let candidate = match it.next() {
+        None => Expr::constant(sort, Value::Int(neutral)).expect("neutral fits int sorts"),
+        Some(first) => it.fold(first, |acc, e| raw_binary(op, acc, e, sort)),
+    };
+    // Already-normal chains are their own candidate: short-circuit so the
+    // form is a fixpoint regardless of how the baseline would order the top
+    // pair.
+    if candidate == raw_binary(op, a.clone(), b.clone(), sort) {
+        return candidate;
+    }
+    let baseline = sorted_binary(op, a, b, sort);
+    if candidate == baseline || candidate.dag_size() < baseline.dag_size() {
+        candidate
+    } else {
+        baseline
     }
 }
 
@@ -280,6 +492,16 @@ fn bool_chain(op: BinOp, a: &Expr, b: &Expr, neutral: bool) -> Expr {
     }
     elems.sort_by(Expr::structural_cmp);
     elems.dedup();
+    // Complementary literals absorb the whole chain: `x && !x && … → false`,
+    // `x || !x || … → true`. Negated comparisons were flipped by
+    // `canonical_not`, so the complement of every canonical element is again
+    // canonical and the check is a node-identity lookup.
+    if elems.len() > 1 {
+        let ids: std::collections::HashSet<_> = elems.iter().map(|e| e.id()).collect();
+        if elems.iter().any(|e| ids.contains(&canonical_not(e).id())) {
+            return Expr::bool_const(!neutral);
+        }
+    }
     let mut it = elems.into_iter();
     match it.next() {
         None => Expr::bool_const(neutral),
@@ -387,6 +609,87 @@ mod tests {
         assert_eq!(p().ite(&x(), &x()).canonical(), x());
         let kept = p().ite(&x(), &y());
         assert_eq!(kept.canonical(), kept);
+    }
+
+    #[test]
+    fn complementary_literals_collapse_chains() {
+        assert!(p().and(&p().not()).canonical().is_false());
+        assert!(p().or(&q()).or(&p().not()).canonical().is_true());
+        // Through the comparison flips: `x < y` complements `y <= x`.
+        assert!(x().lt(&y()).and(&y().le(&x())).canonical().is_false());
+        assert!(q()
+            .or(&x().eq(&y()))
+            .or(&x().ne(&y()))
+            .canonical()
+            .is_true());
+    }
+
+    #[test]
+    fn negated_comparisons_flip_and_gt_ge_swap() {
+        assert_eq!(x().lt(&y()).not().canonical(), y().le(&x()).canonical());
+        assert_eq!(x().le(&y()).not().canonical(), y().lt(&x()).canonical());
+        assert_eq!(x().eq(&y()).not().canonical(), x().ne(&y()).canonical());
+        assert_eq!(x().ne(&y()).not().canonical(), x().eq(&y()).canonical());
+        assert_eq!(x().gt(&y()).canonical(), y().lt(&x()).canonical());
+        assert_eq!(x().ge(&y()).canonical(), y().le(&x()).canonical());
+    }
+
+    #[test]
+    fn arithmetic_chains_fold_constants_across_nestings() {
+        let one = Expr::int_val(1, 8);
+        let two = Expr::int_val(2, 8);
+        let lhs = x().add(&one).add(&y().add(&two));
+        let rhs = y().add(&x()).add(&Expr::int_val(3, 8));
+        assert_eq!(lhs.canonical(), rhs.canonical());
+        // `(x + 5) - 5` joins the chain and cancels.
+        let five = Expr::int_val(5, 8);
+        assert_eq!(x().add(&five).sub(&five).canonical(), x());
+        assert_eq!(
+            Expr::int_val(0, 8).sub(&x()).canonical(),
+            x().neg().canonical()
+        );
+        let m = x().mul(&two).mul(&Expr::int_val(3, 8));
+        assert_eq!(m.canonical(), x().mul(&Expr::int_val(6, 8)).canonical());
+    }
+
+    #[test]
+    fn comparison_constants_isolate() {
+        let e = x().add(&Expr::int_val(3, 8)).eq(&Expr::int_val(5, 8));
+        assert_eq!(e.canonical(), x().eq(&Expr::int_val(2, 8)).canonical());
+        // Wraps: `x + 3 != 1` is `x != 254` modulo 256.
+        let w = x().add(&Expr::int_val(3, 8)).ne(&Expr::int_val(1, 8));
+        assert_eq!(w.canonical(), x().ne(&Expr::int_val(254, 8)).canonical());
+        let n = x().neg().eq(&Expr::int_val(1, 8));
+        assert_eq!(n.canonical(), x().eq(&Expr::int_val(255, 8)).canonical());
+    }
+
+    #[test]
+    fn ite_lifting() {
+        let swapped = p().not().ite(&x(), &y());
+        assert_eq!(swapped.canonical(), p().ite(&y(), &x()).canonical());
+        assert_eq!(p().ite(&Expr::true_(), &Expr::false_()).canonical(), p());
+        assert_eq!(
+            p().ite(&Expr::false_(), &Expr::true_()).canonical(),
+            p().not()
+        );
+        assert_eq!(
+            p().ite(&Expr::true_(), &q()).canonical(),
+            p().or(&q()).canonical()
+        );
+        assert_eq!(
+            p().ite(&q(), &Expr::false_()).canonical(),
+            p().and(&q()).canonical()
+        );
+        // The circuit motif: a 0/1 mux compared against a constant is the
+        // select (or its negation).
+        let mux = p().ite(&Expr::int_val(1, 8), &Expr::int_val(0, 8));
+        assert_eq!(mux.eq(&Expr::int_val(1, 8)).canonical(), p());
+        assert_eq!(mux.eq(&Expr::int_val(0, 8)).canonical(), p().not());
+        assert_eq!(
+            mux.add(&Expr::int_val(9, 8)).canonical(),
+            p().ite(&Expr::int_val(10, 8), &Expr::int_val(9, 8))
+                .canonical()
+        );
     }
 
     #[test]

@@ -74,6 +74,46 @@ fn arb_bool_expr(depth: u32) -> BoxedStrategy<Expr> {
     }
 }
 
+/// Integer expressions without `ite`, so comparisons over them canonicalise
+/// to a single comparison node (a chain *element*, never a chain) — what the
+/// complementary-collapse structural assertions need.
+fn arb_linear_int(depth: u32) -> BoxedStrategy<Expr> {
+    if depth == 0 {
+        prop_oneof![
+            (0..(1i64 << WIDTH)).prop_map(|v| Expr::int_val(v, WIDTH)),
+            Just(Expr::var(VarId::from_index(0), Sort::int(WIDTH))),
+            Just(Expr::var(VarId::from_index(1), Sort::int(WIDTH))),
+        ]
+        .boxed()
+    } else {
+        let sub = arb_linear_int(depth - 1);
+        prop_oneof![
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| a.add(&b)),
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| a.sub(&b)),
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| a.mul(&b)),
+            sub,
+        ]
+        .boxed()
+    }
+}
+
+/// Boolean literals: variables, comparisons over `ite`-free integer terms,
+/// and their negations.
+fn arb_bool_literal() -> BoxedStrategy<Expr> {
+    let i = arb_linear_int(1);
+    let base = prop_oneof![
+        Just(Expr::var(VarId::from_index(2), Sort::Bool)),
+        Just(Expr::var(VarId::from_index(3), Sort::Bool)),
+        (i.clone(), i.clone()).prop_map(|(a, b)| a.lt(&b)),
+        (i.clone(), i.clone()).prop_map(|(a, b)| a.le(&b)),
+        (i.clone(), i.clone()).prop_map(|(a, b)| a.eq(&b)),
+        (i.clone(), i).prop_map(|(a, b)| a.ne(&b)),
+    ];
+    (base, any::<bool>())
+        .prop_map(|(e, neg)| if neg { e.not() } else { e })
+        .boxed()
+}
+
 fn arb_valuation() -> impl Strategy<Value = Valuation> {
     (
         0..(1i64 << WIDTH),
@@ -188,6 +228,55 @@ proptest! {
     #[test]
     fn canonical_dag_never_grows(e in arb_bool_expr(3)) {
         prop_assert!(e.canonical().dag_size() <= e.dag_size());
+    }
+
+    #[test]
+    fn complementary_literal_chains_collapse(
+        lits in proptest::collection::vec(arb_bool_literal(), 1..5),
+        pick in 0usize..4,
+    ) {
+        // A chain that contains a literal and its negation collapses to the
+        // absorbing constant, wherever in the (flattened) chain they sit.
+        let victim = lits[pick % lits.len()].clone();
+        let or_chain = Expr::or_all(lits.iter().cloned()).or(&victim.not());
+        prop_assert!(or_chain.canonical().is_true(), "{or_chain} did not collapse");
+        let and_chain = Expr::and_all(lits.iter().cloned()).and(&victim.not());
+        prop_assert!(and_chain.canonical().is_false(), "{and_chain} did not collapse");
+    }
+
+    #[test]
+    fn comparison_flips_are_sound(a in arb_int_expr(2), b in arb_int_expr(2), v in arb_valuation()) {
+        for cmp in [a.lt(&b), a.le(&b), a.gt(&b), a.ge(&b), a.eq(&b), a.ne(&b)] {
+            let flipped = cmp.not().canonical();
+            prop_assert_eq!(flipped.eval(&v), Value::Bool(!cmp.eval_bool(&v)));
+            prop_assert_eq!(flipped.canonical().id(), flipped.id(), "flip not idempotent");
+        }
+    }
+
+    #[test]
+    fn arith_normal_form_is_sound_and_idempotent(e in arb_int_expr(3), v in arb_valuation()) {
+        let c = e.canonical();
+        prop_assert_eq!(e.eval(&v), c.eval(&v));
+        prop_assert_eq!(c.canonical().id(), c.id());
+        prop_assert!(c.dag_size() <= e.dag_size());
+    }
+
+    #[test]
+    fn ite_lifting_is_sound_and_idempotent(
+        c in arb_bool_expr(2),
+        t in arb_int_expr(2),
+        e in arb_int_expr(2),
+        v in arb_valuation(),
+    ) {
+        let ite = c.ite(&t, &e);
+        let canon = ite.canonical();
+        prop_assert_eq!(ite.eval(&v), canon.eval(&v));
+        prop_assert_eq!(canon.canonical().id(), canon.id());
+        // And through a comparison against a constant (the lifting path).
+        let cmp = ite.eq(&Expr::int_val(1, WIDTH));
+        let ccmp = cmp.canonical();
+        prop_assert_eq!(cmp.eval(&v), ccmp.eval(&v));
+        prop_assert_eq!(ccmp.canonical().id(), ccmp.id());
     }
 
     #[test]

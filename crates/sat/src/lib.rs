@@ -44,12 +44,14 @@
 mod cnf;
 mod dimacs;
 mod incremental;
+mod ledger;
 mod lit;
 mod solver;
 
 pub use cnf::CnfFormula;
 pub use dimacs::{parse_dimacs, write_dimacs, ParseDimacsError};
 pub use incremental::{cdcl_backend, ClauseSink, IncrementalSolver};
+pub use ledger::ActivationLedger;
 pub use lit::{Lit, Var};
 pub use solver::{SolveResult, Solver, SolverStats};
 
