@@ -129,6 +129,12 @@ pub struct ActiveRow {
     /// Conclusion disjuncts served from the session's persistent ledger
     /// without re-encoding (`disjR`).
     pub disj_reused: u64,
+    /// Base-session frame disjuncts chain-encoded for the first time
+    /// (`frmE`).
+    pub frames_encoded: u64,
+    /// Base-session frame disjuncts served from the activation ledger
+    /// without re-encoding (`frmR`).
+    pub frames_reused: u64,
     /// Expression-interner traffic during the run: nodes created
     /// (`inodes`), intern hit rate (`ihit%`) and canonical rewrites applied
     /// (`rewr`).
@@ -188,6 +194,8 @@ pub fn run_active<L: ModelLearner>(
         explicit_fallbacks: report.checker_stats.explicit_fallbacks,
         disj_encoded: report.checker_stats.disj_encoded,
         disj_reused: report.checker_stats.disj_reused,
+        frames_encoded: report.checker_stats.frames_encoded,
+        frames_reused: report.checker_stats.frames_reused,
         interner: report.interner,
         invariant_dag_nodes: invariant_dag_nodes(&report),
         circuit: amle_benchmarks::circuit_stats_for(&benchmark.name),
@@ -366,14 +374,16 @@ fn json_escape(s: &str) -> String {
 /// trajectory (`BENCH_*.json`) can accumulate across versions, and what
 /// the `perf-diff` binary consumes to compare two runs.
 ///
-/// Schema history: **4** added the conclusion-disjunct ledger counters
-/// (`disj_encoded`, `disj_reused` — first-time Tseitin encodes vs session
-/// reuses of conclusion disjuncts); **3** added the optional per-record
-/// `circuit` object (netlist statistics — input/latch/gate counts and
-/// cone-of-influence survivors — present only on circuit benchmarks);
-/// **2** added the CDCL work counters (`decisions`, `propagations`,
-/// `conflicts`, `minimized_lits`, `mean_lbd`); schema 1 records lack them.
-/// `perf-diff` accepts all four.
+/// Schema history: **5** added the base-session frame-ledger counters
+/// (`frames_encoded`, `frames_reused` — chain-encoded frame disjuncts vs
+/// activation-ledger reuses in the k-induction base sessions); **4** added
+/// the conclusion-disjunct ledger counters (`disj_encoded`, `disj_reused` —
+/// first-time Tseitin encodes vs session reuses of conclusion disjuncts);
+/// **3** added the optional per-record `circuit` object (netlist statistics
+/// — input/latch/gate counts and cone-of-influence survivors — present only
+/// on circuit benchmarks); **2** added the CDCL work counters (`decisions`,
+/// `propagations`, `conflicts`, `minimized_lits`, `mean_lbd`); schema 1
+/// records lack them. `perf-diff` accepts all five.
 pub fn suite_json(
     meta: &SuiteRunMeta,
     benchmarks: &[Benchmark],
@@ -382,7 +392,7 @@ pub fn suite_json(
     use std::fmt::Write as _;
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": 4,");
+    let _ = writeln!(out, "  \"schema\": 5,");
     let _ = writeln!(out, "  \"engine\": \"{}\",", json_escape(&meta.engine));
     let _ = writeln!(out, "  \"learner\": \"{}\",", json_escape(&meta.learner));
     let _ = writeln!(out, "  \"quick\": {},", meta.quick);
@@ -412,6 +422,7 @@ pub fn suite_json(
              \"minimized_lits\": {}, \"mean_lbd\": {:.4}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \
              \"disj_encoded\": {}, \"disj_reused\": {}, \
+             \"frames_encoded\": {}, \"frames_reused\": {}, \
              \"words_encoded\": {}, \"words_reused\": {}, \
              \"interner\": {{\"nodes_interned\": {}, \"hits\": {}, \
              \"hit_rate\": {:.4}, \"canonical_rewrites\": {}}}, \
@@ -435,6 +446,8 @@ pub fn suite_json(
             row.cache_misses,
             row.disj_encoded,
             row.disj_reused,
+            row.frames_encoded,
+            row.frames_reused,
             row.words_encoded,
             row.words_reused,
             row.interner.nodes_interned,
@@ -514,7 +527,8 @@ pub fn format_active_table(rows: &[ActiveRow]) -> String {
 /// misses, the per-engine query attribution (k-induction vs explicit,
 /// explicit work units and budget fallbacks), the conclusion-disjunct
 /// ledger traffic (`disjE` first-time encodes vs `disjR` session reuses —
-/// the quantity delta-encoded condition sessions minimise), the
+/// the quantity delta-encoded condition sessions minimise), the base-session
+/// frame-ledger traffic (`frmE` chain links encoded vs `frmR` reuses), the
 /// expression-interner traffic the canonical cache keys ride on (nodes
 /// interned, intern hit rate, canonical rewrites applied), and the CDCL
 /// search-quality columns (conflicts, propagations per conflict, literals
@@ -522,7 +536,7 @@ pub fn format_active_table(rows: &[ActiveRow]) -> String {
 pub fn format_oracle_table(rows: &[ActiveRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<34} {:>6} {:>6} {:>7} {:>7} {:>10} {:>6} {:>6} {:>7} {:>7} {:>6} {:>7} {:>8} {:>8} {:>7} {:>5}\n",
+        "{:<34} {:>6} {:>6} {:>7} {:>7} {:>10} {:>6} {:>6} {:>7} {:>5} {:>6} {:>7} {:>6} {:>7} {:>8} {:>8} {:>7} {:>5}\n",
         "Benchmark",
         "hits",
         "miss",
@@ -532,6 +546,8 @@ pub fn format_oracle_table(rows: &[ActiveRow]) -> String {
         "fallb",
         "disjE",
         "disjR",
+        "frmE",
+        "frmR",
         "inodes",
         "ihit%",
         "rewr",
@@ -547,7 +563,7 @@ pub fn format_oracle_table(rows: &[ActiveRow]) -> String {
             r.propagations as f64 / r.conflicts as f64
         };
         out.push_str(&format!(
-            "{:<34} {:>6} {:>6} {:>7} {:>7} {:>10} {:>6} {:>6} {:>7} {:>7} {:>6.1} {:>7} {:>8} {:>8.1} {:>7} {:>5.1}\n",
+            "{:<34} {:>6} {:>6} {:>7} {:>7} {:>10} {:>6} {:>6} {:>7} {:>5} {:>6} {:>7} {:>6.1} {:>7} {:>8} {:>8.1} {:>7} {:>5.1}\n",
             r.name,
             r.cache_hits,
             r.cache_misses,
@@ -557,6 +573,8 @@ pub fn format_oracle_table(rows: &[ActiveRow]) -> String {
             r.explicit_fallbacks,
             r.disj_encoded,
             r.disj_reused,
+            r.frames_encoded,
+            r.frames_reused,
             r.interner.nodes_interned,
             100.0 * r.interner.hit_rate(),
             r.interner.canonical_rewrites,
@@ -804,6 +822,7 @@ mod tests {
         assert!(table.contains("inodes"));
         assert!(table.contains("rewr"));
         assert!(table.contains("disjE"));
+        assert!(table.contains("frmE"));
         assert!(table.contains("RedundantSensorPair"));
     }
 
@@ -843,7 +862,7 @@ mod tests {
         assert!(json.contains("\"gates_in_coi\": 1"));
         // And the document still parses through the perf-diff consumer.
         let run = perf::parse_suite_run(&json).unwrap();
-        assert_eq!(run.schema, 4);
+        assert_eq!(run.schema, 5);
         assert_eq!(run.benchmarks.len(), 1);
         // A non-circuit row renders an empty circuit table.
         let plain = benchmark_by_name("HomeClimateControlCooler").unwrap();
@@ -899,7 +918,7 @@ mod tests {
         };
         let json = suite_json(&meta, &suite, &results);
         for needle in [
-            "\"schema\": 4",
+            "\"schema\": 5",
             "\"engine\": \"kinduction\"",
             "\"learner\": \"history\"",
             "\"fingerprint_digest\"",
@@ -915,6 +934,9 @@ mod tests {
             // Schema-4 conclusion-disjunct ledger counters.
             "\"disj_encoded\"",
             "\"disj_reused\"",
+            // Schema-5 base-session frame-ledger counters.
+            "\"frames_encoded\"",
+            "\"frames_reused\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

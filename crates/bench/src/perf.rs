@@ -6,8 +6,9 @@
 //! [`amle_serve::json`] (one parser for the daemon wire protocol and the
 //! suite artefacts, not two drifting copies). It accepts schema 1
 //! (pre-CDCL-counters), schema 2, schema 3 (optional per-record circuit
-//! netlist stats) and schema 4 (conclusion-disjunct ledger counters)
-//! documents, so a fresh run can be compared against an older CI artifact.
+//! netlist stats), schema 4 (conclusion-disjunct ledger counters) and
+//! schema 5 (base-session frame-ledger counters) documents, so a fresh run
+//! can be compared against an older CI artifact.
 //!
 //! A *regression* is flagged per benchmark:
 //!
@@ -48,7 +49,7 @@ pub struct BenchPerf {
 /// A parsed `suite --json` document, reduced to what `perf-diff` needs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SuiteRun {
-    /// Document schema version (1 through 4).
+    /// Document schema version (1 through 5).
     pub schema: u64,
     /// Oracle engine the suite ran with.
     pub engine: String,
@@ -79,7 +80,7 @@ fn field_str(obj: &Json, key: &str) -> String {
 pub fn parse_suite_run(text: &str) -> Result<SuiteRun, String> {
     let doc = parse_json(text)?;
     let schema = field_u64(&doc, "schema");
-    if !(1..=4).contains(&schema) {
+    if !(1..=5).contains(&schema) {
         return Err(format!("unsupported suite schema {schema}"));
     }
     let benchmarks = match doc.get("benchmarks") {
@@ -406,7 +407,10 @@ mod tests {
         // documents simply lack.
         let v4 = parse_suite_run(&sample(4, 1.0, 100, 7, "abc")).unwrap();
         assert_eq!(v4.schema, 4);
-        assert!(parse_suite_run("{\"schema\": 5, \"benchmarks\": []}").is_err());
+        // Schema 5 adds only the base-session frame-ledger counters.
+        let v5 = parse_suite_run(&sample(5, 1.0, 100, 7, "abc")).unwrap();
+        assert_eq!(v5.schema, 5);
+        assert!(parse_suite_run("{\"schema\": 6, \"benchmarks\": []}").is_err());
     }
 
     #[test]

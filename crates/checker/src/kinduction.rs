@@ -16,8 +16,12 @@
 //!   Disjuncts dropped from a later query are retracted by simply not
 //!   assuming them; their definitional clauses stay but never bite;
 //! * the *base session* holds `Init(X₀)` plus a growing unrolling of the
-//!   transition relation; "the target state is hit within `k` steps" is a
-//!   single activation-literal clause enabled by assumption;
+//!   transition relation; "the target state is hit within `k` steps" is
+//!   **chain-encoded**: one activation literal per `(formula, frame)` pair
+//!   with the clause `act_f → lit_f ∨ act_{f-1}`, assumed only at `act_k`.
+//!   Growing `k → k+1` for a known formula therefore encodes one new frame
+//!   literal and one chaining clause instead of a fresh clause re-listing
+//!   every frame `0..=k+1`;
 //! * the *step session* holds the same unrolling without `Init`; the
 //!   k-induction step case is expressed purely through assumptions
 //!   (`¬state` on frames `0..k`, `state` on frame `k`).
@@ -33,7 +37,8 @@
 use amle_bitblast::Encoder;
 use amle_expr::{Expr, ExprId, Valuation, Value, VarId};
 use amle_sat::{
-    cdcl_backend, ActivationLedger, ClauseSink, IncrementalSolver, Lit, SolveResult, SolverStats,
+    cdcl_backend, ActivationLedger, ClauseSink, IncrementalSolver, Lit, SolveResult, SolverConfig,
+    SolverStats,
 };
 use amle_system::System;
 use std::fmt;
@@ -108,6 +113,13 @@ pub struct CheckerStats {
     /// Conclusion disjuncts answered from the session's persistent ledger
     /// without re-encoding.
     pub disj_reused: u64,
+    /// Base-session frame disjuncts encoded for the first time (delta mode:
+    /// one chain link per new `(formula, frame)` pair; full mode: every frame
+    /// of a first-seen `(formula, k)` query).
+    pub frames_encoded: u64,
+    /// Base-session frame disjuncts answered from the activation ledger
+    /// without re-encoding.
+    pub frames_reused: u64,
     /// Aggregated backend solver statistics across all sessions, including
     /// sessions already retired.
     pub solver: SolverStats,
@@ -125,6 +137,8 @@ impl std::ops::AddAssign for CheckerStats {
         self.explicit_fallbacks += rhs.explicit_fallbacks;
         self.disj_encoded += rhs.disj_encoded;
         self.disj_reused += rhs.disj_reused;
+        self.frames_encoded += rhs.frames_encoded;
+        self.frames_reused += rhs.frames_reused;
         self.solver += rhs.solver;
     }
 }
@@ -164,6 +178,8 @@ impl CheckerStats {
                 .saturating_sub(earlier.explicit_fallbacks),
             disj_encoded: self.disj_encoded.saturating_sub(earlier.disj_encoded),
             disj_reused: self.disj_reused.saturating_sub(earlier.disj_reused),
+            frames_encoded: self.frames_encoded.saturating_sub(earlier.frames_encoded),
+            frames_reused: self.frames_reused.saturating_sub(earlier.frames_reused),
             solver: self.solver.since(&earlier.solver),
         }
     }
@@ -207,9 +223,11 @@ struct Session {
 }
 
 impl Session {
-    fn new(system: &System, backend: SolverBackend) -> Self {
+    fn new(system: &System, backend: SolverBackend, config: SolverConfig) -> Self {
+        let mut sink = backend();
+        sink.configure(&config);
         Session {
-            enc: Encoder::with_sink(system.vars(), backend()),
+            enc: Encoder::with_sink(system.vars(), sink),
             unrolled: 0,
             activations: ActivationLedger::new(),
             disjuncts: ActivationLedger::new(),
@@ -268,6 +286,12 @@ pub struct KInductionChecker<'a> {
     /// Delta-encode conclusion disjunctions (the default). `false` restores
     /// the full per-query or-chain encoding as a differential oracle.
     conclusion_delta: bool,
+    /// Chain-encode base-session frame disjunctions (the default). `false`
+    /// restores the full per-`(formula, k)` frame clause as a differential
+    /// oracle.
+    base_delta: bool,
+    /// Search policy applied to every solver session this checker creates.
+    solver_config: SolverConfig,
 }
 
 impl fmt::Debug for KInductionChecker<'_> {
@@ -304,6 +328,8 @@ impl<'a> KInductionChecker<'a> {
             step: None,
             retired: SolverStats::default(),
             conclusion_delta: true,
+            base_delta: true,
+            solver_config: SolverConfig::default(),
         }
     }
 
@@ -325,6 +351,50 @@ impl<'a> KInductionChecker<'a> {
         self.conclusion_delta
     }
 
+    /// Sets whether base-session frame disjunctions are chain-encoded
+    /// (default) or emitted as one full `0..=k` clause per `(formula, k)`
+    /// query. Both modes return byte-identical results with identical solve
+    /// counts; the switch exists so the differential harness can pin that.
+    pub fn with_base_delta(mut self, on: bool) -> Self {
+        self.set_base_delta(on);
+        self
+    }
+
+    /// In-place variant of [`KInductionChecker::with_base_delta`].
+    pub fn set_base_delta(&mut self, on: bool) {
+        self.base_delta = on;
+    }
+
+    /// Whether base-session frame disjunctions are chain-encoded.
+    pub fn base_delta(&self) -> bool {
+        self.base_delta
+    }
+
+    /// Sets the solver search policy for every session. Applied immediately
+    /// to live sessions and to all sessions created afterwards. Every
+    /// [`SolverConfig`] setting is verdict-neutral, so this never changes
+    /// results — only search effort.
+    pub fn with_solver_config(mut self, config: SolverConfig) -> Self {
+        self.set_solver_config(config);
+        self
+    }
+
+    /// In-place variant of [`KInductionChecker::with_solver_config`].
+    pub fn set_solver_config(&mut self, config: SolverConfig) {
+        self.solver_config = config;
+        for session in [&mut self.condition, &mut self.base, &mut self.step]
+            .into_iter()
+            .flatten()
+        {
+            session.enc.sink_mut().configure(&config);
+        }
+    }
+
+    /// The solver search policy applied to this checker's sessions.
+    pub fn solver_config(&self) -> SolverConfig {
+        self.solver_config
+    }
+
     /// The system under check.
     pub fn system(&self) -> &System {
         self.system
@@ -342,6 +412,8 @@ impl<'a> KInductionChecker<'a> {
     pub fn fork(&self) -> KInductionChecker<'a> {
         Self::with_backend(self.system, self.mode, self.backend)
             .with_conclusion_delta(self.conclusion_delta)
+            .with_base_delta(self.base_delta)
+            .with_solver_config(self.solver_config)
     }
 
     /// The session mode of this checker.
@@ -382,8 +454,8 @@ impl<'a> KInductionChecker<'a> {
 
     /// The condition session, created on first use: input constraints on
     /// frame 0 plus one transition unrolling (which constrains frame 1).
-    fn condition_session(system: &System, backend: SolverBackend) -> Session {
-        let mut session = Session::new(system, backend);
+    fn condition_session(system: &System, backend: SolverBackend, config: SolverConfig) -> Session {
+        let mut session = Session::new(system, backend, config);
         let input_constraints = system.input_constraints_expr();
         session.enc.assert_expr(0, &input_constraints);
         session.ensure_unrolled(system, 1);
@@ -391,8 +463,8 @@ impl<'a> KInductionChecker<'a> {
     }
 
     /// The base-case session: `Init(X₀)`; the unrolling grows per query.
-    fn base_session(system: &System, backend: SolverBackend) -> Session {
-        let mut session = Session::new(system, backend);
+    fn base_session(system: &System, backend: SolverBackend, config: SolverConfig) -> Session {
+        let mut session = Session::new(system, backend, config);
         let init = system.init_expr();
         session.enc.assert_expr(0, &init);
         session
@@ -400,8 +472,8 @@ impl<'a> KInductionChecker<'a> {
 
     /// The step-case session: input constraints on frame 0; the unrolling
     /// grows per query.
-    fn step_session(system: &System, backend: SolverBackend) -> Session {
-        let mut session = Session::new(system, backend);
+    fn step_session(system: &System, backend: SolverBackend, config: SolverConfig) -> Session {
+        let mut session = Session::new(system, backend, config);
         let input_constraints = system.input_constraints_expr();
         session.enc.assert_expr(0, &input_constraints);
         session
@@ -533,31 +605,76 @@ impl<'a> KInductionChecker<'a> {
 
     /// Runs the k-induction base case against a session holding `Init`:
     /// is the state reachable within `k` steps? The per-query disjunction
-    /// "state holds in some frame `0..=k`" is attached behind an activation
-    /// literal so it can be retracted by simply not assuming it; the literal
-    /// is cached per `(formula, k)` so a repeated query re-assumes instead of
-    /// duplicating the clause.
+    /// "state holds in some frame `0..=k`" is attached behind activation
+    /// literals so it can be retracted by simply not assuming it.
+    ///
+    /// In delta mode the disjunction is a **chain**: one activation literal
+    /// `act_f` per `(formula, frame)` pair with the clause
+    /// `act_f → lit_f ∨ act_{f-1}`, and the query assumes only `act_k`.
+    /// Assuming `act_k` forces the formula to hold in some frame `≤ k` (the
+    /// one-directional Tseitin chain unrolls to the full disjunction), so
+    /// growing `k → k+1` for a known formula encodes exactly one new frame
+    /// literal and one two-or-three-literal chaining clause instead of a
+    /// fresh `k+2`-literal clause re-listing every frame. In full mode the
+    /// original per-`(formula, k)` whole-disjunction clause is emitted, as a
+    /// differential oracle. Either way there is exactly one solve per query
+    /// and the encodings are equisatisfiable, so verdicts and solve counts
+    /// are byte-identical.
     fn base_query(
         stats: &mut CheckerStats,
         session: &mut Session,
         system: &System,
         state_formula: &Expr,
         k: usize,
+        delta: bool,
     ) -> SolveResult {
         session.ensure_unrolled(system, k);
-        let key = (state_formula.id(), k);
         let enc = &mut session.enc;
-        let act = session.activations.get_or_insert_with(key, || {
-            let frame_lits: Vec<Lit> = (0..=k)
-                .map(|frame| enc.encode_bool(frame, state_formula))
-                .collect();
-            let act = Lit::positive(enc.sink_mut().new_var());
-            let mut clause = Vec::with_capacity(frame_lits.len() + 1);
-            clause.push(!act);
-            clause.extend(frame_lits);
-            enc.sink_mut().add_clause(&clause);
+        let act = if delta {
+            let (fresh, reused) = (session.activations.fresh(), session.activations.reused());
+            let mut prev: Option<Lit> = None;
+            for frame in 0..=k {
+                let act =
+                    session
+                        .activations
+                        .get_or_insert_with((state_formula.id(), frame), || {
+                            let lit = enc.encode_bool(frame, state_formula);
+                            let act = Lit::positive(enc.sink_mut().new_var());
+                            let mut clause = vec![!act, lit];
+                            clause.extend(prev);
+                            enc.sink_mut().add_clause(&clause);
+                            act
+                        });
+                prev = Some(act);
+            }
+            stats.frames_encoded += session.activations.fresh() - fresh;
+            stats.frames_reused += session.activations.reused() - reused;
+            prev.expect("0..=k is never empty")
+        } else {
+            let fresh = session.activations.fresh();
+            let act = session
+                .activations
+                .get_or_insert_with((state_formula.id(), k), || {
+                    let frame_lits: Vec<Lit> = (0..=k)
+                        .map(|frame| enc.encode_bool(frame, state_formula))
+                        .collect();
+                    let act = Lit::positive(enc.sink_mut().new_var());
+                    let mut clause = Vec::with_capacity(frame_lits.len() + 1);
+                    clause.push(!act);
+                    clause.extend(frame_lits);
+                    enc.sink_mut().add_clause(&clause);
+                    act
+                });
+            // Attribute all k+1 frames to whichever bucket the whole-clause
+            // entry landed in, so delta and full runs report comparable
+            // totals.
+            if session.activations.fresh() > fresh {
+                stats.frames_encoded += (k + 1) as u64;
+            } else {
+                stats.frames_reused += (k + 1) as u64;
+            }
             act
-        });
+        };
         Self::count_query(stats, session);
         session.solve(&[act])
     }
@@ -650,13 +767,13 @@ impl<'a> KInductionChecker<'a> {
         let blocked: Vec<Expr> = blocked.iter().map(Expr::canonical).collect();
         let outgoing: Vec<Expr> = outgoing.iter().map(Expr::canonical).collect();
         let delta = self.conclusion_delta;
-        let (system, backend) = (self.system, self.backend);
+        let (system, backend, config) = (self.system, self.backend, self.solver_config);
         Self::run_query(
             self.mode,
             &mut self.stats,
             &mut self.retired,
             &mut self.condition,
-            || Self::condition_session(system, backend),
+            || Self::condition_session(system, backend, config),
             |stats, session| {
                 Self::condition_query(
                     stats,
@@ -719,14 +836,15 @@ impl<'a> KInductionChecker<'a> {
         // literal and the per-frame encodings of both sessions.
         let state_formula = &state_formula.canonical();
 
-        let (system, backend) = (self.system, self.backend);
+        let (system, backend, config) = (self.system, self.backend, self.solver_config);
+        let base_delta = self.base_delta;
         let base = Self::run_query(
             self.mode,
             &mut self.stats,
             &mut self.retired,
             &mut self.base,
-            || Self::base_session(system, backend),
-            |stats, session| Self::base_query(stats, session, system, state_formula, k),
+            || Self::base_session(system, backend, config),
+            |stats, session| Self::base_query(stats, session, system, state_formula, k, base_delta),
         );
         if base == SolveResult::Sat {
             return SpuriousResult::Reachable;
@@ -737,7 +855,7 @@ impl<'a> KInductionChecker<'a> {
             &mut self.stats,
             &mut self.retired,
             &mut self.step,
-            || Self::step_session(system, backend),
+            || Self::step_session(system, backend, config),
             |stats, session| Self::step_query(stats, session, system, state_formula, k),
         );
         if step == SolveResult::Unsat {
@@ -998,6 +1116,133 @@ mod tests {
             full.stats().sat_queries,
             "delta encoding changed the query count"
         );
+    }
+
+    #[test]
+    fn base_chain_reuses_frames_across_growing_bounds() {
+        // Growing k → k+1 for the same formula must encode exactly one new
+        // chain link; shrinking back re-assumes an interior link without
+        // touching the ledger's fresh count.
+        let sys = saturating_counter();
+        let c_id = sys.vars().lookup("c").unwrap();
+        let flag_id = sys.vars().lookup("flag").unwrap();
+        let mut checker = KInductionChecker::new(&sys);
+        assert!(checker.base_delta());
+        let mut ghost = sys.initial_valuation();
+        ghost.set(c_id, Value::Int(0));
+        ghost.set(flag_id, Value::Bool(true));
+        let formula = checker.state_formula(&ghost, &[c_id, flag_id]);
+
+        assert_eq!(
+            checker.check_spurious(&formula, 4),
+            SpuriousResult::Spurious
+        );
+        let stats = checker.stats();
+        assert_eq!(stats.frames_encoded, 5, "k=4 encodes frames 0..=4");
+        assert_eq!(stats.frames_reused, 0);
+
+        // k=5: one new link, five reused.
+        assert_eq!(
+            checker.check_spurious(&formula, 5),
+            SpuriousResult::Spurious
+        );
+        let stats = checker.stats();
+        assert_eq!(stats.frames_encoded, 6);
+        assert_eq!(stats.frames_reused, 5);
+
+        // Back to k=3: a pure-reuse interior query.
+        assert_eq!(
+            checker.check_spurious(&formula, 3),
+            SpuriousResult::Spurious
+        );
+        let stats = checker.stats();
+        assert_eq!(stats.frames_encoded, 6, "shrinking must not re-encode");
+        assert_eq!(stats.frames_reused, 9);
+    }
+
+    #[test]
+    fn base_delta_and_full_encodings_agree() {
+        // AMLE_BASE_DELTA=0's checker-level switch: the same spurious-check
+        // sequence (growing, repeated and shrinking bounds, reachable and
+        // unreachable targets) must give identical verdicts with identical
+        // solve counts in both modes.
+        let sys = saturating_counter();
+        let c_id = sys.vars().lookup("c").unwrap();
+        let flag_id = sys.vars().lookup("flag").unwrap();
+        let mut delta = KInductionChecker::new(&sys);
+        let mut full = KInductionChecker::new(&sys).with_base_delta(false);
+        assert!(delta.base_delta());
+        assert!(!full.base_delta());
+        assert!(!full.fork().base_delta(), "fork must keep the mode");
+
+        let mut ghost = sys.initial_valuation();
+        ghost.set(c_id, Value::Int(0));
+        ghost.set(flag_id, Value::Bool(true));
+        let unreachable = delta.state_formula(&ghost, &[c_id, flag_id]);
+        let mut target = sys.initial_valuation();
+        target.set(c_id, Value::Int(3));
+        let reachable = delta.state_formula(&target, &[c_id]);
+
+        let queries = [
+            (&unreachable, 2),
+            (&unreachable, 3),
+            (&unreachable, 3),
+            (&reachable, 5),
+            (&unreachable, 1),
+            (&reachable, 6),
+        ];
+        for (formula, k) in queries {
+            assert_eq!(
+                delta.check_spurious(formula, k),
+                full.check_spurious(formula, k),
+                "modes disagree at k={k}"
+            );
+        }
+        assert_eq!(
+            delta.stats().sat_queries,
+            full.stats().sat_queries,
+            "base chaining changed the query count"
+        );
+        // The chain amortises: by the end reuse dominates fresh encodes in
+        // delta mode, while full mode re-encodes every distinct (formula, k).
+        let stats = delta.stats();
+        assert!(
+            stats.frames_reused > stats.frames_encoded,
+            "reuse {} should dominate encodes {}",
+            stats.frames_reused,
+            stats.frames_encoded
+        );
+    }
+
+    #[test]
+    fn solver_config_is_applied_and_verdict_neutral() {
+        use amle_sat::{PhaseMode, RestartStrategy};
+        let sys = saturating_counter();
+        let c = var_expr(&sys, "c");
+        let conclusion = c.ne(&Expr::int_val(3, 4));
+        let config = SolverConfig {
+            restart: RestartStrategy::NoneBelow(u64::MAX),
+            phase_saving: PhaseMode::ResetPerQuery,
+            ..SolverConfig::default()
+        };
+        let mut tuned = KInductionChecker::new(&sys).with_solver_config(config);
+        assert_eq!(tuned.solver_config(), config);
+        assert_eq!(tuned.fork().solver_config(), config, "fork keeps config");
+
+        let mut default = KInductionChecker::new(&sys);
+        let reference = default.check_condition(&Expr::true_(), &[], &conclusion);
+        let got = tuned.check_condition(&Expr::true_(), &[], &conclusion);
+        assert_eq!(got, reference, "search policy changed a counterexample");
+        assert_eq!(
+            tuned.stats().sat_queries,
+            default.stats().sat_queries,
+            "search policy changed the solve count"
+        );
+        // Reconfiguring a live session applies to it immediately and stays
+        // verdict-neutral.
+        tuned.set_solver_config(SolverConfig::default());
+        let again = tuned.check_condition(&Expr::true_(), &[], &conclusion);
+        assert_eq!(again, reference);
     }
 
     #[test]

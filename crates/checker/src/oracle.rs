@@ -144,6 +144,14 @@ pub struct OracleSettings {
     /// session (default). `false` restores the full per-query or-chain
     /// encode; results are byte-identical either way.
     pub conclusion_delta: bool,
+    /// Chain-encode base-session frame disjunctions in the k-induction
+    /// spurious checks (default). `false` restores the full per-`(formula,
+    /// k)` frame clause; results are byte-identical either way.
+    pub base_delta: bool,
+    /// CDCL search policy for every SAT session the oracle stack creates.
+    /// Verdict-neutral: only search effort (conflicts, propagations, wall
+    /// time) depends on it.
+    pub solver: amle_sat::SolverConfig,
 }
 
 impl Default for OracleSettings {
@@ -154,6 +162,8 @@ impl Default for OracleSettings {
             route_threshold: DEFAULT_ROUTE_THRESHOLD,
             cross_validate: false,
             conclusion_delta: true,
+            base_delta: true,
+            solver: amle_sat::SolverConfig::default(),
         }
     }
 }
@@ -181,7 +191,10 @@ pub fn build_oracle<'a>(
 ) -> Box<dyn ConditionOracle + 'a> {
     match settings.kind {
         OracleKind::KInduction => Box::new(
-            KInductionChecker::new(system).with_conclusion_delta(settings.conclusion_delta),
+            KInductionChecker::new(system)
+                .with_conclusion_delta(settings.conclusion_delta)
+                .with_base_delta(settings.base_delta)
+                .with_solver_config(settings.solver),
         ),
         OracleKind::Explicit => Box::new(
             PortfolioOracle::new(
@@ -191,6 +204,8 @@ pub fn build_oracle<'a>(
                 settings.cross_validate,
             )
             .conclusion_delta(settings.conclusion_delta)
+            .base_delta(settings.base_delta)
+            .solver_config(settings.solver)
             .named("explicit"),
         ),
         OracleKind::Portfolio => Box::new(
@@ -200,7 +215,9 @@ pub fn build_oracle<'a>(
                 settings.route_threshold,
                 settings.cross_validate,
             )
-            .conclusion_delta(settings.conclusion_delta),
+            .conclusion_delta(settings.conclusion_delta)
+            .base_delta(settings.base_delta)
+            .solver_config(settings.solver),
         ),
     }
 }

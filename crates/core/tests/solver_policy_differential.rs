@@ -1,0 +1,214 @@
+//! Differential tests of the CDCL search policy and the delta encodings.
+//!
+//! The load-bearing invariant of workload tuning: because counterexamples
+//! are canonicalised by static bit-probing, a run's semantic fingerprint
+//! *and its per-run `solve_calls`* are pure functions of query semantics —
+//! independent of restart strategy, phase-saving mode, clause-DB reduction
+//! settings, the base/conclusion delta encodings, the engine and the worker
+//! count. Only conflicts, propagations and wall time may move. That is what
+//! makes aggressive search-policy tuning safely CI-gateable: any config that
+//! perturbs a verdict, a counterexample or a solve count fails here (and
+//! fails the committed fingerprint digests in CI).
+
+use amle_benchmarks::{circuit_benchmarks, full_suite, Benchmark};
+use amle_core::{
+    ActiveLearner, ActiveLearnerConfig, OracleConfig, OracleKind, ParallelConfig, PhaseMode,
+    RestartStrategy, RunReport, SolverConfig,
+};
+use amle_learner::HistoryLearner;
+
+fn run(benchmark: &Benchmark, workers: usize, oracle: OracleConfig) -> RunReport {
+    // Small fixed shape: the property is invariance across configurations,
+    // not convergence, and the grid below is multiplicative.
+    let config = ActiveLearnerConfig {
+        observables: Some(benchmark.observables.clone()),
+        initial_traces: 6,
+        trace_length: 8,
+        k: benchmark.k.min(4),
+        max_iterations: 3,
+        parallel: ParallelConfig::with_workers(workers),
+        oracle,
+        ..Default::default()
+    };
+    ActiveLearner::new(&benchmark.system, HistoryLearner::default(), config)
+        .run()
+        .expect("active learning run failed")
+}
+
+/// The search-policy grid: every restart strategy, both phase modes, and
+/// non-default clause-DB settings.
+fn solver_grid() -> Vec<(&'static str, SolverConfig)> {
+    vec![
+        (
+            "ema-lbd restarts",
+            SolverConfig {
+                restart: RestartStrategy::EmaLbd,
+                restart_base: 16,
+                ..SolverConfig::default()
+            },
+        ),
+        (
+            "no restarts",
+            SolverConfig {
+                restart: RestartStrategy::NoneBelow(u64::MAX),
+                ..SolverConfig::default()
+            },
+        ),
+        (
+            "gated restarts + phase reset",
+            SolverConfig {
+                restart: RestartStrategy::NoneBelow(64),
+                restart_base: 32,
+                phase_saving: PhaseMode::ResetPerQuery,
+                ..SolverConfig::default()
+            },
+        ),
+        (
+            "eager luby + tight clause DB",
+            SolverConfig {
+                restart: RestartStrategy::Luby,
+                restart_base: 25,
+                phase_saving: PhaseMode::Persist,
+                reduce_growth_pct: 100,
+                glue_threshold: 4,
+            },
+        ),
+    ]
+}
+
+/// Asserts one benchmark's fingerprint and solve-call count are invariant
+/// across the solver-config grid, the delta-encoding switches, the
+/// kinduction/portfolio engines and worker counts 1 and 4.
+fn assert_policy_invariant(benchmark: &Benchmark) {
+    let vars = benchmark.system.vars();
+    let reference_report = run(benchmark, 1, OracleConfig::default());
+    let reference = reference_report.semantic_fingerprint(vars);
+    // Solve-call identity holds per engine: the portfolio routes a subset of
+    // queries to the explicit engine, so its SAT call count legitimately
+    // differs from pure k-induction. Fingerprints agree across everything.
+    let reference_calls = reference_report.solver_stats().solve_calls;
+    let portfolio_reference_calls = run(
+        benchmark,
+        1,
+        OracleConfig {
+            engine: OracleKind::Portfolio,
+            ..OracleConfig::default()
+        },
+    )
+    .solver_stats()
+    .solve_calls;
+
+    let mut variants: Vec<(String, usize, OracleConfig)> = Vec::new();
+    for (label, solver) in solver_grid() {
+        for workers in [1, 4] {
+            variants.push((
+                format!("{label}, kinduction, {workers} workers"),
+                workers,
+                OracleConfig {
+                    solver,
+                    ..OracleConfig::default()
+                },
+            ));
+        }
+        variants.push((
+            format!("{label}, portfolio, 1 worker"),
+            1,
+            OracleConfig {
+                engine: OracleKind::Portfolio,
+                solver,
+                ..OracleConfig::default()
+            },
+        ));
+    }
+    // Both delta encodings off, under a non-default policy and 4 workers —
+    // the farthest corner from the reference configuration.
+    variants.push((
+        "delta encodings off, ema-lbd, 4 workers".to_string(),
+        4,
+        OracleConfig {
+            conclusion_delta: false,
+            base_delta: false,
+            solver: SolverConfig {
+                restart: RestartStrategy::EmaLbd,
+                restart_base: 16,
+                ..SolverConfig::default()
+            },
+            ..OracleConfig::default()
+        },
+    ));
+
+    for (label, workers, oracle) in variants {
+        let expected_calls = match oracle.engine {
+            OracleKind::Portfolio => portfolio_reference_calls,
+            _ => reference_calls,
+        };
+        let report = run(benchmark, workers, oracle);
+        assert_eq!(
+            reference,
+            report.semantic_fingerprint(vars),
+            "{}: `{}` perturbed the fingerprint",
+            benchmark.name,
+            label
+        );
+        assert_eq!(
+            expected_calls,
+            report.solver_stats().solve_calls,
+            "{}: `{}` perturbed the solve-call count",
+            benchmark.name,
+            label
+        );
+    }
+}
+
+#[test]
+fn search_policy_never_perturbs_fingerprints_or_solve_calls() {
+    // A cross-section of the suite: a Table I controller, a synthetic
+    // splicing benchmark and a circuit benchmark cover the three query
+    // profiles (condition-heavy, spurious-heavy, wide-word).
+    let picked: Vec<Benchmark> = full_suite()
+        .into_iter()
+        .filter(|b| {
+            b.name == "HomeClimateControlCooler"
+                || b.name.starts_with("SynthGray")
+                || b.name == "RedundantSensorPair"
+        })
+        .take(3)
+        .collect();
+    assert!(!picked.is_empty(), "no benchmark matched the cross-section");
+    for benchmark in picked {
+        assert_policy_invariant(&benchmark);
+    }
+}
+
+#[test]
+fn search_policy_never_perturbs_circuit_fingerprints() {
+    let mut circuits = circuit_benchmarks();
+    assert!(!circuits.is_empty(), "the circuit family is empty");
+    circuits.truncate(1);
+    for benchmark in circuits {
+        assert_policy_invariant(&benchmark);
+    }
+}
+
+#[test]
+fn base_session_reuse_dominates_by_late_iterations() {
+    // The acceptance criterion on the base-session ledger: on a benchmark
+    // with repeated spurious checks, reuse must dominate fresh encodes by
+    // the end of the run (full mode re-encodes per (formula, k) instead).
+    for benchmark in full_suite() {
+        let report = run(&benchmark, 1, OracleConfig::default());
+        let stats = report.checker_stats;
+        if stats.spurious_checks >= 4 {
+            assert!(
+                stats.frames_reused > stats.frames_encoded,
+                "{}: frame reuse {} did not dominate encodes {} over {} spurious checks",
+                benchmark.name,
+                stats.frames_reused,
+                stats.frames_encoded,
+                stats.spurious_checks
+            );
+            return;
+        }
+    }
+    panic!("no suite benchmark issued enough spurious checks at this shape");
+}

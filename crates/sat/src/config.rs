@@ -1,0 +1,448 @@
+//! Search-policy configuration of the CDCL solver.
+//!
+//! The active-learning pipeline is a *many-small-queries* workload:
+//! thousands of incremental solve calls per run, most of them deciding in a
+//! handful of conflicts against a long-lived session. The restart cadence,
+//! phase-saving behaviour and clause-database policy a solver inherits from
+//! one-big-instance SAT lore are not obviously right for that profile, so
+//! they are configuration, not constants: [`SolverConfig`] bundles the
+//! tunables, [`crate::Solver::with_config`] applies them, and the
+//! `AMLE_SOLVER_*` environment knobs (parsed by [`SolverConfig::from_env`]
+//! with loud-not-fatal validation) let a deployment pick a policy without
+//! recompiling.
+//!
+//! Every setting is **verdict-neutral**: satisfiability does not depend on
+//! the search order, and the consumers that extract models (the k-induction
+//! checker) canonicalise them away from solver history. Only the work
+//! counters — conflicts, propagations, restarts, wall time — may move, which
+//! is what makes policy search safely CI-gateable against a pinned semantic
+//! fingerprint.
+
+use std::fmt;
+
+/// When the search loop abandons its current assignment stack and restarts
+/// from the assumption prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RestartStrategy {
+    /// Luby-sequence restarts: the i-th restart fires after
+    /// `restart_base * luby(i)` conflicts. The classic
+    /// universally-competitive schedule and the default.
+    Luby,
+    /// Glucose-style EMA-LBD restarts: restart when the recent learnt-clause
+    /// LBD (exponential moving average, α = 1/32) exceeds the call's running
+    /// LBD mean by 25%, at most once per `restart_base` conflicts. Reacts to
+    /// the solver learning badly instead of to a fixed schedule.
+    EmaLbd,
+    /// No restarts until the solve call has seen this many conflicts; beyond
+    /// the threshold the Luby schedule takes over (counted from the start of
+    /// the call). Queries that decide below the threshold — the common case
+    /// in this workload — never pay restart churn at all.
+    NoneBelow(u64),
+}
+
+impl fmt::Display for RestartStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestartStrategy::Luby => write!(f, "luby"),
+            RestartStrategy::EmaLbd => write!(f, "ema-lbd"),
+            RestartStrategy::NoneBelow(n) => write!(f, "none-below-{n}"),
+        }
+    }
+}
+
+impl RestartStrategy {
+    /// Parses a flag/environment spelling: `luby`, `ema-lbd` (alias
+    /// `glucose`), `none-below-<N>`, or `never` (no restarts ever —
+    /// shorthand for an unreachable threshold).
+    pub fn from_name(name: &str) -> Option<RestartStrategy> {
+        let name = name.trim();
+        match name {
+            "luby" => Some(RestartStrategy::Luby),
+            "ema-lbd" | "ema_lbd" | "glucose" => Some(RestartStrategy::EmaLbd),
+            "never" => Some(RestartStrategy::NoneBelow(u64::MAX)),
+            _ => {
+                let n = name
+                    .strip_prefix("none-below-")
+                    .or_else(|| name.strip_prefix("none_below_"))?;
+                n.parse().ok().map(RestartStrategy::NoneBelow)
+            }
+        }
+    }
+}
+
+/// What happens to saved phases (the polarity a variable is branched to)
+/// between solve calls of one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseMode {
+    /// Phases persist across queries: a session that keeps answering
+    /// variations of the same query re-lands on the satisfying region it
+    /// found last time. The default.
+    Persist,
+    /// Phases are reset at the start of every solve call: assumption
+    /// variables to their assumed polarity, everything else to `false`.
+    /// Removes cross-query search-order coupling at the cost of re-finding
+    /// known-good regions.
+    ResetPerQuery,
+}
+
+impl fmt::Display for PhaseMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhaseMode::Persist => write!(f, "persist"),
+            PhaseMode::ResetPerQuery => write!(f, "reset"),
+        }
+    }
+}
+
+impl PhaseMode {
+    /// Parses a flag/environment spelling (`persist` or `reset`).
+    pub fn from_name(name: &str) -> Option<PhaseMode> {
+        match name.trim() {
+            "persist" => Some(PhaseMode::Persist),
+            "reset" | "reset-per-query" => Some(PhaseMode::ResetPerQuery),
+            _ => None,
+        }
+    }
+}
+
+/// The search-policy tunables of a [`crate::Solver`].
+///
+/// All fields are integers so the config is `Copy`/`Eq`/`Hash` and can ride
+/// inside higher-level configuration structs; the growth factor is expressed
+/// in percent. `Default` is the workload-tuned policy (Luby restarts with a
+/// base of 50 conflicts, persistent phase saving, 10% clause-DB growth, glue
+/// threshold 4): on the quick suite it cuts conflicts by ~2% and min-of-3
+/// wall/solver time by ~10/15% versus the historical
+/// `restart_base: 100, glue_threshold: 2` policy, which remains reachable
+/// through the `AMLE_SOLVER_*` knobs. Every setting is verdict-neutral:
+/// fingerprints and solve counts never depend on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SolverConfig {
+    /// Restart strategy of the search loop.
+    pub restart: RestartStrategy,
+    /// Conflict unit of the restart schedule: the Luby multiplier, and the
+    /// minimum conflict spacing between EMA-LBD restarts. Clamped to ≥ 1.
+    pub restart_base: u64,
+    /// Phase-saving behaviour across the solve calls of a session.
+    pub phase_saving: PhaseMode,
+    /// Learnt-database growth per reduction, in percent: after each
+    /// reduction the learnt budget becomes `budget * pct / 100`. 110 (grow
+    /// 10%) is the historical default; 100 keeps the budget fixed. Clamped
+    /// to ≥ 100.
+    pub reduce_growth_pct: u32,
+    /// LBD at or below which a learnt clause is "glue" and survives every
+    /// database reduction. Clamped to ≥ 1 (LBD-1 clauses are effectively
+    /// units and must never be dropped).
+    pub glue_threshold: u32,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            restart: RestartStrategy::Luby,
+            restart_base: 50,
+            phase_saving: PhaseMode::Persist,
+            reduce_growth_pct: 110,
+            glue_threshold: 4,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// Applies the documented clamps (`restart_base ≥ 1`,
+    /// `reduce_growth_pct ≥ 100`, `glue_threshold ≥ 1`) and returns the
+    /// sanitised config. Construction sites that bypass
+    /// [`SolverConfig::from_env`] go through this in
+    /// [`crate::Solver::with_config`], so an out-of-range literal cannot
+    /// produce a shrinking clause database or a zero-spaced restart loop.
+    pub fn clamped(mut self) -> SolverConfig {
+        self.restart_base = self.restart_base.max(1);
+        self.reduce_growth_pct = self.reduce_growth_pct.max(100);
+        self.glue_threshold = self.glue_threshold.max(1);
+        self
+    }
+
+    /// Reads the policy from the `AMLE_SOLVER_*` environment knobs:
+    ///
+    /// | variable | values | default |
+    /// |---|---|---|
+    /// | `AMLE_SOLVER_RESTART` | `luby`, `ema-lbd`/`glucose`, `none-below-<N>`, `never` | `luby` |
+    /// | `AMLE_SOLVER_RESTART_BASE` | integer ≥ 1 | `50` |
+    /// | `AMLE_SOLVER_PHASE` | `persist`, `reset` | `persist` |
+    /// | `AMLE_SOLVER_REDUCE_GROWTH_PCT` | integer ≥ 100 | `110` |
+    /// | `AMLE_SOLVER_GLUE` | integer ≥ 1 | `4` |
+    ///
+    /// Unset or empty variables keep their defaults. Malformed values fall
+    /// back to the default **loudly** (one warning per process, like
+    /// `AMLE_WORKERS`): a typo in a CI matrix or a service unit must not
+    /// silently evaporate the intended policy. Out-of-range numbers are
+    /// clamped with the same one-time warning.
+    pub fn from_env() -> Self {
+        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+        let get = |name: &str| std::env::var(name).ok();
+        let (config, warnings) = Self::from_env_values(
+            get("AMLE_SOLVER_RESTART").as_deref(),
+            get("AMLE_SOLVER_RESTART_BASE").as_deref(),
+            get("AMLE_SOLVER_PHASE").as_deref(),
+            get("AMLE_SOLVER_REDUCE_GROWTH_PCT").as_deref(),
+            get("AMLE_SOLVER_GLUE").as_deref(),
+        );
+        if !warnings.is_empty() {
+            WARN_ONCE.call_once(|| {
+                for warning in &warnings {
+                    eprintln!("{warning}");
+                }
+            });
+        }
+        config
+    }
+
+    /// The pure parsing-and-clamping rule behind [`SolverConfig::from_env`],
+    /// factored out so tests can pin it without mutating the process
+    /// environment. Returns the effective config plus one warning line per
+    /// rejected or clamped value.
+    pub fn from_env_values(
+        restart: Option<&str>,
+        restart_base: Option<&str>,
+        phase: Option<&str>,
+        reduce_growth_pct: Option<&str>,
+        glue: Option<&str>,
+    ) -> (SolverConfig, Vec<String>) {
+        let mut config = SolverConfig::default();
+        let mut warnings = Vec::new();
+        let mut set =
+            |name: &str, raw: Option<&str>, apply: &mut dyn FnMut(&str) -> Option<String>| {
+                let Some(raw) = raw else { return };
+                let raw = raw.trim();
+                if raw.is_empty() {
+                    return;
+                }
+                if let Some(warning) = apply(raw) {
+                    warnings.push(format!("{name}=`{raw}` {warning}"));
+                }
+            };
+        set(
+            "AMLE_SOLVER_RESTART",
+            restart,
+            &mut |raw| match RestartStrategy::from_name(raw) {
+                Some(strategy) => {
+                    config.restart = strategy;
+                    None
+                }
+                None => Some(format!(
+                    "is not a restart strategy \
+                     (luby|ema-lbd|none-below-<N>|never); using {}",
+                    config.restart
+                )),
+            },
+        );
+        set(
+            "AMLE_SOLVER_RESTART_BASE",
+            restart_base,
+            &mut |raw| match raw.parse::<u64>() {
+                Ok(n) if n >= 1 => {
+                    config.restart_base = n;
+                    None
+                }
+                Ok(_) => {
+                    config.restart_base = 1;
+                    Some("is below 1; clamping to 1".to_string())
+                }
+                Err(_) => Some(format!(
+                    "is not a conflict count; using {}",
+                    config.restart_base
+                )),
+            },
+        );
+        set(
+            "AMLE_SOLVER_PHASE",
+            phase,
+            &mut |raw| match PhaseMode::from_name(raw) {
+                Some(mode) => {
+                    config.phase_saving = mode;
+                    None
+                }
+                None => Some(format!(
+                    "is not a phase-saving mode (persist|reset); using {}",
+                    config.phase_saving
+                )),
+            },
+        );
+        set(
+            "AMLE_SOLVER_REDUCE_GROWTH_PCT",
+            reduce_growth_pct,
+            &mut |raw| match raw.parse::<u32>() {
+                Ok(n) if n >= 100 => {
+                    config.reduce_growth_pct = n;
+                    None
+                }
+                Ok(n) => {
+                    config.reduce_growth_pct = 100;
+                    Some(format!(
+                        "({n}%) would shrink the learnt budget; clamping to 100"
+                    ))
+                }
+                Err(_) => Some(format!(
+                    "is not a percentage; using {}",
+                    config.reduce_growth_pct
+                )),
+            },
+        );
+        set(
+            "AMLE_SOLVER_GLUE",
+            glue,
+            &mut |raw| match raw.parse::<u32>() {
+                Ok(n) if n >= 1 => {
+                    config.glue_threshold = n;
+                    None
+                }
+                Ok(_) => {
+                    config.glue_threshold = 1;
+                    Some("is below 1; clamping to 1".to_string())
+                }
+                Err(_) => Some(format!(
+                    "is not an LBD threshold; using {}",
+                    config.glue_threshold
+                )),
+            },
+        );
+        (config, warnings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_workload_tuned_policy() {
+        let config = SolverConfig::default();
+        assert_eq!(config.restart, RestartStrategy::Luby);
+        assert_eq!(config.restart_base, 50);
+        assert_eq!(config.phase_saving, PhaseMode::Persist);
+        assert_eq!(config.reduce_growth_pct, 110);
+        assert_eq!(config.glue_threshold, 4);
+        assert_eq!(config.clamped(), config, "default needs no clamping");
+    }
+
+    #[test]
+    fn restart_strategy_names_round_trip() {
+        for strategy in [
+            RestartStrategy::Luby,
+            RestartStrategy::EmaLbd,
+            RestartStrategy::NoneBelow(5000),
+        ] {
+            assert_eq!(
+                RestartStrategy::from_name(&strategy.to_string()),
+                Some(strategy)
+            );
+        }
+        assert_eq!(
+            RestartStrategy::from_name("glucose"),
+            Some(RestartStrategy::EmaLbd)
+        );
+        assert_eq!(
+            RestartStrategy::from_name("never"),
+            Some(RestartStrategy::NoneBelow(u64::MAX))
+        );
+        assert_eq!(RestartStrategy::from_name("none-below-"), None);
+        assert_eq!(RestartStrategy::from_name("none-below-x"), None);
+        assert_eq!(RestartStrategy::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn phase_mode_names_round_trip() {
+        for mode in [PhaseMode::Persist, PhaseMode::ResetPerQuery] {
+            assert_eq!(PhaseMode::from_name(&mode.to_string()), Some(mode));
+        }
+        assert_eq!(PhaseMode::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn env_values_parse_and_default() {
+        let (config, warnings) = SolverConfig::from_env_values(None, None, None, None, None);
+        assert_eq!(config, SolverConfig::default());
+        assert!(warnings.is_empty());
+
+        let (config, warnings) = SolverConfig::from_env_values(
+            Some(" none-below-4096 "),
+            Some("50"),
+            Some("reset"),
+            Some("125"),
+            Some("3"),
+        );
+        assert!(warnings.is_empty());
+        assert_eq!(config.restart, RestartStrategy::NoneBelow(4096));
+        assert_eq!(config.restart_base, 50);
+        assert_eq!(config.phase_saving, PhaseMode::ResetPerQuery);
+        assert_eq!(config.reduce_growth_pct, 125);
+        assert_eq!(config.glue_threshold, 3);
+    }
+
+    #[test]
+    fn empty_values_keep_defaults_silently() {
+        let (config, warnings) =
+            SolverConfig::from_env_values(Some(""), Some("  "), Some(""), Some(""), Some(""));
+        assert_eq!(config, SolverConfig::default());
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn malformed_values_warn_and_fall_back() {
+        let (config, warnings) = SolverConfig::from_env_values(
+            Some("chaotic"),
+            Some("-5"),
+            Some("sometimes"),
+            Some("ten"),
+            Some("0x2"),
+        );
+        assert_eq!(config, SolverConfig::default(), "bad values must not stick");
+        assert_eq!(warnings.len(), 5, "every bad value warns: {warnings:?}");
+        assert!(warnings[0].contains("AMLE_SOLVER_RESTART"));
+        assert!(warnings[1].contains("AMLE_SOLVER_RESTART_BASE"));
+        assert!(warnings[2].contains("AMLE_SOLVER_PHASE"));
+        assert!(warnings[3].contains("AMLE_SOLVER_REDUCE_GROWTH_PCT"));
+        assert!(warnings[4].contains("AMLE_SOLVER_GLUE"));
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_with_a_warning() {
+        let (config, warnings) =
+            SolverConfig::from_env_values(None, Some("0"), None, Some("90"), Some("0"));
+        assert_eq!(config.restart_base, 1);
+        assert_eq!(config.reduce_growth_pct, 100);
+        assert_eq!(config.glue_threshold, 1);
+        assert_eq!(warnings.len(), 3);
+    }
+
+    #[test]
+    fn clamped_repairs_out_of_range_literals() {
+        let config = SolverConfig {
+            restart_base: 0,
+            reduce_growth_pct: 5,
+            glue_threshold: 0,
+            ..SolverConfig::default()
+        }
+        .clamped();
+        assert_eq!(config.restart_base, 1);
+        assert_eq!(config.reduce_growth_pct, 100);
+        assert_eq!(config.glue_threshold, 1);
+    }
+
+    #[test]
+    fn from_env_honours_the_process_environment() {
+        // Without mutating the environment: whatever the harness set must
+        // flow through the same pure rule.
+        let expected = SolverConfig::from_env_values(
+            std::env::var("AMLE_SOLVER_RESTART").ok().as_deref(),
+            std::env::var("AMLE_SOLVER_RESTART_BASE").ok().as_deref(),
+            std::env::var("AMLE_SOLVER_PHASE").ok().as_deref(),
+            std::env::var("AMLE_SOLVER_REDUCE_GROWTH_PCT")
+                .ok()
+                .as_deref(),
+            std::env::var("AMLE_SOLVER_GLUE").ok().as_deref(),
+        )
+        .0;
+        assert_eq!(SolverConfig::from_env(), expected);
+    }
+}

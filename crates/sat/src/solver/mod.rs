@@ -19,6 +19,7 @@ mod clause_db;
 mod decision;
 mod propagate;
 
+use crate::config::{PhaseMode, RestartStrategy, SolverConfig};
 use crate::{Lit, Var};
 use clause_db::{ClauseDb, ClauseRef};
 use decision::VsidsHeap;
@@ -174,6 +175,8 @@ pub struct Solver {
     lbd_marker: u64,
     stats: SolverStats,
     max_learnts: f64,
+    /// The search policy (restarts, phase saving, clause-DB reduction).
+    config: SolverConfig,
     /// Test hook: forces a tiny learnt-clause budget so database reduction
     /// and arena GC run on small instances.
     #[cfg(test)]
@@ -197,9 +200,16 @@ impl Default for Solver {
 }
 
 impl Solver {
-    /// Creates an empty solver.
+    /// Creates an empty solver with the default search policy.
     pub fn new() -> Self {
+        Self::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver with an explicit search policy. Out-of-range
+    /// values are repaired via [`SolverConfig::clamped`].
+    pub fn with_config(config: SolverConfig) -> Self {
         Solver {
+            config: config.clamped(),
             db: ClauseDb::new(),
             watches: Vec::new(),
             value: Vec::new(),
@@ -222,6 +232,18 @@ impl Solver {
             #[cfg(test)]
             max_learnts_override: None,
         }
+    }
+
+    /// The search policy in effect.
+    pub fn config(&self) -> SolverConfig {
+        self.config
+    }
+
+    /// Replaces the search policy (clamped). All restart/EMA state is
+    /// per-solve-call, so the new policy simply governs subsequent calls;
+    /// the clause database and learnt clauses are untouched.
+    pub fn set_config(&mut self, config: SolverConfig) {
+        self.config = config.clamped();
     }
 
     /// Allocates a fresh variable.
@@ -439,18 +461,19 @@ impl Solver {
         self.value[first.code()] == LTRUE && self.reason[first.var().index()] == cref
     }
 
-    /// Glue/activity-tiered learnt-database reduction: clauses with LBD ≤ 2
-    /// ("glue" clauses) and reason clauses are always kept; of the rest, the
-    /// half with the worst (highest-LBD, then least-active) scores is
-    /// tombstoned and the arena compacted in place, relocating watcher lists
-    /// and reasons instead of rebuilding them.
+    /// Glue/activity-tiered learnt-database reduction: clauses with LBD at
+    /// or below the configured glue threshold and reason clauses are always
+    /// kept; of the rest, the half with the worst (highest-LBD, then
+    /// least-active) scores is tombstoned and the arena compacted in place,
+    /// relocating watcher lists and reasons instead of rebuilding them.
     fn reduce_learnts(&mut self) {
+        let glue = self.config.glue_threshold;
         let mut candidates: Vec<ClauseRef> = self
             .db
             .learnts()
             .iter()
             .copied()
-            .filter(|&c| self.db.lbd(c) > 2 && !self.is_locked(c))
+            .filter(|&c| self.db.lbd(c) > glue && !self.is_locked(c))
             .collect();
         if candidates.len() < 2 {
             return;
@@ -550,21 +573,40 @@ impl Solver {
             self.ensure_vars(lit.var().index() + 1);
         }
         self.backtrack(0);
+        if self.config.phase_saving == PhaseMode::ResetPerQuery {
+            // Forget cross-query polarity history: assumption variables
+            // start at their assumed polarity, everything else at false.
+            // (Level-0 propagation below may still overwrite forced
+            // variables — deterministically.)
+            self.saved_phase.fill(false);
+            for lit in assumptions {
+                self.saved_phase[lit.var().index()] = lit.is_positive();
+            }
+        }
         if self.propagate().is_some() {
             self.ok = false;
             return SolveResult::Unsat;
         }
         self.max_learnts = self.initial_max_learnts();
 
+        let restart_base = self.config.restart_base;
         let mut restart_count: u64 = 0;
-        let mut conflicts_until_restart = 100 * Self::luby(restart_count);
+        let mut conflicts_until_restart = restart_base * Self::luby(restart_count);
         let mut conflicts_in_round: u64 = 0;
+        let mut conflicts_this_call: u64 = 0;
+        // EMA-LBD restart state, local to the call so repeated queries stay
+        // independent: a fast EMA (α = 1/32) of recent learnt LBDs against
+        // the call's running mean.
+        let mut lbd_ema_fast: f64 = 0.0;
+        let mut lbd_call_sum: u64 = 0;
+        let mut lbd_call_count: u64 = 0;
 
         loop {
             match self.propagate() {
                 Some(confl) => {
                     self.stats.conflicts += 1;
                     conflicts_in_round += 1;
+                    conflicts_this_call += 1;
                     if self.decision_level() == 0 {
                         self.ok = false;
                         return SolveResult::Unsat;
@@ -572,6 +614,9 @@ impl Solver {
                     let (learnt, backtrack_level) = self.analyze(confl);
                     self.backtrack(backtrack_level);
                     let assert_lit = learnt[0];
+                    // Unit learnts carry no stored LBD; they enter the
+                    // restart signal as glue of 1.
+                    let mut lbd_learnt: u32 = 1;
                     if learnt.len() == 1 {
                         if !self.enqueue(assert_lit, ClauseRef::INVALID) {
                             self.ok = false;
@@ -579,6 +624,7 @@ impl Solver {
                         }
                     } else {
                         let lbd = self.compute_lbd(&learnt);
+                        lbd_learnt = lbd;
                         let cref = self.attach_clause(&learnt, true);
                         self.db.set_lbd(cref, lbd);
                         self.stats.lbd_sum += u64::from(lbd);
@@ -586,20 +632,46 @@ impl Solver {
                         self.db.bump_activity(cref);
                         self.enqueue(assert_lit, cref);
                     }
+                    if self.config.restart == RestartStrategy::EmaLbd {
+                        lbd_call_sum += u64::from(lbd_learnt);
+                        lbd_call_count += 1;
+                        lbd_ema_fast = if lbd_call_count == 1 {
+                            f64::from(lbd_learnt)
+                        } else {
+                            lbd_ema_fast + (f64::from(lbd_learnt) - lbd_ema_fast) / 32.0
+                        };
+                    }
                     self.order.decay();
                     self.db.decay_activity();
                 }
                 None => {
-                    if conflicts_in_round >= conflicts_until_restart {
+                    let restart_now = match self.config.restart {
+                        RestartStrategy::Luby => conflicts_in_round >= conflicts_until_restart,
+                        RestartStrategy::EmaLbd => {
+                            // Restart when recent glue runs 25% above the
+                            // call's mean — the solver is learning worse
+                            // clauses than it used to — at most once per
+                            // `restart_base` conflicts.
+                            conflicts_in_round >= restart_base
+                                && lbd_call_count > 0
+                                && lbd_ema_fast * (lbd_call_count as f64)
+                                    > 1.25 * lbd_call_sum as f64
+                        }
+                        RestartStrategy::NoneBelow(threshold) => {
+                            conflicts_this_call >= threshold
+                                && conflicts_in_round >= conflicts_until_restart
+                        }
+                    };
+                    if restart_now {
                         conflicts_in_round = 0;
                         restart_count += 1;
                         self.stats.restarts += 1;
-                        conflicts_until_restart = 100 * Self::luby(restart_count);
+                        conflicts_until_restart = restart_base * Self::luby(restart_count);
                         self.backtrack(assumptions.len().min(self.decision_level()));
                     }
                     if self.stats.learnt_clauses as f64 > self.max_learnts {
                         self.reduce_learnts();
-                        self.max_learnts *= 1.1;
+                        self.max_learnts *= f64::from(self.config.reduce_growth_pct) / 100.0;
                     }
                     // Assumption decisions first, then free decisions.
                     let next = if self.decision_level() < assumptions.len() {
@@ -834,6 +906,110 @@ mod tests {
         for (i, &e) in expected.iter().enumerate() {
             assert_eq!(Solver::luby(i as u64), e, "luby({i})");
         }
+    }
+
+    /// Every restart/phase/clause-DB policy must agree with the default on
+    /// verdicts — the invariant that makes policy tuning safely gateable.
+    /// The pigeonhole instances force real search (conflicts, learnt
+    /// clauses, restarts under small bases).
+    #[test]
+    fn search_policies_are_verdict_neutral() {
+        let configs = [
+            SolverConfig::default(),
+            SolverConfig {
+                restart: RestartStrategy::EmaLbd,
+                restart_base: 8,
+                ..SolverConfig::default()
+            },
+            SolverConfig {
+                restart: RestartStrategy::NoneBelow(u64::MAX),
+                ..SolverConfig::default()
+            },
+            SolverConfig {
+                restart: RestartStrategy::NoneBelow(16),
+                restart_base: 4,
+                phase_saving: PhaseMode::ResetPerQuery,
+                ..SolverConfig::default()
+            },
+            SolverConfig {
+                restart: RestartStrategy::Luby,
+                restart_base: 1,
+                reduce_growth_pct: 100,
+                glue_threshold: 4,
+                ..SolverConfig::default()
+            },
+        ];
+        for config in configs {
+            // Unsat: 4 pigeons into 3 holes.
+            let mut s = Solver::with_config(config);
+            let v: Vec<Var> = (0..12).map(|_| s.new_var()).collect();
+            add_pigeonhole(&mut s, &v, 4, 3);
+            assert_eq!(s.solve(), SolveResult::Unsat, "{config:?}");
+            // Sat: 4 pigeons into 4 holes; the model must be a real model.
+            let mut s = Solver::with_config(config);
+            let v: Vec<Var> = (0..16).map(|_| s.new_var()).collect();
+            let p = |i: usize, h: usize| (i * 4 + h + 1) as i64;
+            for i in 0..4 {
+                s.add_clause((0..4).map(|h| lit(&v, p(i, h))));
+            }
+            for h in 0..4 {
+                for i in 0..4 {
+                    for j in (i + 1)..4 {
+                        s.add_clause([lit(&v, -p(i, h)), lit(&v, -p(j, h))]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(), SolveResult::Sat, "{config:?}");
+            let model = s.model();
+            for i in 0..4 {
+                assert!(
+                    (0..4).any(|h| model[(p(i, h) - 1) as usize]),
+                    "{config:?}: pigeon {i} unplaced"
+                );
+            }
+            // Assumptions still work under phase reset.
+            let first = Lit::positive(v[0]);
+            assert_eq!(s.solve_with_assumptions(&[!first]), SolveResult::Sat);
+            assert_eq!(s.value(v[0]), Some(false));
+        }
+    }
+
+    #[test]
+    fn restart_gating_suppresses_restarts_below_the_threshold() {
+        // The same unsat instance under never-restart must finish with zero
+        // restarts, while a tiny Luby base forces many.
+        let mut gated = Solver::with_config(SolverConfig {
+            restart: RestartStrategy::NoneBelow(u64::MAX),
+            ..SolverConfig::default()
+        });
+        let v: Vec<Var> = (0..12).map(|_| gated.new_var()).collect();
+        add_pigeonhole(&mut gated, &v, 4, 3);
+        assert_eq!(gated.solve(), SolveResult::Unsat);
+        assert_eq!(gated.stats().restarts, 0);
+
+        let mut eager = Solver::with_config(SolverConfig {
+            restart_base: 1,
+            ..SolverConfig::default()
+        });
+        let v: Vec<Var> = (0..12).map(|_| eager.new_var()).collect();
+        add_pigeonhole(&mut eager, &v, 4, 3);
+        assert_eq!(eager.solve(), SolveResult::Unsat);
+        assert!(eager.stats().restarts > 0);
+    }
+
+    #[test]
+    fn config_is_clamped_and_replaceable() {
+        let mut s = Solver::with_config(SolverConfig {
+            restart_base: 0,
+            reduce_growth_pct: 10,
+            glue_threshold: 0,
+            ..SolverConfig::default()
+        });
+        assert_eq!(s.config().restart_base, 1);
+        assert_eq!(s.config().reduce_growth_pct, 100);
+        assert_eq!(s.config().glue_threshold, 1);
+        s.set_config(SolverConfig::default());
+        assert_eq!(s.config(), SolverConfig::default());
     }
 
     #[test]

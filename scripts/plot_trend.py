@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Plot per-family wall/solver-time trends from ``perf-diff --trend`` CSV.
+
+Usage:
+
+    cargo run --release -p amle-bench --bin perf-diff -- --trend \
+        run1.json run2.json run3.json > trend.csv
+    python3 scripts/plot_trend.py trend.csv --out trend-plots/
+
+The CSV columns are ``benchmark,run,time_s,solver_time_s,solve_calls,
+cache_hits,fingerprint_digest``; the ``__suite__`` series carries whole-run
+wall time and the suite fingerprint (its middle count fields are empty).
+
+Benchmarks are grouped into families by name (Table I controllers, the
+synthetic families, the splicing-stress family, circuits), and one line per
+family is plotted for wall time and for solver time across runs.
+
+Matplotlib is optional: when it is unavailable the script falls back to an
+ASCII rendering of the same per-family series, so it is usable in the CI
+container without installing anything.
+"""
+
+import argparse
+import csv
+import os
+import sys
+from collections import OrderedDict
+
+
+def family_of(name):
+    """Maps a benchmark name to its suite family."""
+    if name == "__suite__":
+        return "suite"
+    if name.startswith("Splice"):
+        return "splice-stress"
+    if name.startswith("Synth"):
+        return "synthetic"
+    if name.startswith("Circuit"):
+        return "circuit"
+    return "table1"
+
+
+def read_trend(path):
+    """Parses the trend CSV into {family: {run: {"wall": s, "solver": s}}}.
+
+    Per-family values are sums over the family's benchmarks present in that
+    run. Returns (families, runs) with runs sorted ascending.
+    """
+    families = OrderedDict()
+    runs = set()
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"benchmark", "run", "time_s", "solver_time_s"}
+        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+            raise SystemExit(
+                f"{path}: not a perf-diff --trend CSV "
+                f"(expected columns {sorted(required)}, got {reader.fieldnames})"
+            )
+        for row in reader:
+            family = family_of(row["benchmark"])
+            run = int(row["run"])
+            runs.add(run)
+            bucket = families.setdefault(family, {}).setdefault(
+                run, {"wall": 0.0, "solver": 0.0}
+            )
+            bucket["wall"] += float(row["time_s"] or 0.0)
+            # The __suite__ series has no solver-time column value.
+            bucket["solver"] += float(row["solver_time_s"] or 0.0)
+    return families, sorted(runs)
+
+
+def series(families, family, runs, key):
+    """One family's metric across runs; None where the run lacks the family."""
+    return [
+        families[family][run][key] if run in families[family] else None
+        for run in runs
+    ]
+
+
+def ascii_sparkline(values):
+    """Renders a series as a bar string, scaling to the series maximum."""
+    bars = " ▁▂▃▄▅▆▇█"
+    present = [v for v in values if v is not None]
+    top = max(present) if present else 0.0
+    out = []
+    for value in values:
+        if value is None:
+            out.append("·")
+        elif top <= 0.0:
+            out.append(bars[1])
+        else:
+            out.append(bars[1 + round(value / top * (len(bars) - 2))])
+    return "".join(out)
+
+
+def render_ascii(families, runs):
+    """Fallback text rendering when matplotlib is unavailable."""
+    print(f"trend across {len(runs)} runs (per-family totals, seconds)")
+    for metric, key in (("wall time", "wall"), ("solver time", "solver")):
+        print(f"\n{metric}:")
+        for family in families:
+            values = series(families, family, runs, key)
+            present = [v for v in values if v is not None]
+            if not present:
+                continue
+            first, last = present[0], present[-1]
+            delta = "n/a" if first <= 0.0 else f"{(last / first - 1.0) * 100:+.1f}%"
+            print(
+                f"  {family:<14} {ascii_sparkline(values)}  "
+                f"first {first:9.3f}s  last {last:9.3f}s  ({delta})"
+            )
+
+
+def render_plots(families, runs, out_dir):
+    """Writes wall.png and solver.png with one line per family."""
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    os.makedirs(out_dir, exist_ok=True)
+    written = []
+    for metric, key, filename in (
+        ("wall time", "wall", "wall.png"),
+        ("solver time", "solver", "solver.png"),
+    ):
+        fig, ax = plt.subplots(figsize=(8, 4.5))
+        for family in families:
+            values = series(families, family, runs, key)
+            if not any(v is not None for v in values):
+                continue
+            ax.plot(runs, values, marker="o", label=family)
+        ax.set_xlabel("run")
+        ax.set_ylabel(f"{metric} (s)")
+        ax.set_title(f"per-family {metric} trend")
+        ax.set_xticks(runs)
+        ax.grid(True, alpha=0.3)
+        ax.legend()
+        path = os.path.join(out_dir, filename)
+        fig.tight_layout()
+        fig.savefig(path, dpi=120)
+        plt.close(fig)
+        written.append(path)
+    return written
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Plot per-family time trends from perf-diff --trend CSV."
+    )
+    parser.add_argument("csv", help="trend CSV produced by perf-diff --trend")
+    parser.add_argument(
+        "--out",
+        default="trend-plots",
+        help="output directory for PNG plots (default: trend-plots/)",
+    )
+    parser.add_argument(
+        "--ascii",
+        action="store_true",
+        help="force the ASCII rendering even when matplotlib is available",
+    )
+    options = parser.parse_args()
+
+    families, runs = read_trend(options.csv)
+    if not runs:
+        raise SystemExit(f"{options.csv}: no data rows")
+
+    if not options.ascii:
+        try:
+            written = render_plots(families, runs, options.out)
+        except ImportError:
+            print(
+                "matplotlib unavailable; falling back to ASCII rendering",
+                file=sys.stderr,
+            )
+        else:
+            for path in written:
+                print(f"wrote {path}")
+            return
+    render_ascii(families, runs)
+
+
+if __name__ == "__main__":
+    main()
